@@ -1,0 +1,188 @@
+//! Cache-level descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// How a cache level relates to the level above it (closer to the core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InclusionPolicy {
+    /// Every line in the upper level is also present here (e.g. Intel L3
+    /// before Skylake, and the private L2s on most machines).
+    Inclusive,
+    /// Lines enter this level only when evicted from the level above
+    /// (victim cache — Skylake/Cascade Lake L3, AMD Zen L3).
+    Victim,
+}
+
+/// Write-handling policy of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Write-back with write-allocate: a store miss first reads the line
+    /// (the allocate), and dirty lines are written downward on eviction.
+    /// This is the policy of all caches modelled in the paper.
+    WriteBackAllocate,
+    /// Streaming/non-temporal stores: the line is written straight to the
+    /// level below without an allocate read. Used when modelling
+    /// non-temporal store variants of kernels.
+    WriteThroughStreaming,
+}
+
+/// Which cores share one instance of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// One instance per core (private L1/L2).
+    PerCore,
+    /// One instance per group of `n` cores (AMD Rome: L3 per 4-core CCX).
+    PerCoreGroup(usize),
+    /// One instance per socket (Intel shared L3).
+    PerSocket,
+}
+
+impl Scope {
+    /// Number of cores sharing one instance, for a socket with
+    /// `cores_per_socket` cores.
+    #[must_use]
+    pub fn sharers(&self, cores_per_socket: usize) -> usize {
+        match *self {
+            Scope::PerCore => 1,
+            Scope::PerCoreGroup(n) => n,
+            Scope::PerSocket => cores_per_socket,
+        }
+    }
+}
+
+/// One level of the cache hierarchy.
+///
+/// Bandwidth is expressed as the sustained number of bytes per core-clock
+/// cycle that can move between this level and the level *above* it (closer to
+/// the core). The ECM model converts this into "cycles per cache line".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// Human-readable name ("L1", "L2", ...).
+    pub name: String,
+    /// Capacity of one instance in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line length in bytes (64 for every built-in model).
+    pub line_bytes: usize,
+    /// Sustained bandwidth to the level above, in bytes per cycle.
+    pub bytes_per_cycle: f64,
+    /// Load-to-use latency in cycles (used by the simulator's latency
+    /// accounting, not by the bandwidth-only ECM terms).
+    pub latency_cycles: f64,
+    /// Relationship to the level above.
+    pub inclusion: InclusionPolicy,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Sharing scope.
+    pub scope: Scope,
+}
+
+impl CacheLevel {
+    /// Cycles needed to move one full line between this level and the level
+    /// above it.
+    ///
+    /// ```
+    /// use yasksite_arch::Machine;
+    /// let l2 = &Machine::cascade_lake().caches[1];
+    /// assert!((l2.cycles_per_line() - 64.0 / l2.bytes_per_cycle).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn cycles_per_line(&self) -> f64 {
+        self.line_bytes as f64 / self.bytes_per_cycle
+    }
+
+    /// Number of sets in one instance.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (checked by
+    /// [`Machine::validate`](crate::Machine::validate)).
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.assoc * self.line_bytes)
+    }
+
+    /// Validates the geometry: sizes must factor exactly into
+    /// `sets * ways * line` and the set count must be a power of two
+    /// (required for the simulator's index hashing).
+    ///
+    /// # Errors
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(format!("{}: line_bytes must be a power of two", self.name));
+        }
+        if self.assoc == 0 {
+            return Err(format!("{}: associativity must be positive", self.name));
+        }
+        if !self.size_bytes.is_multiple_of(self.assoc * self.line_bytes) {
+            return Err(format!(
+                "{}: size {} is not sets*assoc*line",
+                self.name, self.size_bytes
+            ));
+        }
+        let sets = self.num_sets();
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(format!("{}: set count {sets} must be a power of two", self.name));
+        }
+        if self.bytes_per_cycle <= 0.0 || self.bytes_per_cycle.is_nan() {
+            return Err(format!("{}: bandwidth must be positive", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level() -> CacheLevel {
+        CacheLevel {
+            name: "L1".into(),
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            line_bytes: 64,
+            bytes_per_cycle: 128.0,
+            latency_cycles: 4.0,
+            inclusion: InclusionPolicy::Inclusive,
+            write_policy: WritePolicy::WriteBackAllocate,
+            scope: Scope::PerCore,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let l = level();
+        assert_eq!(l.num_sets(), 64);
+        assert!(l.validate().is_ok());
+        assert!((l.cycles_per_line() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_sets() {
+        let mut l = level();
+        l.size_bytes = 24 * 1024; // 48 sets
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_assoc() {
+        let mut l = level();
+        l.assoc = 0;
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_unfactorable_size() {
+        let mut l = level();
+        l.size_bytes = 1000;
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn scope_sharers() {
+        assert_eq!(Scope::PerCore.sharers(20), 1);
+        assert_eq!(Scope::PerCoreGroup(4).sharers(64), 4);
+        assert_eq!(Scope::PerSocket.sharers(20), 20);
+    }
+}

@@ -1,0 +1,248 @@
+//! Plain-text machine description files.
+//!
+//! YaskSite users describe new CPUs in small config files; this module
+//! provides a minimal `key = value` format (one property per line, `#`
+//! comments) so custom machines can be loaded by the CLI without pulling
+//! in a serialisation format crate:
+//!
+//! ```text
+//! name = My CPU
+//! freq_ghz = 3.0
+//! cores_per_socket = 24
+//! simd = avx512
+//! mem_bw_gbs = 150
+//! mem_bw_single_core_gbs = 18
+//! cache = L1 32768 8 64 inclusive per_core
+//! cache = L2 1048576 16 32 inclusive per_core
+//! cache = L3 33554432 16 16 victim per_socket
+//! ```
+//!
+//! Cache lines are `name size_bytes assoc bytes_per_cycle policy scope`;
+//! `scope` is `per_core`, `per_socket` or `ccx:<n>`.
+
+use crate::cache::{CacheLevel, InclusionPolicy, Scope, WritePolicy};
+use crate::machine::{Machine, MachineKind};
+use crate::ports::{PortModel, SimdIsa};
+
+/// Parses a machine description in the documented `key = value` format.
+///
+/// Unspecified in-core parameters default to the common 2-FMA / 2-load /
+/// 1-store server-core configuration.
+///
+/// # Errors
+/// Returns a line-tagged message for syntax errors, unknown keys, or a
+/// model that fails [`Machine::validate`].
+pub fn parse_machine(text: &str) -> Result<Machine, String> {
+    let mut m = Machine {
+        name: "custom".into(),
+        kind: MachineKind::Custom,
+        freq_ghz: 0.0,
+        cores_per_socket: 0,
+        sockets: 1,
+        caches: Vec::new(),
+        ports: PortModel {
+            simd: SimdIsa::Avx2,
+            fma_ports: 2,
+            extra_add_ports: 0,
+            load_ports: 2.0,
+            store_ports: 1.0,
+            datapath_split: 1.0,
+        },
+        mem_bw_gbs: 0.0,
+        mem_bw_single_core_gbs: 0.0,
+        mem_latency_cycles: 200.0,
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| at("expected 'key = value'".into()))?;
+        let (key, value) = (key.trim(), value.trim());
+        let parse_f64 = |v: &str| -> Result<f64, String> {
+            v.parse().map_err(|_| at(format!("'{v}' is not a number")))
+        };
+        match key {
+            "name" => m.name = value.to_string(),
+            "freq_ghz" => m.freq_ghz = parse_f64(value)?,
+            "cores_per_socket" => {
+                m.cores_per_socket = value
+                    .parse()
+                    .map_err(|_| at(format!("'{value}' is not a count")))?;
+            }
+            "sockets" => {
+                m.sockets = value
+                    .parse()
+                    .map_err(|_| at(format!("'{value}' is not a count")))?;
+            }
+            "simd" => {
+                m.ports.simd = match value.to_ascii_lowercase().as_str() {
+                    "sse" => SimdIsa::Sse,
+                    "avx2" | "avx" => SimdIsa::Avx2,
+                    "avx512" => SimdIsa::Avx512,
+                    other => return Err(at(format!("unknown SIMD '{other}'"))),
+                };
+            }
+            "fma_ports" => {
+                m.ports.fma_ports = value
+                    .parse()
+                    .map_err(|_| at(format!("'{value}' is not a count")))?;
+            }
+            "load_ports" => m.ports.load_ports = parse_f64(value)?,
+            "store_ports" => m.ports.store_ports = parse_f64(value)?,
+            "mem_bw_gbs" => m.mem_bw_gbs = parse_f64(value)?,
+            "mem_bw_single_core_gbs" => m.mem_bw_single_core_gbs = parse_f64(value)?,
+            "mem_latency_cycles" => m.mem_latency_cycles = parse_f64(value)?,
+            "cache" => {
+                let f: Vec<&str> = value.split_whitespace().collect();
+                if f.len() != 6 {
+                    return Err(at(
+                        "cache needs: name size assoc bytes_per_cycle policy scope".into()
+                    ));
+                }
+                let parse_usize = |v: &str| -> Result<usize, String> {
+                    v.parse().map_err(|_| at(format!("'{v}' is not a count")))
+                };
+                let inclusion = match f[4] {
+                    "inclusive" => InclusionPolicy::Inclusive,
+                    "victim" => InclusionPolicy::Victim,
+                    other => return Err(at(format!("unknown policy '{other}'"))),
+                };
+                let scope = if f[5] == "per_core" {
+                    Scope::PerCore
+                } else if f[5] == "per_socket" {
+                    Scope::PerSocket
+                } else if let Some(n) = f[5].strip_prefix("ccx:") {
+                    Scope::PerCoreGroup(parse_usize(n)?)
+                } else {
+                    return Err(at(format!("unknown scope '{}'", f[5])));
+                };
+                m.caches.push(CacheLevel {
+                    name: f[0].to_string(),
+                    size_bytes: parse_usize(f[1])?,
+                    assoc: parse_usize(f[2])?,
+                    line_bytes: 64,
+                    bytes_per_cycle: parse_f64(f[3])?,
+                    latency_cycles: 10.0,
+                    inclusion,
+                    write_policy: WritePolicy::WriteBackAllocate,
+                    scope,
+                });
+            }
+            other => return Err(at(format!("unknown key '{other}'"))),
+        }
+    }
+    m.validate()?;
+    Ok(m)
+}
+
+/// Writes a machine back into the parseable file format.
+#[must_use]
+pub fn format_machine(m: &Machine) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "name = {}", m.name);
+    let _ = writeln!(s, "freq_ghz = {}", m.freq_ghz);
+    let _ = writeln!(s, "cores_per_socket = {}", m.cores_per_socket);
+    let _ = writeln!(s, "sockets = {}", m.sockets);
+    let simd = match m.ports.simd {
+        SimdIsa::Sse => "sse",
+        SimdIsa::Avx2 => "avx2",
+        SimdIsa::Avx512 => "avx512",
+    };
+    let _ = writeln!(s, "simd = {simd}");
+    let _ = writeln!(s, "fma_ports = {}", m.ports.fma_ports);
+    let _ = writeln!(s, "load_ports = {}", m.ports.load_ports);
+    let _ = writeln!(s, "store_ports = {}", m.ports.store_ports);
+    let _ = writeln!(s, "mem_bw_gbs = {}", m.mem_bw_gbs);
+    let _ = writeln!(s, "mem_bw_single_core_gbs = {}", m.mem_bw_single_core_gbs);
+    let _ = writeln!(s, "mem_latency_cycles = {}", m.mem_latency_cycles);
+    for c in &m.caches {
+        let scope = match c.scope {
+            Scope::PerCore => "per_core".to_string(),
+            Scope::PerSocket => "per_socket".to_string(),
+            Scope::PerCoreGroup(n) => format!("ccx:{n}"),
+        };
+        let policy = match c.inclusion {
+            InclusionPolicy::Inclusive => "inclusive",
+            InclusionPolicy::Victim => "victim",
+        };
+        let _ = writeln!(
+            s,
+            "cache = {} {} {} {} {policy} {scope}",
+            c.name, c.size_bytes, c.assoc, c.bytes_per_cycle
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_builtins() {
+        for m in [Machine::cascade_lake(), Machine::rome(), Machine::host()] {
+            let text = format_machine(&m);
+            let back = parse_machine(&text).unwrap();
+            assert_eq!(back.cores_per_socket, m.cores_per_socket);
+            assert_eq!(back.caches.len(), m.caches.len());
+            assert_eq!(back.ports.simd, m.ports.simd);
+            assert!((back.mem_bw_gbs - m.mem_bw_gbs).abs() < 1e-12);
+            for (a, b) in back.caches.iter().zip(&m.caches) {
+                assert_eq!(a.size_bytes, b.size_bytes);
+                assert_eq!(a.scope, b.scope);
+                assert_eq!(a.inclusion, b.inclusion);
+            }
+        }
+    }
+
+    #[test]
+    fn parses_documented_example() {
+        let text = "\
+# a comment
+name = My CPU
+freq_ghz = 3.0
+cores_per_socket = 24
+simd = avx512
+mem_bw_gbs = 150
+mem_bw_single_core_gbs = 18
+cache = L1 32768 8 64 inclusive per_core
+cache = L2 1048576 16 32 inclusive per_core
+cache = L3 33554432 16 16 victim per_socket
+";
+        let m = parse_machine(text).unwrap();
+        assert_eq!(m.name, "My CPU");
+        assert_eq!(m.cores_per_socket, 24);
+        assert_eq!(m.lanes(), 8);
+        assert_eq!(m.caches[2].num_sets(), 32768);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_machine("freq_ghz = fast\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = parse_machine("name = x\nbogus_key = 1\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = parse_machine("cache = L1 32768 8\n").unwrap_err();
+        assert!(err.contains("cache needs"), "{err}");
+    }
+
+    #[test]
+    fn invalid_models_rejected_after_parse() {
+        // Valid syntax, but no caches / zero frequency -> validate() fails.
+        let err = parse_machine("name = x\n").unwrap_err();
+        assert!(err.contains("frequency") || err.contains("cache"), "{err}");
+    }
+
+    #[test]
+    fn ccx_scope_roundtrip() {
+        let text = format_machine(&Machine::rome());
+        assert!(text.contains("ccx:4"));
+        let back = parse_machine(&text).unwrap();
+        assert_eq!(back.caches[2].scope, Scope::PerCoreGroup(4));
+    }
+}

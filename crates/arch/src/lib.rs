@@ -1,0 +1,55 @@
+//! Machine models for the YaskSite reproduction.
+//!
+//! The Execution–Cache–Memory (ECM) performance model and the cache-hierarchy
+//! simulator both consume a description of the target machine: the cache
+//! levels (size, associativity, line length, inter-level bandwidth), the
+//! in-core execution resources (SIMD width, FMA/load/store ports), the clock
+//! frequency, and the core/socket topology. This crate provides that
+//! description ([`Machine`]) together with the built-in models used in the
+//! paper's evaluation — Intel Cascade Lake and AMD Rome — plus a model of the
+//! host this reproduction runs on.
+//!
+//! # Examples
+//!
+//! ```
+//! use yasksite_arch::Machine;
+//!
+//! let clx = Machine::cascade_lake();
+//! assert_eq!(clx.cores_per_socket, 20);
+//! // Cycles to move one 64-byte cache line from L2 into L1:
+//! let cy = clx.cycles_per_line(1);
+//! assert!(cy > 0.0 && cy < 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod file;
+mod machine;
+mod ports;
+mod table;
+
+pub use cache::{CacheLevel, InclusionPolicy, Scope, WritePolicy};
+pub use file::{format_machine, parse_machine};
+pub use machine::{Machine, MachineKind};
+pub use ports::{PortModel, SimdIsa};
+pub use table::machine_table;
+
+/// Number of bytes in the cache lines used by every built-in model.
+///
+/// All x86 machines covered by the paper use 64-byte lines; keeping the value
+/// as a named constant avoids magic numbers in dependent crates.
+pub const LINE_BYTES: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_models_are_self_consistent() {
+        for m in [Machine::cascade_lake(), Machine::rome(), Machine::host()] {
+            m.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! In-core execution-resource model.
+
+use serde::{Deserialize, Serialize};
+
+/// The widest SIMD instruction set the model assumes the kernels use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimdIsa {
+    /// 128-bit SSE (2 doubles per vector).
+    Sse,
+    /// 256-bit AVX/AVX2 (4 doubles per vector) — AMD Rome.
+    Avx2,
+    /// 512-bit AVX-512 (8 doubles per vector) — Cascade Lake.
+    Avx512,
+}
+
+impl SimdIsa {
+    /// Number of `f64` lanes per SIMD register.
+    #[must_use]
+    pub fn lanes_f64(&self) -> usize {
+        match self {
+            SimdIsa::Sse => 2,
+            SimdIsa::Avx2 => 4,
+            SimdIsa::Avx512 => 8,
+        }
+    }
+
+    /// Register width in bytes.
+    #[must_use]
+    pub fn width_bytes(&self) -> usize {
+        self.lanes_f64() * 8
+    }
+}
+
+/// Throughput model of the out-of-order core, reduced to the resources that
+/// matter for streaming stencil loops.
+///
+/// The in-core part of the ECM model ("T_OL" / "T_nOL") divides the number of
+/// µops of each class in one unit of work by the corresponding issue width to
+/// obtain cycle counts; the critical path is the maximum over classes, with
+/// loads/stores conventionally forming the non-overlapping part on Intel
+/// cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortModel {
+    /// SIMD ISA used for vectorised kernels.
+    pub simd: SimdIsa,
+    /// Ports that can execute an FMA (also counts for plain ADD/MUL).
+    pub fma_ports: usize,
+    /// Additional ports that can execute ADD/SUB but not FMA/MUL
+    /// (0 on the machines modelled here; kept for generality).
+    pub extra_add_ports: usize,
+    /// SIMD load issue width: how many full-width loads retire per cycle.
+    pub load_ports: f64,
+    /// SIMD store issue width: how many full-width stores retire per cycle.
+    pub store_ports: f64,
+    /// Penalty factor applied when the vector width exceeds the native
+    /// datapath (AMD Rome executes one 256-bit op per port and splits
+    /// nothing; pre-Zen2 would use 2.0).
+    pub datapath_split: f64,
+}
+
+impl PortModel {
+    /// Cycles to execute the arithmetic of `n_fma` FMA, `n_add` ADD/SUB and
+    /// `n_mul` MUL vector instructions, assuming perfect scheduling.
+    ///
+    /// ADD and MUL compete with FMA for the same ports on the modelled
+    /// machines; the extra ADD ports (if any) absorb part of the ADD stream.
+    #[must_use]
+    pub fn arith_cycles(&self, n_fma: f64, n_add: f64, n_mul: f64) -> f64 {
+        let fma_like = n_fma + n_mul;
+        let total_ports = self.fma_ports as f64 + self.extra_add_ports as f64;
+        // Adds can go anywhere; FMA/MUL only to FMA ports. Lower bound:
+        let on_fma_ports = fma_like / self.fma_ports as f64;
+        let balanced = (fma_like + n_add) / total_ports;
+        on_fma_ports.max(balanced) * self.datapath_split
+    }
+
+    /// Cycles to issue `n_load` full-width loads and `n_store` full-width
+    /// stores.
+    #[must_use]
+    pub fn mem_cycles(&self, n_load: f64, n_store: f64) -> f64 {
+        let l = n_load / self.load_ports;
+        let s = n_store / self.store_ports;
+        // Loads and stores share AGUs imperfectly; the simple ECM practice
+        // is to sum the port-normalised counts when they exceed the combined
+        // issue width, else take the max. We use the conservative max of the
+        // two formulations' lower bounds: the larger of (max(l, s)) and the
+        // combined-issue bound.
+        let combined = (n_load + n_store) / (self.load_ports + self.store_ports);
+        l.max(s).max(combined) * self.datapath_split
+    }
+
+    /// Peak double-precision FLOP/cycle/core (2 flops per FMA lane).
+    #[must_use]
+    pub fn peak_flops_per_cycle(&self) -> f64 {
+        2.0 * self.fma_ports as f64 * self.simd.lanes_f64() as f64 / self.datapath_split
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clx_ports() -> PortModel {
+        PortModel {
+            simd: SimdIsa::Avx512,
+            fma_ports: 2,
+            extra_add_ports: 0,
+            load_ports: 2.0,
+            store_ports: 1.0,
+            datapath_split: 1.0,
+        }
+    }
+
+    #[test]
+    fn lanes() {
+        assert_eq!(SimdIsa::Sse.lanes_f64(), 2);
+        assert_eq!(SimdIsa::Avx2.lanes_f64(), 4);
+        assert_eq!(SimdIsa::Avx512.lanes_f64(), 8);
+        assert_eq!(SimdIsa::Avx512.width_bytes(), 64);
+    }
+
+    #[test]
+    fn peak_flops_clx() {
+        // 2 FMA ports x 8 lanes x 2 flops = 32 DP flop/cy.
+        assert!((clx_ports().peak_flops_per_cycle() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arith_cycles_fma_bound() {
+        // 4 FMAs on 2 ports -> 2 cycles.
+        assert!((clx_ports().arith_cycles(4.0, 0.0, 0.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_cycles_store_bound() {
+        let p = clx_ports();
+        // 2 loads + 2 stores: stores bound at 2 cycles; combined = 4/3.
+        assert!((p.mem_cycles(2.0, 2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_cycles_combined_bound() {
+        let p = clx_ports();
+        // 6 loads, 0 stores: 3 cycles from load ports.
+        assert!((p.mem_cycles(6.0, 0.0) - 3.0).abs() < 1e-12);
+    }
+}

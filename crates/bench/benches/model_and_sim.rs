@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the analytic model and the cache simulator —
+//! the two "tuning currencies" compared in experiment E9: a model
+//! evaluation costs microseconds, a simulated (or real) kernel run costs
+//! many orders of magnitude more.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use yasksite::Solution;
+use yasksite_arch::Machine;
+use yasksite_ecm::{EcmModel, KernelDesc};
+use yasksite_engine::TuningParams;
+use yasksite_grid::Fold;
+use yasksite_stencil::builders::heat3d;
+
+/// Cost of one ECM model evaluation (the analytic tuner's unit of work).
+fn bench_ecm_eval(c: &mut Criterion) {
+    let m = Machine::cascade_lake();
+    let s = heat3d(1);
+    let model = EcmModel::new(&m);
+    let desc = KernelDesc::new(&s, [512, 512, 512])
+        .tile([512, 8, 8])
+        .fold(Fold::new(8, 1, 1));
+    c.bench_function("ecm_predict", |b| {
+        b.iter(|| std::hint::black_box(model.predict_at(&desc, 8)));
+    });
+}
+
+/// Cost of one simulated kernel measurement (the empirical tuner's unit
+/// of work) at a small size.
+fn bench_simulated_measure(c: &mut Criterion) {
+    let m = Machine::cascade_lake();
+    let sol = Solution::new(heat3d(1), [48, 24, 24], m);
+    let p = TuningParams::new([48, 8, 8], Fold::new(8, 1, 1));
+    let mut g = c.benchmark_group("simulated_measure");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((48 * 24 * 24) as u64));
+    g.bench_function("heat3d_48", |b| {
+        b.iter(|| std::hint::black_box(sol.measure(&p).unwrap()));
+    });
+    g.finish();
+}
+
+/// Raw simulator access throughput.
+fn bench_hierarchy_access(c: &mut Criterion) {
+    use yasksite_memsim::MemHierarchy;
+    let m = Machine::cascade_lake();
+    let mut g = c.benchmark_group("memsim_access");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("stream_10k", |b| {
+        let mut h = MemHierarchy::new(&m, 1);
+        let mut base = 0u64;
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                h.read(0, base + i * 64);
+            }
+            base = base.wrapping_add(10_000 * 64);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ecm_eval, bench_simulated_measure, bench_hierarchy_access);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the native execution paths: the host-side
+//! counterpart of the paper's single-kernel measurements, plus the
+//! blocking/folding ablations called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use yasksite_engine::{apply_native, TuningParams};
+use yasksite_grid::{Fold, Grid3};
+use yasksite_stencil::builders::{box3d, heat3d, inverter_chain_rhs};
+
+fn grids(n: [usize; 3], halo: [usize; 3], fold: Fold) -> (Grid3, Grid3) {
+    let mut u = Grid3::new("u", n, halo, fold);
+    u.fill_with(|i, j, k| ((i + 2 * j + 3 * k) % 7) as f64 * 0.1);
+    u.fill_halo(0.0);
+    let out = Grid3::new("o", n, halo, fold);
+    (u, out)
+}
+
+/// Ablation: spatial block size on the host (naive vs tuned-style blocks).
+fn bench_blocking(c: &mut Criterion) {
+    let n = [128, 64, 64];
+    let fold = Fold::new(8, 1, 1);
+    let s = heat3d(1);
+    let (u, mut out) = grids(n, [1, 1, 1], fold);
+    let mut g = c.benchmark_group("heat3d_blocking");
+    g.throughput(Throughput::Elements((n[0] * n[1] * n[2]) as u64));
+    for block in [[128, 64, 64], [128, 8, 8], [32, 8, 8]] {
+        let p = TuningParams::new(block, fold);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}x{}", block[0], block[1], block[2])),
+            &p,
+            |b, p| {
+                b.iter(|| apply_native(&s, &[&u], &mut out, p).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Ablation: fast linear path vs generic interpreter (folded layout).
+fn bench_fold_paths(c: &mut Criterion) {
+    let n = [64, 32, 32];
+    let s = box3d(1);
+    let mut g = c.benchmark_group("box3d_fold_path");
+    g.throughput(Throughput::Elements((n[0] * n[1] * n[2]) as u64));
+    for fold in [Fold::new(8, 1, 1), Fold::new(4, 2, 1)] {
+        let (u, mut out) = grids(n, [1, 1, 1], fold);
+        let p = TuningParams::new([64, 8, 8], fold);
+        g.bench_with_input(BenchmarkId::from_parameter(fold), &fold, |b, _| {
+            b.iter(|| apply_native(&s, &[&u], &mut out, &p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Nonlinear (tape-interpreted) kernel throughput.
+fn bench_tape(c: &mut Criterion) {
+    let n = [1 << 16, 1, 1];
+    let fold = Fold::new(8, 1, 1);
+    let s = inverter_chain_rhs(5.0, 1.0, 0.5);
+    let (u, mut out) = grids(n, [1, 0, 0], fold);
+    let p = TuningParams::new([4096, 1, 1], fold);
+    let mut g = c.benchmark_group("inverter_chain_tape");
+    g.throughput(Throughput::Elements(n[0] as u64));
+    g.bench_function("tape", |b| {
+        b.iter(|| apply_native(&s, &[&u], &mut out, &p).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocking, bench_fold_paths, bench_tape);
+criterion_main!(benches);

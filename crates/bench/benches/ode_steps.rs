@@ -1,0 +1,49 @@
+//! Criterion benchmarks of whole ODE method steps on the host — the
+//! native counterpart of the Offsite variant comparison (E7/E8): variant
+//! D/E should beat variant A on memory-bound right-hand sides.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use yasksite_ode::ivps::{Heat2d, Ivp};
+use yasksite_ode::{erk_plan, pirk_plan, Integrator, Tableau, Variant};
+use yasksite_engine::TuningParams;
+use yasksite_grid::Fold;
+
+fn params(ivp: &dyn Ivp) -> TuningParams {
+    let d = ivp.domain();
+    TuningParams::new([d[0], d[1].min(16), d[2]], Fold::new(8, 1, 1))
+}
+
+fn bench_erk_variants(c: &mut Criterion) {
+    let ivp = Heat2d::new(256);
+    let h = 1e-7;
+    let mut g = c.benchmark_group("rk4_step_variants");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements((256 * 256) as u64));
+    for v in Variant::all() {
+        let plan = erk_plan(&Tableau::rk4(), &ivp, h, v);
+        let mut integ = Integrator::new(&ivp, plan, h, params(&ivp)).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| integ.step().unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_pirk_variants(c: &mut Criterion) {
+    let ivp = Heat2d::new(192);
+    let h = 1e-7;
+    let mut g = c.benchmark_group("pirk_radau3_step_variants");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements((192 * 192) as u64));
+    for v in [Variant::A, Variant::D] {
+        let plan = pirk_plan(&Tableau::radau_iia2(), 3, &ivp, h, v);
+        let mut integ = Integrator::new(&ivp, plan, h, params(&ivp)).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| integ.step().unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_erk_variants, bench_pirk_variants);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Experiment driver (extension; see DESIGN.md). Pass `--small` for a
+//! miniature run.
+
+use yasksite_arch::Machine;
+use yasksite_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "{}",
+        yasksite_bench::experiments::e11_work_precision(&Machine::cascade_lake(), scale)
+    );
+}

@@ -1,0 +1,11 @@
+//! Experiment driver (see DESIGN.md experiment index). Pass `--small`
+//! for a miniature run.
+
+#[allow(unused_imports)]
+use yasksite_arch::Machine;
+#[allow(unused_imports)]
+use yasksite_bench::Scale;
+
+fn main() {
+    println!("{}", yasksite_bench::experiments::e1_stencil_table());
+}

@@ -1,0 +1,10 @@
+//! Experiment driver (see DESIGN.md experiment index). Pass `--small`
+//! for a miniature run.
+
+use yasksite_arch::Machine;
+#[allow(unused_imports)]
+use yasksite_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args(); println!("{}", yasksite_bench::experiments::e5_block_sweep(&Machine::cascade_lake(), scale));
+}

@@ -1,0 +1,92 @@
+//! Minimal aligned-table writer for experiment output.
+
+use std::fmt::Write as _;
+
+/// Accumulates rows of cells and renders them with aligned columns.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with right-aligned columns (first column left-aligned).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, row: &[String]| {
+            for (c, cell) in row.iter().enumerate() {
+                if c == 0 {
+                    let _ = write!(out, "{cell:<w$}", w = width[0]);
+                } else {
+                    let _ = write!(out, "  {cell:>w$}", w = width[c]);
+                }
+            }
+            let _ = writeln!(out);
+        };
+        render_row(&mut out, &self.header);
+        let _ = writeln!(out, "{}", "-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1)));
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("long-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // Every line equally wide (header, rule, rows).
+        let lens: Vec<usize> = s.lines().map(str::len).collect();
+        assert_eq!(lens[0], lens[2]);
+    }
+}

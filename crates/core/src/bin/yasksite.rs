@@ -1,0 +1,118 @@
+//! The `yasksite` command-line tool: predict, measure, tune and generate
+//! stencil kernels against the built-in machine models. Run with no
+//! arguments for usage.
+
+use std::process::ExitCode;
+
+use yasksite::cli::{
+    machine_from_flags, params_from_flags, parse_flags, parse_triple, stencil_by_name, USAGE,
+};
+use yasksite::{SearchSpace, Solution, TuneStrategy};
+use yasksite_arch::{machine_table, Machine};
+use yasksite_stencil::{paper_suite, stencil_table};
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (pos, flags) = parse_flags(&args)?;
+    let Some(cmd) = pos.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "machines" => {
+            println!(
+                "{}",
+                machine_table(&[Machine::cascade_lake(), Machine::rome(), Machine::host()])
+            );
+            Ok(())
+        }
+        "stencils" => {
+            println!("{}", stencil_table(&paper_suite()));
+            Ok(())
+        }
+        "predict" | "measure" | "codegen" | "tune" => {
+            let machine = machine_from_flags(&flags)?;
+            let sname = flags
+                .get("stencil")
+                .ok_or_else(|| "--stencil <name> is required".to_string())?;
+            let stencil =
+                stencil_by_name(sname).ok_or_else(|| format!("unknown stencil '{sname}'"))?;
+            let domain = parse_triple(
+                flags
+                    .get("domain")
+                    .ok_or_else(|| "--domain AxBxC is required".to_string())?,
+            )?;
+            let sol = Solution::new(stencil, domain, machine.clone());
+            match cmd.as_str() {
+                "predict" => {
+                    let params = params_from_flags(&flags, domain, &machine)?;
+                    let cores = params.threads;
+                    let p = sol.predict(&params, cores);
+                    println!("configuration: {params} on {}", machine.tag());
+                    println!("ECM: {}", p.ecm.summary());
+                    println!(
+                        "prediction @ {cores} cores: {:.0} MLUP/s, {:.4} s/sweep{}",
+                        p.mlups,
+                        p.seconds_per_sweep,
+                        if p.wavefront_effective { " (wavefront active)" } else { "" }
+                    );
+                }
+                "measure" => {
+                    let params = params_from_flags(&flags, domain, &machine)?;
+                    let m = sol.measure(&params).map_err(|e| e.to_string())?;
+                    println!(
+                        "measured ({}): {:.0} MLUP/s, {:.4} s/sweep",
+                        if m.simulated { "simulated" } else { "native" },
+                        m.mlups,
+                        m.seconds_per_sweep
+                    );
+                    if let Some(st) = m.stats {
+                        println!(
+                            "memory traffic: {:.1} MB read, {:.1} MB written",
+                            st.mem_read_lines as f64 * 64.0 / 1e6,
+                            st.mem_write_lines as f64 * 64.0 / 1e6
+                        );
+                    }
+                }
+                "codegen" => {
+                    let params = params_from_flags(&flags, domain, &machine)?;
+                    print!("{}", sol.codegen(&params).source);
+                }
+                "tune" => {
+                    let cores: usize = flags
+                        .get("cores")
+                        .map_or(Ok(1), |c| c.parse().map_err(|_| format!("bad --cores '{c}'")))?;
+                    let strategy = match flags.get("strategy").map(String::as_str) {
+                        None | Some("analytic") => TuneStrategy::Analytic,
+                        Some("hybrid") => TuneStrategy::Hybrid { shortlist: 3 },
+                        Some("empirical") => TuneStrategy::Empirical,
+                        Some(other) => return Err(format!("unknown strategy '{other}'")),
+                    };
+                    let space = SearchSpace::standard(sol.stencil(), domain, &machine);
+                    let r = sol
+                        .tune_space(&space, strategy, cores.max(1))
+                        .map_err(|e| e.to_string())?;
+                    println!("best: {}  ({:.0} MLUP/s)", r.best, r.best_score);
+                    println!("cost: {}", r.cost.summary());
+                    println!("top candidates:");
+                    for (p, s) in r.ranked.iter().take(5) {
+                        println!("  {p:<40} {s:>8.0} MLUP/s");
+                    }
+                }
+                _ => unreachable!(),
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Command-line front end helpers for the `yasksite` binary.
+//!
+//! The binary mirrors the workflows of the original tool's CLI: inspect
+//! the built-in machines and stencils, predict or measure a
+//! configuration, run the tuner, or dump generated kernel source. All
+//! argument parsing lives here so it can be unit-tested.
+
+use std::collections::HashMap;
+
+use yasksite_arch::Machine;
+use yasksite_engine::TuningParams;
+use yasksite_grid::Fold;
+use yasksite_stencil::{builders, paper_suite, Stencil};
+
+/// Parses `"512x8x8"`-style extent triples.
+///
+/// # Errors
+/// Returns a message if the string is not three positive integers joined
+/// by `x`.
+pub fn parse_triple(s: &str) -> Result<[usize; 3], String> {
+    let parts: Vec<&str> = s.split('x').collect();
+    if parts.len() != 3 {
+        return Err(format!("expected AxBxC, got '{s}'"));
+    }
+    let mut out = [0usize; 3];
+    for (d, p) in parts.iter().enumerate() {
+        out[d] = p
+            .parse::<usize>()
+            .map_err(|_| format!("'{p}' is not a number in '{s}'"))?;
+        if out[d] == 0 {
+            return Err(format!("extent must be positive in '{s}'"));
+        }
+    }
+    Ok(out)
+}
+
+/// Splits `--key value` pairs into a map; returns positional arguments
+/// separately.
+///
+/// # Errors
+/// Returns a message if a `--key` has no value.
+pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let val = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.insert(key.to_string(), val.clone());
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    Ok((pos, flags))
+}
+
+/// Looks up a stencil by its table name (e.g. `"heat-3d-r1"`,
+/// `"box-3d-r2"`, `"star-2d-r2"`, `"heat-3d-vc"`).
+#[must_use]
+pub fn stencil_by_name(name: &str) -> Option<Stencil> {
+    if let Some(s) = paper_suite().into_iter().find(|s| s.name() == name) {
+        return Some(s);
+    }
+    // Parametric families not in the fixed suite.
+    let parse_r = |prefix: &str| -> Option<usize> {
+        name.strip_prefix(prefix)?.parse().ok()
+    };
+    if let Some(r) = parse_r("heat-3d-r") {
+        return Some(builders::heat3d(r));
+    }
+    if let Some(r) = parse_r("heat-2d-r") {
+        return Some(builders::heat2d(r));
+    }
+    if let Some(r) = parse_r("box-3d-r") {
+        return Some(builders::box3d(r));
+    }
+    if let Some(r) = parse_r("star-3d-r") {
+        return Some(builders::star3d(r, &vec![0.5; r + 1]));
+    }
+    None
+}
+
+/// Builds [`TuningParams`] from parsed flags, defaulting the block to the
+/// domain and the fold to the machine's in-line fold.
+///
+/// # Errors
+/// Returns a message on malformed values.
+pub fn params_from_flags(
+    flags: &HashMap<String, String>,
+    domain: [usize; 3],
+    machine: &Machine,
+) -> Result<TuningParams, String> {
+    let block = match flags.get("block") {
+        Some(b) => parse_triple(b)?,
+        None => domain,
+    };
+    let fold = match flags.get("fold") {
+        Some(f) => {
+            let t = parse_triple(f)?;
+            Fold::new(t[0], t[1], t[2])
+        }
+        None => Fold::new(machine.lanes(), 1, 1),
+    };
+    let cores: usize = flags
+        .get("cores")
+        .map_or(Ok(1), |c| c.parse().map_err(|_| format!("bad --cores '{c}'")))?;
+    let wavefront: usize = flags.get("wavefront").map_or(Ok(1), |w| {
+        w.parse().map_err(|_| format!("bad --wavefront '{w}'"))
+    })?;
+    Ok(TuningParams::new(block, fold)
+        .threads(cores.max(1))
+        .wavefront(wavefront.max(1))
+        .streaming_stores(flags.get("nt-stores").is_some_and(|v| v == "true")))
+}
+
+/// Resolves the `--machine` flag (default: `clx`), or loads a custom
+/// model from `--machine-file <path>` (see
+/// [`yasksite_arch::parse_machine`] for the format).
+///
+/// # Errors
+/// Returns a message for unknown machine names, unreadable files or
+/// invalid models.
+pub fn machine_from_flags(flags: &HashMap<String, String>) -> Result<Machine, String> {
+    if let Some(path) = flags.get("machine-file") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read '{path}': {e}"))?;
+        return yasksite_arch::parse_machine(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let name = flags.get("machine").map_or("clx", String::as_str);
+    Machine::by_short_name(name).ok_or_else(|| format!("unknown machine '{name}' (clx|rome|host)"))
+}
+
+/// The usage text of the binary.
+pub const USAGE: &str = "\
+yasksite — stencil kernel tuning with the ECM performance model
+
+USAGE:
+  yasksite machines
+  yasksite stencils
+  yasksite predict --stencil <name> --domain AxBxC
+                   [--machine clx|rome|host | --machine-file <path>]
+                   [--block AxBxC] [--fold AxBxC] [--cores N] [--wavefront W]
+  yasksite measure  (same flags; runs on the simulated hierarchy, or
+                     natively with --machine host)
+  yasksite tune     --stencil <name> --domain AxBxC [--machine ...]
+                   [--cores N] [--strategy analytic|hybrid|empirical]
+  yasksite codegen  (same flags as predict; prints the C kernel source)
+
+Stencil names: heat-3d-r<r>, heat-2d-r<r>, box-3d-r<r>, star-3d-r<r>,
+star-2d-r2, wave-2d, heat-3d-vc.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triples() {
+        assert_eq!(parse_triple("512x8x8").unwrap(), [512, 8, 8]);
+        assert!(parse_triple("512x8").is_err());
+        assert!(parse_triple("ax8x8").is_err());
+        assert!(parse_triple("0x8x8").is_err());
+    }
+
+    #[test]
+    fn flags() {
+        let args: Vec<String> = ["predict", "--machine", "rome", "--cores", "8"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let (pos, flags) = parse_flags(&args).unwrap();
+        assert_eq!(pos, vec!["predict"]);
+        assert_eq!(flags["machine"], "rome");
+        assert_eq!(flags["cores"], "8");
+        let bad: Vec<String> = ["--machine".to_string()].to_vec();
+        assert!(parse_flags(&bad).is_err());
+    }
+
+    #[test]
+    fn stencil_lookup() {
+        assert!(stencil_by_name("heat-3d-r1").is_some());
+        assert!(stencil_by_name("heat-3d-r3").is_some());
+        assert!(stencil_by_name("box-3d-r2").is_some());
+        assert!(stencil_by_name("wave-2d").is_some());
+        assert!(stencil_by_name("heat-3d-vc").is_some());
+        assert!(stencil_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn params_defaults_and_overrides() {
+        let m = Machine::rome();
+        let mut flags = HashMap::new();
+        let p = params_from_flags(&flags, [64, 64, 64], &m).unwrap();
+        assert_eq!(p.block, [64, 64, 64]);
+        assert_eq!(p.fold, Fold::new(4, 1, 1));
+        flags.insert("block".into(), "64x8x8".into());
+        flags.insert("cores".into(), "16".into());
+        flags.insert("wavefront".into(), "4".into());
+        let p = params_from_flags(&flags, [64, 64, 64], &m).unwrap();
+        assert_eq!(p.block, [64, 8, 8]);
+        assert_eq!(p.threads, 16);
+        assert_eq!(p.wavefront, 4);
+    }
+
+    #[test]
+    fn machines_resolve() {
+        let mut flags = HashMap::new();
+        assert_eq!(machine_from_flags(&flags).unwrap().tag(), "CLX");
+        flags.insert("machine".into(), "rome".into());
+        assert_eq!(machine_from_flags(&flags).unwrap().tag(), "ROME");
+        flags.insert("machine".into(), "m2".into());
+        assert!(machine_from_flags(&flags).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Autotuning cost accounting (experiment E9).
+
+use std::ops::AddAssign;
+
+/// What a tuning session spent: the currency of the paper's
+/// "minimal code generation time and autotuning costs" claim.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TuneCost {
+    /// Analytic model evaluations (microseconds each).
+    pub model_evals: usize,
+    /// Kernel executions (simulated or native) performed.
+    pub engine_runs: usize,
+    /// Sum of the *estimated target-machine* seconds the executed kernels
+    /// would take — what an empirical tuner burns on the real testbed.
+    pub target_seconds: f64,
+    /// Wall-clock seconds this process spent tuning.
+    pub wall_seconds: f64,
+    /// Seconds spent generating kernel source.
+    pub codegen_seconds: f64,
+}
+
+impl AddAssign for TuneCost {
+    fn add_assign(&mut self, rhs: TuneCost) {
+        self.model_evals += rhs.model_evals;
+        self.engine_runs += rhs.engine_runs;
+        self.target_seconds += rhs.target_seconds;
+        self.wall_seconds += rhs.wall_seconds;
+        self.codegen_seconds += rhs.codegen_seconds;
+    }
+}
+
+impl TuneCost {
+    /// One-line summary for tables.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} model evals, {} runs, {:.3}s target time, {:.3}s wall",
+            self.model_evals, self.engine_runs, self.target_seconds, self.wall_seconds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut a = TuneCost::default();
+        a += TuneCost {
+            model_evals: 3,
+            engine_runs: 1,
+            target_seconds: 0.5,
+            wall_seconds: 0.1,
+            codegen_seconds: 0.01,
+        };
+        a += TuneCost {
+            model_evals: 2,
+            ..TuneCost::default()
+        };
+        assert_eq!(a.model_evals, 5);
+        assert_eq!(a.engine_runs, 1);
+        assert!(a.summary().contains("5 model evals"));
+    }
+}

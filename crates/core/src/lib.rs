@@ -1,0 +1,53 @@
+//! YaskSite — the paper's tuning tool, reproduced in Rust.
+//!
+//! YaskSite wraps a stencil kernel framework (our [`yasksite_engine`])
+//! and the ECM analytic performance model ([`yasksite_ecm`]) behind one
+//! interface that can
+//!
+//! 1. enumerate the tuning-parameter space of a kernel (spatial blocks,
+//!    vector folds, wavefront depth, core counts) — [`SearchSpace`];
+//! 2. **predict** the performance of any point in that space analytically,
+//!    without running anything — [`Solution::predict`];
+//! 3. **measure** any point, natively on the host or on the simulated
+//!    Cascade Lake / Rome hierarchies — [`Solution::measure`];
+//! 4. select the best configuration by analytic ranking, empirical
+//!    search, or the hybrid of both, with full cost accounting —
+//!    [`Solution::tune`]; and
+//! 5. emit the corresponding kernel source — [`Solution::codegen`].
+//!
+//! External tuners (the Offsite reproduction in the `offsite` crate) use
+//! exactly this interface, mirroring the paper's YaskSite↔Offsite
+//! integration.
+//!
+//! # Examples
+//!
+//! ```
+//! use yasksite::{Solution, TuneStrategy};
+//! use yasksite_arch::Machine;
+//! use yasksite_stencil::builders::heat3d;
+//!
+//! let sol = Solution::new(heat3d(1), [128, 64, 64], Machine::cascade_lake());
+//! let result = sol.tune(TuneStrategy::Analytic, 4)?;
+//! assert!(result.best_score > 0.0);
+//! assert!(result.cost.engine_runs == 0); // analytic tuning runs nothing
+//! # Ok::<(), yasksite::ToolError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+mod cost;
+mod online;
+mod predict;
+mod solution;
+mod space;
+mod tuner;
+
+pub use cost::TuneCost;
+pub use online::OnlineTuner;
+pub use predict::{predict_params, predict_params_resident, PredictedPerf};
+pub use solution::{MeasuredPerf, Solution, ToolError};
+pub use space::SearchSpace;
+pub use tuner::{TuneResult, TuneStrategy};

@@ -1,0 +1,227 @@
+//! Online (run-time) auto-tuning — YASK's built-in tuner, reproduced.
+//!
+//! YASK can tune block sizes *while the application runs*: early time
+//! steps are measured with varying blocks, a hill-climbing search walks
+//! the block lattice, and the best block found is used for the remaining
+//! steps. This is the empirical counterpart the paper's analytic approach
+//! competes against; having both allows the cost/quality comparison of
+//! experiment E9 to be extended to the online setting.
+
+use yasksite_engine::TuningParams;
+
+use crate::space::SearchSpace;
+
+/// Hill-climbing online tuner over the `(block_y, block_z)` lattice of a
+/// [`SearchSpace`].
+///
+/// Protocol: repeatedly call [`OnlineTuner::suggest`] for the parameters
+/// to use for the next measured step(s), then [`OnlineTuner::record`]
+/// with the observed seconds. When [`OnlineTuner::converged`] turns true,
+/// [`OnlineTuner::best`] is the tuned configuration.
+#[derive(Debug, Clone)]
+pub struct OnlineTuner {
+    /// Distinct y-extents, ascending.
+    ys: Vec<usize>,
+    /// Distinct z-extents, ascending.
+    zs: Vec<usize>,
+    /// Measurement per lattice point (`ys.len() * zs.len()`), seconds.
+    measured: Vec<Option<f64>>,
+    template: TuningParams,
+    /// Current best lattice point.
+    best: (usize, usize),
+    /// Points queued for measurement.
+    queue: Vec<(usize, usize)>,
+    trials: usize,
+}
+
+impl OnlineTuner {
+    /// Builds the tuner from a search space (its block list defines the
+    /// lattice) and a parameter template providing fold/threads/etc.
+    ///
+    /// # Panics
+    /// Panics if the space has no blocks.
+    #[must_use]
+    pub fn new(space: &SearchSpace, template: TuningParams) -> Self {
+        let mut ys: Vec<usize> = space.blocks().iter().map(|b| b[1]).collect();
+        let mut zs: Vec<usize> = space.blocks().iter().map(|b| b[2]).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        zs.sort_unstable();
+        zs.dedup();
+        assert!(!ys.is_empty() && !zs.is_empty(), "empty block lattice");
+        // Start in the middle of the lattice.
+        let start = (ys.len() / 2, zs.len() / 2);
+        let mut t = OnlineTuner {
+            measured: vec![None; ys.len() * zs.len()],
+            ys,
+            zs,
+            template,
+            best: start,
+            queue: Vec::new(),
+            trials: 0,
+        };
+        t.queue.push(start);
+        t
+    }
+
+    fn idx(&self, p: (usize, usize)) -> usize {
+        p.0 * self.zs.len() + p.1
+    }
+
+    fn params_at(&self, p: (usize, usize)) -> TuningParams {
+        let mut out = self.template.clone();
+        out.block = [self.template.block[0], self.ys[p.0], self.zs[p.1]];
+        out
+    }
+
+    fn neighbours(&self, p: (usize, usize)) -> Vec<(usize, usize)> {
+        let mut n = Vec::new();
+        if p.0 > 0 {
+            n.push((p.0 - 1, p.1));
+        }
+        if p.0 + 1 < self.ys.len() {
+            n.push((p.0 + 1, p.1));
+        }
+        if p.1 > 0 {
+            n.push((p.0, p.1 - 1));
+        }
+        if p.1 + 1 < self.zs.len() {
+            n.push((p.0, p.1 + 1));
+        }
+        n
+    }
+
+    fn refill_queue(&mut self) {
+        let best = self.best;
+        self.queue = self
+            .neighbours(best)
+            .into_iter()
+            .filter(|&p| self.measured[self.idx(p)].is_none())
+            .collect();
+    }
+
+    /// The next configuration to run, or `None` once converged.
+    #[must_use]
+    pub fn suggest(&mut self) -> Option<TuningParams> {
+        if let Some(&p) = self.queue.last() {
+            return Some(self.params_at(p));
+        }
+        self.refill_queue();
+        self.queue.last().map(|&p| self.params_at(p))
+    }
+
+    /// Records the measured step time of the most recently suggested
+    /// configuration.
+    ///
+    /// # Panics
+    /// Panics if called without a pending suggestion.
+    pub fn record(&mut self, seconds: f64) {
+        let p = self.queue.pop().expect("record without a pending suggestion");
+        let i = self.idx(p);
+        self.measured[i] = Some(seconds);
+        self.trials += 1;
+        let best_t = self.measured[self.idx(self.best)].unwrap_or(f64::INFINITY);
+        if seconds < best_t {
+            self.best = p;
+            self.queue.clear(); // restart the neighbourhood around the new best
+        }
+    }
+
+    /// Whether the hill climb has no unmeasured improving direction left.
+    #[must_use]
+    pub fn converged(&mut self) -> bool {
+        if !self.queue.is_empty() {
+            return false;
+        }
+        self.refill_queue();
+        self.queue.is_empty()
+    }
+
+    /// The best configuration found so far.
+    #[must_use]
+    pub fn best(&self) -> TuningParams {
+        self.params_at(self.best)
+    }
+
+    /// Number of measurements consumed.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Size of the full lattice (what exhaustive search would measure).
+    #[must_use]
+    pub fn lattice_size(&self) -> usize {
+        self.ys.len() * self.zs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::Solution;
+    use yasksite_arch::Machine;
+    use yasksite_grid::Fold;
+    use yasksite_stencil::builders::heat3d;
+
+    fn drive(tuner: &mut OnlineTuner, sol: &Solution) -> usize {
+        while !tuner.converged() {
+            let p = tuner.suggest().expect("not converged");
+            let m = sol.measure(&p).expect("simulated measurement");
+            tuner.record(m.seconds_per_sweep);
+        }
+        tuner.trials()
+    }
+
+    #[test]
+    fn converges_cheaper_than_exhaustive() {
+        let m = Machine::cascade_lake();
+        let sol = Solution::new(heat3d(1), [64, 64, 64], m.clone());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), &m);
+        let template = TuningParams::new([64, 8, 8], Fold::new(8, 1, 1));
+        let mut tuner = OnlineTuner::new(&space, template);
+        let trials = drive(&mut tuner, &sol);
+        assert!(
+            trials < tuner.lattice_size(),
+            "hill climb must beat exhaustive: {trials} vs {}",
+            tuner.lattice_size()
+        );
+        // The found block is within 15% of the exhaustive best.
+        let best_measured = sol.measure(&tuner.best()).unwrap().mlups;
+        let mut exhaustive_best = 0.0f64;
+        for p in space.candidates(1) {
+            exhaustive_best = exhaustive_best.max(sol.measure(&p).unwrap().mlups);
+        }
+        assert!(
+            best_measured >= 0.85 * exhaustive_best,
+            "online pick {best_measured:.0} vs exhaustive {exhaustive_best:.0}"
+        );
+    }
+
+    #[test]
+    fn suggestion_record_protocol() {
+        let m = Machine::cascade_lake();
+        let space = SearchSpace::spatial_only(&heat3d(1), [32, 32, 32], &m);
+        let mut tuner = OnlineTuner::new(&space, TuningParams::new([32, 8, 8], Fold::new(8, 1, 1)));
+        let first = tuner.suggest().expect("has a start point");
+        assert_eq!(first.block[0], 32);
+        tuner.record(1.0);
+        assert_eq!(tuner.trials(), 1);
+        // A better neighbour becomes the new best.
+        let _ = tuner.suggest().expect("neighbours queued");
+        tuner.record(0.5);
+        assert_eq!(tuner.best().block, tuner.best().block);
+        assert!(tuner.trials() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "record without a pending suggestion")]
+    fn record_requires_suggestion() {
+        let m = Machine::cascade_lake();
+        let space = SearchSpace::spatial_only(&heat3d(1), [32, 32, 32], &m);
+        let mut tuner = OnlineTuner::new(&space, TuningParams::new([32, 8, 8], Fold::new(8, 1, 1)));
+        let _ = tuner.suggest();
+        tuner.record(1.0);
+        tuner.record(1.0); // no suggestion pending
+    }
+}

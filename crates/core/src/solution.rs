@@ -1,0 +1,282 @@
+//! The `Solution` object: one stencil bound to a domain and a machine.
+
+use std::fmt;
+
+use yasksite_arch::{Machine, MachineKind};
+use yasksite_engine::{
+    apply_native, apply_simulated, codegen, run_wavefront_native, run_wavefront_simulated,
+    CodegenOutput, EngineError, SimContext, TuningParams,
+};
+use yasksite_grid::Grid3;
+use yasksite_memsim::HierarchyStats;
+use yasksite_stencil::Stencil;
+
+use crate::predict::{predict_params, predict_params_resident, PredictedPerf};
+
+/// Errors reported by the tool layer.
+#[derive(Debug)]
+pub enum ToolError {
+    /// The engine rejected the configuration.
+    Engine(EngineError),
+    /// Tool-level invariant violation.
+    Other(String),
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::Engine(e) => write!(f, "engine: {e}"),
+            ToolError::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ToolError::Engine(e) => Some(e),
+            ToolError::Other(_) => None,
+        }
+    }
+}
+
+impl From<EngineError> for ToolError {
+    fn from(e: EngineError) -> Self {
+        ToolError::Engine(e)
+    }
+}
+
+/// A measured (native or simulated) performance result.
+#[derive(Debug, Clone)]
+pub struct MeasuredPerf {
+    /// Achieved MLUP/s in steady state.
+    pub mlups: f64,
+    /// Steady-state seconds per domain sweep.
+    pub seconds_per_sweep: f64,
+    /// Simulated traffic counters (None for native runs).
+    pub stats: Option<HierarchyStats>,
+    /// Whether the number came from the simulator or the host.
+    pub simulated: bool,
+}
+
+/// One stencil kernel bound to a domain size and a target machine — the
+/// unit YaskSite tunes and external tuners query.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    stencil: Stencil,
+    domain: [usize; 3],
+    machine: Machine,
+}
+
+impl Solution {
+    /// Binds `stencil` to a `domain` on `machine`.
+    #[must_use]
+    pub fn new(stencil: Stencil, domain: [usize; 3], machine: Machine) -> Self {
+        Solution {
+            stencil,
+            domain,
+            machine,
+        }
+    }
+
+    /// The stencil.
+    #[must_use]
+    pub fn stencil(&self) -> &Stencil {
+        &self.stencil
+    }
+
+    /// The domain extents.
+    #[must_use]
+    pub fn domain(&self) -> [usize; 3] {
+        self.domain
+    }
+
+    /// The target machine.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Lattice updates per sweep.
+    #[must_use]
+    pub fn updates_per_sweep(&self) -> u64 {
+        (self.domain[0] * self.domain[1] * self.domain[2]) as u64
+    }
+
+    /// Analytic (ECM) prediction for `params` at `cores` — runs nothing.
+    #[must_use]
+    pub fn predict(&self, params: &TuningParams, cores: usize) -> PredictedPerf {
+        predict_params(&self.stencil, self.domain, &self.machine, params, cores)
+    }
+
+    /// Analytic prediction with an explicit steady-state resident-set
+    /// size (bytes of all data live across repeated invocations).
+    #[must_use]
+    pub fn predict_with_resident(
+        &self,
+        params: &TuningParams,
+        cores: usize,
+        resident_bytes: f64,
+    ) -> PredictedPerf {
+        predict_params_resident(
+            &self.stencil,
+            self.domain,
+            &self.machine,
+            params,
+            cores,
+            Some(resident_bytes),
+        )
+    }
+
+    /// Allocates the grid set (inputs + output) for this solution under a
+    /// given parameter set.
+    #[must_use]
+    pub fn allocate_grids(&self, params: &TuningParams) -> (Vec<Grid3>, Grid3) {
+        let info = self.stencil.info();
+        let halo = info.radius;
+        let inputs: Vec<Grid3> = (0..self.stencil.num_inputs())
+            .map(|g| {
+                let mut grid =
+                    Grid3::new(&format!("in{g}"), self.domain, halo, params.fold);
+                grid.fill_with(|i, j, k| ((i * 7 + j * 3 + k) % 13) as f64 * 0.05);
+                grid
+            })
+            .collect();
+        let out = Grid3::new("out", self.domain, halo, params.fold);
+        (inputs, out)
+    }
+
+    /// Measures `params`: natively when the machine is the host model,
+    /// otherwise on the simulated hierarchy. One warm-up sweep is followed
+    /// by one measured steady-state sweep.
+    ///
+    /// # Errors
+    /// Propagates engine errors (bad parameters, unsupported wavefront).
+    pub fn measure(&self, params: &TuningParams) -> Result<MeasuredPerf, ToolError> {
+        if self.machine.kind == MachineKind::Host {
+            self.measure_native(params)
+        } else {
+            self.measure_simulated(params)
+        }
+    }
+
+    fn measure_native(&self, params: &TuningParams) -> Result<MeasuredPerf, ToolError> {
+        let (mut inputs, mut out) = self.allocate_grids(params);
+        if params.wavefront > 1 {
+            let mut a = inputs.swap_remove(0);
+            // Warm-up.
+            run_wavefront_native(&self.stencil, &mut a, &mut out, params)?;
+            let t0 = std::time::Instant::now();
+            run_wavefront_native(&self.stencil, &mut a, &mut out, params)?;
+            let secs = t0.elapsed().as_secs_f64() / params.wavefront as f64;
+            return Ok(MeasuredPerf {
+                mlups: self.updates_per_sweep() as f64 / secs.max(1e-12) / 1e6,
+                seconds_per_sweep: secs,
+                stats: None,
+                simulated: false,
+            });
+        }
+        let refs: Vec<&Grid3> = inputs.iter().collect();
+        apply_native(&self.stencil, &refs, &mut out, params)?; // warm-up
+        let run = apply_native(&self.stencil, &refs, &mut out, params)?;
+        Ok(MeasuredPerf {
+            mlups: run.mlups,
+            seconds_per_sweep: run.seconds,
+            stats: None,
+            simulated: false,
+        })
+    }
+
+    fn measure_simulated(&self, params: &TuningParams) -> Result<MeasuredPerf, ToolError> {
+        let (inputs, out) = self.allocate_grids(params);
+        let mut ctx = SimContext::new(&self.machine, params.threads);
+        let sweep = |ctx: &mut SimContext, a: &Grid3, b: &Grid3| -> Result<(), EngineError> {
+            if params.wavefront > 1 {
+                run_wavefront_simulated(&self.stencil, a, b, params, ctx)
+            } else {
+                let refs: Vec<&Grid3> = std::iter::once(a)
+                    .chain(inputs.iter().skip(1))
+                    .collect();
+                apply_simulated(&self.stencil, &refs, b, params, ctx)
+            }
+        };
+        // Cold sweep warms the hierarchy, second sweep is steady state.
+        sweep(&mut ctx, &inputs[0], &out)?;
+        let warm = ctx.finish();
+        sweep(&mut ctx, &out, &inputs[0])?;
+        let total = ctx.finish();
+        let steady = (total.time.seconds - warm.time.seconds).max(1e-12);
+        let sweeps = params.wavefront.max(1) as f64;
+        let per_sweep = steady / sweeps;
+        Ok(MeasuredPerf {
+            mlups: self.updates_per_sweep() as f64 / per_sweep / 1e6,
+            seconds_per_sweep: per_sweep,
+            stats: Some(total.stats),
+            simulated: true,
+        })
+    }
+
+    /// Generates the kernel source for `params`.
+    #[must_use]
+    pub fn codegen(&self, params: &TuningParams) -> CodegenOutput {
+        codegen(&self.stencil, self.domain, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_grid::Fold;
+    use yasksite_stencil::builders::{heat3d, wave2d};
+
+    #[test]
+    fn native_measurement_on_host() {
+        let sol = Solution::new(heat3d(1), [64, 32, 32], Machine::host());
+        let p = TuningParams::new([64, 8, 8], Fold::new(8, 1, 1));
+        let m = sol.measure(&p).unwrap();
+        assert!(!m.simulated);
+        assert!(m.mlups > 1.0, "host should exceed 1 MLUP/s: {}", m.mlups);
+    }
+
+    #[test]
+    fn simulated_measurement_on_clx() {
+        let sol = Solution::new(heat3d(1), [64, 32, 32], Machine::cascade_lake());
+        let p = TuningParams::new([64, 8, 8], Fold::new(8, 1, 1)).threads(2);
+        let m = sol.measure(&p).unwrap();
+        assert!(m.simulated);
+        assert!(m.stats.is_some());
+        assert!(m.mlups > 0.0);
+    }
+
+    #[test]
+    fn simulated_wavefront_measurement() {
+        let sol = Solution::new(heat3d(1), [64, 32, 32], Machine::cascade_lake());
+        let p = TuningParams::new([64, 8, 8], Fold::new(8, 1, 1)).wavefront(2);
+        let m = sol.measure(&p).unwrap();
+        assert!(m.mlups > 0.0);
+    }
+
+    #[test]
+    fn two_input_solution_measures() {
+        let sol = Solution::new(wave2d(0.3), [64, 64, 1], Machine::cascade_lake());
+        let p = TuningParams::new([64, 16, 1], Fold::new(8, 1, 1));
+        let m = sol.measure(&p).unwrap();
+        assert!(m.mlups > 0.0);
+    }
+
+    #[test]
+    fn predict_is_pure() {
+        let sol = Solution::new(heat3d(1), [128, 64, 64], Machine::cascade_lake());
+        let p = TuningParams::new([128, 8, 8], Fold::new(8, 1, 1));
+        let a = sol.predict(&p, 4);
+        let b = sol.predict(&p, 4);
+        assert_eq!(a.mlups, b.mlups);
+    }
+
+    #[test]
+    fn codegen_delegates() {
+        let sol = Solution::new(heat3d(1), [128, 64, 64], Machine::cascade_lake());
+        let p = TuningParams::new([128, 8, 8], Fold::new(8, 1, 1));
+        assert!(sol.codegen(&p).source.contains("kernel_heat_3d_r1"));
+    }
+}

@@ -1,0 +1,170 @@
+//! The tuning-parameter search space.
+
+use yasksite_arch::Machine;
+use yasksite_engine::TuningParams;
+use yasksite_grid::Fold;
+use yasksite_stencil::Stencil;
+
+/// Enumerable tuning space of one kernel: the cross product of block
+/// shapes, vector folds and wavefront depths that YASK-style kernels
+/// expose, pruned to sensible members.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    blocks: Vec<[usize; 3]>,
+    folds: Vec<Fold>,
+    wavefronts: Vec<usize>,
+}
+
+fn pow2_upto(n: usize, lo: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut b = lo;
+    while b < n {
+        v.push(b);
+        b *= 2;
+    }
+    v.push(n);
+    v
+}
+
+impl SearchSpace {
+    /// Builds the standard space the paper's tool searches:
+    ///
+    /// * blocks keep x unblocked (full rows for vectorisation, YASK's
+    ///   default) and sweep powers of two in y and z;
+    /// * folds: the in-line fold plus the 2-D folds matching the machine's
+    ///   SIMD width (multi-dim folds only for stencils with extent in y);
+    /// * wavefront depths 1/2/4/8 for single-input 3-D stencils.
+    #[must_use]
+    pub fn standard(stencil: &Stencil, domain: [usize; 3], machine: &Machine) -> Self {
+        let info = stencil.info();
+        let mut blocks = Vec::new();
+        for by in pow2_upto(domain[1], 4) {
+            for bz in pow2_upto(domain[2], 4) {
+                blocks.push([domain[0], by, bz]);
+            }
+        }
+        blocks.dedup();
+
+        let lanes = machine.lanes();
+        let mut folds = vec![Fold::new(lanes, 1, 1)];
+        if info.radius[1] > 0 {
+            for f in Fold::candidates(lanes) {
+                if f.z == 1 && f.y > 1 && f.x > 1 {
+                    folds.push(f);
+                }
+            }
+        }
+
+        let mut wavefronts = vec![1];
+        if stencil.num_inputs() == 1 && domain[2] > 1 {
+            wavefronts.extend([2, 4, 8]);
+        }
+        SearchSpace {
+            blocks,
+            folds,
+            wavefronts,
+        }
+    }
+
+    /// A reduced space without temporal blocking (used by experiments that
+    /// isolate spatial effects).
+    #[must_use]
+    pub fn spatial_only(stencil: &Stencil, domain: [usize; 3], machine: &Machine) -> Self {
+        let mut s = Self::standard(stencil, domain, machine);
+        s.wavefronts = vec![1];
+        s
+    }
+
+    /// Restricts the space to a single fold (ablation).
+    #[must_use]
+    pub fn with_folds(mut self, folds: Vec<Fold>) -> Self {
+        self.folds = folds;
+        self
+    }
+
+    /// The block shapes in the space.
+    #[must_use]
+    pub fn blocks(&self) -> &[[usize; 3]] {
+        &self.blocks
+    }
+
+    /// Enumerates all candidate parameter sets for `threads` cores.
+    #[must_use]
+    pub fn candidates(&self, threads: usize) -> Vec<TuningParams> {
+        let mut out = Vec::new();
+        for &b in &self.blocks {
+            for &f in &self.folds {
+                for &w in &self.wavefronts {
+                    out.push(
+                        TuningParams::new(b, f)
+                            .threads(threads)
+                            .wavefront(w),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of candidates per thread count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len() * self.folds.len() * self.wavefronts.len()
+    }
+
+    /// Whether the space is empty (never, for valid inputs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_stencil::builders::{heat2d, heat3d, inverter_chain_rhs, wave2d};
+
+    #[test]
+    fn space_covers_blocks_folds_wavefronts() {
+        let m = Machine::cascade_lake();
+        let s = heat3d(1);
+        let sp = SearchSpace::standard(&s, [128, 64, 64], &m);
+        // y: 4,8,16,32,64 (5) x z: 5 = 25 blocks.
+        assert_eq!(sp.blocks().len(), 25);
+        let c = sp.candidates(4);
+        assert_eq!(c.len(), sp.len());
+        assert!(c.iter().all(|p| p.threads == 4));
+        assert!(c.iter().any(|p| p.wavefront == 4));
+        assert!(c.iter().any(|p| p.fold == Fold::new(4, 2, 1)));
+    }
+
+    #[test]
+    fn two_input_stencils_get_no_wavefront() {
+        let m = Machine::cascade_lake();
+        let sp = SearchSpace::standard(&wave2d(0.3), [128, 128, 1], &m);
+        assert!(sp.candidates(1).iter().all(|p| p.wavefront == 1));
+    }
+
+    #[test]
+    fn one_dim_stencils_get_inline_fold_only() {
+        let m = Machine::cascade_lake();
+        let sp = SearchSpace::standard(&inverter_chain_rhs(5.0, 1.0, 1.0), [1024, 1, 1], &m);
+        assert!(sp.candidates(1).iter().all(|p| p.fold == Fold::new(8, 1, 1)));
+    }
+
+    #[test]
+    fn rome_uses_four_lane_folds() {
+        let m = Machine::rome();
+        let sp = SearchSpace::standard(&heat2d(1), [256, 256, 1], &m);
+        assert!(sp.candidates(1).iter().any(|p| p.fold == Fold::new(2, 2, 1)));
+        assert!(sp.candidates(1).iter().all(|p| p.fold.elems() == 4));
+    }
+
+    #[test]
+    fn spatial_only_strips_wavefronts() {
+        let m = Machine::cascade_lake();
+        let sp = SearchSpace::spatial_only(&heat3d(1), [64, 64, 64], &m);
+        assert!(sp.candidates(1).iter().all(|p| p.wavefront == 1));
+        assert!(!sp.is_empty());
+    }
+}

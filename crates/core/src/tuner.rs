@@ -1,0 +1,179 @@
+//! Tuning strategies: analytic (ECM-ranked), empirical (run everything),
+//! and the hybrid the paper advocates.
+
+use std::time::Instant;
+
+use yasksite_engine::TuningParams;
+
+use crate::cost::TuneCost;
+use crate::solution::{Solution, ToolError};
+use crate::space::SearchSpace;
+
+/// How to pick the best point in the search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuneStrategy {
+    /// Rank every candidate with the ECM model; run nothing. This is the
+    /// paper's headline mode: "identifying optimal performance parameters
+    /// analytically without the need to run the code".
+    Analytic,
+    /// Measure every candidate (the expensive baseline an exhaustive
+    /// autotuner would use).
+    Empirical,
+    /// Rank analytically, then measure only the `shortlist` best
+    /// candidates to break model ties.
+    Hybrid {
+        /// Number of model-ranked candidates to verify empirically.
+        shortlist: usize,
+    },
+}
+
+/// Outcome of a tuning session.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The selected parameters.
+    pub best: TuningParams,
+    /// The selected candidate's score (MLUP/s; predicted for analytic,
+    /// measured otherwise).
+    pub best_score: f64,
+    /// All scored candidates, best first.
+    pub ranked: Vec<(TuningParams, f64)>,
+    /// What the session cost.
+    pub cost: TuneCost,
+}
+
+impl Solution {
+    /// Tunes over the standard search space at `cores` active cores.
+    ///
+    /// # Errors
+    /// Propagates engine errors from empirical runs.
+    pub fn tune(&self, strategy: TuneStrategy, cores: usize) -> Result<TuneResult, ToolError> {
+        let space = SearchSpace::standard(self.stencil(), self.domain(), self.machine());
+        self.tune_space(&space, strategy, cores)
+    }
+
+    /// Tunes over an explicit search space.
+    ///
+    /// # Errors
+    /// Propagates engine errors from empirical runs; fails on an empty
+    /// space.
+    pub fn tune_space(
+        &self,
+        space: &SearchSpace,
+        strategy: TuneStrategy,
+        cores: usize,
+    ) -> Result<TuneResult, ToolError> {
+        let start = Instant::now();
+        let candidates = space.candidates(cores);
+        if candidates.is_empty() {
+            return Err(ToolError::Other("empty search space".into()));
+        }
+        let mut cost = TuneCost::default();
+        let mut ranked: Vec<(TuningParams, f64)> = Vec::with_capacity(candidates.len());
+        match strategy {
+            TuneStrategy::Analytic => {
+                for p in candidates {
+                    let pred = self.predict(&p, cores);
+                    cost.model_evals += 1;
+                    ranked.push((p, pred.mlups));
+                }
+            }
+            TuneStrategy::Empirical => {
+                for p in candidates {
+                    let m = self.measure(&p)?;
+                    cost.engine_runs += 1;
+                    cost.target_seconds += 2.0 * m.seconds_per_sweep * p.wavefront as f64;
+                    ranked.push((p, m.mlups));
+                }
+            }
+            TuneStrategy::Hybrid { shortlist } => {
+                let mut pre: Vec<(TuningParams, f64)> = candidates
+                    .into_iter()
+                    .map(|p| {
+                        let pred = self.predict(&p, cores);
+                        cost.model_evals += 1;
+                        (p, pred.mlups)
+                    })
+                    .collect();
+                pre.sort_by(|a, b| b.1.total_cmp(&a.1));
+                let k = shortlist.max(1).min(pre.len());
+                for (p, _) in pre.drain(..k) {
+                    let m = self.measure(&p)?;
+                    cost.engine_runs += 1;
+                    cost.target_seconds += 2.0 * m.seconds_per_sweep * p.wavefront as f64;
+                    ranked.push((p, m.mlups));
+                }
+            }
+        }
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        cost.wall_seconds = start.elapsed().as_secs_f64();
+        let (best, best_score) = ranked[0].clone();
+        Ok(TuneResult {
+            best,
+            best_score,
+            ranked,
+            cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_arch::Machine;
+    use yasksite_stencil::builders::heat3d;
+
+    fn solution() -> Solution {
+        Solution::new(heat3d(1), [64, 32, 32], Machine::cascade_lake())
+    }
+
+    #[test]
+    fn analytic_runs_nothing() {
+        let r = solution().tune(TuneStrategy::Analytic, 2).unwrap();
+        assert_eq!(r.cost.engine_runs, 0);
+        assert!(r.cost.model_evals > 10);
+        assert!(r.best_score > 0.0);
+        // Ranked is sorted descending.
+        for w in r.ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empirical_runs_everything() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), sol.machine());
+        let r = sol.tune_space(&space, TuneStrategy::Empirical, 1).unwrap();
+        assert_eq!(r.cost.engine_runs, space.len());
+        assert_eq!(r.cost.model_evals, 0);
+        assert!(r.cost.target_seconds > 0.0);
+    }
+
+    #[test]
+    fn hybrid_measures_only_the_shortlist() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), sol.machine());
+        let r = sol
+            .tune_space(&space, TuneStrategy::Hybrid { shortlist: 3 }, 1)
+            .unwrap();
+        assert_eq!(r.cost.engine_runs, 3);
+        assert_eq!(r.cost.model_evals, space.len());
+        assert_eq!(r.ranked.len(), 3);
+    }
+
+    #[test]
+    fn analytic_choice_is_near_empirical_optimum() {
+        // The paper's key claim in miniature: the model-selected block is
+        // close to the empirically best one.
+        let sol = Solution::new(heat3d(1), [64, 64, 64], Machine::cascade_lake());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), sol.machine());
+        let analytic = sol.tune_space(&space, TuneStrategy::Analytic, 1).unwrap();
+        let empirical = sol.tune_space(&space, TuneStrategy::Empirical, 1).unwrap();
+        let chosen_measured = sol.measure(&analytic.best).unwrap().mlups;
+        assert!(
+            chosen_measured >= 0.7 * empirical.best_score,
+            "analytic pick achieves {:.0} of empirical best {:.0}",
+            chosen_measured,
+            empirical.best_score
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end tests of the `yasksite` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_yasksite"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn usage_without_arguments() {
+    let (stdout, _, ok) = run(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn machines_and_stencils_listings() {
+    let (stdout, _, ok) = run(&["machines"]);
+    assert!(ok);
+    assert!(stdout.contains("CLX") && stdout.contains("ROME"));
+    let (stdout, _, ok) = run(&["stencils"]);
+    assert!(ok);
+    assert!(stdout.contains("heat-3d-r1"));
+}
+
+#[test]
+fn predict_pipeline() {
+    let (stdout, _, ok) = run(&[
+        "predict",
+        "--stencil",
+        "heat-3d-r1",
+        "--domain",
+        "128x128x128",
+        "--block",
+        "128x8x8",
+        "--cores",
+        "4",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("MLUP/s"));
+    assert!(stdout.contains("T_ECM"));
+}
+
+#[test]
+fn measure_small_simulated() {
+    let (stdout, _, ok) = run(&[
+        "measure",
+        "--stencil",
+        "heat-2d-r1",
+        "--domain",
+        "64x64x1",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("simulated"));
+    assert!(stdout.contains("memory traffic"));
+}
+
+#[test]
+fn codegen_emits_c() {
+    let (stdout, _, ok) = run(&[
+        "codegen",
+        "--stencil",
+        "heat-2d-r1",
+        "--domain",
+        "256x256x1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("#pragma omp parallel for"));
+    assert!(stdout.contains("kernel_heat_2d_r1"));
+}
+
+#[test]
+fn tune_analytic() {
+    let (stdout, _, ok) = run(&[
+        "tune",
+        "--stencil",
+        "heat-2d-r1",
+        "--domain",
+        "512x512x1",
+        "--machine",
+        "rome",
+        "--cores",
+        "4",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("best:"));
+    assert!(stdout.contains("0 runs"), "analytic strategy runs nothing");
+}
+
+#[test]
+fn machine_file_flag() {
+    let dir = std::env::temp_dir().join("yasksite-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.machine");
+    std::fs::write(
+        &path,
+        yasksite_arch::format_machine(&yasksite_arch::Machine::rome()),
+    )
+    .unwrap();
+    let (stdout, _, ok) = run(&[
+        "predict",
+        "--stencil",
+        "heat-2d-r1",
+        "--domain",
+        "128x128x1",
+        "--machine-file",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("MLUP/s"));
+}
+
+#[test]
+fn errors_are_reported() {
+    let (_, stderr, ok) = run(&["predict", "--stencil", "nope", "--domain", "8x8x8"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown stencil"));
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}

@@ -1,0 +1,77 @@
+//! Roofline baseline model.
+
+use yasksite_arch::Machine;
+use yasksite_stencil::StencilInfo;
+
+/// Classic Roofline prediction in MLUP/s for `cores` active cores:
+/// `min(peak compute, BW / bytes-per-update)`, with the naive streaming
+/// byte count (every distinct grid read once + write-allocate + write).
+///
+/// This is the baseline model the ECM approach improves upon: it knows
+/// nothing about cache-level transfer costs or layer conditions, so it is
+/// systematically optimistic for cache-bound configurations.
+///
+/// ```
+/// use yasksite_arch::Machine;
+/// use yasksite_ecm::roofline_mlups;
+/// use yasksite_stencil::builders::heat3d;
+///
+/// let m = Machine::cascade_lake();
+/// let p1 = roofline_mlups(&heat3d(1).info(), &m, 1);
+/// let p20 = roofline_mlups(&heat3d(1).info(), &m, 20);
+/// assert!(p1 > 0.0 && p20 >= p1);
+/// ```
+#[must_use]
+pub fn roofline_mlups(info: &StencilInfo, machine: &Machine, cores: usize) -> f64 {
+    let flops_per_lup = info.flops() as f64;
+    let peak_flops = machine.peak_gflops_core() * 1e9 * cores as f64;
+    let compute_mlups = if flops_per_lup > 0.0 {
+        peak_flops / flops_per_lup / 1e6
+    } else {
+        f64::INFINITY
+    };
+    // Streaming bytes: each read grid once, output write-allocate + store.
+    let bytes_per_lup = (info.read_grids as f64 + 2.0) * 8.0;
+    let bw = if cores == 1 {
+        machine.mem_bw_single_core_gbs
+    } else {
+        machine
+            .mem_bw_gbs
+            .min(machine.mem_bw_single_core_gbs * cores as f64)
+    };
+    let bw_mlups = bw * 1e9 / bytes_per_lup / 1e6;
+    compute_mlups.min(bw_mlups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_stencil::builders::{box3d, heat3d};
+
+    #[test]
+    fn heat3d_is_bandwidth_bound_on_clx() {
+        let m = Machine::cascade_lake();
+        let info = heat3d(1).info();
+        // 24 B/LUP at 14 GB/s single core = 583 MLUP/s.
+        let p = roofline_mlups(&info, &m, 1);
+        assert!((p - 14.0e3 / 24.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn dense_box_becomes_compute_bound() {
+        let m = Machine::cascade_lake();
+        let info = box3d(3).info(); // 343 points, 343 flops: past the ridge
+        let full = roofline_mlups(&info, &m, 20);
+        let compute = m.peak_gflops_core() * 20.0 * 1e3 / info.flops() as f64;
+        assert!((full - compute).abs() < 1.0);
+    }
+
+    #[test]
+    fn socket_bw_caps_scaling() {
+        let m = Machine::cascade_lake();
+        let info = heat3d(1).info();
+        let p10 = roofline_mlups(&info, &m, 10);
+        let p20 = roofline_mlups(&info, &m, 20);
+        assert!((p10 - p20).abs() < 1e-9, "both at the socket ceiling");
+    }
+}

@@ -1,0 +1,241 @@
+//! Data-traffic prediction from layer conditions.
+
+use yasksite_arch::Machine;
+use yasksite_stencil::StencilInfo;
+
+use crate::layer::{layer_conditions, LayerStatus, LcReport};
+
+/// Predicted cache-line traffic per **unit of work** (one cache line of
+/// results = 8 updates) crossing each hierarchy boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficModel {
+    /// Lines crossing boundary `b` per unit of work; boundary `b` connects
+    /// level `b` and level `b+1`, the last boundary is LLC ↔ memory.
+    pub per_boundary_lines: Vec<f64>,
+    /// Memory bytes per lattice update (the denominator of the bandwidth
+    /// ceiling).
+    pub bytes_per_lup_mem: f64,
+    /// Layer-condition reports, one per input grid.
+    pub lc: Vec<LcReport>,
+}
+
+/// Lines of input grid `g` crossing a boundary whose governing level has
+/// the given layer-condition status.
+fn input_lines(status: LayerStatus, info: &StencilInfo, g: usize) -> f64 {
+    match status {
+        // Full vertical reuse: each element travels once.
+        LayerStatus::Layers => 1.0,
+        // Plane reuse lost: reloaded once per distinct z-layer use.
+        LayerStatus::Rows => info.layers_read(g) as f64,
+        // Row reuse lost too: reloaded once per distinct (y, z) offset.
+        // (x-direction reuse survives inside the line itself.)
+        LayerStatus::None => info.rows_read(g) as f64,
+    }
+}
+
+/// Capacity fraction a steady-state resident set may occupy before the
+/// fit is considered broken. More generous than the layer-condition
+/// safety factor: an LRU cache retains a repeatedly-swept pool well up to
+/// most of its capacity.
+pub const RESIDENCY_SAFETY: f64 = 0.75;
+
+/// Like [`traffic`], but with an explicit steady-state resident-set size:
+/// when the kernel's whole working data (`resident_bytes`, e.g. all grids
+/// of an ODE step plan) fits into a cache level, the boundaries below that
+/// level carry no steady-state traffic — successive sweeps hit in cache.
+#[must_use]
+pub fn traffic_resident(
+    info: &StencilInfo,
+    tile: [usize; 3],
+    domain: [usize; 3],
+    machine: &Machine,
+    ncores: usize,
+    streaming_stores: bool,
+    resident_bytes: f64,
+) -> TrafficModel {
+    let mut t = traffic(info, tile, domain, machine, ncores, streaming_stores);
+    let nlev = machine.caches.len();
+    for b in 0..nlev {
+        let c = &machine.caches[b];
+        let sharers = c.scope.sharers(machine.cores_per_socket).min(ncores).max(1);
+        // Data is spread over the instances in use; each instance holds
+        // its cores' share.
+        let per_instance = resident_bytes * sharers as f64 / ncores.max(1) as f64;
+        if per_instance <= c.size_bytes as f64 * RESIDENCY_SAFETY {
+            for bb in b..nlev {
+                t.per_boundary_lines[bb] = 0.0;
+            }
+            break;
+        }
+    }
+    t.bytes_per_lup_mem =
+        t.per_boundary_lines[nlev - 1] * machine.line_bytes() as f64 / crate::incore::UPDATES_PER_UNIT;
+    t
+}
+
+/// Pessimistic traffic without layer-condition analysis: every boundary
+/// is charged the no-reuse row count (the ablation baseline — what a
+/// model ignorant of cache capacity would predict).
+#[must_use]
+pub fn traffic_pessimistic(
+    info: &StencilInfo,
+    machine: &Machine,
+    streaming_stores: bool,
+) -> TrafficModel {
+    let nlev = machine.caches.len();
+    let grids: Vec<usize> = {
+        let mut g: Vec<usize> = info.offsets.iter().map(|(g, _)| *g).collect();
+        g.dedup();
+        g
+    };
+    let out_lines = if streaming_stores { 1.0 } else { 2.0 };
+    let per_line: f64 = grids
+        .iter()
+        .map(|&g| input_lines(LayerStatus::None, info, g))
+        .sum::<f64>()
+        + out_lines;
+    let per_boundary_lines = vec![per_line; nlev];
+    let bytes_per_lup_mem =
+        per_line * machine.line_bytes() as f64 / crate::incore::UPDATES_PER_UNIT;
+    TrafficModel {
+        per_boundary_lines,
+        bytes_per_lup_mem,
+        lc: Vec::new(),
+    }
+}
+
+/// Computes the traffic model for a stencil streamed over an iteration
+/// tile of `tile` points per grid, on `ncores` active cores, assuming the
+/// data ultimately streams from memory (see [`traffic_resident`] for the
+/// cache-resident refinement).
+#[must_use]
+pub fn traffic(
+    info: &StencilInfo,
+    tile: [usize; 3],
+    domain: [usize; 3],
+    machine: &Machine,
+    ncores: usize,
+    streaming_stores: bool,
+) -> TrafficModel {
+    let nlev = machine.caches.len();
+    let tile = [
+        tile[0].min(domain[0]).max(1),
+        tile[1].min(domain[1]).max(1),
+        tile[2].min(domain[2]).max(1),
+    ];
+    let mut lc = Vec::with_capacity(info.read_grids);
+    let mut per_boundary = vec![0.0f64; nlev];
+
+    // Halo-reload overhead: only dimensions actually tiled (tile < domain)
+    // re-read halos at tile faces.
+    let mut halo_factor = 1.0;
+    for d in 0..3 {
+        if tile[d] < domain[d] {
+            halo_factor *= (tile[d] + 2 * info.radius[d]) as f64 / tile[d] as f64;
+        }
+    }
+
+    let grids: Vec<usize> = {
+        let mut g: Vec<usize> = info.offsets.iter().map(|(g, _)| *g).collect();
+        g.dedup();
+        g
+    };
+    for &g in &grids {
+        let rep = layer_conditions(info, g, tile, machine, ncores);
+        for (b, agg) in per_boundary.iter_mut().enumerate() {
+            let lines = input_lines(rep.status[b], info, g);
+            // The halo factor applies to the compulsory part; reload
+            // traffic already re-counts the halo rows/layers.
+            *agg += if matches!(rep.status[b], LayerStatus::Layers) {
+                lines * halo_factor
+            } else {
+                lines
+            };
+        }
+        lc.push(rep);
+    }
+
+    // Every line arriving from below a boundary also crosses the
+    // boundaries above it, so traffic is monotone non-increasing toward
+    // memory; enforce this where the per-level estimates disagree (e.g.
+    // a large halo-reload factor at an outer level vs. a row-reuse
+    // estimate at L1 that does not model tile reloads).
+    for b in (0..nlev - 1).rev() {
+        per_boundary[b] = per_boundary[b].max(per_boundary[b + 1]);
+    }
+
+    // Output stream.
+    let out_lines = if streaming_stores { 1.0 } else { 2.0 };
+    for b in per_boundary.iter_mut() {
+        *b += out_lines;
+    }
+
+    let bytes_per_lup_mem =
+        per_boundary[nlev - 1] * machine.line_bytes() as f64 / crate::incore::UPDATES_PER_UNIT;
+    TrafficModel {
+        per_boundary_lines: per_boundary,
+        bytes_per_lup_mem,
+        lc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_stencil::builders::{heat3d, wave2d};
+
+    #[test]
+    fn well_blocked_heat3d_moves_three_lines_everywhere() {
+        let m = Machine::cascade_lake();
+        let s = heat3d(1);
+        // Tiny tile: layer condition holds at L1 already; domain == tile in
+        // y/z so only x untiled (tile[0] == domain[0] -> no halo factor).
+        let t = traffic(&s.info(), [64, 8, 8], [64, 8, 8], &m, 1, false);
+        for b in 0..3 {
+            assert!((t.per_boundary_lines[b] - 3.0).abs() < 1e-12, "boundary {b}");
+        }
+        // 3 lines * 64 B / 8 updates = 24 B/LUP.
+        assert!((t.bytes_per_lup_mem - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unblocked_large_grid_pays_in_upper_levels() {
+        let m = Machine::cascade_lake();
+        let s = heat3d(1);
+        let t = traffic(&s.info(), [512, 512, 512], [512, 512, 512], &m, 1, false);
+        // L1 can't even hold rows -> 5 + 2; L2 holds rows -> 3 + 2;
+        // L3 (14 MB eff) holds 3 layers of 512x512 (6.3 MB) -> 1 + 2.
+        assert!((t.per_boundary_lines[0] - 7.0).abs() < 1e-12);
+        assert!((t.per_boundary_lines[1] - 5.0).abs() < 1e-12);
+        assert!((t.per_boundary_lines[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_adds_halo_overhead() {
+        let m = Machine::cascade_lake();
+        let s = heat3d(1);
+        let t = traffic(&s.info(), [512, 8, 8], [512, 512, 512], &m, 1, false);
+        // y and z tiled at 8: factor (10/8)^2 = 1.5625 on the compulsory
+        // input line -> 1.5625 + 2.
+        assert!((t.per_boundary_lines[2] - (1.5625 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_stores_save_the_write_allocate() {
+        let m = Machine::cascade_lake();
+        let s = heat3d(1);
+        let a = traffic(&s.info(), [64, 8, 8], [64, 8, 8], &m, 1, false);
+        let b = traffic(&s.info(), [64, 8, 8], [64, 8, 8], &m, 1, true);
+        assert!((a.per_boundary_lines[2] - b.per_boundary_lines[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_input_grids_double_the_input_streams() {
+        let m = Machine::cascade_lake();
+        let s = wave2d(0.3);
+        let t = traffic(&s.info(), [64, 8, 1], [64, 8, 1], &m, 1, false);
+        // u and u_prev: 1 line each + 2 output lines = 4.
+        assert!((t.per_boundary_lines[2] - 4.0).abs() < 1e-12);
+        assert_eq!(t.lc.len(), 2);
+    }
+}

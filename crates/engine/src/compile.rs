@@ -1,0 +1,306 @@
+//! Lowering of stencil expressions into fast evaluatable forms.
+
+use yasksite_grid::Grid3;
+use yasksite_stencil::{Expr, GridId, Stencil};
+
+/// One access slot: input grid and offset.
+pub type Access = (GridId, [i32; 3]);
+
+/// A flattened, post-order representation of an expression; evaluated with
+/// a small value stack over pre-fetched access values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tape {
+    ops: Vec<TapeOp>,
+    accesses: Vec<Access>,
+    max_stack: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TapeOp {
+    Const(f64),
+    Load(u16),
+    Add,
+    Sub,
+    Mul,
+    Neg,
+}
+
+impl Tape {
+    fn from_expr(expr: &Expr) -> Tape {
+        let mut ops = Vec::new();
+        let mut accesses: Vec<Access> = Vec::new();
+        fn walk(e: &Expr, ops: &mut Vec<TapeOp>, accesses: &mut Vec<Access>) {
+            match e {
+                Expr::Const(v) => ops.push(TapeOp::Const(*v)),
+                Expr::At { grid, dx, dy, dz } => {
+                    let key = (*grid, [*dx, *dy, *dz]);
+                    let slot = accesses.iter().position(|a| *a == key).unwrap_or_else(|| {
+                        accesses.push(key);
+                        accesses.len() - 1
+                    });
+                    ops.push(TapeOp::Load(u16::try_from(slot).expect("tape slot overflow")));
+                }
+                Expr::Add(a, b) => {
+                    walk(a, ops, accesses);
+                    walk(b, ops, accesses);
+                    ops.push(TapeOp::Add);
+                }
+                Expr::Sub(a, b) => {
+                    walk(a, ops, accesses);
+                    walk(b, ops, accesses);
+                    ops.push(TapeOp::Sub);
+                }
+                Expr::Mul(a, b) => {
+                    walk(a, ops, accesses);
+                    walk(b, ops, accesses);
+                    ops.push(TapeOp::Mul);
+                }
+                Expr::Neg(a) => {
+                    walk(a, ops, accesses);
+                    ops.push(TapeOp::Neg);
+                }
+            }
+        }
+        walk(expr, &mut ops, &mut accesses);
+        let mut depth = 0usize;
+        let mut max_stack = 0usize;
+        for op in &ops {
+            match op {
+                TapeOp::Const(_) | TapeOp::Load(_) => depth += 1,
+                TapeOp::Add | TapeOp::Sub | TapeOp::Mul => depth -= 1,
+                TapeOp::Neg => {}
+            }
+            max_stack = max_stack.max(depth);
+        }
+        Tape { ops, accesses, max_stack }
+    }
+
+    /// The access slots the tape reads; the caller pre-fetches these into
+    /// the `values` argument of [`Tape::eval`].
+    #[must_use]
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Evaluates the tape over pre-fetched access values.
+    ///
+    /// # Panics
+    /// Panics if `values.len() < accesses().len()`.
+    #[must_use]
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        let mut stack = [0.0f64; 64];
+        debug_assert!(self.max_stack <= stack.len());
+        let mut sp = 0usize;
+        for op in &self.ops {
+            match *op {
+                TapeOp::Const(v) => {
+                    stack[sp] = v;
+                    sp += 1;
+                }
+                TapeOp::Load(slot) => {
+                    stack[sp] = values[slot as usize];
+                    sp += 1;
+                }
+                TapeOp::Add => {
+                    sp -= 1;
+                    stack[sp - 1] += stack[sp];
+                }
+                TapeOp::Sub => {
+                    sp -= 1;
+                    stack[sp - 1] -= stack[sp];
+                }
+                TapeOp::Mul => {
+                    sp -= 1;
+                    stack[sp - 1] *= stack[sp];
+                }
+                TapeOp::Neg => stack[sp - 1] = -stack[sp - 1],
+            }
+        }
+        debug_assert_eq!(sp, 1);
+        stack[0]
+    }
+}
+
+/// Linear form `Σ coeff_i · g_i(off_i) + constant`.
+#[derive(Debug, Clone, PartialEq)]
+struct LinForm {
+    terms: Vec<(Access, f64)>,
+    constant: f64,
+}
+
+impl LinForm {
+    fn merge(mut self, other: LinForm, sign: f64) -> LinForm {
+        for (a, c) in other.terms {
+            match self.terms.iter_mut().find(|(k, _)| *k == a) {
+                Some((_, existing)) => *existing += sign * c,
+                None => self.terms.push((a, sign * c)),
+            }
+        }
+        self.constant += sign * other.constant;
+        self
+    }
+
+    fn scale(mut self, s: f64) -> LinForm {
+        for (_, c) in &mut self.terms {
+            *c *= s;
+        }
+        self.constant *= s;
+        self
+    }
+}
+
+fn linearize(e: &Expr) -> Option<LinForm> {
+    match e {
+        Expr::Const(v) => Some(LinForm { terms: vec![], constant: *v }),
+        Expr::At { grid, dx, dy, dz } => Some(LinForm {
+            terms: vec![((*grid, [*dx, *dy, *dz]), 1.0)],
+            constant: 0.0,
+        }),
+        Expr::Add(a, b) => Some(linearize(a)?.merge(linearize(b)?, 1.0)),
+        Expr::Sub(a, b) => Some(linearize(a)?.merge(linearize(b)?, -1.0)),
+        Expr::Mul(a, b) => {
+            let la = linearize(a)?;
+            let lb = linearize(b)?;
+            if la.terms.is_empty() {
+                Some(lb.scale(la.constant))
+            } else if lb.terms.is_empty() {
+                Some(la.scale(lb.constant))
+            } else {
+                None
+            }
+        }
+        Expr::Neg(a) => Some(linearize(a)?.scale(-1.0)),
+    }
+}
+
+/// A stencil lowered for fast evaluation: either an affine combination of
+/// grid accesses (the common case, auto-vectorisable in the native fast
+/// path) or a general post-order tape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledStencil {
+    /// `out = Σ coeff·access + constant`.
+    Linear {
+        /// Access/coefficient pairs.
+        terms: Vec<(Access, f64)>,
+        /// Additive constant.
+        constant: f64,
+    },
+    /// General expression tape.
+    Tape(Tape),
+}
+
+impl CompiledStencil {
+    /// Lowers a stencil, preferring the linear form.
+    #[must_use]
+    pub fn compile(stencil: &Stencil) -> CompiledStencil {
+        match linearize(stencil.expr()) {
+            Some(l) => CompiledStencil::Linear {
+                terms: l.terms,
+                constant: l.constant,
+            },
+            None => CompiledStencil::Tape(Tape::from_expr(stencil.expr())),
+        }
+    }
+
+    /// Whether the linear fast path applies.
+    #[must_use]
+    pub fn is_linear(&self) -> bool {
+        matches!(self, CompiledStencil::Linear { .. })
+    }
+
+    /// Evaluates at a point through the grid API (layout-agnostic slow
+    /// path; the native executor specialises the linear case further).
+    #[must_use]
+    pub fn eval_at(&self, inputs: &[&Grid3], i: isize, j: isize, k: isize) -> f64 {
+        match self {
+            CompiledStencil::Linear { terms, constant } => {
+                let mut acc = *constant;
+                for ((g, o), c) in terms {
+                    acc += c
+                        * inputs[*g].get(i + o[0] as isize, j + o[1] as isize, k + o[2] as isize);
+                }
+                acc
+            }
+            CompiledStencil::Tape(t) => {
+                let mut vals = [0.0f64; 256];
+                for (s, (g, o)) in t.accesses().iter().enumerate() {
+                    vals[s] = inputs[*g].get(
+                        i + o[0] as isize,
+                        j + o[1] as isize,
+                        k + o[2] as isize,
+                    );
+                }
+                t.eval(&vals[..t.accesses().len()])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_grid::Fold;
+    use yasksite_stencil::builders::{heat3d, inverter_chain_rhs};
+    use yasksite_stencil::{at, c};
+
+    #[test]
+    fn heat3d_lowers_to_linear() {
+        let cs = CompiledStencil::compile(&heat3d(1));
+        match &cs {
+            CompiledStencil::Linear { terms, constant } => {
+                assert_eq!(terms.len(), 7);
+                assert!((constant - 0.0).abs() < 1e-15);
+                let center = terms.iter().find(|((_, o), _)| *o == [0, 0, 0]).unwrap();
+                assert!((center.1 - 0.25).abs() < 1e-15); // 1 - 6*0.125
+            }
+            CompiledStencil::Tape(_) => panic!("expected linear"),
+        }
+    }
+
+    #[test]
+    fn nonlinear_falls_back_to_tape() {
+        let cs = CompiledStencil::compile(&inverter_chain_rhs(5.0, 1.0, 2.0));
+        assert!(!cs.is_linear());
+    }
+
+    #[test]
+    fn duplicate_access_coefficients_merge() {
+        let s = Stencil::new("m", 1, 1, at(0, 0, 0, 0) + c(2.0) * at(0, 0, 0, 0));
+        match CompiledStencil::compile(&s) {
+            CompiledStencil::Linear { terms, .. } => {
+                assert_eq!(terms.len(), 1);
+                assert!((terms[0].1 - 3.0).abs() < 1e-15);
+            }
+            CompiledStencil::Tape(_) => panic!("expected linear"),
+        }
+    }
+
+    #[test]
+    fn compiled_matches_reference_eval() {
+        for s in [heat3d(1), inverter_chain_rhs(5.0, 1.2, 0.7)] {
+            let cs = CompiledStencil::compile(&s);
+            let mut u = Grid3::new("u", [8, 4, 4], [1, 1, 1], Fold::new(4, 2, 1));
+            u.fill_with(|i, j, k| ((i * 13 + j * 5 + k * 3) % 17) as f64 * 0.25 + 0.1);
+            u.fill_halo(0.5);
+            for k in 0..4isize {
+                for j in 0..4isize {
+                    for i in 0..8isize {
+                        let r = s.eval(&[&u], i, j, k);
+                        let f = cs.eval_at(&[&u], i, j, k);
+                        assert!((r - f).abs() < 1e-12, "{} at ({i},{j},{k}): {r} vs {f}", s.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tape_eval_const_expression() {
+        let s = Stencil::new("k", 1, 1, (c(2.0) + c(3.0)) * at(0, 0, 0, 0) * at(0, 0, 0, 0));
+        let cs = CompiledStencil::compile(&s);
+        assert!(!cs.is_linear());
+        let mut u = Grid3::new("u", [2, 1, 1], [0, 0, 0], Fold::unit());
+        u.fill_all(2.0);
+        assert!((cs.eval_at(&[&u], 0, 0, 0) - 20.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,48 @@
+//! Engine error type.
+
+use std::fmt;
+
+use yasksite_stencil::StencilError;
+
+/// Errors reported by the execution engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Grid/stencil binding problem (arity, halo, domain).
+    Binding(StencilError),
+    /// Invalid tuning parameters for this kernel.
+    BadParams {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The requested feature needs a capability the configuration lacks
+    /// (e.g. wavefront on a stencil without z extent).
+    Unsupported {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Binding(e) => write!(f, "binding error: {e}"),
+            EngineError::BadParams { reason } => write!(f, "bad tuning parameters: {reason}"),
+            EngineError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Binding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StencilError> for EngineError {
+    fn from(e: StencilError) -> Self {
+        EngineError::Binding(e)
+    }
+}

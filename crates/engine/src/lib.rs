@@ -1,0 +1,59 @@
+//! The stencil kernel engine — this reproduction's stand-in for Intel YASK.
+//!
+//! YASK turns a stencil specification into an optimised kernel with a fixed
+//! loop structure: the domain is cut into *blocks* (cache blocking), blocks
+//! are visited by OpenMP threads, and inside a block the traversal runs
+//! x-innermost over vector-folded bricks. Optionally, *wavefront temporal
+//! blocking* sweeps several time steps through the domain in one pass.
+//! This crate reimplements that structure with three interchangeable
+//! execution backends:
+//!
+//! * **native** ([`apply_native`], [`run_wavefront_native`]): really runs
+//!   the kernel on the host (linear stencils go through a vectorisable
+//!   fast path, everything else through a compiled tape interpreter);
+//!   used for host measurements and as the correctness oracle's subject.
+//! * **simulated** ([`apply_simulated`], [`run_wavefront_simulated`]):
+//!   walks the *same* iteration order but issues the touched cache lines
+//!   to [`yasksite_memsim::MemHierarchy`], producing the "measured"
+//!   numbers for the paper's Cascade Lake and Rome configurations.
+//! * **codegen** ([`codegen`]): emits the C kernel source YASK would
+//!   generate for the configuration, for inspection and generation-cost
+//!   accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use yasksite_engine::{apply_native, TuningParams};
+//! use yasksite_grid::{Fold, Grid3};
+//! use yasksite_stencil::builders::heat3d;
+//!
+//! let s = heat3d(1);
+//! let mut u = Grid3::new("u", [32, 32, 32], [1, 1, 1], Fold::new(8, 1, 1));
+//! u.fill_with(|i, j, k| (i + j + k) as f64);
+//! let mut out = Grid3::new("out", [32, 32, 32], [1, 1, 1], Fold::new(8, 1, 1));
+//! let params = TuningParams::new([32, 8, 8], Fold::new(8, 1, 1));
+//! let run = apply_native(&s, &[&u], &mut out, &params)?;
+//! assert!(run.seconds >= 0.0);
+//! # Ok::<(), yasksite_engine::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codegen;
+mod compile;
+mod error;
+mod native;
+mod params;
+mod rank;
+mod simulate;
+mod wavefront;
+
+pub use codegen::{codegen, CodegenOutput};
+pub use compile::CompiledStencil;
+pub use error::EngineError;
+pub use native::{apply_native, NativeRun};
+pub use params::TuningParams;
+pub use rank::{predict_multirank, Interconnect, MultiRankPrediction, RankDecomposition};
+pub use simulate::{apply_simulated, SimContext, SimulatedRun};
+pub use wavefront::{run_wavefront_native, run_wavefront_simulated};

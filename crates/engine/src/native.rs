@@ -1,0 +1,385 @@
+//! Native (host) execution backend.
+
+use std::time::Instant;
+
+use yasksite_grid::Grid3;
+use yasksite_stencil::Stencil;
+
+use crate::compile::CompiledStencil;
+use crate::error::EngineError;
+use crate::params::TuningParams;
+
+/// Result of one native kernel application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NativeRun {
+    /// Wall time of the sweep.
+    pub seconds: f64,
+    /// Achieved million lattice updates per second.
+    pub mlups: f64,
+    /// Lattice updates performed.
+    pub updates: u64,
+    /// Threads actually used (1 when the fast path is unavailable).
+    pub threads_used: usize,
+}
+
+/// Validates that all grids carry the fold the parameters assume.
+fn check_folds(
+    inputs: &[&Grid3],
+    out: &Grid3,
+    params: &TuningParams,
+) -> Result<(), EngineError> {
+    for g in inputs.iter().copied().chain(std::iter::once(out)) {
+        if g.fold() != params.fold {
+            return Err(EngineError::BadParams {
+                reason: format!(
+                    "grid '{}' has fold {}, params say {}",
+                    g.name(),
+                    g.fold(),
+                    params.fold
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Applies `stencil` once over the full domain of `out`, using the blocked
+/// YASK loop structure with the given tuning parameters, really executing
+/// on the host.
+///
+/// Linear stencils on row-major folds take a vectorisable fast path and
+/// honour `params.threads` (domain decomposed into z-slabs at block
+/// boundaries); everything else runs through the generic path on one
+/// thread.
+///
+/// # Errors
+/// Returns binding errors (arity/halo/domain) or parameter errors
+/// (fold mismatch, zero extents).
+pub fn apply_native(
+    stencil: &Stencil,
+    inputs: &[&Grid3],
+    out: &mut Grid3,
+    params: &TuningParams,
+) -> Result<NativeRun, EngineError> {
+    stencil.check_bindings(inputs, out)?;
+    params
+        .validate(out.n())
+        .map_err(|reason| EngineError::BadParams { reason })?;
+    check_folds(inputs, out, params)?;
+
+    let compiled = CompiledStencil::compile(stencil);
+    let updates = out.domain_points() as u64;
+    let start = Instant::now();
+    let threads_used = match (&compiled, params.row_major()) {
+        (CompiledStencil::Linear { terms, constant }, true) => {
+            linear_fast_path(terms, *constant, inputs, out, params)
+        }
+        _ => {
+            generic_path(&compiled, inputs, out, params);
+            1
+        }
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    Ok(NativeRun {
+        seconds,
+        mlups: updates as f64 / seconds.max(1e-12) / 1e6,
+        updates,
+        threads_used,
+    })
+}
+
+/// Row-major storage geometry of a grid.
+#[derive(Clone, Copy)]
+struct Geom {
+    ax: isize,
+    ay: isize,
+    hx: isize,
+    hy: isize,
+    hz: isize,
+}
+
+impl Geom {
+    fn of(g: &Grid3) -> Geom {
+        let a = g.alloc();
+        let h = g.halo();
+        Geom {
+            ax: a[0] as isize,
+            ay: a[1] as isize,
+            hx: h[0] as isize,
+            hy: h[1] as isize,
+            hz: h[2] as isize,
+        }
+    }
+
+    #[inline]
+    fn row_base(&self, j: isize, k: isize) -> isize {
+        ((k + self.hz) * self.ay + (j + self.hy)) * self.ax + self.hx
+    }
+}
+
+/// Linear combination over row-major storage: blocked loops, threaded over
+/// z-slabs. Returns the number of threads used.
+fn linear_fast_path(
+    terms: &[((usize, [i32; 3]), f64)],
+    constant: f64,
+    inputs: &[&Grid3],
+    out: &mut Grid3,
+    params: &TuningParams,
+) -> usize {
+    let n = out.n();
+    let block = params.clipped_block(n);
+    // Per-term: input slice index, element offset, coefficient.
+    let geoms: Vec<Geom> = inputs.iter().map(|g| Geom::of(g)).collect();
+    let term_desc: Vec<(usize, isize, f64)> = terms
+        .iter()
+        .map(|((g, o), c)| {
+            let ge = &geoms[*g];
+            let off = (o[2] as isize * ge.ay + o[1] as isize) * ge.ax + o[0] as isize;
+            (*g, off, *c)
+        })
+        .collect();
+
+    // z-slab decomposition at block boundaries.
+    let nblocks_z = n[2].div_ceil(block[2]);
+    let threads = params.threads.clamp(1, nblocks_z);
+    let out_geom = Geom::of(out);
+    let plane_elems = (out_geom.ax * out_geom.ay) as usize;
+
+    // Split the output storage into per-slab contiguous plane ranges.
+    let mut slab_limits = Vec::with_capacity(threads + 1); // in z-blocks
+    for t in 0..=threads {
+        slab_limits.push(t * nblocks_z / threads);
+    }
+
+    let out_halo_z = out_geom.hz as usize;
+    let data = out.as_mut_slice();
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0usize; // plane index consumed so far
+        for t in 0..threads {
+            let kb0 = slab_limits[t];
+            let kb1 = slab_limits[t + 1];
+            if kb0 == kb1 {
+                continue;
+            }
+            let k0 = kb0 * block[2];
+            let k1 = (kb1 * block[2]).min(n[2]);
+            // Storage planes [k0+hz, k1+hz).
+            let first_plane = k0 + out_halo_z;
+            let last_plane = k1 + out_halo_z;
+            let skip = (first_plane - consumed) * plane_elems;
+            let take = (last_plane - first_plane) * plane_elems;
+            let (before, after) = rest.split_at_mut(skip + take);
+            let slab = &mut before[skip..];
+            rest = after;
+            consumed = last_plane;
+            let term_desc = &term_desc;
+            let inputs = inputs.to_vec();
+            let geoms = geoms.clone();
+            let sub = params.sub_block.unwrap_or(block).map(|e| e.max(1));
+            scope.spawn(move || {
+                let slab_base = (first_plane * plane_elems) as isize;
+                for kb in (k0..k1).step_by(block[2]) {
+                    let kz1 = (kb + block[2]).min(k1);
+                    for jb in (0..n[1]).step_by(block[1]) {
+                        let jy1 = (jb + block[1]).min(n[1]);
+                        for ib in (0..n[0]).step_by(block[0]) {
+                            let ix1 = (ib + block[0]).min(n[0]);
+                            for skb in (kb..kz1).step_by(sub[2]) {
+                            let skz = (skb + sub[2]).min(kz1);
+                            for sjb in (jb..jy1).step_by(sub[1]) {
+                            let sjy = (sjb + sub[1]).min(jy1);
+                            for sib in (ib..ix1).step_by(sub[0]) {
+                            let six = (sib + sub[0]).min(ix1);
+                            for k in skb..skz {
+                                for j in sjb..sjy {
+                                    let out_row =
+                                        out_geom.row_base(j as isize, k as isize) - slab_base;
+                                    let in_rows: Vec<(isize, &[f64], f64)> = term_desc
+                                        .iter()
+                                        .map(|&(g, off, c)| {
+                                            let base = geoms[g]
+                                                .row_base(j as isize, k as isize)
+                                                + off;
+                                            (base, inputs[g].as_slice(), c)
+                                        })
+                                        .collect();
+                                    for i in sib..six {
+                                        let mut acc = constant;
+                                        for &(base, src, c) in &in_rows {
+                                            acc += c * src[(base + i as isize) as usize];
+                                        }
+                                        slab[(out_row + i as isize) as usize] = acc;
+                                    }
+                                }
+                            }
+                            } } }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    threads
+}
+
+/// Generic path: blocked loops through the layout-agnostic accessors.
+fn generic_path(
+    compiled: &CompiledStencil,
+    inputs: &[&Grid3],
+    out: &mut Grid3,
+    params: &TuningParams,
+) {
+    let n = out.n();
+    let block = params.clipped_block(n);
+    for kb in (0..n[2]).step_by(block[2]) {
+        let kz1 = (kb + block[2]).min(n[2]);
+        for jb in (0..n[1]).step_by(block[1]) {
+            let jy1 = (jb + block[1]).min(n[1]);
+            for ib in (0..n[0]).step_by(block[0]) {
+                let ix1 = (ib + block[0]).min(n[0]);
+                for k in kb..kz1 {
+                    for j in jb..jy1 {
+                        for i in ib..ix1 {
+                            let v = compiled.eval_at(inputs, i as isize, j as isize, k as isize);
+                            out.set(i as isize, j as isize, k as isize, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_grid::Fold;
+    use yasksite_stencil::builders::{box3d, heat3d, inverter_chain_rhs, wave2d};
+
+    fn filled(name: &str, n: [usize; 3], halo: [usize; 3], fold: Fold) -> Grid3 {
+        let mut g = Grid3::new(name, n, halo, fold);
+        g.fill_with(|i, j, k| ((i * 7 + j * 13 + k * 29) % 23) as f64 * 0.125 - 1.0);
+        g.fill_halo(0.25);
+        g
+    }
+
+    fn reference(stencil: &Stencil, inputs: &[&Grid3], n: [usize; 3]) -> Grid3 {
+        let mut r = Grid3::new("ref", n, [0, 0, 0], Fold::unit());
+        stencil.apply_reference(inputs, &mut r).unwrap();
+        r
+    }
+
+    #[test]
+    fn fast_path_matches_reference() {
+        let s = heat3d(1);
+        let n = [24, 10, 9];
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let mut out = Grid3::new("o", n, [1, 1, 1], fold);
+        let p = TuningParams::new([8, 4, 4], fold);
+        let run = apply_native(&s, &[&u], &mut out, &p).unwrap();
+        assert_eq!(run.updates, 24 * 10 * 9);
+        let r = reference(&s, &[&u], n);
+        assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn threaded_fast_path_matches_reference() {
+        let s = heat3d(1);
+        let n = [16, 8, 12];
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let r = reference(&s, &[&u], n);
+        for threads in [1, 2, 3, 5] {
+            let mut out = Grid3::new("o", n, [1, 1, 1], fold);
+            let p = TuningParams::new([8, 4, 2], fold).threads(threads);
+            let run = apply_native(&s, &[&u], &mut out, &p).unwrap();
+            assert!(run.threads_used >= 1 && run.threads_used <= threads.max(1));
+            assert!(out.max_abs_diff(&r).unwrap() < 1e-12, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn folded_layout_generic_path_matches_reference() {
+        let s = box3d(1);
+        let n = [12, 6, 6];
+        let fold = Fold::new(4, 2, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let mut out = Grid3::new("o", n, [1, 1, 1], fold);
+        let p = TuningParams::new([4, 4, 4], fold);
+        let run = apply_native(&s, &[&u], &mut out, &p).unwrap();
+        assert_eq!(run.threads_used, 1);
+        let r = reference(&s, &[&u], n);
+        assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn nonlinear_tape_matches_reference() {
+        let s = inverter_chain_rhs(5.0, 1.0, 2.0);
+        let n = [64, 1, 1];
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 0, 0], fold);
+        let mut out = Grid3::new("o", n, [1, 0, 0], fold);
+        let p = TuningParams::new([16, 1, 1], fold);
+        apply_native(&s, &[&u], &mut out, &p).unwrap();
+        let r = reference(&s, &[&u], n);
+        assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn two_input_stencil_matches_reference() {
+        let s = wave2d(0.3);
+        let n = [20, 14, 1];
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 1, 0], fold);
+        let um = filled("um", n, [1, 1, 0], fold);
+        let mut out = Grid3::new("o", n, [1, 1, 0], fold);
+        let p = TuningParams::new([8, 8, 1], fold).threads(2);
+        apply_native(&s, &[&u, &um], &mut out, &p).unwrap();
+        let r = reference(&s, &[&u, &um], n);
+        assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn fold_mismatch_rejected() {
+        let s = heat3d(1);
+        let u = filled("u", [8, 8, 8], [1, 1, 1], Fold::new(8, 1, 1));
+        let mut out = Grid3::new("o", [8, 8, 8], [1, 1, 1], Fold::new(8, 1, 1));
+        let p = TuningParams::new([8, 8, 8], Fold::new(4, 2, 1));
+        assert!(matches!(
+            apply_native(&s, &[&u], &mut out, &p),
+            Err(EngineError::BadParams { .. })
+        ));
+    }
+
+    #[test]
+    fn sub_blocks_never_change_results() {
+        let s = heat3d(1);
+        let n = [19, 11, 9];
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let r = reference(&s, &[&u], n);
+        for sub in [[4, 2, 2], [1, 1, 1], [32, 32, 32], [5, 3, 2]] {
+            let mut out = Grid3::new("o", n, [1, 1, 1], fold);
+            let p = TuningParams::new([16, 8, 8], fold).sub_block(sub).threads(2);
+            apply_native(&s, &[&u], &mut out, &p).unwrap();
+            assert!(out.max_abs_diff(&r).unwrap() < 1e-12, "sub {sub:?}");
+        }
+    }
+
+    #[test]
+    fn block_size_never_changes_results() {
+        let s = heat3d(1);
+        let n = [17, 9, 7]; // awkward sizes exercise remainder blocks
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let r = reference(&s, &[&u], n);
+        for block in [[1, 1, 1], [3, 3, 3], [17, 9, 7], [32, 32, 32], [5, 2, 6]] {
+            let mut out = Grid3::new("o", n, [1, 1, 1], fold);
+            let p = TuningParams::new(block, fold);
+            apply_native(&s, &[&u], &mut out, &p).unwrap();
+            assert!(out.max_abs_diff(&r).unwrap() < 1e-12, "block {block:?}");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Multi-rank (MPI-style) decomposition — YASK's outermost loop level.
+//!
+//! YASK kernels run under MPI with the global domain cut into per-rank
+//! sub-domains and halo planes exchanged every time step. The paper's
+//! evaluation is single-socket, but the tool models the rank level so its
+//! predictions extend to multi-node runs; this module reproduces that:
+//! a z-slab decomposition ([`RankDecomposition`]), an interconnect cost
+//! model ([`Interconnect`]) and a composed multi-rank prediction
+//! ([`predict_multirank`]).
+
+use crate::error::EngineError;
+
+/// A 1-D (z) decomposition of the global domain over MPI ranks, the
+/// layout YASK defaults to for a single stencil.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankDecomposition {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Global domain extents.
+    pub domain: [usize; 3],
+    /// Halo exchange depth (stencil z-radius × wavefront depth).
+    pub exchange_depth: usize,
+}
+
+impl RankDecomposition {
+    /// Creates a decomposition.
+    ///
+    /// # Errors
+    /// Fails if there are more ranks than z-planes, or zero ranks.
+    pub fn new(
+        domain: [usize; 3],
+        ranks: usize,
+        exchange_depth: usize,
+    ) -> Result<Self, EngineError> {
+        if ranks == 0 || ranks > domain[2] {
+            return Err(EngineError::BadParams {
+                reason: format!("{ranks} ranks cannot split {} z-planes", domain[2]),
+            });
+        }
+        Ok(RankDecomposition {
+            ranks,
+            domain,
+            exchange_depth,
+        })
+    }
+
+    /// The z-plane range `[z0, z1)` owned by `rank`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= ranks`.
+    #[must_use]
+    pub fn slab(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.ranks, "rank out of range");
+        let nz = self.domain[2];
+        (rank * nz / self.ranks, (rank + 1) * nz / self.ranks)
+    }
+
+    /// Lattice points owned by `rank`.
+    #[must_use]
+    pub fn slab_points(&self, rank: usize) -> u64 {
+        let (z0, z1) = self.slab(rank);
+        ((z1 - z0) * self.domain[0] * self.domain[1]) as u64
+    }
+
+    /// Bytes one interior rank sends per time step per exchanged grid
+    /// (both faces, `exchange_depth` planes each, `f64` elements).
+    #[must_use]
+    pub fn exchange_bytes_per_rank(&self) -> u64 {
+        let plane = (self.domain[0] * self.domain[1] * 8) as u64;
+        let faces = if self.ranks > 1 { 2 } else { 0 };
+        faces * self.exchange_depth as u64 * plane
+    }
+
+    /// Largest per-rank point count (the load-balance bottleneck).
+    #[must_use]
+    pub fn max_slab_points(&self) -> u64 {
+        (0..self.ranks).map(|r| self.slab_points(r)).max().unwrap_or(0)
+    }
+
+    /// Load-balance efficiency: mean slab size over max slab size.
+    #[must_use]
+    pub fn balance(&self) -> f64 {
+        let total: u64 = (0..self.ranks).map(|r| self.slab_points(r)).sum();
+        total as f64 / (self.ranks as f64 * self.max_slab_points() as f64)
+    }
+}
+
+/// A simple latency/bandwidth interconnect model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interconnect {
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+    /// Sustained point-to-point bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl Interconnect {
+    /// HDR InfiniBand-class link (~2 µs, 25 GB/s).
+    #[must_use]
+    pub fn infiniband() -> Self {
+        Interconnect {
+            latency_s: 2e-6,
+            bandwidth_gbs: 25.0,
+        }
+    }
+
+    /// 100 GbE-class link (~10 µs, 12 GB/s).
+    #[must_use]
+    pub fn ethernet100g() -> Self {
+        Interconnect {
+            latency_s: 10e-6,
+            bandwidth_gbs: 12.0,
+        }
+    }
+
+    /// Transfer time of one `bytes`-sized message.
+    #[must_use]
+    pub fn time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / (self.bandwidth_gbs * 1e9)
+    }
+}
+
+/// Composed multi-rank prediction for one time step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiRankPrediction {
+    /// Per-step compute seconds of the bottleneck rank.
+    pub compute_s: f64,
+    /// Per-step halo-exchange seconds (2 messages of depth planes).
+    pub comm_s: f64,
+    /// Total step seconds (no compute/comm overlap, YASK's default
+    /// exchange mode).
+    pub step_s: f64,
+    /// Parallel efficiency vs. a perfectly scaled single-rank run.
+    pub efficiency: f64,
+}
+
+/// Predicts the per-step time of `decomp.ranks` ranks, given the
+/// single-rank full-domain step time `single_rank_step_s` (from the ECM
+/// layer or a measurement), the number of grids whose halos must be
+/// exchanged, and the interconnect.
+///
+/// Compute time scales with the bottleneck slab; each step then pays two
+/// neighbour messages per exchanged grid.
+#[must_use]
+pub fn predict_multirank(
+    single_rank_step_s: f64,
+    decomp: &RankDecomposition,
+    exchanged_grids: usize,
+    net: &Interconnect,
+) -> MultiRankPrediction {
+    let total_points = (decomp.domain[0] * decomp.domain[1] * decomp.domain[2]) as f64;
+    let compute_s = single_rank_step_s * decomp.max_slab_points() as f64 / total_points;
+    let msg = decomp.exchange_bytes_per_rank() / 2; // per face
+    let comm_s = if decomp.ranks > 1 {
+        2.0 * exchanged_grids as f64 * net.time(msg)
+    } else {
+        0.0
+    };
+    let step_s = compute_s + comm_s;
+    let ideal = single_rank_step_s / decomp.ranks as f64;
+    MultiRankPrediction {
+        compute_s,
+        comm_s,
+        step_s,
+        efficiency: (ideal / step_s).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slabs_partition_the_domain() {
+        let d = RankDecomposition::new([64, 64, 100], 7, 1).unwrap();
+        let mut covered = 0;
+        for r in 0..7 {
+            let (z0, z1) = d.slab(r);
+            assert!(z1 > z0);
+            covered += z1 - z0;
+            if r > 0 {
+                assert_eq!(d.slab(r - 1).1, z0, "slabs must be contiguous");
+            }
+        }
+        assert_eq!(covered, 100);
+        assert!(d.balance() > 0.9);
+    }
+
+    #[test]
+    fn too_many_ranks_rejected() {
+        assert!(RankDecomposition::new([8, 8, 4], 5, 1).is_err());
+        assert!(RankDecomposition::new([8, 8, 4], 0, 1).is_err());
+    }
+
+    #[test]
+    fn exchange_bytes_formula() {
+        let d = RankDecomposition::new([128, 64, 64], 4, 2).unwrap();
+        // 2 faces x 2 planes x 128*64 points x 8 B.
+        assert_eq!(d.exchange_bytes_per_rank(), 2 * 2 * 128 * 64 * 8);
+        let single = RankDecomposition::new([128, 64, 64], 1, 2).unwrap();
+        assert_eq!(single.exchange_bytes_per_rank(), 0);
+    }
+
+    #[test]
+    fn strong_scaling_efficiency_decays() {
+        let net = Interconnect::infiniband();
+        let single = 0.05; // 50 ms step on one rank
+        let mut last_eff = 1.1;
+        for ranks in [1usize, 2, 4, 8, 16] {
+            let d = RankDecomposition::new([512, 512, 512], ranks, 1).unwrap();
+            let p = predict_multirank(single, &d, 1, &net);
+            assert!(p.efficiency <= last_eff + 1e-12, "ranks={ranks}");
+            assert!(p.step_s > 0.0);
+            last_eff = p.efficiency;
+        }
+        // At 16 ranks of a bandwidth-light exchange, efficiency is still
+        // decent on InfiniBand-class links.
+        assert!(last_eff > 0.5, "efficiency collapsed: {last_eff}");
+    }
+
+    #[test]
+    fn slow_network_hurts_more() {
+        let d = RankDecomposition::new([256, 256, 256], 8, 1).unwrap();
+        let fast = predict_multirank(0.01, &d, 2, &Interconnect::infiniband());
+        let slow = predict_multirank(0.01, &d, 2, &Interconnect::ethernet100g());
+        assert!(slow.comm_s > fast.comm_s);
+        assert!(slow.efficiency < fast.efficiency);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_planes() {
+        let net = Interconnect::infiniband();
+        let tiny = RankDecomposition::new([8, 8, 64], 8, 1).unwrap();
+        let t = net.time(tiny.exchange_bytes_per_rank() / 2);
+        assert!(t < 2.0 * net.latency_s, "tiny halos are latency-bound");
+    }
+}

@@ -1,0 +1,444 @@
+//! Simulated execution backend: drives the cache-hierarchy simulator with
+//! the exact iteration order of the blocked kernel.
+
+use yasksite_arch::Machine;
+use yasksite_ecm::incore::incore;
+use yasksite_grid::Grid3;
+use yasksite_memsim::{compose_time, CoreWork, HierarchyStats, MemHierarchy, TimeBreakdown};
+use yasksite_stencil::Stencil;
+
+use crate::error::EngineError;
+use crate::params::TuningParams;
+
+/// A simulation context: the machine's cache hierarchy plus bookkeeping
+/// that persists across kernel applications (so multi-sweep workloads see
+/// warm caches, exactly like consecutive time steps on real hardware).
+#[derive(Debug)]
+pub struct SimContext {
+    /// The simulated hierarchy.
+    pub hierarchy: MemHierarchy,
+    /// Accumulated in-core cycles per core across applications.
+    incore_cycles: Vec<f64>,
+    /// Accumulated `T_OL` lower bound per core.
+    ol_cycles: Vec<f64>,
+    updates: u64,
+}
+
+impl SimContext {
+    /// Creates a context for `machine` with `cores` active cores.
+    #[must_use]
+    pub fn new(machine: &Machine, cores: usize) -> Self {
+        SimContext {
+            hierarchy: MemHierarchy::new(machine, cores),
+            incore_cycles: vec![0.0; cores],
+            ol_cycles: vec![0.0; cores],
+            updates: 0,
+        }
+    }
+
+    /// The machine being simulated.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        self.hierarchy.machine()
+    }
+
+    /// Active cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.hierarchy.ncores()
+    }
+
+    /// Total updates simulated so far.
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Accounts per-core in-core cycles for `units[c]` units of work.
+    pub(crate) fn add_incore(&mut self, units: &[u64], t_nol: f64, t_ol: f64) {
+        for (c, &u) in units.iter().enumerate() {
+            self.incore_cycles[c] += u as f64 * t_nol;
+            self.ol_cycles[c] += u as f64 * t_ol;
+        }
+    }
+
+    /// Accounts simulated lattice updates.
+    pub(crate) fn add_updates(&mut self, u: u64) {
+        self.updates += u;
+    }
+
+    /// Composes the accumulated traffic and in-core work into a runtime
+    /// estimate for everything simulated in this context so far.
+    #[must_use]
+    pub fn finish(&self) -> SimulatedRun {
+        let stats = self.hierarchy.stats();
+        let work: Vec<CoreWork> = self
+            .incore_cycles
+            .iter()
+            .map(|&c| CoreWork { incore_cycles: c })
+            .collect();
+        let machine = self.hierarchy.machine();
+        let mut time = compose_time(machine, &stats, &work);
+        // T_OL overlaps with transfers but still bounds the runtime.
+        let ol_bound = self.ol_cycles.iter().copied().fold(0.0f64, f64::max);
+        if ol_bound > time.total_cycles {
+            time.total_cycles = ol_bound;
+            time.seconds = ol_bound / (machine.freq_ghz * 1e9);
+        }
+        let mlups = self.updates as f64 / time.seconds.max(1e-30) / 1e6;
+        SimulatedRun {
+            time,
+            stats,
+            updates: self.updates,
+            mlups,
+        }
+    }
+}
+
+/// Result of a simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimulatedRun {
+    /// Composed runtime estimate.
+    pub time: TimeBreakdown,
+    /// Raw traffic counters.
+    pub stats: HierarchyStats,
+    /// Lattice updates simulated.
+    pub updates: u64,
+    /// Estimated MLUP/s.
+    pub mlups: f64,
+}
+
+/// Read groups: per distinct `(grid, dy, dz)` row, the x-extent accessed.
+pub(crate) struct Groups {
+    pub read: Vec<(usize, i32, i32, i32, i32)>,
+}
+
+impl Groups {
+    pub(crate) fn of(stencil: &Stencil) -> Groups {
+        let info = stencil.info();
+        let mut read: Vec<(usize, i32, i32, i32, i32)> = Vec::new();
+        for (g, o) in &info.offsets {
+            match read
+                .iter_mut()
+                .find(|(gg, dy, dz, _, _)| *gg == *g && *dy == o[1] && *dz == o[2])
+            {
+                Some((_, _, _, lo, hi)) => {
+                    *lo = (*lo).min(o[0]);
+                    *hi = (*hi).max(o[0]);
+                }
+                None => read.push((*g, o[1], o[2], o[0], o[0])),
+            }
+        }
+        Groups { read }
+    }
+}
+
+/// How a row of elements is touched by the simulated kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RowAccess {
+    /// Plain load.
+    Read,
+    /// Write-allocate store.
+    Write,
+    /// Non-temporal (streaming) store.
+    WriteNt,
+}
+
+/// Issues the cache lines touched by accessing row `(j+dy, k+dz)` of
+/// `grid` over x ∈ `[x0, x1]` (inclusive), stepping at fold granularity.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn touch_row(
+    h: &mut MemHierarchy,
+    core: usize,
+    grid: &Grid3,
+    x0: isize,
+    x1: isize,
+    j: isize,
+    k: isize,
+    access: RowAccess,
+) {
+    let step = grid.fold().x.max(1) as isize;
+    let mut last_line = u64::MAX;
+    let mut x = x0;
+    loop {
+        let a = grid.addr(x, j, k);
+        let line = a >> 6;
+        if line != last_line {
+            match access {
+                RowAccess::Read => h.read(core, a),
+                RowAccess::Write => h.write(core, a),
+                RowAccess::WriteNt => h.write_nt(core, a),
+            }
+            last_line = line;
+        }
+        if x >= x1 {
+            break;
+        }
+        x = (x + step).min(x1);
+    }
+}
+
+/// Simulates one application of `stencil` over the domain of `out` with
+/// the blocked loop structure, `params.threads` simulated cores
+/// (contiguous z-slabs, blocks interleaved round-robin on the shared
+/// levels), accumulating traffic into `ctx`.
+///
+/// # Errors
+/// Returns binding/parameter errors; the context's core count must equal
+/// `params.threads`.
+#[allow(clippy::needless_range_loop)]
+pub fn apply_simulated(
+    stencil: &Stencil,
+    inputs: &[&Grid3],
+    out: &Grid3,
+    params: &TuningParams,
+    ctx: &mut SimContext,
+) -> Result<(), EngineError> {
+    stencil.check_bindings(inputs, out)?;
+    params
+        .validate(out.n())
+        .map_err(|reason| EngineError::BadParams { reason })?;
+    if ctx.cores() != params.threads {
+        return Err(EngineError::BadParams {
+            reason: format!(
+                "context has {} cores, params ask for {}",
+                ctx.cores(),
+                params.threads
+            ),
+        });
+    }
+
+    let n = out.n();
+    let block = params.clipped_block(n);
+    let groups = Groups::of(stencil);
+    let info = stencil.info();
+    let ic = incore(&info, &ctx.hierarchy.machine().ports, params.fold);
+
+    // Split the block list into contiguous per-core chunks (OpenMP static
+    // schedule over the collapsed block loops): keeps each core's blocks
+    // spatially adjacent while still splitting work when only one z-block
+    // exists.
+    let mut all_blocks: Vec<(usize, usize, usize)> = Vec::new();
+    for kb in (0..n[2]).step_by(block[2]) {
+        for jb in (0..n[1]).step_by(block[1]) {
+            for ib in (0..n[0]).step_by(block[0]) {
+                all_blocks.push((kb, jb, ib));
+            }
+        }
+    }
+    let cores = ctx.cores();
+    let nb = all_blocks.len();
+    let mut per_core_blocks: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); cores];
+    for (c, chunk) in per_core_blocks.iter_mut().enumerate() {
+        chunk.extend(&all_blocks[c * nb / cores..(c + 1) * nb / cores]);
+    }
+    let rounds = per_core_blocks.iter().map(Vec::len).max().unwrap_or(0);
+    for r in 0..rounds {
+        for c in 0..ctx.cores() {
+            let Some(&(kb, jb, ib)) = per_core_blocks[c].get(r) else {
+                continue;
+            };
+            let kz1 = (kb + block[2]).min(n[2]);
+            let jy1 = (jb + block[1]).min(n[1]);
+            let ix1 = (ib + block[0]).min(n[0]);
+            let sub = params.sub_block.unwrap_or(block).map(|e| e.max(1));
+            let mut units = 0u64;
+            for skb in (kb..kz1).step_by(sub[2]) {
+            let skz = (skb + sub[2]).min(kz1);
+            for sjb in (jb..jy1).step_by(sub[1]) {
+            let sjy = (sjb + sub[1]).min(jy1);
+            for sib in (ib..ix1).step_by(sub[0]) {
+            let six = (sib + sub[0]).min(ix1);
+            for k in skb..skz {
+                for j in sjb..sjy {
+                    let mut i = sib;
+                    while i < six {
+                        let iend = (i + 8).min(six) - 1;
+                        for &(g, dy, dz, lo, hi) in &groups.read {
+                            touch_row(
+                                &mut ctx.hierarchy,
+                                c,
+                                inputs[g],
+                                i as isize + lo as isize,
+                                iend as isize + hi as isize,
+                                j as isize + dy as isize,
+                                k as isize + dz as isize,
+                                RowAccess::Read,
+                            );
+                        }
+                        let store = if params.streaming_stores {
+                            RowAccess::WriteNt
+                        } else {
+                            RowAccess::Write
+                        };
+                        touch_row(
+                            &mut ctx.hierarchy,
+                            c,
+                            out,
+                            i as isize,
+                            iend as isize,
+                            j as isize,
+                            k as isize,
+                            store,
+                        );
+                        units += 1;
+                        i = iend + 1;
+                    }
+                }
+            }
+            } } }
+            ctx.incore_cycles[c] += units as f64 * ic.t_nol;
+            ctx.ol_cycles[c] += units as f64 * ic.t_ol;
+            ctx.updates += (kz1 - kb) as u64 * (jy1 - jb) as u64 * (ix1 - ib) as u64;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_grid::Fold;
+    use yasksite_stencil::builders::heat3d;
+
+    fn grids(n: [usize; 3]) -> (Grid3, Grid3) {
+        let fold = Fold::new(8, 1, 1);
+        (
+            Grid3::new("u", n, [1, 1, 1], fold),
+            Grid3::new("o", n, [1, 1, 1], fold),
+        )
+    }
+
+    #[test]
+    fn small_domain_traffic_matches_footprint() {
+        // Domain fits L2: a single sweep reads each input line once from
+        // memory (compulsory) plus write-allocates the output.
+        let m = Machine::cascade_lake();
+        let n = [64, 32, 32];
+        let (u, o) = grids(n);
+        let s = heat3d(1);
+        let p = TuningParams::new([64, 8, 8], Fold::new(8, 1, 1));
+        let mut ctx = SimContext::new(&m, 1);
+        apply_simulated(&s, &[&u], &o, &p, &mut ctx).unwrap();
+        let run = ctx.finish();
+        assert_eq!(run.updates, (64 * 32 * 32) as u64);
+        // Memory reads ≈ allocated footprint of both grids in lines.
+        let footprint_lines = ((u.bytes() + o.bytes()) / 64) as u64;
+        assert!(
+            run.stats.mem_read_lines <= footprint_lines,
+            "{} > {footprint_lines}",
+            run.stats.mem_read_lines
+        );
+        assert!(run.stats.mem_read_lines >= footprint_lines / 2);
+    }
+
+    #[test]
+    fn second_sweep_on_cached_domain_is_cheap() {
+        let m = Machine::cascade_lake();
+        let n = [64, 16, 16]; // 2 grids * 160 KB: fits L2
+        let (u, o) = grids(n);
+        let s = heat3d(1);
+        let p = TuningParams::new([64, 16, 16], Fold::new(8, 1, 1));
+        let mut ctx = SimContext::new(&m, 1);
+        apply_simulated(&s, &[&u], &o, &p, &mut ctx).unwrap();
+        let cold = ctx.hierarchy.stats().mem_read_lines;
+        apply_simulated(&s, &[&o], &u, &p, &mut ctx).unwrap();
+        let warm = ctx.hierarchy.stats().mem_read_lines - cold;
+        assert!(warm < cold / 4, "warm {warm} vs cold {cold}");
+    }
+
+    #[test]
+    fn multicore_splits_work() {
+        let m = Machine::cascade_lake();
+        let n = [64, 16, 32];
+        let (u, o) = grids(n);
+        let s = heat3d(1);
+        let p = TuningParams::new([64, 8, 8], Fold::new(8, 1, 1)).threads(4);
+        let mut ctx = SimContext::new(&m, 4);
+        apply_simulated(&s, &[&u], &o, &p, &mut ctx).unwrap();
+        let run = ctx.finish();
+        assert_eq!(run.updates, (64 * 16 * 32) as u64);
+        // Every core moved some lines across its private boundary.
+        for c in 0..4 {
+            assert!(run.stats.boundary_lines[0][c] > 0, "core {c} idle");
+        }
+    }
+
+    #[test]
+    fn core_count_mismatch_rejected() {
+        let m = Machine::cascade_lake();
+        let (u, o) = grids([16, 8, 8]);
+        let s = heat3d(1);
+        let p = TuningParams::new([8, 8, 8], Fold::new(8, 1, 1)).threads(2);
+        let mut ctx = SimContext::new(&m, 1);
+        assert!(matches!(
+            apply_simulated(&s, &[&u], &o, &p, &mut ctx),
+            Err(EngineError::BadParams { .. })
+        ));
+    }
+
+    #[test]
+    fn sub_blocking_changes_traversal_not_traffic_totals() {
+        // Sub-blocks only reorder accesses inside a block; compulsory
+        // memory traffic stays identical, while L1 traffic may change.
+        let m = Machine::cascade_lake();
+        let n = [64, 32, 16];
+        let s = heat3d(1);
+        let fold = Fold::new(8, 1, 1);
+        let mut mem = Vec::new();
+        for sub in [None, Some([16, 4, 4])] {
+            let (u, o) = grids(n);
+            let mut p = TuningParams::new([64, 16, 16], fold);
+            p.sub_block = sub;
+            let mut ctx = SimContext::new(&m, 1);
+            apply_simulated(&s, &[&u], &o, &p, &mut ctx).unwrap();
+            let st = ctx.finish().stats;
+            mem.push(st.mem_read_lines);
+        }
+        let diff = mem[0].abs_diff(mem[1]) as f64;
+        assert!(diff / (mem[0] as f64) < 0.05, "compulsory traffic diverged: {mem:?}");
+    }
+
+    #[test]
+    fn streaming_stores_cut_write_allocate_reads() {
+        let m = Machine::cascade_lake();
+        let n = [256, 64, 16]; // output exceeds caches between sweeps
+        let s = heat3d(1);
+        let mut reads = Vec::new();
+        for nt in [false, true] {
+            let (u, o) = grids(n);
+            let p = TuningParams::new([256, 8, 8], Fold::new(8, 1, 1)).streaming_stores(nt);
+            let mut ctx = SimContext::new(&m, 1);
+            apply_simulated(&s, &[&u], &o, &p, &mut ctx).unwrap();
+            reads.push(ctx.finish().stats.mem_read_lines);
+        }
+        // NT stores avoid reading the output stream: roughly one third of
+        // the cold-sweep read traffic disappears.
+        assert!(
+            (reads[1] as f64) < reads[0] as f64 * 0.75,
+            "NT {} vs WA {}",
+            reads[1],
+            reads[0]
+        );
+    }
+
+    #[test]
+    fn blocking_reduces_memory_traffic_on_large_grids() {
+        let m = Machine::cascade_lake();
+        let n = [512, 96, 24]; // plane > L2, domain > L2
+        let s = heat3d(1);
+        let fold = Fold::new(8, 1, 1);
+        let mut traffic = Vec::new();
+        for block in [[512, 96, 24], [512, 8, 8]] {
+            let (u, o) = grids(n);
+            let p = TuningParams::new(block, fold);
+            let mut ctx = SimContext::new(&m, 1);
+            apply_simulated(&s, &[&u], &o, &p, &mut ctx).unwrap();
+            traffic.push(ctx.finish().stats.boundary_total(1));
+            drop((u, o));
+        }
+        // Blocked traversal moves no more L2<->L3 lines than unblocked.
+        assert!(traffic[1] <= traffic[0], "{} > {}", traffic[1], traffic[0]);
+    }
+}

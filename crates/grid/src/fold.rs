@@ -1,0 +1,131 @@
+//! Vector-fold shapes.
+
+use std::fmt;
+
+/// The shape of one SIMD brick in elements per dimension (x, y, z).
+///
+/// A fold's element count normally equals the SIMD lane count of the target
+/// (8 for AVX-512 doubles, 4 for AVX2). `Fold::new(8, 1, 1)` is the
+/// conventional "in-line" layout; `Fold::new(4, 2, 1)` is a 2-D fold that
+/// trades x-contiguity for fewer distinct cache lines touched per stencil
+/// update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fold {
+    /// Elements per brick along x (unit-stride dimension).
+    pub x: usize,
+    /// Elements per brick along y.
+    pub y: usize,
+    /// Elements per brick along z (slowest dimension).
+    pub z: usize,
+}
+
+impl Fold {
+    /// Creates a fold shape.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero.
+    #[must_use]
+    pub fn new(x: usize, y: usize, z: usize) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "fold extents must be positive");
+        Fold { x, y, z }
+    }
+
+    /// The scalar layout: a 1×1×1 fold.
+    #[must_use]
+    pub fn unit() -> Self {
+        Fold { x: 1, y: 1, z: 1 }
+    }
+
+    /// Total elements per brick.
+    #[must_use]
+    pub fn elems(&self) -> usize {
+        self.x * self.y * self.z
+    }
+
+    /// All folds whose element count equals `lanes`, in x-major preference
+    /// order. These are the candidate layouts the tuner enumerates.
+    ///
+    /// ```
+    /// use yasksite_grid::Fold;
+    /// let folds = Fold::candidates(8);
+    /// assert!(folds.contains(&Fold::new(8, 1, 1)));
+    /// assert!(folds.contains(&Fold::new(4, 2, 1)));
+    /// assert!(folds.iter().all(|f| f.elems() == 8));
+    /// ```
+    #[must_use]
+    pub fn candidates(lanes: usize) -> Vec<Fold> {
+        let mut out = Vec::new();
+        for x in (1..=lanes).rev() {
+            if !lanes.is_multiple_of(x) {
+                continue;
+            }
+            let yz = lanes / x;
+            for y in (1..=yz).rev() {
+                if !yz.is_multiple_of(y) {
+                    continue;
+                }
+                out.push(Fold::new(x, y, yz / y));
+            }
+        }
+        out
+    }
+
+    /// Extents as an `[x, y, z]` array.
+    #[must_use]
+    pub fn to_array(self) -> [usize; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl Default for Fold {
+    fn default() -> Self {
+        Fold::unit()
+    }
+}
+
+impl fmt::Display for Fold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems() {
+        assert_eq!(Fold::new(4, 2, 1).elems(), 8);
+        assert_eq!(Fold::unit().elems(), 1);
+    }
+
+    #[test]
+    fn candidates_cover_all_factorizations() {
+        let c = Fold::candidates(8);
+        // 8 = product of three ordered factors: (8,1,1),(4,2,1),(4,1,2),
+        // (2,4,1),(2,2,2),(2,1,4),(1,8,1),(1,4,2),(1,2,4),(1,1,8).
+        assert_eq!(c.len(), 10);
+        assert_eq!(c[0], Fold::new(8, 1, 1));
+        for f in &c {
+            assert_eq!(f.elems(), 8);
+        }
+    }
+
+    #[test]
+    fn candidates_avx2() {
+        let c = Fold::candidates(4);
+        assert_eq!(c.len(), 6);
+        assert!(c.contains(&Fold::new(2, 2, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_panics() {
+        let _ = Fold::new(0, 1, 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Fold::new(4, 2, 1).to_string(), "4x2x1");
+    }
+}

@@ -1,0 +1,302 @@
+//! A single set-associative, LRU cache.
+
+use yasksite_arch::CacheLevel;
+
+const INVALID: u64 = u64::MAX;
+
+/// What fell out of a cache on an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evicted {
+    /// The set had a free way; nothing was evicted.
+    None,
+    /// A clean line with the given line address was evicted.
+    Clean(u64),
+    /// A dirty line with the given line address was evicted (must be
+    /// written to the level below).
+    Dirty(u64),
+}
+
+/// One instance of a cache level: set-associative, true-LRU, tracking
+/// per-line dirty bits.
+///
+/// Addresses are byte addresses; the cache works internally on *line*
+/// addresses (`addr >> line_bits`). All operations are exposed at line
+/// granularity so a hierarchy can orchestrate inclusion policies.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    line_bits: u32,
+    sets: usize,
+    assoc: usize,
+    /// `sets * assoc` tags; `INVALID` marks an empty way.
+    tags: Vec<u64>,
+    dirty: Vec<bool>,
+    /// LRU stamps, larger = more recent.
+    stamp: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Builds a simulator instance from a [`CacheLevel`] descriptor.
+    ///
+    /// # Panics
+    /// Panics if the level's geometry is invalid (callers validate the
+    /// machine model first).
+    #[must_use]
+    pub fn new(level: &CacheLevel) -> Self {
+        level.validate().expect("invalid cache level");
+        let sets = level.num_sets();
+        CacheSim {
+            line_bits: level.line_bytes.trailing_zeros(),
+            sets,
+            assoc: level.assoc,
+            tags: vec![INVALID; sets * level.assoc],
+            dirty: vec![false; sets * level.assoc],
+            stamp: vec![0; sets * level.assoc],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Converts a byte address to the line address used by this cache.
+    #[inline]
+    #[must_use]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_bits
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+
+    /// Looks up `line`; on a hit refreshes LRU and optionally marks dirty.
+    /// Returns `true` on hit. Statistics are updated.
+    pub fn access_line(&mut self, line: u64, write: bool) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.assoc;
+        self.clock += 1;
+        for w in 0..self.assoc {
+            if self.tags[base + w] == line {
+                self.stamp[base + w] = self.clock;
+                if write {
+                    self.dirty[base + w] = true;
+                }
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Checks for presence without touching LRU or statistics.
+    #[must_use]
+    pub fn probe(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = set * self.assoc;
+        (0..self.assoc).any(|w| self.tags[base + w] == line)
+    }
+
+    /// Inserts `line` (assumed absent), evicting the LRU way if the set is
+    /// full. The line's dirty bit is initialised to `dirty`.
+    pub fn insert_line(&mut self, line: u64, dirty: bool) -> Evicted {
+        let set = self.set_of(line);
+        let base = set * self.assoc;
+        self.clock += 1;
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for w in 0..self.assoc {
+            if self.tags[base + w] == INVALID {
+                victim = w;
+                break;
+            }
+            if self.stamp[base + w] < best {
+                best = self.stamp[base + w];
+                victim = w;
+            }
+        }
+        let slot = base + victim;
+        let evicted = if self.tags[slot] == INVALID {
+            Evicted::None
+        } else if self.dirty[slot] {
+            Evicted::Dirty(self.tags[slot])
+        } else {
+            Evicted::Clean(self.tags[slot])
+        };
+        self.tags[slot] = line;
+        self.dirty[slot] = dirty;
+        self.stamp[slot] = self.clock;
+        evicted
+    }
+
+    /// Removes `line` if present, returning whether it was there and dirty.
+    /// Used for victim-cache promotion (a line moving up leaves the victim
+    /// level).
+    pub fn invalidate_line(&mut self, line: u64) -> Option<bool> {
+        let set = self.set_of(line);
+        let base = set * self.assoc;
+        for w in 0..self.assoc {
+            if self.tags[base + w] == line {
+                self.tags[base + w] = INVALID;
+                let d = self.dirty[base + w];
+                self.dirty[base + w] = false;
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Marks an already-present line dirty (no LRU update); no-op if absent.
+    pub fn mark_dirty(&mut self, line: u64) {
+        let set = self.set_of(line);
+        let base = set * self.assoc;
+        for w in 0..self.assoc {
+            if self.tags[base + w] == line {
+                self.dirty[base + w] = true;
+                return;
+            }
+        }
+    }
+
+    /// Hit count so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of lines currently resident.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+
+    /// Resets contents and statistics.
+    pub fn clear(&mut self) {
+        self.tags.fill(INVALID);
+        self.dirty.fill(false);
+        self.stamp.fill(0);
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_arch::{InclusionPolicy, Scope, WritePolicy};
+
+    fn tiny(assoc: usize, sets: usize) -> CacheSim {
+        CacheSim::new(&CacheLevel {
+            name: "T".into(),
+            size_bytes: sets * assoc * 64,
+            assoc,
+            line_bytes: 64,
+            bytes_per_cycle: 64.0,
+            latency_cycles: 1.0,
+            inclusion: InclusionPolicy::Inclusive,
+            write_policy: WritePolicy::WriteBackAllocate,
+            scope: Scope::PerCore,
+        })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny(2, 2);
+        let line = c.line_of(0x80);
+        assert!(!c.access_line(line, false));
+        c.insert_line(line, false);
+        assert!(c.access_line(line, false));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2, 1); // one set, two ways
+        c.insert_line(1, false);
+        c.insert_line(2, false);
+        // Touch line 1 so line 2 becomes LRU.
+        assert!(c.access_line(1, false));
+        match c.insert_line(3, false) {
+            Evicted::Clean(l) => assert_eq!(l, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(c.probe(1));
+        assert!(c.probe(3));
+        assert!(!c.probe(2));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny(1, 1);
+        c.insert_line(7, true);
+        assert_eq!(c.insert_line(8, false), Evicted::Dirty(7));
+        assert_eq!(c.insert_line(9, false), Evicted::Clean(8));
+    }
+
+    #[test]
+    fn write_hit_sets_dirty() {
+        let mut c = tiny(1, 1);
+        c.insert_line(5, false);
+        assert!(c.access_line(5, true));
+        assert_eq!(c.insert_line(6, false), Evicted::Dirty(5));
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut c = tiny(2, 1);
+        c.insert_line(1, true);
+        c.insert_line(2, false);
+        assert_eq!(c.invalidate_line(1), Some(true));
+        assert_eq!(c.invalidate_line(1), None);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny(1, 4);
+        for line in 0..4u64 {
+            c.insert_line(line, false);
+        }
+        assert_eq!(c.resident_lines(), 4);
+        for line in 0..4u64 {
+            assert!(c.probe(line));
+        }
+    }
+
+    #[test]
+    fn capacity_miss_on_working_set_overflow() {
+        let mut c = tiny(4, 4); // 16 lines capacity
+        // Stream 32 distinct lines twice: second pass must still miss.
+        for pass in 0..2 {
+            for line in 0..32u64 {
+                if !c.access_line(line, false) {
+                    c.insert_line(line, false);
+                }
+            }
+            let _ = pass;
+        }
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 64);
+    }
+
+    #[test]
+    fn small_working_set_all_hits_second_pass() {
+        let mut c = tiny(4, 4);
+        for line in 0..8u64 {
+            c.insert_line(line, false);
+        }
+        for line in 0..8u64 {
+            assert!(c.access_line(line, false));
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Multi-level, multi-core hierarchy orchestration.
+
+use yasksite_arch::{InclusionPolicy, Machine};
+
+use crate::cache::{CacheSim, Evicted};
+
+/// Aggregated hit/miss/writeback counts of one hierarchy level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Lookups that hit this level.
+    pub hits: u64,
+    /// Lookups that missed this level.
+    pub misses: u64,
+    /// Lines this level pushed downward on eviction (writebacks and victim
+    /// inserts).
+    pub down_lines: u64,
+}
+
+/// Snapshot of all traffic counters of a [`MemHierarchy`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HierarchyStats {
+    /// Per-level aggregate counts, index 0 = L1.
+    pub level: Vec<LevelStats>,
+    /// Lines crossing boundary `b` (between level `b` and level `b+1`;
+    /// the last boundary is last-level-cache ↔ memory), per core, both
+    /// directions summed.
+    pub boundary_lines: Vec<Vec<u64>>,
+    /// Total lines read from memory.
+    pub mem_read_lines: u64,
+    /// Total (dirty) lines written back to memory.
+    pub mem_write_lines: u64,
+    /// Total accesses issued.
+    pub accesses: u64,
+}
+
+impl HierarchyStats {
+    /// Total bytes moved across the memory interface.
+    #[must_use]
+    pub fn mem_bytes(&self, line_bytes: usize) -> f64 {
+        (self.mem_read_lines + self.mem_write_lines) as f64 * line_bytes as f64
+    }
+
+    /// Lines crossing boundary `b` summed over cores.
+    #[must_use]
+    pub fn boundary_total(&self, b: usize) -> u64 {
+        self.boundary_lines[b].iter().sum()
+    }
+}
+
+/// A full machine's cache hierarchy for `ncores` active cores of one socket.
+#[derive(Debug)]
+pub struct MemHierarchy {
+    machine: Machine,
+    ncores: usize,
+    /// `levels[l][instance]`.
+    levels: Vec<Vec<CacheSim>>,
+    /// `sharers[l]` = cores per instance at level `l`.
+    sharers: Vec<usize>,
+    victim: Vec<bool>,
+    line_bits: u32,
+    /// `boundary_lines[b][core]`.
+    boundary_lines: Vec<Vec<u64>>,
+    level_down: Vec<u64>,
+    mem_read_lines: u64,
+    mem_write_lines: u64,
+    accesses: u64,
+}
+
+impl MemHierarchy {
+    /// Builds the hierarchy of `machine` with `ncores` cores active.
+    ///
+    /// # Panics
+    /// Panics if `ncores` is zero, exceeds the socket, or the machine model
+    /// is invalid.
+    #[must_use]
+    pub fn new(machine: &Machine, ncores: usize) -> Self {
+        machine.validate().expect("invalid machine model");
+        assert!(ncores >= 1 && ncores <= machine.cores_per_socket, "bad core count");
+        let nlev = machine.caches.len();
+        let mut levels = Vec::with_capacity(nlev);
+        let mut sharers = Vec::with_capacity(nlev);
+        let mut victim = Vec::with_capacity(nlev);
+        for c in &machine.caches {
+            let share = c.scope.sharers(machine.cores_per_socket).min(machine.cores_per_socket);
+            let ninst = ncores.div_ceil(share);
+            levels.push((0..ninst).map(|_| CacheSim::new(c)).collect());
+            sharers.push(share);
+            victim.push(matches!(c.inclusion, InclusionPolicy::Victim));
+        }
+        let line_bits = machine.line_bytes().trailing_zeros();
+        MemHierarchy {
+            machine: machine.clone(),
+            ncores,
+            levels,
+            sharers,
+            victim,
+            line_bits,
+            boundary_lines: vec![vec![0; ncores]; nlev],
+            level_down: vec![0; nlev],
+            mem_read_lines: 0,
+            mem_write_lines: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Number of active cores.
+    #[must_use]
+    pub fn ncores(&self) -> usize {
+        self.ncores
+    }
+
+    /// The machine model this hierarchy was built from.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    #[inline]
+    fn inst(&self, level: usize, core: usize) -> usize {
+        core / self.sharers[level]
+    }
+
+    /// Issues a read of byte address `addr` from `core`.
+    #[inline]
+    pub fn read(&mut self, core: usize, addr: u64) {
+        self.access(core, addr, false);
+    }
+
+    /// Issues a write (write-allocate) of byte address `addr` from `core`.
+    #[inline]
+    pub fn write(&mut self, core: usize, addr: u64) {
+        self.access(core, addr, true);
+    }
+
+    /// Issues a non-temporal (streaming) store: the line goes straight to
+    /// memory without an allocate read, and any cached copy is dropped
+    /// (matching x86 MOVNT semantics). Counted once per line on the
+    /// memory interface and on every boundary it bypasses.
+    ///
+    /// # Panics
+    /// Panics if `core >= ncores`.
+    pub fn write_nt(&mut self, core: usize, addr: u64) {
+        assert!(core < self.ncores, "core {core} out of range");
+        let line = addr >> self.line_bits;
+        self.accesses += 1;
+        let nlev = self.levels.len();
+        for lev in 0..nlev {
+            let inst = self.inst(lev, core);
+            self.levels[lev][inst].invalidate_line(line);
+            self.boundary_lines[lev][core] += 1;
+        }
+        self.mem_write_lines += 1;
+    }
+
+    /// Issues an access; `write` marks the L1 copy dirty.
+    ///
+    /// # Panics
+    /// Panics if `core >= ncores`.
+    pub fn access(&mut self, core: usize, addr: u64, write: bool) {
+        assert!(core < self.ncores, "core {core} out of range");
+        let line = addr >> self.line_bits;
+        self.accesses += 1;
+        let nlev = self.levels.len();
+
+        // Search downward for the line.
+        let mut hit_level = nlev; // nlev == memory
+        let mut promoted_dirty = false;
+        for lev in 0..nlev {
+            let inst = self.inst(lev, core);
+            if self.levels[lev][inst].access_line(line, write && lev == 0) {
+                if lev > 0 && self.victim[lev] {
+                    // Victim hit: the line leaves this level, carrying its
+                    // dirty state upward.
+                    promoted_dirty = self.levels[lev][inst]
+                        .invalidate_line(line)
+                        .unwrap_or(false);
+                }
+                hit_level = lev;
+                break;
+            }
+        }
+        if hit_level == nlev {
+            self.mem_read_lines += 1;
+        }
+        // Count upward crossings: boundary b is crossed if the hit was
+        // below it.
+        for b in 0..nlev {
+            if hit_level > b {
+                self.boundary_lines[b][core] += 1;
+            }
+        }
+
+        // Fill the levels above the hit, skipping victim levels (they are
+        // only populated by evictions from above).
+        for lev in (0..hit_level).rev() {
+            if lev > 0 && self.victim[lev] {
+                continue;
+            }
+            let dirty = lev == 0 && (write || promoted_dirty);
+            // A dirty promotion into an L1 fill that is *not* the top could
+            // lose the dirty bit; since fills always include L1 this cannot
+            // happen, but keep the invariant explicit:
+            debug_assert!(lev == 0 || !promoted_dirty || hit_level > 0);
+            let inst = self.inst(lev, core);
+            let ev = self.levels[lev][inst].insert_line(line, dirty);
+            self.handle_eviction(core, lev, ev);
+        }
+    }
+
+    /// Routes an eviction from `level` to the level below.
+    fn handle_eviction(&mut self, core: usize, level: usize, ev: Evicted) {
+        let (line, dirty) = match ev {
+            Evicted::None => return,
+            Evicted::Clean(l) => (l, false),
+            Evicted::Dirty(l) => (l, true),
+        };
+        let nlev = self.levels.len();
+        let below = level + 1;
+        if below >= nlev {
+            // Last-level eviction.
+            if dirty {
+                self.level_down[level] += 1;
+                self.boundary_lines[level][core] += 1;
+                self.mem_write_lines += 1;
+            }
+            return;
+        }
+        let inst = self.inst(below, core);
+        if self.victim[below] {
+            // Victim level absorbs every eviction from above.
+            self.level_down[level] += 1;
+            self.boundary_lines[level][core] += 1;
+            let ev2 = self.levels[below][inst].insert_line(line, dirty);
+            self.handle_eviction(core, below, ev2);
+        } else if dirty {
+            // Inclusive level: the line is normally still present; update
+            // it, or re-insert if it has been independently evicted.
+            self.level_down[level] += 1;
+            self.boundary_lines[level][core] += 1;
+            if self.levels[below][inst].probe(line) {
+                self.levels[below][inst].mark_dirty(line);
+            } else {
+                let ev2 = self.levels[below][inst].insert_line(line, dirty);
+                self.handle_eviction(core, below, ev2);
+            }
+        }
+        // Clean evictions into an inclusive level are dropped silently.
+    }
+
+    /// Snapshot of all counters.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        let level = self
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(l, insts)| LevelStats {
+                hits: insts.iter().map(CacheSim::hits).sum(),
+                misses: insts.iter().map(CacheSim::misses).sum(),
+                down_lines: self.level_down[l],
+            })
+            .collect();
+        HierarchyStats {
+            level,
+            boundary_lines: self.boundary_lines.clone(),
+            mem_read_lines: self.mem_read_lines,
+            mem_write_lines: self.mem_write_lines,
+            accesses: self.accesses,
+        }
+    }
+
+    /// Clears contents and counters (grids keep their addresses, so a
+    /// cleared hierarchy models a cold start of the same problem).
+    pub fn clear(&mut self) {
+        for insts in &mut self.levels {
+            for c in insts {
+                c.clear();
+            }
+        }
+        for b in &mut self.boundary_lines {
+            b.fill(0);
+        }
+        self.level_down.fill(0);
+        self.mem_read_lines = 0;
+        self.mem_write_lines = 0;
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clx1() -> MemHierarchy {
+        MemHierarchy::new(&Machine::cascade_lake(), 1)
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut h = clx1();
+        h.read(0, 0x1000);
+        h.read(0, 0x1010); // same line
+        let s = h.stats();
+        assert_eq!(s.level[0].hits, 1);
+        assert_eq!(s.level[0].misses, 1);
+        assert_eq!(s.mem_read_lines, 1);
+        assert_eq!(s.boundary_total(0), 1);
+    }
+
+    #[test]
+    fn streaming_misses_everywhere() {
+        let mut h = clx1();
+        let n = 1000u64;
+        for i in 0..n {
+            h.read(0, i * 64);
+        }
+        let s = h.stats();
+        assert_eq!(s.mem_read_lines, n);
+        assert_eq!(s.level[0].misses, n);
+        assert_eq!(s.boundary_total(0), n);
+        assert_eq!(s.boundary_total(2), n);
+    }
+
+    #[test]
+    fn l2_captures_medium_working_set() {
+        // 256 KiB working set: fits CLX L2 (1 MiB), not L1 (32 KiB).
+        let mut h = clx1();
+        let lines = 256 * 1024 / 64;
+        for pass in 0..2 {
+            for i in 0..lines {
+                h.read(0, i as u64 * 64);
+            }
+            let _ = pass;
+        }
+        let s = h.stats();
+        // Second pass: all L1 misses must hit L2; no new memory reads.
+        assert_eq!(s.mem_read_lines, lines as u64);
+        assert_eq!(s.level[1].hits, lines as u64);
+    }
+
+    #[test]
+    fn victim_l3_catches_l2_capacity_evictions() {
+        // 4 MiB working set: exceeds L2 (1 MiB), fits L3 (28 MiB).
+        let mut h = clx1();
+        let lines = 4 * 1024 * 1024 / 64;
+        for i in 0..lines {
+            h.read(0, i as u64 * 64);
+        }
+        let first = h.stats();
+        assert_eq!(first.mem_read_lines, lines as u64);
+        // L3 only gets populated by L2 evictions (victim), never by fills.
+        assert!(first.level[2].hits == 0);
+        for i in 0..lines {
+            h.read(0, i as u64 * 64);
+        }
+        let s = h.stats();
+        // Second pass must be served from L3, not memory.
+        assert_eq!(s.mem_read_lines, lines as u64, "no extra memory reads");
+        assert!(s.level[2].hits > 0);
+    }
+
+    #[test]
+    fn dirty_lines_are_written_back_to_memory() {
+        let mut h = clx1();
+        // Write a >L3 stream so dirty lines cascade all the way out.
+        let lines = 40 * 1024 * 1024 / 64; // 40 MiB > 28 MiB L3
+        for i in 0..lines {
+            h.write(0, i as u64 * 64);
+        }
+        // Flush by streaming a second, disjoint region.
+        for i in 0..lines {
+            h.read(0, (lines + i) as u64 * 64);
+        }
+        let s = h.stats();
+        assert!(
+            s.mem_write_lines > (lines / 2) as u64,
+            "most dirty lines must reach memory: {} of {}",
+            s.mem_write_lines,
+            lines
+        );
+    }
+
+    #[test]
+    fn per_core_private_caches_are_independent() {
+        let mut h = MemHierarchy::new(&Machine::cascade_lake(), 2);
+        h.read(0, 0x5000);
+        h.read(1, 0x5000); // other core: own L1/L2 miss, shared L3 victim...
+        let s = h.stats();
+        // Both cores miss their private L1.
+        assert_eq!(s.level[0].misses, 2);
+        assert_eq!(s.boundary_lines[0][0], 1);
+        assert_eq!(s.boundary_lines[0][1], 1);
+    }
+
+    #[test]
+    fn rome_ccx_grouping() {
+        let m = Machine::rome();
+        let h = MemHierarchy::new(&m, 8);
+        // 8 cores -> 2 CCX L3 instances.
+        assert_eq!(h.levels[2].len(), 2);
+        assert_eq!(h.inst(2, 3), 0);
+        assert_eq!(h.inst(2, 4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "core")]
+    fn out_of_range_core_panics() {
+        let mut h = clx1();
+        h.read(1, 0);
+    }
+
+    #[test]
+    fn nt_store_skips_the_allocate_read() {
+        let mut h = clx1();
+        for i in 0..100u64 {
+            h.write_nt(0, i * 64);
+        }
+        let s = h.stats();
+        assert_eq!(s.mem_write_lines, 100);
+        assert_eq!(s.mem_read_lines, 0, "no write-allocate for NT stores");
+        // The lines are not cached afterwards.
+        h.read(0, 0);
+        assert_eq!(h.stats().level[0].misses, 1);
+    }
+
+    #[test]
+    fn nt_store_invalidates_cached_copies() {
+        let mut h = clx1();
+        h.write(0, 0x100); // cached + dirty
+        h.write_nt(0, 0x100); // flushes and drops it
+        h.read(0, 0x100);
+        let s = h.stats();
+        // The read after the NT store must miss all the way to memory.
+        assert_eq!(s.mem_read_lines, 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut h = clx1();
+        h.write(0, 0x40);
+        h.clear();
+        let s = h.stats();
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.mem_read_lines, 0);
+        assert_eq!(s.level[0].hits + s.level[0].misses, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Conversion of simulated traffic counts into wall time.
+
+use yasksite_arch::Machine;
+
+use crate::hierarchy::HierarchyStats;
+
+/// Per-core work description supplied by the execution engine: the cycles
+/// the core spends executing instructions (the in-core "T_OL/T_nOL" part),
+/// independent of where the data lives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreWork {
+    /// In-core execution cycles for this core's share of the work.
+    pub incore_cycles: f64,
+}
+
+/// The composed runtime estimate for one simulated kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeBreakdown {
+    /// Slowest core's serialised cycles: in-core + private-cache transfers
+    /// + its share of memory traffic at single-core bandwidth.
+    pub max_core_cycles: f64,
+    /// Socket-level memory-bandwidth bound: total memory lines at saturated
+    /// bandwidth.
+    pub mem_saturated_cycles: f64,
+    /// Final estimate: `max(max_core_cycles, mem_saturated_cycles)`.
+    pub total_cycles: f64,
+    /// `total_cycles` converted to seconds at the machine clock.
+    pub seconds: f64,
+    /// Per-core serialised cycles (diagnostics).
+    pub core_cycles: Vec<f64>,
+}
+
+impl TimeBreakdown {
+    /// Whether the estimate is memory-bandwidth bound.
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        self.mem_saturated_cycles >= self.max_core_cycles
+    }
+}
+
+/// Composes simulated traffic into a runtime estimate using the same
+/// serialisation rule as the Intel-style ECM model: per core, in-core
+/// cycles and all data-transfer cycles add up; across cores, the socket
+/// memory interface imposes a bandwidth ceiling.
+///
+/// `work[c]` is core `c`'s in-core cycle count; `stats` the traffic
+/// snapshot of the simulated run.
+///
+/// # Panics
+/// Panics if `work.len()` differs from the number of cores in `stats`.
+#[must_use]
+pub fn compose_time(machine: &Machine, stats: &HierarchyStats, work: &[CoreWork]) -> TimeBreakdown {
+    let ncores = stats.boundary_lines[0].len();
+    assert_eq!(work.len(), ncores, "one CoreWork per simulated core");
+    let nlev = machine.caches.len();
+
+    let mut core_cycles = Vec::with_capacity(ncores);
+    for (c, w) in work.iter().enumerate() {
+        let mut cy = w.incore_cycles;
+        // Private boundaries: L1<->L2, ..., up to the boundary *into* the
+        // last level cache; charged at the lower level's per-line cost.
+        for b in 0..nlev - 1 {
+            cy += stats.boundary_lines[b][c] as f64 * machine.cycles_per_line(b + 1);
+        }
+        // This core's memory traffic at single-core bandwidth.
+        cy += stats.boundary_lines[nlev - 1][c] as f64 * machine.mem_cycles_per_line();
+        core_cycles.push(cy);
+    }
+    let max_core_cycles = core_cycles.iter().copied().fold(0.0f64, f64::max);
+    let mem_lines = (stats.mem_read_lines + stats.mem_write_lines) as f64;
+    let mem_saturated_cycles = mem_lines * machine.mem_cycles_per_line_saturated();
+    let total_cycles = max_core_cycles.max(mem_saturated_cycles);
+    TimeBreakdown {
+        max_core_cycles,
+        mem_saturated_cycles,
+        total_cycles,
+        seconds: total_cycles / (machine.freq_ghz * 1e9),
+        core_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemHierarchy;
+
+    #[test]
+    fn single_core_stream_is_core_bound_by_single_core_bw() {
+        let m = Machine::cascade_lake();
+        let mut h = MemHierarchy::new(&m, 1);
+        let n = 10_000u64;
+        for i in 0..n {
+            h.read(0, i * 64);
+        }
+        let t = compose_time(&m, &h.stats(), &[CoreWork { incore_cycles: 0.0 }]);
+        // One core cannot saturate the socket: single-core term dominates.
+        assert!(!t.saturated());
+        // Every line crosses memory once at ~11.4 cy plus L2/L3 transfers.
+        assert!(t.total_cycles > n as f64 * m.mem_cycles_per_line());
+    }
+
+    #[test]
+    fn many_cores_hit_the_bandwidth_ceiling() {
+        let m = Machine::cascade_lake();
+        let ncores = 20;
+        let mut h = MemHierarchy::new(&m, ncores);
+        let n = 2_000u64;
+        for c in 0..ncores {
+            for i in 0..n {
+                h.read(c, (c as u64 * n + i) * 64 + 0x4000_0000);
+            }
+        }
+        let work = vec![CoreWork { incore_cycles: 0.0 }; ncores];
+        let t = compose_time(&m, &h.stats(), &work);
+        assert!(t.saturated(), "20 streaming cores must saturate memory");
+        let expected = (ncores as u64 * n) as f64 * m.mem_cycles_per_line_saturated();
+        assert!((t.mem_saturated_cycles - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn incore_cycles_add_to_the_critical_core() {
+        let m = Machine::cascade_lake();
+        let mut h = MemHierarchy::new(&m, 2);
+        h.read(0, 0x0);
+        h.read(1, 0x4000_0000);
+        let t = compose_time(
+            &m,
+            &h.stats(),
+            &[CoreWork { incore_cycles: 1000.0 }, CoreWork { incore_cycles: 10.0 }],
+        );
+        assert!(t.core_cycles[0] > t.core_cycles[1]);
+        assert!(t.max_core_cycles >= 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one CoreWork per simulated core")]
+    fn work_arity_checked() {
+        let m = Machine::cascade_lake();
+        let h = MemHierarchy::new(&m, 2);
+        let _ = compose_time(&m, &h.stats(), &[CoreWork { incore_cycles: 0.0 }]);
+    }
+}

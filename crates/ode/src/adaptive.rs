@@ -1,0 +1,384 @@
+//! Embedded Runge–Kutta pairs with adaptive step-size control — the
+//! Offsite line of work's natural extension beyond fixed-step methods.
+//!
+//! The adaptive integrator works directly on grids (layout-agnostic
+//! accessors) rather than through [`crate::StepPlan`]s, because the step
+//! size — and with it every plan coefficient — changes between steps.
+//! Performance tuning of adaptive methods reuses the fixed-step plans at
+//! a representative `h`; this module supplies the *numerics* side.
+
+use yasksite_grid::{Fold, Grid3};
+
+use crate::ivps::Ivp;
+use crate::stepper::OdeError;
+use crate::tableau::Tableau;
+
+/// An explicit tableau plus an embedded lower-order weight vector for
+/// error estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddedPair {
+    /// The main (higher-order) method.
+    pub tableau: Tableau,
+    /// Embedded weights `b̂` (same stage count).
+    pub b_hat: Vec<f64>,
+    /// Order of the embedded solution.
+    pub order_hat: usize,
+}
+
+impl EmbeddedPair {
+    /// Bogacki–Shampine 3(2): four stages, FSAL in its classic form
+    /// (the FSAL optimisation is not exploited here).
+    ///
+    /// # Panics
+    /// Never; the coefficients are validated at construction.
+    #[must_use]
+    pub fn bogacki_shampine32() -> Self {
+        let tableau = Tableau::new(
+            "bs32",
+            vec![
+                vec![0.0, 0.0, 0.0, 0.0],
+                vec![0.5, 0.0, 0.0, 0.0],
+                vec![0.0, 0.75, 0.0, 0.0],
+                vec![2.0 / 9.0, 1.0 / 3.0, 4.0 / 9.0, 0.0],
+            ],
+            vec![2.0 / 9.0, 1.0 / 3.0, 4.0 / 9.0, 0.0],
+            vec![0.0, 0.5, 0.75, 1.0],
+            3,
+        );
+        EmbeddedPair {
+            tableau,
+            b_hat: vec![7.0 / 24.0, 0.25, 1.0 / 3.0, 0.125],
+            order_hat: 2,
+        }
+    }
+
+    /// Fehlberg 4(5) — the classic RKF45 pair (fourth-order propagation).
+    #[must_use]
+    pub fn fehlberg45() -> Self {
+        let tableau = Tableau::new(
+            "rkf45",
+            vec![
+                vec![0.0; 6],
+                vec![0.25, 0.0, 0.0, 0.0, 0.0, 0.0],
+                vec![3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0, 0.0],
+                vec![
+                    1932.0 / 2197.0,
+                    -7200.0 / 2197.0,
+                    7296.0 / 2197.0,
+                    0.0,
+                    0.0,
+                    0.0,
+                ],
+                vec![439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0, 0.0],
+                vec![
+                    -8.0 / 27.0,
+                    2.0,
+                    -3544.0 / 2565.0,
+                    1859.0 / 4104.0,
+                    -11.0 / 40.0,
+                    0.0,
+                ],
+            ],
+            vec![25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -0.2, 0.0],
+            vec![0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5],
+            4,
+        );
+        EmbeddedPair {
+            tableau,
+            b_hat: vec![
+                16.0 / 135.0,
+                0.0,
+                6656.0 / 12825.0,
+                28561.0 / 56430.0,
+                -9.0 / 50.0,
+                2.0 / 55.0,
+            ],
+            order_hat: 5,
+        }
+    }
+}
+
+/// Statistics of one adaptive integration.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdaptiveStats {
+    /// Accepted steps.
+    pub accepted: u64,
+    /// Rejected (redone) steps.
+    pub rejected: u64,
+    /// Smallest step used.
+    pub h_min: f64,
+    /// Largest step used.
+    pub h_max: f64,
+}
+
+/// Adaptive integrator for one IVP with an embedded pair.
+pub struct AdaptiveIntegrator<'a> {
+    ivp: &'a dyn Ivp,
+    pair: EmbeddedPair,
+    /// Current solution per field.
+    state: Vec<Grid3>,
+    /// Absolute error tolerance per step (max norm).
+    tol: f64,
+    t: f64,
+    h: f64,
+    stats: AdaptiveStats,
+}
+
+impl std::fmt::Debug for AdaptiveIntegrator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveIntegrator")
+            .field("pair", &self.pair.tableau.name())
+            .field("t", &self.t)
+            .field("h", &self.h)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'a> AdaptiveIntegrator<'a> {
+    /// Creates the integrator with initial step `h0` and tolerance `tol`.
+    ///
+    /// # Panics
+    /// Panics if `h0` or `tol` are not positive.
+    #[must_use]
+    pub fn new(ivp: &'a dyn Ivp, pair: EmbeddedPair, h0: f64, tol: f64) -> Self {
+        assert!(h0 > 0.0 && tol > 0.0, "step and tolerance must be positive");
+        let mut state = Vec::new();
+        for fl in 0..ivp.fields() {
+            let mut g = Grid3::new(&format!("y{fl}"), ivp.domain(), ivp.halo(), Fold::unit());
+            g.fill_halo(ivp.boundary(fl));
+            g.fill_with(|i, j, k| ivp.initial(fl, i, j, k));
+            state.push(g);
+        }
+        AdaptiveIntegrator {
+            ivp,
+            pair,
+            state,
+            tol,
+            t: 0.0,
+            h: h0,
+            stats: AdaptiveStats {
+                h_min: f64::INFINITY,
+                ..AdaptiveStats::default()
+            },
+        }
+    }
+
+    /// Current time.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Current step size.
+    #[must_use]
+    pub fn step_size(&self) -> f64 {
+        self.h
+    }
+
+    /// Step statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> AdaptiveStats {
+        self.stats
+    }
+
+    /// A copy of field `fl`'s current state.
+    ///
+    /// # Panics
+    /// Panics if `fl` is out of range.
+    #[must_use]
+    pub fn state(&self, fl: usize) -> Grid3 {
+        self.state[fl].clone()
+    }
+
+    /// Evaluates all RHS fields at `y` into fresh grids.
+    fn eval_rhs(&self, y: &[Grid3]) -> Result<Vec<Grid3>, OdeError> {
+        let refs: Vec<&Grid3> = y.iter().collect();
+        let mut out = Vec::with_capacity(y.len());
+        for fl in 0..self.ivp.fields() {
+            let mut k = Grid3::new("k", self.ivp.domain(), self.ivp.halo(), Fold::unit());
+            self.ivp
+                .rhs(fl)
+                .apply_reference(&refs, &mut k)
+                .map_err(|e| OdeError::Plan(e.to_string()))?;
+            out.push(k);
+        }
+        Ok(out)
+    }
+
+    /// `y + h·Σ w_j·k_j` per field, with solution-valued halos.
+    fn combine(&self, y: &[Grid3], ks: &[Vec<Grid3>], ws: &[(usize, f64)]) -> Vec<Grid3> {
+        let n = self.ivp.domain();
+        let mut out = Vec::with_capacity(y.len());
+        for (fl, base) in y.iter().enumerate() {
+            let mut g = base.clone();
+            for k in 0..n[2] as isize {
+                for j in 0..n[1] as isize {
+                    for i in 0..n[0] as isize {
+                        let mut v = base.get(i, j, k);
+                        for &(stage, w) in ws {
+                            v += self.h * w * ks[stage][fl].get(i, j, k);
+                        }
+                        g.set(i, j, k, v);
+                    }
+                }
+            }
+            out.push(g);
+        }
+        out
+    }
+
+    /// Attempts steps until `t_end` is reached (the last step is clipped).
+    ///
+    /// # Errors
+    /// Fails if the controller underflows the step size (stiffness) or an
+    /// RHS evaluation fails.
+    pub fn integrate_to(&mut self, t_end: f64) -> Result<(), OdeError> {
+        let s = self.pair.tableau.stages();
+        let p = self.pair.tableau.order().min(self.pair.order_hat) as f64;
+        while self.t < t_end - 1e-14 {
+            let h = self.h.min(t_end - self.t);
+            self.h = h;
+            // Stage derivatives.
+            let mut ks: Vec<Vec<Grid3>> = Vec::with_capacity(s);
+            for i in 0..s {
+                let ws: Vec<(usize, f64)> = (0..i)
+                    .filter(|&j| self.pair.tableau.a(i, j) != 0.0)
+                    .map(|j| (j, self.pair.tableau.a(i, j)))
+                    .collect();
+                let yi = if ws.is_empty() {
+                    self.state.clone()
+                } else {
+                    self.combine(&self.state, &ks, &ws)
+                };
+                ks.push(self.eval_rhs(&yi)?);
+            }
+            // Error estimate: h·max|Σ (b−b̂)_i k_i|.
+            let n = self.ivp.domain();
+            let mut err = 0.0f64;
+            for fl in 0..self.ivp.fields() {
+                for k in 0..n[2] as isize {
+                    for j in 0..n[1] as isize {
+                        for i in 0..n[0] as isize {
+                            let mut d = 0.0;
+                            for (st, kk) in ks.iter().enumerate() {
+                                d += (self.pair.tableau.b(st) - self.pair.b_hat[st])
+                                    * kk[fl].get(i, j, k);
+                            }
+                            err = err.max((h * d).abs());
+                        }
+                    }
+                }
+            }
+            let safety = 0.9;
+            if err <= self.tol {
+                // Accept.
+                let ws: Vec<(usize, f64)> = (0..s)
+                    .filter(|&i| self.pair.tableau.b(i) != 0.0)
+                    .map(|i| (i, self.pair.tableau.b(i)))
+                    .collect();
+                self.state = self.combine(&self.state, &ks, &ws);
+                self.t += h;
+                self.stats.accepted += 1;
+                self.stats.h_min = self.stats.h_min.min(h);
+                self.stats.h_max = self.stats.h_max.max(h);
+                let grow = if err > 0.0 {
+                    (self.tol / err).powf(1.0 / (p + 1.0))
+                } else {
+                    5.0
+                };
+                self.h = h * (safety * grow).clamp(0.2, 5.0);
+            } else {
+                self.stats.rejected += 1;
+                let shrink = (self.tol / err).powf(1.0 / (p + 1.0));
+                self.h = h * (safety * shrink).clamp(0.1, 0.9);
+                if self.h < 1e-14 {
+                    return Err(OdeError::Plan("step size underflow".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maximum error vs the IVP's exact solution at the current time.
+    #[must_use]
+    pub fn error_vs_exact(&self) -> Option<f64> {
+        let n = self.ivp.domain();
+        let mut err = 0.0f64;
+        for (fl, g) in self.state.iter().enumerate() {
+            for k in 0..n[2] {
+                for j in 0..n[1] {
+                    for i in 0..n[0] {
+                        let e = self.ivp.exact(fl, i, j, k, self.t)?;
+                        err = err.max((g.get(i as isize, j as isize, k as isize) - e).abs());
+                    }
+                }
+            }
+        }
+        Some(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivps::Heat2d;
+
+    #[test]
+    fn pairs_are_consistent() {
+        for pair in [EmbeddedPair::bogacki_shampine32(), EmbeddedPair::fehlberg45()] {
+            assert_eq!(pair.b_hat.len(), pair.tableau.stages());
+            let sum: f64 = pair.b_hat.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{}: b̂ sums to {sum}", pair.tableau.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_meets_tolerance_on_heat2d() {
+        let ivp = Heat2d::new(9);
+        let mut integ =
+            AdaptiveIntegrator::new(&ivp, EmbeddedPair::bogacki_shampine32(), 1e-4, 1e-6);
+        integ.integrate_to(5e-3).unwrap();
+        let stats = integ.stats();
+        assert!(stats.accepted > 0);
+        // The temporal error should be of tolerance order; the total error
+        // is dominated by the O(h_x²) spatial term (~1e-2 at n=9).
+        let err = integ.error_vs_exact().unwrap();
+        assert!(err < 5e-2, "error {err}");
+        assert!((integ.time() - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controller_grows_steps_on_smooth_decay() {
+        let ivp = Heat2d::new(9);
+        let mut integ =
+            AdaptiveIntegrator::new(&ivp, EmbeddedPair::fehlberg45(), 1e-6, 1e-7);
+        integ.integrate_to(4e-3).unwrap();
+        let stats = integ.stats();
+        assert!(
+            stats.h_max > 4.0 * stats.h_min,
+            "controller should expand the step: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_initial_step_is_rejected() {
+        let ivp = Heat2d::new(15); // stiffer (h_x smaller)
+        let mut integ =
+            AdaptiveIntegrator::new(&ivp, EmbeddedPair::bogacki_shampine32(), 1e-2, 1e-8);
+        integ.integrate_to(1e-2).unwrap();
+        assert!(integ.stats().rejected > 0, "{:?}", integ.stats());
+    }
+
+    #[test]
+    fn tighter_tolerance_means_more_steps() {
+        let ivp = Heat2d::new(9);
+        let mut loose =
+            AdaptiveIntegrator::new(&ivp, EmbeddedPair::bogacki_shampine32(), 1e-4, 1e-4);
+        let mut tight =
+            AdaptiveIntegrator::new(&ivp, EmbeddedPair::bogacki_shampine32(), 1e-4, 1e-9);
+        loose.integrate_to(5e-3).unwrap();
+        tight.integrate_to(5e-3).unwrap();
+        assert!(tight.stats().accepted > loose.stats().accepted);
+    }
+}

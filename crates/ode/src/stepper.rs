@@ -1,0 +1,427 @@
+//! Plan execution and time integration on the native engine.
+
+use std::cell::RefCell;
+use std::fmt;
+
+use yasksite_engine::{apply_native, EngineError, TuningParams};
+use yasksite_grid::{Fold, Grid3};
+
+use crate::ivps::Ivp;
+use crate::plan::StepPlan;
+
+/// Errors from the integrator.
+#[derive(Debug)]
+pub enum OdeError {
+    /// Engine failure while executing a sweep.
+    Engine(EngineError),
+    /// Inconsistent plan.
+    Plan(String),
+}
+
+impl fmt::Display for OdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdeError::Engine(e) => write!(f, "engine: {e}"),
+            OdeError::Plan(s) => write!(f, "plan: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for OdeError {}
+
+impl From<EngineError> for OdeError {
+    fn from(e: EngineError) -> Self {
+        OdeError::Engine(e)
+    }
+}
+
+/// Executes a [`StepPlan`] natively, step after step, managing the grid
+/// pool, boundary halos and state rotation.
+pub struct Integrator {
+    plan: StepPlan,
+    pool: Vec<RefCell<Grid3>>,
+    params: TuningParams,
+    t: f64,
+    h: f64,
+    steps_done: u64,
+}
+
+impl fmt::Debug for Integrator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Integrator")
+            .field("plan", &self.plan.name)
+            .field("t", &self.t)
+            .field("steps_done", &self.steps_done)
+            .finish()
+    }
+}
+
+impl Integrator {
+    /// Builds an integrator: allocates the plan's grid pool, writes the
+    /// IVP's initial condition into the state grids and the boundary
+    /// values into the relevant halos.
+    ///
+    /// # Errors
+    /// Returns [`OdeError::Plan`] if the plan fails validation.
+    pub fn new(
+        ivp: &dyn Ivp,
+        plan: StepPlan,
+        h: f64,
+        params: TuningParams,
+    ) -> Result<Self, OdeError> {
+        plan.validate().map_err(OdeError::Plan)?;
+        let f = ivp.fields();
+        let mut pool = Vec::with_capacity(plan.num_grids);
+        for g in 0..plan.num_grids {
+            let mut grid = Grid3::new(&format!("pool{g}"), plan.domain, plan.halo, params.fold);
+            // State-carrying grids (current state, stage scratch, next)
+            // hold solution values, so their halos carry the boundary
+            // value of their field; derivative grids keep zero halos.
+            let halo_field = plan
+                .state_grids
+                .iter()
+                .position(|&x| x == g)
+                .or_else(|| plan.next_grids.iter().position(|&x| x == g))
+                .or_else(|| plan.scratch_grids.iter().position(|&x| x == g))
+                .map(|p| p % f.max(1));
+            match halo_field {
+                Some(fl) if fl < f => grid.fill_halo(ivp.boundary(fl)),
+                _ => grid.fill_halo(0.0),
+            }
+            pool.push(RefCell::new(grid));
+        }
+        for (fl, &g) in plan.state_grids.iter().enumerate() {
+            pool[g]
+                .borrow_mut()
+                .fill_with(|i, j, k| ivp.initial(fl, i, j, k));
+        }
+        Ok(Integrator {
+            plan,
+            pool,
+            params,
+            t: 0.0,
+            h,
+            steps_done: 0,
+        })
+    }
+
+    /// The plan being executed.
+    #[must_use]
+    pub fn plan(&self) -> &StepPlan {
+        &self.plan
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Performs one method step.
+    ///
+    /// # Errors
+    /// Propagates engine errors.
+    ///
+    /// # Panics
+    /// Panics if the plan aliases an op's output with an input (prevented
+    /// by validation).
+    pub fn step(&mut self) -> Result<(), OdeError> {
+        for op in &self.plan.ops {
+            let borrowed: Vec<std::cell::Ref<'_, Grid3>> =
+                op.inputs.iter().map(|&g| self.pool[g].borrow()).collect();
+            let refs: Vec<&Grid3> = borrowed.iter().map(|r| &**r).collect();
+            let mut out = self.pool[op.output].borrow_mut();
+            apply_native(&op.stencil, &refs, &mut out, &self.params)?;
+        }
+        for (&s, &n) in self.plan.state_grids.iter().zip(&self.plan.next_grids) {
+            let mut a = self.pool[s].borrow_mut();
+            let mut b = self.pool[n].borrow_mut();
+            a.swap_data(&mut b)
+                .map_err(|e| OdeError::Plan(e.to_string()))?;
+        }
+        self.t += self.h;
+        self.steps_done += 1;
+        Ok(())
+    }
+
+    /// Runs `n` steps.
+    ///
+    /// # Errors
+    /// Propagates the first step failure.
+    pub fn run(&mut self, n: usize) -> Result<(), OdeError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// A copy of the current state of `field`.
+    ///
+    /// # Panics
+    /// Panics if `field` is out of range.
+    #[must_use]
+    pub fn state(&self, field: usize) -> Grid3 {
+        self.pool[self.plan.state_grids[field]].borrow().clone()
+    }
+
+    /// Maximum absolute error of all fields against the IVP's exact
+    /// solution at the current time, if available.
+    #[must_use]
+    pub fn error_vs_exact(&self, ivp: &dyn Ivp) -> Option<f64> {
+        let mut err = 0.0f64;
+        for fl in 0..ivp.fields() {
+            let g = self.pool[self.plan.state_grids[fl]].borrow();
+            let n = g.n();
+            for k in 0..n[2] {
+                for j in 0..n[1] {
+                    for i in 0..n[0] {
+                        let e = ivp.exact(fl, i, j, k, self.t)?;
+                        err = err.max((g.get(i as isize, j as isize, k as isize) - e).abs());
+                    }
+                }
+            }
+        }
+        Some(err)
+    }
+
+    /// Maximum absolute state difference to another integrator (same IVP,
+    /// presumably a reference run).
+    ///
+    /// # Panics
+    /// Panics if the two integrators have different field counts or
+    /// domains.
+    #[must_use]
+    pub fn max_diff(&self, other: &Integrator) -> f64 {
+        let mut m = 0.0f64;
+        for (fl, &g) in self.plan.state_grids.iter().enumerate() {
+            let a = self.pool[g].borrow();
+            let b = other.pool[other.plan.state_grids[fl]].borrow();
+            m = m.max(a.max_abs_diff(&b).expect("comparable states"));
+        }
+        m
+    }
+}
+
+/// Estimates the temporal convergence order of a method: integrates to
+/// `t_end` with steps `h` and `h/2`, compares both against an `h/16`
+/// reference of the same plan family, and returns
+/// `log2(err(h) / err(h/2))`.
+///
+/// `make_plan(h)` must build the plan for a given step size (plans embed
+/// `h` in their coefficients).
+///
+/// # Errors
+/// Propagates integrator failures.
+///
+/// # Panics
+/// Panics if `t_end` is not an integer multiple of `h` within rounding.
+pub fn temporal_order(
+    ivp: &dyn Ivp,
+    make_plan: &dyn Fn(f64) -> StepPlan,
+    t_end: f64,
+    h: f64,
+    params: &TuningParams,
+) -> Result<f64, OdeError> {
+    let run = |hh: f64| -> Result<Integrator, OdeError> {
+        let steps = (t_end / hh).round() as usize;
+        assert!(
+            ((steps as f64 * hh) - t_end).abs() < 1e-9,
+            "t_end must be a multiple of h"
+        );
+        let mut integ = Integrator::new(ivp, make_plan(hh), hh, params.clone())?;
+        integ.run(steps)?;
+        Ok(integ)
+    };
+    let reference = run(h / 16.0)?;
+    let coarse = run(h)?;
+    let fine = run(h / 2.0)?;
+    let e1 = coarse.max_diff(&reference).max(1e-300);
+    let e2 = fine.max_diff(&reference).max(1e-300);
+    Ok((e1 / e2).log2())
+}
+
+/// Default execution parameters for integrator tests and examples: row
+/// -major fold, modest blocks.
+#[must_use]
+pub fn default_params(domain: [usize; 3]) -> TuningParams {
+    TuningParams::new([domain[0], domain[1].min(16), domain[2].min(16)], Fold::new(8, 1, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivps::{Heat2d, Heat3d, InverterChain, Wave2d};
+    use crate::tableau::Tableau;
+    use crate::variants::{erk_plan, pirk_plan, Variant};
+
+    #[test]
+    fn heat2d_rk4_tracks_exact_solution() {
+        let ivp = Heat2d::new(15);
+        let h = 5e-4;
+        let p = default_params(ivp.domain());
+        let mut integ =
+            Integrator::new(&ivp, erk_plan(&Tableau::rk4(), &ivp, h, Variant::A), h, p).unwrap();
+        integ.run(40).unwrap();
+        let err = integ.error_vs_exact(&ivp).unwrap();
+        // Dominated by the O(h_x^2) spatial error, ~1e-3 at n=15.
+        assert!(err < 5e-3, "error {err}");
+        // The solution must actually have decayed.
+        let mid = integ.state(0).get(7, 7, 0);
+        assert!(mid < 1.0 && mid > 0.5, "mid {mid}");
+    }
+
+    #[test]
+    fn variants_agree_exactly() {
+        let ivp = Heat2d::new(12);
+        let h = 1e-3;
+        let p = default_params(ivp.domain());
+        let mut results = Vec::new();
+        for v in Variant::all() {
+            let mut integ =
+                Integrator::new(&ivp, erk_plan(&Tableau::rk4(), &ivp, h, v), h, p.clone())
+                    .unwrap();
+            integ.run(10).unwrap();
+            results.push(integ);
+        }
+        for (i, r) in results.iter().enumerate().skip(1) {
+            assert!(
+                results[0].max_diff(r) < 1e-11,
+                "variant {} diverges from A",
+                Variant::all()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pirk_variants_agree() {
+        let ivp = Heat2d::new(10);
+        let h = 2e-4;
+        let p = default_params(ivp.domain());
+        let mut res = Vec::new();
+        for v in [Variant::A, Variant::D] {
+            let plan = pirk_plan(&Tableau::radau_iia2(), 3, &ivp, h, v);
+            let mut integ = Integrator::new(&ivp, plan, h, p.clone()).unwrap();
+            integ.run(8).unwrap();
+            res.push(integ);
+        }
+        assert!(res[0].max_diff(&res[1]) < 1e-11);
+    }
+
+    #[test]
+    fn erk_orders_match_tableaus() {
+        let ivp = Heat2d::new(8);
+        let p = default_params(ivp.domain());
+        let h = 1e-3;
+        for (tab, expect) in [
+            (Tableau::euler(), 1.0),
+            (Tableau::heun2(), 2.0),
+            (Tableau::rk4(), 4.0),
+        ] {
+            let order = temporal_order(
+                &ivp,
+                &|hh| erk_plan(&tab, &ivp, hh, Variant::D),
+                16.0 * h,
+                h,
+                &p,
+            )
+            .unwrap();
+            assert!(
+                (order - expect).abs() < 0.6,
+                "{}: measured order {order}, expected {expect}",
+                tab.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pirk_order_grows_with_iterations() {
+        let ivp = Heat2d::new(8);
+        let p = default_params(ivp.domain());
+        let h = 1e-3;
+        let corrector = Tableau::radau_iia2();
+        let mut orders = Vec::new();
+        for iters in [1usize, 2, 4] {
+            let order = temporal_order(
+                &ivp,
+                &|hh| pirk_plan(&corrector, iters, &ivp, hh, Variant::A),
+                16.0 * h,
+                h,
+                &p,
+            )
+            .unwrap();
+            orders.push(order);
+        }
+        assert!(orders[1] > orders[0] + 0.5, "orders {orders:?}");
+        // Enough iterations recover the corrector's order 3.
+        assert!(orders[2] > 2.4, "orders {orders:?}");
+    }
+
+    #[test]
+    fn wave2d_standing_wave() {
+        let ivp = Wave2d::new(15, 1.0);
+        let h = 2e-3;
+        let p = default_params(ivp.domain());
+        let plan = erk_plan(&Tableau::rk4(), &ivp, h, Variant::A);
+        let mut integ = Integrator::new(&ivp, plan, h, p).unwrap();
+        integ.run(50).unwrap(); // t = 0.1
+        let err = integ.error_vs_exact(&ivp).unwrap();
+        assert!(err < 0.05, "wave error {err}");
+    }
+
+    #[test]
+    fn heat3d_decays() {
+        let ivp = Heat3d::new(9);
+        let h = 2e-4;
+        let p = default_params(ivp.domain());
+        let plan = erk_plan(&Tableau::heun2(), &ivp, h, Variant::D);
+        let mut integ = Integrator::new(&ivp, plan, h, p).unwrap();
+        integ.run(25).unwrap();
+        let err = integ.error_vs_exact(&ivp).unwrap();
+        assert!(err < 2e-2, "heat3d error {err}");
+    }
+
+    #[test]
+    fn bruss2d_decays_to_steady_state_and_variants_agree() {
+        use crate::ivps::Bruss2d;
+        let ivp = Bruss2d::new(12);
+        let h = 2e-3;
+        let p = default_params(ivp.domain());
+        let mut res = Vec::new();
+        for v in Variant::all() {
+            let plan = erk_plan(&Tableau::rk4(), &ivp, h, v);
+            let mut integ = Integrator::new(&ivp, plan, h, p.clone()).unwrap();
+            integ.run(300).unwrap();
+            res.push(integ);
+        }
+        for (i, r) in res.iter().enumerate().skip(1) {
+            assert!(res[0].max_diff(r) < 1e-9, "variant {} diverges", Variant::all()[i]);
+        }
+        // The perturbation of the stable steady state must have shrunk
+        // (relaxation rate ~ (1 + a² - b) + 2απ²/h² ≈ 0.7 here).
+        let (us, _) = ivp.steady_state();
+        let u = res[0].state(0);
+        let dev0 = 0.1; // initial bump amplitude
+        let mid = (u.get(6, 6, 0) - us).abs();
+        assert!(mid < dev0 * 0.85, "perturbation did not decay: {mid}");
+    }
+
+    #[test]
+    fn inverter_chain_stays_bounded_and_variants_agree() {
+        let ivp = InverterChain::new(128, 5.0, 1.0, 0.5);
+        let h = 1e-3;
+        let p = default_params(ivp.domain());
+        let mut res = Vec::new();
+        for v in [Variant::A, Variant::D] {
+            let plan = erk_plan(&Tableau::rk4(), &ivp, h, v);
+            let mut integ = Integrator::new(&ivp, plan, h, p.clone()).unwrap();
+            integ.run(200).unwrap();
+            res.push(integ);
+        }
+        assert!(res[0].max_diff(&res[1]) < 1e-9);
+        let s = res[0].state(0);
+        for i in 0..128 {
+            let v = s.get(i, 0, 0);
+            assert!((0.0..=6.0).contains(&v), "cell {i} diverged: {v}");
+        }
+    }
+}

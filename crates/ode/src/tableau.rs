@@ -1,0 +1,241 @@
+//! Butcher tableaus.
+
+use std::fmt;
+
+/// A Runge–Kutta Butcher tableau. Explicit methods have a strictly lower
+/// triangular `a`; the implicit tableaus here serve as PIRK correctors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tableau {
+    name: String,
+    a: Vec<Vec<f64>>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    order: usize,
+}
+
+impl Tableau {
+    /// Creates and validates a tableau.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or if `b` does not sum to 1 or
+    /// `c_i != Σ_j a_ij` beyond rounding (basic consistency conditions).
+    #[must_use]
+    pub fn new(name: &str, a: Vec<Vec<f64>>, b: Vec<f64>, c: Vec<f64>, order: usize) -> Self {
+        let s = b.len();
+        assert_eq!(a.len(), s, "{name}: a must have {s} rows");
+        assert!(a.iter().all(|r| r.len() == s), "{name}: a must be {s}x{s}");
+        assert_eq!(c.len(), s, "{name}: c must have {s} entries");
+        let bsum: f64 = b.iter().sum();
+        assert!((bsum - 1.0).abs() < 1e-12, "{name}: sum(b) = {bsum} != 1");
+        for i in 0..s {
+            let ci: f64 = a[i].iter().sum();
+            assert!(
+                (ci - c[i]).abs() < 1e-12,
+                "{name}: row-sum condition violated at stage {i}"
+            );
+        }
+        Tableau {
+            name: name.to_string(),
+            a,
+            b,
+            c,
+            order,
+        }
+    }
+
+    /// Method name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Classical order of convergence.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Coefficient `a[i][j]`.
+    #[must_use]
+    pub fn a(&self, i: usize, j: usize) -> f64 {
+        self.a[i][j]
+    }
+
+    /// Weight `b[i]`.
+    #[must_use]
+    pub fn b(&self, i: usize) -> f64 {
+        self.b[i]
+    }
+
+    /// Node `c[i]`.
+    #[must_use]
+    pub fn c(&self, i: usize) -> f64 {
+        self.c[i]
+    }
+
+    /// Whether `a` is strictly lower triangular (explicit method).
+    #[must_use]
+    pub fn is_explicit(&self) -> bool {
+        self.a
+            .iter()
+            .enumerate()
+            .all(|(i, row)| row.iter().skip(i).all(|&v| v == 0.0))
+    }
+
+    /// Forward Euler (1 stage, order 1).
+    #[must_use]
+    pub fn euler() -> Self {
+        Tableau::new("euler", vec![vec![0.0]], vec![1.0], vec![0.0], 1)
+    }
+
+    /// Heun's method (2 stages, order 2).
+    #[must_use]
+    pub fn heun2() -> Self {
+        Tableau::new(
+            "heun2",
+            vec![vec![0.0, 0.0], vec![1.0, 0.0]],
+            vec![0.5, 0.5],
+            vec![0.0, 1.0],
+            2,
+        )
+    }
+
+    /// Kutta's third-order method (3 stages).
+    #[must_use]
+    pub fn kutta3() -> Self {
+        Tableau::new(
+            "kutta3",
+            vec![
+                vec![0.0, 0.0, 0.0],
+                vec![0.5, 0.0, 0.0],
+                vec![-1.0, 2.0, 0.0],
+            ],
+            vec![1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0],
+            vec![0.0, 0.5, 1.0],
+            3,
+        )
+    }
+
+    /// The classical RK4 (4 stages, order 4).
+    #[must_use]
+    pub fn rk4() -> Self {
+        Tableau::new(
+            "rk4",
+            vec![
+                vec![0.0, 0.0, 0.0, 0.0],
+                vec![0.5, 0.0, 0.0, 0.0],
+                vec![0.0, 0.5, 0.0, 0.0],
+                vec![0.0, 0.0, 1.0, 0.0],
+            ],
+            vec![1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0],
+            vec![0.0, 0.5, 0.5, 1.0],
+            4,
+        )
+    }
+
+    /// Radau IIA with two stages (order 3) — an implicit corrector for
+    /// PIRK iteration.
+    #[must_use]
+    pub fn radau_iia2() -> Self {
+        Tableau::new(
+            "radauIIA2",
+            vec![
+                vec![5.0 / 12.0, -1.0 / 12.0],
+                vec![3.0 / 4.0, 1.0 / 4.0],
+            ],
+            vec![3.0 / 4.0, 1.0 / 4.0],
+            vec![1.0 / 3.0, 1.0],
+            3,
+        )
+    }
+
+    /// Gauss–Legendre with two stages (order 4) — an implicit corrector.
+    #[must_use]
+    pub fn gauss2() -> Self {
+        let r3 = 3.0f64.sqrt();
+        Tableau::new(
+            "gauss2",
+            vec![
+                vec![0.25, 0.25 - r3 / 6.0],
+                vec![0.25 + r3 / 6.0, 0.25],
+            ],
+            vec![0.5, 0.5],
+            vec![0.5 - r3 / 6.0, 0.5 + r3 / 6.0],
+            4,
+        )
+    }
+
+    /// Lobatto IIIC with two stages (order 2) — an implicit corrector.
+    #[must_use]
+    pub fn lobatto_iiic2() -> Self {
+        Tableau::new(
+            "lobattoIIIC2",
+            vec![vec![0.5, -0.5], vec![0.5, 0.5]],
+            vec![0.5, 0.5],
+            vec![0.0, 1.0],
+            2,
+        )
+    }
+
+    /// All built-in explicit tableaus.
+    #[must_use]
+    pub fn explicit_methods() -> Vec<Tableau> {
+        vec![Self::euler(), Self::heun2(), Self::kutta3(), Self::rk4()]
+    }
+
+    /// All built-in PIRK correctors.
+    #[must_use]
+    pub fn correctors() -> Vec<Tableau> {
+        vec![Self::radau_iia2(), Self::gauss2(), Self::lobatto_iiic2()]
+    }
+}
+
+impl fmt::Display for Tableau {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (s={}, p={})", self.name, self.stages(), self.order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_validate() {
+        for t in Tableau::explicit_methods() {
+            assert!(t.is_explicit(), "{}", t.name());
+            assert!(t.stages() >= 1);
+        }
+        for t in Tableau::correctors() {
+            assert!(!t.is_explicit(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn rk4_coefficients() {
+        let t = Tableau::rk4();
+        assert_eq!(t.stages(), 4);
+        assert_eq!(t.order(), 4);
+        assert!((t.a(3, 2) - 1.0).abs() < 1e-15);
+        assert!((t.b(1) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((t.c(1) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum(b)")]
+    fn bad_weights_rejected() {
+        let _ = Tableau::new("bad", vec![vec![0.0]], vec![0.5], vec![0.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-sum")]
+    fn bad_nodes_rejected() {
+        let _ = Tableau::new("bad", vec![vec![0.0]], vec![1.0], vec![0.5], 1);
+    }
+}

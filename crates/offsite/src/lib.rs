@@ -1,0 +1,43 @@
+//! Offsite — the offline autotuner for explicit ODE methods, reproduced.
+//!
+//! Offsite explores the cross product of *method* × *implementation
+//! variant* × *tuning parameters* for a given IVP and machine, using
+//! performance predictions instead of exhaustive benchmarking. In the
+//! paper, YaskSite supplies those predictions through its ECM model; this
+//! crate reproduces the integration:
+//!
+//! 1. a method step is compiled to a [`yasksite_ode::StepPlan`];
+//! 2. every sweep in the plan is predicted by the `yasksite` tool layer
+//!    ([`predict_plan`]), after YaskSite's analytic tuner has chosen the
+//!    block/fold parameters for the dominant kernel;
+//! 3. candidates are ranked by predicted step time; the winner (and, for
+//!    validation, every candidate) can then be *measured* on the
+//!    simulated target hierarchy ([`measure_plan`]);
+//! 4. reports quantify prediction error, ranking quality, speedup over a
+//!    naive baseline, and tuning cost ([`Offsite::evaluate`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use offsite::{MethodSpec, Offsite};
+//! use yasksite_arch::Machine;
+//! use yasksite_ode::ivps::Heat2d;
+//!
+//! let offsite = Offsite::new(Machine::cascade_lake(), 2);
+//! let ivp = Heat2d::new(64);
+//! let report = offsite
+//!     .evaluate(&ivp, &[MethodSpec::erk(yasksite_ode::Tableau::heun2())], 1e-5)
+//!     .unwrap();
+//! assert!(!report.candidates.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod method;
+mod plan_perf;
+mod tuner;
+
+pub use method::MethodSpec;
+pub use plan_perf::{measure_plan, predict_plan, PlanMeasurement, PlanPrediction};
+pub use tuner::{CandidateReport, EvalReport, Offsite, WorkPrecisionEntry};

@@ -1,0 +1,114 @@
+//! Method specifications Offsite enumerates.
+
+use yasksite_ode::{erk_plan, pirk_plan, Ivp, StepPlan, Tableau, Variant};
+
+/// An explicit time-integration method: a plain ERK tableau or a PIRK
+/// predictor–corrector scheme.
+#[derive(Debug, Clone)]
+pub enum MethodSpec {
+    /// Explicit Runge–Kutta method.
+    Erk(Tableau),
+    /// Parallel iterated Runge–Kutta: fixed-point iterations of an
+    /// implicit corrector.
+    Pirk {
+        /// The implicit corrector tableau.
+        corrector: Tableau,
+        /// Number of correction iterations.
+        iters: usize,
+    },
+}
+
+impl MethodSpec {
+    /// Wraps an explicit tableau.
+    #[must_use]
+    pub fn erk(t: Tableau) -> Self {
+        MethodSpec::Erk(t)
+    }
+
+    /// Builds a PIRK method with `iters` corrections.
+    #[must_use]
+    pub fn pirk(corrector: Tableau, iters: usize) -> Self {
+        MethodSpec::Pirk { corrector, iters }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            MethodSpec::Erk(t) => t.name().to_string(),
+            MethodSpec::Pirk { corrector, iters } => {
+                format!("pirk-{}x{}", corrector.name(), iters)
+            }
+        }
+    }
+
+    /// Which variants are defined for this method.
+    #[must_use]
+    pub fn variants(&self) -> Vec<Variant> {
+        match self {
+            MethodSpec::Erk(_) => vec![Variant::A, Variant::B, Variant::D, Variant::E],
+            MethodSpec::Pirk { .. } => vec![Variant::A, Variant::D],
+        }
+    }
+
+    /// Compiles one step on `ivp` with step size `h`.
+    #[must_use]
+    pub fn plan(&self, ivp: &dyn Ivp, h: f64, variant: Variant) -> StepPlan {
+        match self {
+            MethodSpec::Erk(t) => erk_plan(t, ivp, h, variant),
+            MethodSpec::Pirk { corrector, iters } => {
+                pirk_plan(corrector, *iters, ivp, h, variant)
+            }
+        }
+    }
+
+    /// Convergence order of the method (PIRK: limited by the number of
+    /// correction iterations).
+    #[must_use]
+    pub fn order(&self) -> usize {
+        match self {
+            MethodSpec::Erk(t) => t.order(),
+            MethodSpec::Pirk { corrector, iters } => corrector.order().min(*iters),
+        }
+    }
+
+    /// The methods the paper-style evaluation sweeps.
+    #[must_use]
+    pub fn paper_set() -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::erk(Tableau::heun2()),
+            MethodSpec::erk(Tableau::kutta3()),
+            MethodSpec::erk(Tableau::rk4()),
+            MethodSpec::pirk(Tableau::radau_iia2(), 3),
+            MethodSpec::pirk(Tableau::lobatto_iiic2(), 2),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_ode::ivps::Heat2d;
+
+    #[test]
+    fn names_and_variants() {
+        let e = MethodSpec::erk(Tableau::rk4());
+        assert_eq!(e.name(), "rk4");
+        assert_eq!(e.variants().len(), 4);
+        let p = MethodSpec::pirk(Tableau::radau_iia2(), 3);
+        assert_eq!(p.name(), "pirk-radauIIA2x3");
+        assert_eq!(p.variants().len(), 2);
+    }
+
+    #[test]
+    fn plans_compile_for_every_variant() {
+        let ivp = Heat2d::new(16);
+        for m in MethodSpec::paper_set() {
+            for v in m.variants() {
+                let plan = m.plan(&ivp, 1e-5, v);
+                plan.validate().unwrap();
+                assert!(!plan.ops.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Predicting and measuring whole step plans.
+
+use yasksite::{Solution, ToolError};
+use yasksite_arch::Machine;
+use yasksite_engine::{apply_simulated, SimContext, TuningParams};
+use yasksite_grid::Grid3;
+use yasksite_ode::StepPlan;
+
+/// Predicted cost of one method step.
+#[derive(Debug, Clone)]
+pub struct PlanPrediction {
+    /// Predicted seconds per step (sum over sweeps).
+    pub seconds_per_step: f64,
+    /// Per-op predictions `(label, seconds)`.
+    pub per_op: Vec<(String, f64)>,
+}
+
+/// Measured (simulated) cost of one method step.
+#[derive(Debug, Clone)]
+pub struct PlanMeasurement {
+    /// Steady-state seconds per step.
+    pub seconds_per_step: f64,
+    /// Total memory bytes moved per step in steady state.
+    pub mem_bytes_per_step: f64,
+}
+
+/// Predicts one step of `plan` on `machine` analytically: each sweep is
+/// predicted by the YaskSite ECM layer with the given tuning parameters
+/// and core count, and the sweep times add up (the sweeps are globally
+/// synchronised, as in the generated OpenMP code).
+#[must_use]
+pub fn predict_plan(
+    plan: &StepPlan,
+    machine: &Machine,
+    params: &TuningParams,
+    cores: usize,
+) -> PlanPrediction {
+    let mut per_op = Vec::with_capacity(plan.ops.len());
+    let mut total = 0.0;
+    // Steady-state resident set: the whole grid pool of the step.
+    let grid_bytes = (plan.domain[0] + 2 * plan.halo[0]) as f64
+        * (plan.domain[1] + 2 * plan.halo[1]) as f64
+        * (plan.domain[2] + 2 * plan.halo[2]) as f64
+        * 8.0;
+    let resident = plan.num_grids as f64 * grid_bytes;
+    for op in &plan.ops {
+        let sol = Solution::new(op.stencil.clone(), plan.domain, machine.clone());
+        let pred = sol.predict_with_resident(params, cores, resident);
+        per_op.push((op.label.clone(), pred.seconds_per_sweep));
+        total += pred.seconds_per_sweep;
+    }
+    PlanPrediction {
+        seconds_per_step: total,
+        per_op,
+    }
+}
+
+/// Measures one step of `plan` on the simulated hierarchy of `machine`:
+/// executes the plan's sweeps twice (warm-up step + steady-state step)
+/// against a grid pool with the plan's halos and the parameters' fold,
+/// and reports the steady-state step time.
+///
+/// # Errors
+/// Propagates engine errors (invalid parameters etc.).
+pub fn measure_plan(
+    plan: &StepPlan,
+    machine: &Machine,
+    params: &TuningParams,
+) -> Result<PlanMeasurement, ToolError> {
+    let pool: Vec<Grid3> = (0..plan.num_grids)
+        .map(|g| Grid3::new(&format!("pool{g}"), plan.domain, plan.halo, params.fold))
+        .collect();
+    let mut ctx = SimContext::new(machine, params.threads);
+    let step = |ctx: &mut SimContext| -> Result<(), ToolError> {
+        for op in &plan.ops {
+            let inputs: Vec<&Grid3> = op.inputs.iter().map(|&g| &pool[g]).collect();
+            apply_simulated(&op.stencil, &inputs, &pool[op.output], params, ctx)
+                .map_err(ToolError::Engine)?;
+        }
+        Ok(())
+    };
+    step(&mut ctx)?;
+    let warm = ctx.finish();
+    step(&mut ctx)?;
+    let total = ctx.finish();
+    let seconds = (total.time.seconds - warm.time.seconds).max(1e-12);
+    let mem_bytes = total.stats.mem_bytes(machine.line_bytes())
+        - warm.stats.mem_bytes(machine.line_bytes());
+    Ok(PlanMeasurement {
+        seconds_per_step: seconds,
+        mem_bytes_per_step: mem_bytes.max(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_grid::Fold;
+    use yasksite_ode::ivps::Heat2d;
+    use yasksite_ode::{erk_plan, Tableau, Variant};
+
+    fn setup() -> (Heat2d, StepPlan, TuningParams, Machine) {
+        let ivp = Heat2d::new(64);
+        let plan = erk_plan(&Tableau::rk4(), &ivp, 1e-5, Variant::A);
+        let params = TuningParams::new([64, 16, 1], Fold::new(8, 1, 1));
+        (ivp, plan, params, Machine::cascade_lake())
+    }
+
+    #[test]
+    fn prediction_covers_every_op() {
+        let (_ivp, plan, params, m) = setup();
+        let p = predict_plan(&plan, &m, &params, 1);
+        assert_eq!(p.per_op.len(), plan.ops.len());
+        let sum: f64 = p.per_op.iter().map(|(_, s)| s).sum();
+        assert!((sum - p.seconds_per_step).abs() < 1e-12);
+        assert!(p.seconds_per_step > 0.0);
+    }
+
+    #[test]
+    fn fused_variant_predicted_faster() {
+        let ivp = Heat2d::new(128);
+        let params = TuningParams::new([128, 16, 1], Fold::new(8, 1, 1));
+        let m = Machine::cascade_lake();
+        let a = predict_plan(&erk_plan(&Tableau::rk4(), &ivp, 1e-5, Variant::A), &m, &params, 1);
+        let d = predict_plan(&erk_plan(&Tableau::rk4(), &ivp, 1e-5, Variant::D), &m, &params, 1);
+        assert!(
+            d.seconds_per_step < a.seconds_per_step,
+            "D {:.3e} should beat A {:.3e}",
+            d.seconds_per_step,
+            a.seconds_per_step
+        );
+    }
+
+    #[test]
+    fn measurement_runs_and_is_positive() {
+        let (_ivp, plan, params, m) = setup();
+        let meas = measure_plan(&plan, &m, &params).unwrap();
+        assert!(meas.seconds_per_step > 0.0);
+        assert!(meas.mem_bytes_per_step >= 0.0);
+    }
+
+    #[test]
+    fn prediction_within_factor_three_of_measurement() {
+        // The paper's headline accuracy claim, loosely checked.
+        let (_ivp, plan, params, m) = setup();
+        let pred = predict_plan(&plan, &m, &params, 1).seconds_per_step;
+        let meas = measure_plan(&plan, &m, &params).unwrap().seconds_per_step;
+        let ratio = pred / meas;
+        assert!(
+            (0.33..3.0).contains(&ratio),
+            "prediction {pred:.3e} vs measurement {meas:.3e} (ratio {ratio:.2})"
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! The Offsite evaluation loop: enumerate, predict, rank, validate.
+
+use yasksite::{SearchSpace, Solution, ToolError, TuneCost, TuneStrategy};
+use yasksite_arch::Machine;
+use yasksite_engine::TuningParams;
+use yasksite_ode::{Ivp, Variant};
+
+use crate::method::MethodSpec;
+use crate::plan_perf::{measure_plan, predict_plan};
+
+/// One evaluated `(method, variant)` candidate.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// Method name.
+    pub method: String,
+    /// Implementation variant.
+    pub variant: Variant,
+    /// Tuning parameters YaskSite selected for the kernels.
+    pub params: TuningParams,
+    /// Predicted seconds per step.
+    pub predicted_s: f64,
+    /// Simulator-measured seconds per step.
+    pub measured_s: f64,
+    /// `|predicted - measured| / measured`.
+    pub rel_err: f64,
+}
+
+/// Full evaluation of an IVP across methods and variants.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// All candidates, sorted by measured step time (fastest first).
+    pub candidates: Vec<CandidateReport>,
+    /// Whether the prediction-ranked winner is also the measured winner.
+    pub picked_best: bool,
+    /// Measured rank (0-based) of the prediction-ranked winner.
+    pub rank_of_pick: usize,
+    /// Per-method speedup of the predicted pick over that method's naive
+    /// baseline (variant A, unblocked, in-line fold): `(method, speedup)`.
+    pub speedups: Vec<(String, f64)>,
+    /// Mean relative prediction error over all candidates.
+    pub mean_rel_err: f64,
+    /// Maximum relative prediction error.
+    pub max_rel_err: f64,
+    /// Cost of the *selection* work (model evaluations; what the paper's
+    /// Offsite+YaskSite pipeline spends).
+    pub select_cost: TuneCost,
+    /// Cost of the validation measurements (what an exhaustive empirical
+    /// tuner would spend).
+    pub validate_cost: TuneCost,
+}
+
+/// The offline tuner bound to a machine model and an active core count.
+#[derive(Debug, Clone)]
+pub struct Offsite {
+    machine: Machine,
+    cores: usize,
+}
+
+impl Offsite {
+    /// Creates the tuner for `cores` active cores of `machine`.
+    #[must_use]
+    pub fn new(machine: Machine, cores: usize) -> Self {
+        Offsite { machine, cores }
+    }
+
+    /// The target machine.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// YaskSite-tuned kernel parameters for this IVP: the analytic tuner
+    /// runs on the dominant (RHS) kernel over the spatial-only space.
+    ///
+    /// # Errors
+    /// Propagates tool errors.
+    pub fn tuned_params(&self, ivp: &dyn Ivp) -> Result<(TuningParams, TuneCost), ToolError> {
+        let rhs = ivp.rhs(0);
+        let sol = Solution::new(rhs, ivp.domain(), self.machine.clone());
+        let space = SearchSpace::spatial_only(sol.stencil(), ivp.domain(), &self.machine);
+        let r = sol.tune_space(&space, TuneStrategy::Analytic, self.cores)?;
+        let mut params = r.best;
+        params.threads = self.cores;
+        Ok((params, r.cost))
+    }
+
+    /// Naive baseline parameters: unblocked, in-line fold, no temporal
+    /// blocking — what a straightforward OpenMP implementation does.
+    #[must_use]
+    pub fn naive_params(&self, ivp: &dyn Ivp) -> TuningParams {
+        TuningParams::new(
+            ivp.domain(),
+            yasksite_grid::Fold::new(self.machine.lanes(), 1, 1),
+        )
+        .threads(self.cores)
+    }
+
+    /// Evaluates every `(method, variant)` candidate on `ivp` with step
+    /// size `h`: predicts each, measures each on the simulated hierarchy,
+    /// and reports prediction accuracy, ranking quality, per-method
+    /// speedups over the naive baseline, and both cost ledgers.
+    ///
+    /// # Errors
+    /// Propagates engine/tool errors.
+    ///
+    /// # Panics
+    /// Panics if `methods` is empty.
+    pub fn evaluate(
+        &self,
+        ivp: &dyn Ivp,
+        methods: &[MethodSpec],
+        h: f64,
+    ) -> Result<EvalReport, ToolError> {
+        assert!(!methods.is_empty(), "no methods to evaluate");
+        let mut select_cost = TuneCost::default();
+        let mut validate_cost = TuneCost::default();
+        let (params, tune_cost) = self.tuned_params(ivp)?;
+        select_cost += tune_cost;
+
+        let mut candidates = Vec::new();
+        let mut speedups = Vec::new();
+        for m in methods {
+            let mut per_method: Vec<usize> = Vec::new();
+            for v in m.variants() {
+                let plan = m.plan(ivp, h, v);
+                let t0 = std::time::Instant::now();
+                let pred = predict_plan(&plan, &self.machine, &params, self.cores);
+                select_cost.model_evals += plan.ops.len();
+                select_cost.wall_seconds += t0.elapsed().as_secs_f64();
+
+                let t1 = std::time::Instant::now();
+                let meas = measure_plan(&plan, &self.machine, &params)?;
+                validate_cost.engine_runs += 1;
+                validate_cost.target_seconds += 2.0 * meas.seconds_per_step;
+                validate_cost.wall_seconds += t1.elapsed().as_secs_f64();
+
+                per_method.push(candidates.len());
+                candidates.push(CandidateReport {
+                    method: m.name(),
+                    variant: v,
+                    params: params.clone(),
+                    predicted_s: pred.seconds_per_step,
+                    measured_s: meas.seconds_per_step,
+                    rel_err: (pred.seconds_per_step - meas.seconds_per_step).abs()
+                        / meas.seconds_per_step,
+                });
+            }
+            // Per-method speedup: predicted pick vs naive variant-A run.
+            let pick = per_method
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    candidates[a]
+                        .predicted_s
+                        .total_cmp(&candidates[b].predicted_s)
+                })
+                .expect("method has variants");
+            let naive = self.naive_params(ivp);
+            let base_plan = m.plan(ivp, h, Variant::A);
+            let base = measure_plan(&base_plan, &self.machine, &naive)?;
+            validate_cost.engine_runs += 1;
+            validate_cost.target_seconds += 2.0 * base.seconds_per_step;
+            speedups.push((
+                m.name(),
+                base.seconds_per_step / candidates[pick].measured_s,
+            ));
+        }
+
+        // Ranking quality: where does the prediction's favourite land in
+        // the measured order?
+        let pred_pick = (0..candidates.len())
+            .min_by(|&a, &b| candidates[a].predicted_s.total_cmp(&candidates[b].predicted_s))
+            .expect("non-empty");
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| candidates[a].measured_s.total_cmp(&candidates[b].measured_s));
+        let rank_of_pick = order.iter().position(|&i| i == pred_pick).expect("present");
+
+        let mean_rel_err =
+            candidates.iter().map(|c| c.rel_err).sum::<f64>() / candidates.len() as f64;
+        let max_rel_err = candidates.iter().map(|c| c.rel_err).fold(0.0, f64::max);
+        let mut sorted = candidates.clone();
+        sorted.sort_by(|a, b| a.measured_s.total_cmp(&b.measured_s));
+        Ok(EvalReport {
+            candidates: sorted,
+            picked_best: rank_of_pick == 0,
+            rank_of_pick,
+            speedups,
+            mean_rel_err,
+            max_rel_err,
+            select_cost,
+            validate_cost,
+        })
+    }
+}
+
+/// One row of a work–precision ranking: the predicted wall time to
+/// integrate a unit time interval at a given accuracy with this
+/// candidate.
+#[derive(Debug, Clone)]
+pub struct WorkPrecisionEntry {
+    /// Method name.
+    pub method: String,
+    /// Implementation variant.
+    pub variant: Variant,
+    /// Method order.
+    pub order: usize,
+    /// Step size implied by the tolerance (`h = tol^(1/p)`, normalised
+    /// error constant).
+    pub step_size: f64,
+    /// Predicted seconds for the whole integration.
+    pub predicted_total_s: f64,
+}
+
+impl Offsite {
+    /// Ranks `(method, variant)` candidates by the *work to reach a
+    /// tolerance*, the criterion Offsite actually optimises: an order-`p`
+    /// method needs `h ≈ tol^(1/p)` (error constants normalised to 1), so
+    /// the predicted total time over `[0, t_end]` is
+    /// `ceil(t_end / h) · predicted_step_time(h)`. Higher-order methods
+    /// cost more per step but win at tight tolerances — the ranking
+    /// exposes the crossover.
+    ///
+    /// Returns entries sorted by predicted total time, fastest first.
+    ///
+    /// # Errors
+    /// Propagates tool errors from parameter tuning.
+    ///
+    /// # Panics
+    /// Panics if `methods` is empty or `tol`/`t_end` are not positive.
+    pub fn rank_by_tolerance(
+        &self,
+        ivp: &dyn Ivp,
+        methods: &[MethodSpec],
+        tol: f64,
+        t_end: f64,
+    ) -> Result<Vec<WorkPrecisionEntry>, ToolError> {
+        assert!(!methods.is_empty(), "no methods to rank");
+        assert!(tol > 0.0 && t_end > 0.0, "tolerance and horizon must be positive");
+        let (params, _) = self.tuned_params(ivp)?;
+        let mut out = Vec::new();
+        for m in methods {
+            let p = m.order().max(1);
+            let h = tol.powf(1.0 / p as f64);
+            let steps = (t_end / h).ceil().max(1.0);
+            for v in m.variants() {
+                let plan = m.plan(ivp, h, v);
+                let pred = predict_plan(&plan, &self.machine, &params, self.cores);
+                out.push(WorkPrecisionEntry {
+                    method: m.name(),
+                    variant: v,
+                    order: p,
+                    step_size: h,
+                    predicted_total_s: steps * pred.seconds_per_step,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.predicted_total_s.total_cmp(&b.predicted_total_s));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_ode::ivps::{Heat2d, Heat3d};
+    use yasksite_ode::Tableau;
+
+    #[test]
+    fn evaluate_heat2d_small() {
+        let offsite = Offsite::new(Machine::cascade_lake(), 1);
+        let ivp = Heat2d::new(48);
+        let methods = [MethodSpec::erk(Tableau::heun2())];
+        let r = offsite.evaluate(&ivp, &methods, 1e-5).unwrap();
+        assert_eq!(r.candidates.len(), 4); // variants A, B, D, E
+        assert!(r.mean_rel_err.is_finite());
+        assert!(r.rank_of_pick < 3);
+        for (m, s) in &r.speedups {
+            assert!(*s > 0.0, "{m} speedup {s}");
+        }
+        // Selection spends model evals, validation spends runs.
+        assert!(r.select_cost.model_evals > 0);
+        assert_eq!(r.select_cost.engine_runs, 0);
+        assert!(r.validate_cost.engine_runs >= 4);
+    }
+
+    #[test]
+    fn tuned_params_use_requested_cores() {
+        let offsite = Offsite::new(Machine::rome(), 4);
+        let ivp = Heat3d::new(32);
+        let (p, cost) = offsite.tuned_params(&ivp).unwrap();
+        assert_eq!(p.threads, 4);
+        assert!(cost.model_evals > 0);
+    }
+
+    #[test]
+    fn work_precision_crossover() {
+        // At a loose tolerance the cheap low-order method wins; at a
+        // tight tolerance the high-order method overtakes it.
+        let offsite = Offsite::new(Machine::cascade_lake(), 1);
+        let ivp = Heat2d::new(32);
+        let methods = [
+            MethodSpec::erk(Tableau::euler()),
+            MethodSpec::erk(Tableau::rk4()),
+        ];
+        let loose = offsite.rank_by_tolerance(&ivp, &methods, 0.5, 1.0).unwrap();
+        let tight = offsite.rank_by_tolerance(&ivp, &methods, 1e-10, 1.0).unwrap();
+        assert_eq!(loose[0].method, "euler", "loose tolerance favours Euler");
+        assert_eq!(tight[0].method, "rk4", "tight tolerance favours RK4");
+        // Sorted ascending by predicted time.
+        for w in loose.windows(2) {
+            assert!(w[0].predicted_total_s <= w[1].predicted_total_s);
+        }
+        // Step sizes follow h = tol^(1/p).
+        let rk4 = tight.iter().find(|e| e.method == "rk4").unwrap();
+        assert!((rk4.step_size - 1e-10f64.powf(0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_params_are_unblocked() {
+        let offsite = Offsite::new(Machine::cascade_lake(), 2);
+        let ivp = Heat2d::new(32);
+        let p = offsite.naive_params(&ivp);
+        assert_eq!(p.block, [32, 32, 1]);
+        assert_eq!(p.wavefront, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Expression trees over grid accesses.
+
+use std::fmt;
+use std::ops;
+
+/// Index of an input grid within a stencil's input list.
+pub type GridId = usize;
+
+/// A scalar-valued expression over constant coefficients and grid accesses
+/// at constant offsets from the update point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal coefficient.
+    Const(f64),
+    /// Input grid `grid` at offset `(dx, dy, dz)` from the point being
+    /// updated.
+    At {
+        /// Which input grid is read.
+        grid: GridId,
+        /// Offset along x.
+        dx: i32,
+        /// Offset along y.
+        dy: i32,
+        /// Offset along z.
+        dz: i32,
+    },
+    /// Sum of two subexpressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two subexpressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two subexpressions.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+/// Shorthand for a grid access: `at(g, dx, dy, dz)`.
+#[must_use]
+pub fn at(grid: GridId, dx: i32, dy: i32, dz: i32) -> Expr {
+    Expr::At { grid, dx, dy, dz }
+}
+
+/// Shorthand for a constant coefficient.
+#[must_use]
+pub fn c(v: f64) -> Expr {
+    Expr::Const(v)
+}
+
+impl Expr {
+    /// Walks the tree, calling `f` on every node (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::At { .. } => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Neg(a) => a.visit(f),
+        }
+    }
+
+    /// Number of nodes in the tree.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Sums `terms` into a balanced tree (shorter dependency chains than a
+    /// left fold; matters for the in-core model's critical-path estimate
+    /// and mirrors what YASK's codegen emits).
+    ///
+    /// # Panics
+    /// Panics if `terms` is empty.
+    #[must_use]
+    pub fn sum(mut terms: Vec<Expr>) -> Expr {
+        assert!(!terms.is_empty(), "Expr::sum of no terms");
+        while terms.len() > 1 {
+            let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+            let mut it = terms.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(a + b),
+                    None => next.push(a),
+                }
+            }
+            terms = next;
+        }
+        terms.pop().expect("non-empty by construction")
+    }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::At { grid, dx, dy, dz } => write!(f, "g{grid}({dx:+},{dy:+},{dz:+})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_build_expected_tree() {
+        let e = c(2.0) * at(0, 1, 0, 0) + (-c(1.0));
+        assert_eq!(e.node_count(), 6);
+        assert_eq!(e.to_string(), "((2 * g0(+1,+0,+0)) + (-1))");
+    }
+
+    #[test]
+    fn sum_balances() {
+        let e = Expr::sum((0..4).map(|i| c(f64::from(i))).collect());
+        // ((0+1) + (2+3)) — depth 2, not 3.
+        assert_eq!(e.to_string(), "((0 + 1) + (2 + 3))");
+    }
+
+    #[test]
+    fn sum_single() {
+        assert_eq!(Expr::sum(vec![c(5.0)]), c(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no terms")]
+    fn sum_empty_panics() {
+        let _ = Expr::sum(vec![]);
+    }
+
+    #[test]
+    fn visit_reaches_all_nodes() {
+        let e = c(1.0) - at(0, 0, 0, 0) * at(1, 0, 0, 0);
+        let mut consts = 0;
+        let mut ats = 0;
+        e.visit(&mut |n| match n {
+            Expr::Const(_) => consts += 1,
+            Expr::At { .. } => ats += 1,
+            _ => {}
+        });
+        assert_eq!((consts, ats), (1, 2));
+    }
+}

@@ -1,0 +1,43 @@
+//! Stencil intermediate representation for the YaskSite reproduction.
+//!
+//! A [`Stencil`] is the value-level description of one grid update: an
+//! expression tree ([`Expr`]) over constant coefficients and neighbouring
+//! points of one or more input grids. This mirrors YASK's stencil compiler
+//! input (equations over grid accesses with constant offsets), reduced to
+//! the single-equation, out-of-place form that explicit ODE right-hand sides
+//! need.
+//!
+//! The crate provides
+//! - expression construction with ordinary operators ([`at`], [`c`]),
+//! - ready-made builders for the paper's stencil test set
+//!   ([`builders`], [`paper_suite`]),
+//! - static analysis ([`StencilInfo`]): radius, access offsets, flop and
+//!   load/store stream counts — the inputs of the ECM model, and
+//! - a scalar reference interpreter used as ground truth by every engine
+//!   test.
+//!
+//! # Examples
+//!
+//! ```
+//! use yasksite_stencil::{at, c, Stencil};
+//!
+//! // 1-D three-point average: out(i) = 0.25*u(i-1) + 0.5*u(i) + 0.25*u(i+1)
+//! let expr = c(0.25) * at(0, -1, 0, 0) + c(0.5) * at(0, 0, 0, 0) + c(0.25) * at(0, 1, 0, 0);
+//! let s = Stencil::new("avg1d", 1, 1, expr);
+//! let info = s.info();
+//! assert_eq!(info.radius, [1, 0, 0]);
+//! assert_eq!(info.reads_per_point, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+pub mod builders;
+mod expr;
+mod stencil;
+
+pub use analysis::{stencil_table, StencilInfo};
+pub use builders::paper_suite;
+pub use expr::{at, c, Expr, GridId};
+pub use stencil::{Stencil, StencilError};

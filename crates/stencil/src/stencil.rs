@@ -1,0 +1,301 @@
+//! The stencil object: a named update equation plus its reference
+//! interpreter.
+
+use std::fmt;
+
+use yasksite_grid::Grid3;
+
+use crate::expr::{Expr, GridId};
+
+/// Errors reported by stencil construction and application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StencilError {
+    /// The expression references a grid id not covered by `num_inputs`.
+    UnknownGrid {
+        /// The offending grid id.
+        grid: GridId,
+        /// Declared number of inputs.
+        num_inputs: usize,
+    },
+    /// An input grid's halo is smaller than the stencil radius.
+    HaloTooSmall {
+        /// Input slot.
+        grid: GridId,
+        /// Dimension index 0..3.
+        dim: usize,
+        /// Required halo.
+        needed: usize,
+        /// Available halo.
+        have: usize,
+    },
+    /// Wrong number of input grids passed to `apply_reference`.
+    ArityMismatch {
+        /// Expected inputs.
+        expected: usize,
+        /// Provided inputs.
+        got: usize,
+    },
+    /// Output grid domain does not match the inputs.
+    DomainMismatch,
+}
+
+impl fmt::Display for StencilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StencilError::UnknownGrid { grid, num_inputs } => {
+                write!(f, "expression reads grid {grid} but stencil has {num_inputs} inputs")
+            }
+            StencilError::HaloTooSmall { grid, dim, needed, have } => write!(
+                f,
+                "input {grid} halo in dim {dim} is {have}, stencil needs {needed}"
+            ),
+            StencilError::ArityMismatch { expected, got } => {
+                write!(f, "stencil takes {expected} inputs, got {got}")
+            }
+            StencilError::DomainMismatch => write!(f, "input/output domain sizes differ"),
+        }
+    }
+}
+
+impl std::error::Error for StencilError {}
+
+/// A single out-of-place grid-update equation
+/// `out(x,y,z) = expr(inputs, x, y, z)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stencil {
+    name: String,
+    dims: usize,
+    num_inputs: usize,
+    expr: Expr,
+}
+
+impl Stencil {
+    /// Creates a stencil and validates that the expression only references
+    /// declared inputs.
+    ///
+    /// # Panics
+    /// Panics if the expression references an undeclared grid (programming
+    /// error in a builder); use [`Stencil::try_new`] for fallible
+    /// construction from untrusted expressions.
+    #[must_use]
+    pub fn new(name: &str, dims: usize, num_inputs: usize, expr: Expr) -> Self {
+        Self::try_new(name, dims, num_inputs, expr).expect("invalid stencil")
+    }
+
+    /// Fallible counterpart of [`Stencil::new`].
+    ///
+    /// # Errors
+    /// Returns [`StencilError::UnknownGrid`] if the expression reads a grid
+    /// id `>= num_inputs`.
+    pub fn try_new(
+        name: &str,
+        dims: usize,
+        num_inputs: usize,
+        expr: Expr,
+    ) -> Result<Self, StencilError> {
+        let mut bad = None;
+        expr.visit(&mut |e| {
+            if let Expr::At { grid, .. } = e {
+                if *grid >= num_inputs && bad.is_none() {
+                    bad = Some(*grid);
+                }
+            }
+        });
+        if let Some(grid) = bad {
+            return Err(StencilError::UnknownGrid { grid, num_inputs });
+        }
+        Ok(Stencil {
+            name: name.to_string(),
+            dims,
+            num_inputs,
+            expr,
+        })
+    }
+
+    /// Stencil name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Spatial dimensionality (1, 2 or 3) — informational; storage is
+    /// always 3-D.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of input grids the update reads.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The update expression.
+    #[must_use]
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Evaluates the expression at domain point `(i, j, k)`.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != num_inputs` (checked in debug builds for
+    /// speed; `apply_reference` validates eagerly).
+    #[inline]
+    #[must_use]
+    pub fn eval(&self, inputs: &[&Grid3], i: isize, j: isize, k: isize) -> f64 {
+        debug_assert_eq!(inputs.len(), self.num_inputs);
+        eval_expr(&self.expr, inputs, i, j, k)
+    }
+
+    /// Applies the stencil over the whole domain of `out` in simple
+    /// z-y-x loop order. This is the correctness reference for every
+    /// optimised execution path.
+    ///
+    /// # Errors
+    /// Returns an error if arities, domains or halos are inconsistent.
+    pub fn apply_reference(
+        &self,
+        inputs: &[&Grid3],
+        out: &mut Grid3,
+    ) -> Result<(), StencilError> {
+        self.check_bindings(inputs, out)?;
+        let n = out.n();
+        for k in 0..n[2] as isize {
+            for j in 0..n[1] as isize {
+                for i in 0..n[0] as isize {
+                    let v = eval_expr(&self.expr, inputs, i, j, k);
+                    out.set(i, j, k, v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates that `inputs`/`out` can legally carry this stencil:
+    /// arity, equal domains, and halos at least as wide as the radius.
+    ///
+    /// # Errors
+    /// See [`StencilError`].
+    pub fn check_bindings(&self, inputs: &[&Grid3], out: &Grid3) -> Result<(), StencilError> {
+        if inputs.len() != self.num_inputs {
+            return Err(StencilError::ArityMismatch {
+                expected: self.num_inputs,
+                got: inputs.len(),
+            });
+        }
+        let info = self.info();
+        for (gi, g) in inputs.iter().enumerate() {
+            if g.n() != out.n() {
+                return Err(StencilError::DomainMismatch);
+            }
+            for d in 0..3 {
+                if g.halo()[d] < info.radius[d] {
+                    return Err(StencilError::HaloTooSmall {
+                        grid: gi,
+                        dim: d,
+                        needed: info.radius[d],
+                        have: g.halo()[d],
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn eval_expr(e: &Expr, inputs: &[&Grid3], i: isize, j: isize, k: isize) -> f64 {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::At { grid, dx, dy, dz } => inputs[*grid].get(
+            i + *dx as isize,
+            j + *dy as isize,
+            k + *dz as isize,
+        ),
+        Expr::Add(a, b) => eval_expr(a, inputs, i, j, k) + eval_expr(b, inputs, i, j, k),
+        Expr::Sub(a, b) => eval_expr(a, inputs, i, j, k) - eval_expr(b, inputs, i, j, k),
+        Expr::Mul(a, b) => eval_expr(a, inputs, i, j, k) * eval_expr(b, inputs, i, j, k),
+        Expr::Neg(a) => -eval_expr(a, inputs, i, j, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{at, c};
+    use yasksite_grid::Fold;
+
+    fn grid(n: [usize; 3], halo: [usize; 3]) -> Grid3 {
+        Grid3::new("g", n, halo, Fold::unit())
+    }
+
+    #[test]
+    fn try_new_rejects_unknown_grid() {
+        let e = at(1, 0, 0, 0);
+        assert_eq!(
+            Stencil::try_new("s", 1, 1, e).unwrap_err(),
+            StencilError::UnknownGrid { grid: 1, num_inputs: 1 }
+        );
+    }
+
+    #[test]
+    fn eval_matches_hand_computation() {
+        let s = Stencil::new(
+            "avg",
+            1,
+            1,
+            c(0.5) * (at(0, -1, 0, 0) + at(0, 1, 0, 0)),
+        );
+        let mut u = grid([4, 1, 1], [1, 0, 0]);
+        u.fill_with(|i, _, _| i as f64);
+        u.fill_halo(0.0);
+        assert_eq!(s.eval(&[&u], 1, 0, 0), 0.5 * (0.0 + 2.0));
+        assert_eq!(s.eval(&[&u], 0, 0, 0), 0.5 * (0.0 + 1.0));
+    }
+
+    #[test]
+    fn apply_reference_writes_domain() {
+        let s = Stencil::new("copy", 3, 1, at(0, 0, 0, 0) * c(2.0));
+        let mut u = grid([3, 3, 3], [0, 0, 0]);
+        u.fill_with(|i, j, k| (i + j + k) as f64);
+        let mut out = grid([3, 3, 3], [0, 0, 0]);
+        s.apply_reference(&[&u], &mut out).unwrap();
+        assert_eq!(out.get(2, 2, 2), 12.0);
+        assert_eq!(out.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn halo_check_enforced() {
+        let s = Stencil::new("d", 1, 1, at(0, -2, 0, 0));
+        let u = grid([4, 1, 1], [1, 0, 0]);
+        let mut out = grid([4, 1, 1], [0, 0, 0]);
+        match s.apply_reference(&[&u], &mut out) {
+            Err(StencilError::HaloTooSmall { needed: 2, have: 1, .. }) => {}
+            other => panic!("expected halo error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_check_enforced() {
+        let s = Stencil::new("two", 1, 2, at(0, 0, 0, 0) + at(1, 0, 0, 0));
+        let u = grid([2, 1, 1], [0, 0, 0]);
+        let mut out = grid([2, 1, 1], [0, 0, 0]);
+        assert_eq!(
+            s.apply_reference(&[&u], &mut out).unwrap_err(),
+            StencilError::ArityMismatch { expected: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn domain_check_enforced() {
+        let s = Stencil::new("c", 1, 1, at(0, 0, 0, 0));
+        let u = grid([2, 1, 1], [0, 0, 0]);
+        let mut out = grid([3, 1, 1], [0, 0, 0]);
+        assert_eq!(
+            s.apply_reference(&[&u], &mut out).unwrap_err(),
+            StencilError::DomainMismatch
+        );
+    }
+}

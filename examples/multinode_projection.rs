@@ -1,0 +1,53 @@
+//! Project multi-node scaling from single-socket predictions.
+//!
+//! YASK runs under MPI; the paper tunes single sockets, but the tool's
+//! predictions compose: take the ECM-predicted step time of one socket,
+//! decompose the domain over ranks, and add the halo-exchange cost of
+//! the interconnect. This example sweeps rank counts for the heat-3d
+//! kernel on Cascade Lake sockets over two network classes.
+//!
+//! Run with: `cargo run --release --example multinode_projection`
+
+use yasksite_repro::arch::Machine;
+use yasksite_repro::engine::{predict_multirank, Interconnect, RankDecomposition, TuningParams};
+use yasksite_repro::grid::Fold;
+use yasksite_repro::stencil::builders::heat3d;
+use yasksite_repro::yasksite::Solution;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = Machine::cascade_lake();
+    let domain = [512, 512, 512];
+    let stencil = heat3d(1);
+    let sol = Solution::new(stencil, domain, machine.clone());
+    let cores = machine.cores_per_socket;
+    let params = TuningParams::new([512, 16, 16], Fold::new(8, 1, 1)).threads(cores);
+    let single = sol.predict(&params, cores);
+    let step_s = single.seconds_per_sweep;
+    println!(
+        "single socket ({} cores): {:.0} MLUP/s, {:.2} ms/step",
+        cores,
+        single.mlups,
+        step_s * 1e3
+    );
+
+    for (name, net) in [
+        ("InfiniBand HDR", Interconnect::infiniband()),
+        ("100 GbE", Interconnect::ethernet100g()),
+    ] {
+        println!("\n{name} ({:.0} GB/s, {:.0} µs):", net.bandwidth_gbs, net.latency_s * 1e6);
+        println!("{:>6} {:>12} {:>10} {:>10} {:>11}", "ranks", "step [ms]", "comp [ms]", "comm [ms]", "efficiency");
+        for ranks in [1usize, 2, 4, 8, 16, 32] {
+            let d = RankDecomposition::new(domain, ranks, 1)?;
+            let p = predict_multirank(step_s, &d, 1, &net);
+            println!(
+                "{ranks:>6} {:>12.3} {:>10.3} {:>10.3} {:>10.0}%",
+                p.step_s * 1e3,
+                p.compute_s * 1e3,
+                p.comm_s * 1e3,
+                p.efficiency * 100.0
+            );
+        }
+    }
+    println!("\n(halo exchange: 2 x 1 plane of 512x512 doubles = 4 MB per rank per step)");
+    Ok(())
+}

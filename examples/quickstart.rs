@@ -1,0 +1,58 @@
+//! Quickstart: tune a stencil for a machine you do not have.
+//!
+//! This walks the core YaskSite workflow: define a stencil, bind it to a
+//! domain and a machine model, let the ECM model pick tuning parameters
+//! analytically, inspect the prediction, verify it on the simulated
+//! hierarchy, and dump the kernel source the configuration corresponds
+//! to.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use yasksite_repro::arch::Machine;
+use yasksite_repro::stencil::builders::heat3d;
+use yasksite_repro::yasksite::{Solution, TuneStrategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A stencil and a target: the 7-point heat kernel on one socket of
+    //    a Cascade Lake machine (which this host is not — the machine is
+    //    a model).
+    let stencil = heat3d(1);
+    let machine = Machine::cascade_lake();
+    let domain = [96, 96, 96];
+    let solution = Solution::new(stencil, domain, machine);
+
+    // 2. Analytic tuning: rank the whole parameter space with the ECM
+    //    model; nothing is executed.
+    let cores = 8;
+    let result = solution.tune(TuneStrategy::Analytic, cores)?;
+    println!("candidates ranked analytically: {}", result.ranked.len());
+    println!("model evaluations:              {}", result.cost.model_evals);
+    println!("kernel runs needed:             {}", result.cost.engine_runs);
+    println!("selected parameters:            {}", result.best);
+
+    // 3. What does the model say about the winner?
+    let pred = solution.predict(&result.best, cores);
+    println!("\nECM prediction @ {cores} cores:");
+    println!("  {}", pred.ecm.summary());
+    println!("  => {:.0} MLUP/s, {:.3} ms/sweep", pred.mlups, pred.seconds_per_sweep * 1e3);
+
+    // 4. Check it against the simulated Cascade Lake hierarchy.
+    let measured = solution.measure(&result.best)?;
+    println!("\nsimulated measurement: {:.0} MLUP/s", measured.mlups);
+    println!(
+        "model error: {:.0}%",
+        (pred.mlups - measured.mlups).abs() / measured.mlups * 100.0
+    );
+
+    // 5. The kernel source this configuration generates.
+    let code = solution.codegen(&result.best);
+    println!(
+        "\ngenerated kernel: {} lines in {:.1} ms (first lines below)",
+        code.lines,
+        code.gen_seconds * 1e3
+    );
+    for line in code.source.lines().take(6) {
+        println!("  | {line}");
+    }
+    Ok(())
+}

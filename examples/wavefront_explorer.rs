@@ -1,0 +1,59 @@
+//! Explore wavefront temporal blocking: how deep should the time skew be?
+//!
+//! Sweeps the wavefront depth for the heat-3d kernel on the Cascade Lake
+//! and Rome models, showing the memory-traffic reduction the simulator
+//! observes and the point where the ECM model says the skewed working
+//! set stops fitting the last-level cache.
+//!
+//! Run with: `cargo run --release --example wavefront_explorer`
+
+use yasksite_repro::arch::Machine;
+use yasksite_repro::engine::TuningParams;
+use yasksite_repro::grid::Fold;
+use yasksite_repro::stencil::builders::heat3d;
+use yasksite_repro::yasksite::Solution;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let domain = [96, 96, 96];
+    for machine in [Machine::cascade_lake(), Machine::rome()] {
+        let fold = Fold::new(machine.lanes(), 1, 1);
+        let sol = Solution::new(heat3d(1), domain, machine.clone());
+        println!(
+            "\n{} — heat-3d {}x{}x{}, 1 core",
+            machine.tag(),
+            domain[0],
+            domain[1],
+            domain[2]
+        );
+        println!(
+            "{:>6} {:>10} {:>10} {:>10} {:>8}",
+            "depth", "ECM", "measured", "memB/LUP", "fits?"
+        );
+        for depth in [1usize, 2, 4, 8, 16] {
+            let p = TuningParams::new([domain[0], 8, 8], fold).wavefront(depth);
+            let pred = sol.predict(&p, 1);
+            let meas = sol.measure(&p)?;
+            let bytes = meas.stats.as_ref().map_or(0.0, |st| {
+                st.mem_bytes(machine.line_bytes())
+                    / (2 * depth) as f64
+                    / sol.updates_per_sweep() as f64
+            });
+            println!(
+                "{:>6} {:>10.0} {:>10.0} {:>10.1} {:>8}",
+                depth,
+                pred.mlups,
+                meas.mlups,
+                bytes,
+                if depth == 1 {
+                    "-"
+                } else if pred.wavefront_effective {
+                    "yes"
+                } else {
+                    "no"
+                }
+            );
+        }
+    }
+    println!("\n(memB/LUP falls with depth while the skew fits the LLC; the model\n marks the breakdown point with fits?=no)");
+    Ok(())
+}

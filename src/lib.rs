@@ -1,0 +1,16 @@
+//! Umbrella crate of the YaskSite reproduction: re-exports every
+//! workspace crate under one roof so the `examples/` can be written
+//! against a single dependency. See the README for the architecture and
+//! `DESIGN.md` for the experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use offsite;
+pub use yasksite;
+pub use yasksite_arch as arch;
+pub use yasksite_ecm as ecm;
+pub use yasksite_engine as engine;
+pub use yasksite_grid as grid;
+pub use yasksite_memsim as memsim;
+pub use yasksite_ode as ode;
+pub use yasksite_stencil as stencil;

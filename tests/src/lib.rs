@@ -1,0 +1,22 @@
+//! Integration-test crate: the tests live in `tests/tests/`. This library
+//! only hosts small helpers shared between them.
+
+#![forbid(unsafe_code)]
+
+use yasksite_grid::{Fold, Grid3};
+
+/// Builds a deterministic, pseudo-random-valued grid for comparisons.
+#[must_use]
+pub fn seeded_grid(name: &str, n: [usize; 3], halo: [usize; 3], fold: Fold, seed: u64) -> Grid3 {
+    let mut g = Grid3::new(name, n, halo, fold);
+    g.fill_with(|i, j, k| {
+        let x = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((j as u64).wrapping_mul(1442695040888963407))
+            .wrapping_add((k as u64).wrapping_mul(2862933555777941757))
+            .wrapping_add(seed);
+        ((x >> 33) % 1000) as f64 / 500.0 - 1.0
+    });
+    g.fill_halo(0.0);
+    g
+}

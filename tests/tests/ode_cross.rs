@@ -1,0 +1,145 @@
+//! Cross-crate ODE tests: plans executed by the engine vs hand-rolled
+//! reference steps, threading invariance, and simulated plan costs.
+
+use offsite::{measure_plan, predict_plan};
+use yasksite_arch::Machine;
+use yasksite_engine::TuningParams;
+use yasksite_grid::{Fold, Grid3};
+use yasksite_ode::ivps::{Heat2d, Ivp, Wave2d};
+use yasksite_ode::{erk_plan, Integrator, Tableau, Variant};
+
+/// One hand-rolled RK4 step on the Heat2D system, as an independent
+/// reference for the plan machinery.
+fn manual_rk4_step(ivp: &Heat2d, u0: &Grid3, h: f64) -> Grid3 {
+    let rhs = ivp.rhs(0);
+    let n = ivp.domain();
+    let halo = ivp.halo();
+    let eval = |state: &Grid3| -> Grid3 {
+        let mut k = Grid3::new("k", n, halo, Fold::unit());
+        rhs.apply_reference(&[state], &mut k).unwrap();
+        k
+    };
+    let axpy = |a: &Grid3, s: f64, b: &Grid3| -> Grid3 {
+        let mut r = a.clone();
+        for j in 0..n[1] as isize {
+            for i in 0..n[0] as isize {
+                r.set(i, j, 0, a.get(i, j, 0) + s * b.get(i, j, 0));
+            }
+        }
+        r
+    };
+    let k1 = eval(u0);
+    let k2 = eval(&axpy(u0, h / 2.0, &k1));
+    let k3 = eval(&axpy(u0, h / 2.0, &k2));
+    let k4 = eval(&axpy(u0, h, &k3));
+    let mut out = u0.clone();
+    for j in 0..n[1] as isize {
+        for i in 0..n[0] as isize {
+            let incr = k1.get(i, j, 0) + 2.0 * k2.get(i, j, 0) + 2.0 * k3.get(i, j, 0)
+                + k4.get(i, j, 0);
+            out.set(i, j, 0, u0.get(i, j, 0) + h / 6.0 * incr);
+        }
+    }
+    out
+}
+
+#[test]
+fn plan_step_matches_manual_rk4() {
+    let ivp = Heat2d::new(12);
+    let h = 1e-4;
+    let params = TuningParams::new([12, 12, 1], Fold::new(8, 1, 1));
+    for variant in Variant::all() {
+        let plan = erk_plan(&Tableau::rk4(), &ivp, h, variant);
+        let mut integ = Integrator::new(&ivp, plan, h, params.clone()).unwrap();
+        integ.step().unwrap();
+
+        let mut u0 = Grid3::new("u0", ivp.domain(), ivp.halo(), Fold::unit());
+        u0.fill_with(|i, j, k| ivp.initial(0, i, j, k));
+        u0.fill_halo(0.0);
+        let want = manual_rk4_step(&ivp, &u0, h);
+        let got = integ.state(0);
+        assert!(
+            got.max_abs_diff(&want).unwrap() < 1e-11,
+            "variant {variant} diverges from manual RK4"
+        );
+    }
+}
+
+#[test]
+fn integration_is_thread_invariant() {
+    let ivp = Heat2d::new(24);
+    let h = 5e-5;
+    let mk = |threads: usize| {
+        let params = TuningParams::new([24, 8, 1], Fold::new(8, 1, 1)).threads(threads);
+        let plan = erk_plan(&Tableau::kutta3(), &ivp, h, Variant::D);
+        let mut integ = Integrator::new(&ivp, plan, h, params).unwrap();
+        integ.run(12).unwrap();
+        integ.state(0)
+    };
+    let one = mk(1);
+    let four = mk(4);
+    assert!(one.max_abs_diff(&four).unwrap() < 1e-12);
+}
+
+#[test]
+fn wave_system_energy_stays_bounded() {
+    let ivp = Wave2d::new(24, 1.0);
+    let h = 5e-4;
+    let params = TuningParams::new([24, 8, 1], Fold::new(8, 1, 1));
+    let plan = erk_plan(&Tableau::rk4(), &ivp, h, Variant::A);
+    let mut integ = Integrator::new(&ivp, plan, h, params).unwrap();
+    integ.run(100).unwrap();
+    // Standing wave: |u| must stay <= 1 + small integration error.
+    let u = integ.state(0);
+    for j in 0..24isize {
+        for i in 0..24isize {
+            assert!(u.get(i, j, 0).abs() < 1.05);
+        }
+    }
+}
+
+#[test]
+fn fused_variants_measurably_cheaper_in_simulation() {
+    // On a memory-exercising domain, variant D must move less data and
+    // take less simulated time per step than variant A.
+    let ivp = Heat2d::new(512); // 2 MB/grid, rk4 pool ~ 14 MB
+    let m = Machine::rome(); // 16 MB CCX L3 -> pool exceeds eff. capacity
+    let params = TuningParams::new([512, 16, 1], Fold::new(4, 1, 1));
+    let h = 1e-7;
+    let a = measure_plan(&erk_plan(&Tableau::rk4(), &ivp, h, Variant::A), &m, &params).unwrap();
+    let d = measure_plan(&erk_plan(&Tableau::rk4(), &ivp, h, Variant::D), &m, &params).unwrap();
+    assert!(
+        d.seconds_per_step < a.seconds_per_step,
+        "D {:.3e}s vs A {:.3e}s",
+        d.seconds_per_step,
+        a.seconds_per_step
+    );
+    assert!(d.mem_bytes_per_step <= a.mem_bytes_per_step * 1.05);
+}
+
+#[test]
+fn plan_prediction_orders_variants_like_simulation() {
+    let ivp = Heat2d::new(512);
+    let m = Machine::rome();
+    let params = TuningParams::new([512, 16, 1], Fold::new(4, 1, 1));
+    let h = 1e-7;
+    let mut pred = Vec::new();
+    let mut meas = Vec::new();
+    for v in [Variant::A, Variant::D, Variant::E] {
+        let plan = erk_plan(&Tableau::rk4(), &ivp, h, v);
+        pred.push(predict_plan(&plan, &m, &params, 1).seconds_per_step);
+        meas.push(measure_plan(&plan, &m, &params).unwrap().seconds_per_step);
+    }
+    let argmin = |v: &[f64]| {
+        v.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap()
+    };
+    assert_eq!(
+        argmin(&pred),
+        argmin(&meas),
+        "prediction must rank the fastest variant first (pred {pred:?}, meas {meas:?})"
+    );
+}

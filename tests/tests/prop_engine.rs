@@ -1,0 +1,116 @@
+//! Property-based tests of the execution engine: for arbitrary stencils,
+//! folds, blocks and thread counts, every optimised path must equal the
+//! scalar reference.
+
+use proptest::prelude::*;
+use xtests::seeded_grid;
+use yasksite_engine::{apply_native, run_wavefront_native, TuningParams};
+use yasksite_grid::{Fold, Grid3};
+use yasksite_stencil::{at, c, Expr, Stencil};
+
+/// Strategy: a random linear stencil with offsets within radius 2.
+fn arb_linear_stencil() -> impl Strategy<Value = Stencil> {
+    proptest::collection::vec(
+        ((-2i32..=2), (-2i32..=2), (-2i32..=2), -2.0f64..2.0),
+        1..8,
+    )
+    .prop_map(|terms| {
+        let exprs: Vec<Expr> = terms
+            .iter()
+            .map(|&(dx, dy, dz, w)| c(w) * at(0, dx, dy, dz))
+            .collect();
+        Stencil::new("prop", 3, 1, Expr::sum(exprs))
+    })
+}
+
+fn arb_fold() -> impl Strategy<Value = Fold> {
+    prop_oneof![
+        Just(Fold::new(8, 1, 1)),
+        Just(Fold::new(4, 2, 1)),
+        Just(Fold::new(2, 2, 2)),
+        Just(Fold::unit()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked + folded + threaded execution equals the scalar reference
+    /// for arbitrary linear stencils.
+    #[test]
+    fn native_equals_reference(
+        stencil in arb_linear_stencil(),
+        fold in arb_fold(),
+        bx in 1usize..20,
+        by in 1usize..8,
+        bz in 1usize..8,
+        threads in 1usize..4,
+        nx in 4usize..20,
+        ny in 3usize..10,
+        nz in 3usize..10,
+    ) {
+        let n = [nx, ny, nz];
+        let halo = stencil.info().radius;
+        let u = seeded_grid("u", n, halo, fold, 7);
+        let mut out = Grid3::new("o", n, halo, fold);
+        let params = TuningParams::new([bx, by, bz], fold).threads(threads);
+        apply_native(&stencil, &[&u], &mut out, &params).unwrap();
+
+        let u_ref = seeded_grid("ur", n, halo, Fold::unit(), 7);
+        let mut want = Grid3::new("w", n, halo, Fold::unit());
+        stencil.apply_reference(&[&u_ref], &mut want).unwrap();
+        prop_assert!(out.max_abs_diff(&want).unwrap() < 1e-9);
+    }
+
+    /// Wavefront execution of any depth equals repeated plain sweeps.
+    #[test]
+    fn wavefront_equals_repeated_sweeps(
+        stencil in arb_linear_stencil(),
+        depth in 1usize..5,
+        nx in 4usize..16,
+        ny in 3usize..8,
+        nz in 3usize..8,
+    ) {
+        let n = [nx, ny, nz];
+        let halo = stencil.info().radius;
+        let fold = Fold::new(8, 1, 1);
+        let params = TuningParams::new(n, fold).wavefront(depth);
+
+        // Wavefront path.
+        let mut a = seeded_grid("a", n, halo, fold, 3);
+        let mut b = seeded_grid("b", n, halo, fold, 3);
+        b.fill_halo(0.0);
+        a.fill_halo(0.0);
+        run_wavefront_native(&stencil, &mut a, &mut b, &params).unwrap();
+
+        // Plain path: depth sweeps with ping-pong, halos fixed at 0.
+        let mut x = seeded_grid("x", n, halo, fold, 3);
+        let mut y = seeded_grid("y", n, halo, fold, 3);
+        x.fill_halo(0.0);
+        y.fill_halo(0.0);
+        let plain = TuningParams::new(n, fold);
+        for _ in 0..depth {
+            apply_native(&stencil, &[&x], &mut y, &plain).unwrap();
+            x.swap_data(&mut y).unwrap();
+        }
+        prop_assert!(a.max_abs_diff(&x).unwrap() < 1e-9);
+    }
+
+    /// Results never depend on the block decomposition at all.
+    #[test]
+    fn block_invariance(
+        stencil in arb_linear_stencil(),
+        b1 in 1usize..32,
+        b2 in 1usize..32,
+    ) {
+        let n = [13, 7, 5];
+        let halo = stencil.info().radius;
+        let fold = Fold::new(8, 1, 1);
+        let u = seeded_grid("u", n, halo, fold, 11);
+        let mut o1 = Grid3::new("o1", n, halo, fold);
+        let mut o2 = Grid3::new("o2", n, halo, fold);
+        apply_native(&stencil, &[&u], &mut o1, &TuningParams::new([b1, b2, b1], fold)).unwrap();
+        apply_native(&stencil, &[&u], &mut o2, &TuningParams::new([b2, b1, b2], fold)).unwrap();
+        prop_assert_eq!(o1.max_abs_diff(&o2).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests tying the simulator to physical lower/upper bounds for
+//! arbitrary stencil configurations.
+
+use proptest::prelude::*;
+use xtests::seeded_grid;
+use yasksite_arch::Machine;
+use yasksite_engine::{apply_simulated, SimContext, TuningParams};
+use yasksite_grid::{Fold, Grid3};
+use yasksite_stencil::builders::star3d;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A cold sweep's memory reads are bounded below by the compulsory
+    /// input footprint and above by the total issued accesses; writes
+    /// never exceed the lines the output occupies (plus eviction slack).
+    #[test]
+    fn traffic_within_physical_bounds(
+        r in 1usize..3,
+        nx in 16usize..48,
+        ny in 8usize..24,
+        nz in 4usize..16,
+        by in 2usize..16,
+        bz in 2usize..16,
+        cores in 1usize..4,
+    ) {
+        let m = Machine::cascade_lake();
+        let s = star3d(r, &vec![0.25; r + 1]);
+        let fold = Fold::new(8, 1, 1);
+        let n = [nx, ny, nz];
+        let u = seeded_grid("u", n, [r, r, r], fold, 5);
+        let o = Grid3::new("o", n, [r, r, r], fold);
+        let p = TuningParams::new([nx, by, bz], fold).threads(cores);
+        let mut ctx = SimContext::new(&m, cores);
+        apply_simulated(&s, &[&u], &o, &p, &mut ctx).unwrap();
+        let st = ctx.finish().stats;
+
+        // Lower bound: every distinct input line must be fetched once.
+        let input_lines = (u.bytes() / 64) as u64;
+        // The traversal touches at most the allocated lines of both grids
+        // once each... per block-halo reload; accesses is a hard ceiling.
+        prop_assert!(st.mem_read_lines >= input_lines / 2, "reads {} < {}", st.mem_read_lines, input_lines / 2);
+        prop_assert!(st.mem_read_lines <= st.accesses);
+        // Writebacks cannot exceed all dirty lines ever created.
+        let output_lines = (o.bytes() / 64) as u64;
+        prop_assert!(st.mem_write_lines <= output_lines + input_lines);
+        // Boundary monotonicity: inner boundaries carry at least what
+        // crosses the memory interface.
+        prop_assert!(st.boundary_total(0) >= st.boundary_total(2));
+    }
+
+    /// The per-core split covers all work: every active core issues
+    /// accesses when there are at least as many blocks as cores.
+    #[test]
+    fn every_core_participates(
+        ny in 16usize..32,
+        nz in 16usize..32,
+        cores in 2usize..6,
+    ) {
+        let m = Machine::cascade_lake();
+        let s = star3d(1, &[0.5, 0.1]);
+        let fold = Fold::new(8, 1, 1);
+        let n = [16, ny, nz];
+        let u = seeded_grid("u", n, [1, 1, 1], fold, 9);
+        let o = Grid3::new("o", n, [1, 1, 1], fold);
+        let p = TuningParams::new([16, 4, 4], fold).threads(cores);
+        let mut ctx = SimContext::new(&m, cores);
+        apply_simulated(&s, &[&u], &o, &p, &mut ctx).unwrap();
+        let st = ctx.finish().stats;
+        for c in 0..cores {
+            prop_assert!(st.boundary_lines[0][c] > 0, "core {c} got no work");
+        }
+    }
+}
