@@ -123,7 +123,10 @@ impl CacheLevel {
         }
         let sets = self.num_sets();
         if sets == 0 || !sets.is_power_of_two() {
-            return Err(format!("{}: set count {sets} must be a power of two", self.name));
+            return Err(format!(
+                "{}: set count {sets} must be a power of two",
+                self.name
+            ));
         }
         if self.bytes_per_cycle <= 0.0 || self.bytes_per_cycle.is_nan() {
             return Err(format!("{}: bandwidth must be positive", self.name));

@@ -20,9 +20,74 @@
 //! Cache lines are `name size_bytes assoc bytes_per_cycle policy scope`;
 //! `scope` is `per_core`, `per_socket` or `ccx:<n>`.
 
+use std::fmt;
+
 use crate::cache::{CacheLevel, InclusionPolicy, Scope, WritePolicy};
 use crate::machine::{Machine, MachineKind};
 use crate::ports::{PortModel, SimdIsa};
+
+/// What kind of problem a machine file has.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineFileErrorKind {
+    /// A line is not of the `key = value` shape.
+    Syntax {
+        /// What the parser expected instead.
+        detail: String,
+    },
+    /// A property key the format does not define.
+    UnknownKey {
+        /// The offending key.
+        key: String,
+    },
+    /// A value that fails to parse or names an unknown variant.
+    BadValue {
+        /// What is wrong with the value.
+        detail: String,
+    },
+    /// The file parsed, but the assembled model fails
+    /// [`Machine::validate`].
+    InvalidModel {
+        /// The first inconsistency `validate` found.
+        detail: String,
+    },
+}
+
+/// A machine-file parse failure: the offending line (1-based, `None` for
+/// whole-model validation failures) plus the kind of problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineFileError {
+    /// 1-based line number the error was detected on, when line-local.
+    pub line: Option<usize>,
+    /// The category and detail of the failure.
+    pub kind: MachineFileErrorKind,
+}
+
+impl MachineFileError {
+    fn at(line: usize, kind: MachineFileErrorKind) -> Self {
+        MachineFileError {
+            line: Some(line),
+            kind,
+        }
+    }
+}
+
+impl fmt::Display for MachineFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(line) = self.line {
+            write!(f, "line {line}: ")?;
+        }
+        match &self.kind {
+            MachineFileErrorKind::Syntax { detail } => write!(f, "{detail}"),
+            MachineFileErrorKind::UnknownKey { key } => write!(f, "unknown key '{key}'"),
+            MachineFileErrorKind::BadValue { detail } => write!(f, "{detail}"),
+            MachineFileErrorKind::InvalidModel { detail } => {
+                write!(f, "invalid machine model: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineFileError {}
 
 /// Parses a machine description in the documented `key = value` format.
 ///
@@ -30,9 +95,10 @@ use crate::ports::{PortModel, SimdIsa};
 /// 1-store server-core configuration.
 ///
 /// # Errors
-/// Returns a line-tagged message for syntax errors, unknown keys, or a
-/// model that fails [`Machine::validate`].
-pub fn parse_machine(text: &str) -> Result<Machine, String> {
+/// Returns a line-tagged [`MachineFileError`] for syntax errors, unknown
+/// keys and bad values, and a line-less one for a model that fails
+/// [`Machine::validate`].
+pub fn parse_machine(text: &str) -> Result<Machine, MachineFileError> {
     let mut m = Machine {
         name: "custom".into(),
         kind: MachineKind::Custom,
@@ -57,13 +123,20 @@ pub fn parse_machine(text: &str) -> Result<Machine, String> {
         if line.is_empty() {
             continue;
         }
-        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
-        let (key, value) = line
-            .split_once('=')
-            .ok_or_else(|| at("expected 'key = value'".into()))?;
+        let bad = |detail: String| {
+            MachineFileError::at(lineno + 1, MachineFileErrorKind::BadValue { detail })
+        };
+        let (key, value) = line.split_once('=').ok_or_else(|| {
+            MachineFileError::at(
+                lineno + 1,
+                MachineFileErrorKind::Syntax {
+                    detail: "expected 'key = value'".into(),
+                },
+            )
+        })?;
         let (key, value) = (key.trim(), value.trim());
-        let parse_f64 = |v: &str| -> Result<f64, String> {
-            v.parse().map_err(|_| at(format!("'{v}' is not a number")))
+        let parse_f64 = |v: &str| -> Result<f64, MachineFileError> {
+            v.parse().map_err(|_| bad(format!("'{v}' is not a number")))
         };
         match key {
             "name" => m.name = value.to_string(),
@@ -71,25 +144,25 @@ pub fn parse_machine(text: &str) -> Result<Machine, String> {
             "cores_per_socket" => {
                 m.cores_per_socket = value
                     .parse()
-                    .map_err(|_| at(format!("'{value}' is not a count")))?;
+                    .map_err(|_| bad(format!("'{value}' is not a count")))?;
             }
             "sockets" => {
                 m.sockets = value
                     .parse()
-                    .map_err(|_| at(format!("'{value}' is not a count")))?;
+                    .map_err(|_| bad(format!("'{value}' is not a count")))?;
             }
             "simd" => {
                 m.ports.simd = match value.to_ascii_lowercase().as_str() {
                     "sse" => SimdIsa::Sse,
                     "avx2" | "avx" => SimdIsa::Avx2,
                     "avx512" => SimdIsa::Avx512,
-                    other => return Err(at(format!("unknown SIMD '{other}'"))),
+                    other => return Err(bad(format!("unknown SIMD '{other}'"))),
                 };
             }
             "fma_ports" => {
                 m.ports.fma_ports = value
                     .parse()
-                    .map_err(|_| at(format!("'{value}' is not a count")))?;
+                    .map_err(|_| bad(format!("'{value}' is not a count")))?;
             }
             "load_ports" => m.ports.load_ports = parse_f64(value)?,
             "store_ports" => m.ports.store_ports = parse_f64(value)?,
@@ -99,17 +172,17 @@ pub fn parse_machine(text: &str) -> Result<Machine, String> {
             "cache" => {
                 let f: Vec<&str> = value.split_whitespace().collect();
                 if f.len() != 6 {
-                    return Err(at(
-                        "cache needs: name size assoc bytes_per_cycle policy scope".into()
+                    return Err(bad(
+                        "cache needs: name size assoc bytes_per_cycle policy scope".into(),
                     ));
                 }
-                let parse_usize = |v: &str| -> Result<usize, String> {
-                    v.parse().map_err(|_| at(format!("'{v}' is not a count")))
+                let parse_usize = |v: &str| -> Result<usize, MachineFileError> {
+                    v.parse().map_err(|_| bad(format!("'{v}' is not a count")))
                 };
                 let inclusion = match f[4] {
                     "inclusive" => InclusionPolicy::Inclusive,
                     "victim" => InclusionPolicy::Victim,
-                    other => return Err(at(format!("unknown policy '{other}'"))),
+                    other => return Err(bad(format!("unknown policy '{other}'"))),
                 };
                 let scope = if f[5] == "per_core" {
                     Scope::PerCore
@@ -118,7 +191,7 @@ pub fn parse_machine(text: &str) -> Result<Machine, String> {
                 } else if let Some(n) = f[5].strip_prefix("ccx:") {
                     Scope::PerCoreGroup(parse_usize(n)?)
                 } else {
-                    return Err(at(format!("unknown scope '{}'", f[5])));
+                    return Err(bad(format!("unknown scope '{}'", f[5])));
                 };
                 m.caches.push(CacheLevel {
                     name: f[0].to_string(),
@@ -132,10 +205,18 @@ pub fn parse_machine(text: &str) -> Result<Machine, String> {
                     scope,
                 });
             }
-            other => return Err(at(format!("unknown key '{other}'"))),
+            other => {
+                return Err(MachineFileError::at(
+                    lineno + 1,
+                    MachineFileErrorKind::UnknownKey { key: other.into() },
+                ))
+            }
         }
     }
-    m.validate()?;
+    m.validate().map_err(|detail| MachineFileError {
+        line: None,
+        kind: MachineFileErrorKind::InvalidModel { detail },
+    })?;
     Ok(m)
 }
 
@@ -224,18 +305,43 @@ cache = L3 33554432 16 16 victim per_socket
     #[test]
     fn errors_carry_line_numbers() {
         let err = parse_machine("freq_ghz = fast\n").unwrap_err();
-        assert!(err.starts_with("line 1:"), "{err}");
+        assert_eq!(err.line, Some(1));
+        assert!(err.to_string().starts_with("line 1:"), "{err}");
         let err = parse_machine("name = x\nbogus_key = 1\n").unwrap_err();
-        assert!(err.starts_with("line 2:"), "{err}");
+        assert_eq!(err.line, Some(2));
+        assert_eq!(
+            err.kind,
+            MachineFileErrorKind::UnknownKey {
+                key: "bogus_key".into()
+            }
+        );
         let err = parse_machine("cache = L1 32768 8\n").unwrap_err();
-        assert!(err.contains("cache needs"), "{err}");
+        assert!(err.to_string().contains("cache needs"), "{err}");
+        let err = parse_machine("no equals sign here\n").unwrap_err();
+        assert!(
+            matches!(err.kind, MachineFileErrorKind::Syntax { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn invalid_models_rejected_after_parse() {
         // Valid syntax, but no caches / zero frequency -> validate() fails.
         let err = parse_machine("name = x\n").unwrap_err();
-        assert!(err.contains("frequency") || err.contains("cache"), "{err}");
+        assert_eq!(err.line, None);
+        assert!(
+            matches!(err.kind, MachineFileErrorKind::InvalidModel { .. }),
+            "{err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("frequency") || msg.contains("cache"), "{msg}");
+    }
+
+    #[test]
+    fn machine_file_error_is_std_error() {
+        let err = parse_machine("freq_ghz = fast\n").unwrap_err();
+        let dyn_err: &dyn std::error::Error = &err;
+        assert!(dyn_err.to_string().contains("not a number"));
     }
 
     #[test]

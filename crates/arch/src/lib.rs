@@ -31,7 +31,7 @@ mod ports;
 mod table;
 
 pub use cache::{CacheLevel, InclusionPolicy, Scope, WritePolicy};
-pub use file::{format_machine, parse_machine};
+pub use file::{format_machine, parse_machine, MachineFileError, MachineFileErrorKind};
 pub use machine::{Machine, MachineKind};
 pub use ports::{PortModel, SimdIsa};
 pub use table::machine_table;

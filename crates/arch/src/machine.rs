@@ -225,7 +225,9 @@ impl Machine {
     /// Cache line length (identical across levels after validation).
     #[must_use]
     pub fn line_bytes(&self) -> usize {
-        self.caches.first().map_or(crate::LINE_BYTES, |c| c.line_bytes)
+        self.caches
+            .first()
+            .map_or(crate::LINE_BYTES, |c| c.line_bytes)
     }
 
     /// Cycles to move one cache line between `caches[level]` and the level
@@ -282,8 +284,10 @@ impl Machine {
             if w[1].line_bytes != line {
                 return Err("all cache levels must share one line size".into());
             }
-            let cap0 = w[0].size_bytes * self.cores_per_socket / w[0].scope.sharers(self.cores_per_socket);
-            let cap1 = w[1].size_bytes * self.cores_per_socket / w[1].scope.sharers(self.cores_per_socket);
+            let cap0 =
+                w[0].size_bytes * self.cores_per_socket / w[0].scope.sharers(self.cores_per_socket);
+            let cap1 =
+                w[1].size_bytes * self.cores_per_socket / w[1].scope.sharers(self.cores_per_socket);
             if cap1 < cap0 {
                 return Err(format!(
                     "aggregate capacity of {} below {}",

@@ -15,7 +15,15 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn machine_table(machines: &[Machine]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<28} {}", "parameter", machines.iter().map(|m| format!("{:>24}", m.tag())).collect::<String>());
+    let _ = writeln!(
+        out,
+        "{:<28} {}",
+        "parameter",
+        machines
+            .iter()
+            .map(|m| format!("{:>24}", m.tag()))
+            .collect::<String>()
+    );
     let row = |out: &mut String, label: &str, f: &dyn Fn(&Machine) -> String| {
         let _ = write!(out, "{label:<28} ");
         for m in machines {
@@ -24,23 +32,42 @@ pub fn machine_table(machines: &[Machine]) -> String {
         let _ = writeln!(out);
     };
     row(&mut out, "model", &|m| {
-        m.name.split('(').nth(1).unwrap_or(&m.name).trim_end_matches(')').to_string()
+        m.name
+            .split('(')
+            .nth(1)
+            .unwrap_or(&m.name)
+            .trim_end_matches(')')
+            .to_string()
     });
     row(&mut out, "clock [GHz]", &|m| format!("{:.2}", m.freq_ghz));
-    row(&mut out, "cores/socket", &|m| m.cores_per_socket.to_string());
+    row(&mut out, "cores/socket", &|m| {
+        m.cores_per_socket.to_string()
+    });
     row(&mut out, "SIMD", &|m| format!("{:?}", m.ports.simd));
-    row(&mut out, "peak GF/s per core", &|m| format!("{:.1}", m.peak_gflops_core()));
+    row(&mut out, "peak GF/s per core", &|m| {
+        format!("{:.1}", m.peak_gflops_core())
+    });
     for (i, _) in machines[0].caches.iter().enumerate() {
-        row(&mut out, &format!("{} size [KiB]", machines[0].caches[i].name), &|m| {
-            format!("{}", m.caches[i].size_bytes / 1024)
-        });
-        row(&mut out, &format!("{} bw [B/cy]", machines[0].caches[i].name), &|m| {
-            format!("{:.0}", m.caches[i].bytes_per_cycle)
-        });
+        row(
+            &mut out,
+            &format!("{} size [KiB]", machines[0].caches[i].name),
+            &|m| format!("{}", m.caches[i].size_bytes / 1024),
+        );
+        row(
+            &mut out,
+            &format!("{} bw [B/cy]", machines[0].caches[i].name),
+            &|m| format!("{:.0}", m.caches[i].bytes_per_cycle),
+        );
     }
-    row(&mut out, "mem bw socket [GB/s]", &|m| format!("{:.0}", m.mem_bw_gbs));
-    row(&mut out, "mem bw 1-core [GB/s]", &|m| format!("{:.0}", m.mem_bw_single_core_gbs));
-    row(&mut out, "mem cy/CL (1 core)", &|m| format!("{:.1}", m.mem_cycles_per_line()));
+    row(&mut out, "mem bw socket [GB/s]", &|m| {
+        format!("{:.0}", m.mem_bw_gbs)
+    });
+    row(&mut out, "mem bw 1-core [GB/s]", &|m| {
+        format!("{:.0}", m.mem_bw_single_core_gbs)
+    });
+    row(&mut out, "mem cy/CL (1 core)", &|m| {
+        format!("{:.1}", m.mem_cycles_per_line())
+    });
     out
 }
 

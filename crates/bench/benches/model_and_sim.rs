@@ -58,5 +58,10 @@ fn bench_hierarchy_access(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ecm_eval, bench_simulated_measure, bench_hierarchy_access);
+criterion_group!(
+    benches,
+    bench_ecm_eval,
+    bench_simulated_measure,
+    bench_hierarchy_access
+);
 criterion_main!(benches);

@@ -3,10 +3,10 @@
 //! D/E should beat variant A on memory-bound right-hand sides.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use yasksite_ode::ivps::{Heat2d, Ivp};
-use yasksite_ode::{erk_plan, pirk_plan, Integrator, Tableau, Variant};
 use yasksite_engine::TuningParams;
 use yasksite_grid::Fold;
+use yasksite_ode::ivps::{Heat2d, Ivp};
+use yasksite_ode::{erk_plan, pirk_plan, Integrator, Tableau, Variant};
 
 fn params(ivp: &dyn Ivp) -> TuningParams {
     let d = ivp.domain();

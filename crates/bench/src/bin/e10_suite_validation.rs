@@ -7,6 +7,9 @@ use yasksite_bench::Scale;
 fn main() {
     let scale = Scale::from_args();
     for m in [Machine::cascade_lake(), Machine::rome()] {
-        println!("{}", yasksite_bench::experiments::e10_suite_validation(&m, scale));
+        println!(
+            "{}",
+            yasksite_bench::experiments::e10_suite_validation(&m, scale)
+        );
     }
 }

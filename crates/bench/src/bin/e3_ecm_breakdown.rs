@@ -6,5 +6,7 @@ use yasksite_arch::Machine;
 use yasksite_bench::Scale;
 
 fn main() {
-    for m in [Machine::cascade_lake(), Machine::rome()] { println!("{}", yasksite_bench::experiments::e3_ecm_breakdown(&m)); }
+    for m in [Machine::cascade_lake(), Machine::rome()] {
+        println!("{}", yasksite_bench::experiments::e3_ecm_breakdown(&m));
+    }
 }

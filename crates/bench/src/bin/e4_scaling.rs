@@ -6,5 +6,8 @@ use yasksite_arch::Machine;
 use yasksite_bench::Scale;
 
 fn main() {
-    let scale = Scale::from_args(); for m in [Machine::cascade_lake(), Machine::rome()] { println!("{}", yasksite_bench::experiments::e4_scaling(&m, scale)); }
+    let scale = Scale::from_args();
+    for m in [Machine::cascade_lake(), Machine::rome()] {
+        println!("{}", yasksite_bench::experiments::e4_scaling(&m, scale));
+    }
 }

@@ -6,5 +6,9 @@ use yasksite_arch::Machine;
 use yasksite_bench::Scale;
 
 fn main() {
-    let scale = Scale::from_args(); println!("{}", yasksite_bench::experiments::e5_block_sweep(&Machine::cascade_lake(), scale));
+    let scale = Scale::from_args();
+    println!(
+        "{}",
+        yasksite_bench::experiments::e5_block_sweep(&Machine::cascade_lake(), scale)
+    );
 }

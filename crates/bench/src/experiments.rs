@@ -149,11 +149,18 @@ pub fn e4_scaling(machine: &Machine, scale: Scale) -> String {
     let domain = scale.heat3d_domain(machine);
     let fold = fold_for(machine);
     let sol = Solution::new(s.clone(), domain, machine.clone());
-    let space = SearchSpace::spatial_only(&s, domain, machine)
-        .with_folds(vec![fold]);
+    let space = SearchSpace::spatial_only(&s, domain, machine).with_folds(vec![fold]);
     let info = s.info();
 
-    let mut t = Table::new(&["cores", "block", "ECM", "measured", "roofline", "err%", "saturated"]);
+    let mut t = Table::new(&[
+        "cores",
+        "block",
+        "ECM",
+        "measured",
+        "roofline",
+        "err%",
+        "saturated",
+    ]);
     let mut max_err: f64 = 0.0;
     let mut tuned = sol
         .tune_space(&space, TuneStrategy::Analytic, 1)
@@ -174,12 +181,20 @@ pub fn e4_scaling(machine: &Machine, scale: Scale) -> String {
         max_err = max_err.max(err);
         t.row(vec![
             cores.to_string(),
-            format!("{}x{}x{}", params.block[0], params.block[1], params.block[2]),
+            format!(
+                "{}x{}x{}",
+                params.block[0], params.block[1], params.block[2]
+            ),
             format!("{:.0}", pred.mlups),
             format!("{:.0}", meas.mlups),
             format!("{:.0}", rl),
             format!("{err:.0}"),
-            if pred.ecm.sat_cores <= cores { "yes" } else { "no" }.to_string(),
+            if pred.ecm.sat_cores <= cores {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     let _ = tuned;
@@ -214,10 +229,7 @@ pub fn e5_block_sweep(machine: &Machine, scale: Scale) -> String {
         let meas = sol.measure(&p).expect("simulated run").mlups;
         rows.push((p, pred, meas));
     }
-    let best = rows
-        .iter()
-        .map(|r| r.2)
-        .fold(0.0f64, f64::max);
+    let best = rows.iter().map(|r| r.2).fold(0.0f64, f64::max);
     let mut t = Table::new(&["block", "ECM", "measured", "%of-best", "pick"]);
     for (p, pred, meas) in &rows {
         let pick = if *p == analytic.best { "<= model" } else { "" };
@@ -260,8 +272,7 @@ pub fn e6_wavefront(machine: &Machine, scale: Scale) -> String {
         let pred = sol.predict(&p, 1);
         let meas = sol.measure(&p).expect("simulated run");
         let bytes_per_lup = meas.stats.as_ref().map_or(0.0, |st| {
-            st.mem_bytes(machine.line_bytes()) / (2 * depth) as f64
-                / sol.updates_per_sweep() as f64
+            st.mem_bytes(machine.line_bytes()) / (2 * depth) as f64 / sol.updates_per_sweep() as f64
         });
         if depth == 1 {
             base = meas.mlups;
@@ -364,7 +375,9 @@ fn eval_ivp(
     h: f64,
     t: &mut Table,
 ) -> offsite::EvalReport {
-    let r = offsite.evaluate(ivp, methods, h).expect("evaluation succeeds");
+    let r = offsite
+        .evaluate(ivp, methods, h)
+        .expect("evaluation succeeds");
     for c in &r.candidates {
         t.row(vec![
             ivp.name().to_string(),
@@ -384,7 +397,13 @@ pub fn e7_prediction_accuracy(machine: &Machine, scale: Scale) -> String {
     let offsite = Offsite::new(machine.clone(), 1);
     let (n2, n3, ni) = scale.ode_sizes();
     let methods = MethodSpec::paper_set();
-    let mut t = Table::new(&["ivp", "method/variant", "predicted[s]", "measured[s]", "err%"]);
+    let mut t = Table::new(&[
+        "ivp",
+        "method/variant",
+        "predicted[s]",
+        "measured[s]",
+        "err%",
+    ]);
     let mut lines = String::new();
     let heat2d = Heat2d::new(n2);
     let heat3d = Heat3d::new(n3);
@@ -430,13 +449,11 @@ pub fn e8_speedups(machine: &Machine, scale: Scale) -> String {
         (&heat3d as &dyn Ivp, 1e-6),
         (&inv as &dyn Ivp, 1e-4),
     ] {
-        let r = offsite.evaluate(ivp, &methods, h).expect("evaluation succeeds");
+        let r = offsite
+            .evaluate(ivp, &methods, h)
+            .expect("evaluation succeeds");
         for (m, sp) in &r.speedups {
-            t.row(vec![
-                ivp.name().to_string(),
-                m.clone(),
-                format!("{sp:.2}x"),
-            ]);
+            t.row(vec![ivp.name().to_string(), m.clone(), format!("{sp:.2}x")]);
         }
     }
     format!(
@@ -454,10 +471,14 @@ pub fn e9_tuning_cost(machine: &Machine, scale: Scale) -> String {
     let s = builders::heat3d(1);
     let domain = scale.sweep_domain();
     let sol = Solution::new(s.clone(), domain, machine.clone());
-    let space = SearchSpace::spatial_only(&s, domain, machine)
-        .with_folds(vec![fold_for(machine)]);
+    let space = SearchSpace::spatial_only(&s, domain, machine).with_folds(vec![fold_for(machine)]);
     let mut t = Table::new(&[
-        "strategy", "model evals", "runs", "target[s]", "wall[s]", "quality%",
+        "strategy",
+        "model evals",
+        "runs",
+        "target[s]",
+        "wall[s]",
+        "quality%",
     ]);
     let empirical = sol
         .tune_space(&space, TuneStrategy::Empirical, 1)

@@ -64,7 +64,11 @@ impl Table {
             let _ = writeln!(out);
         };
         render_row(&mut out, &self.header);
-        let _ = writeln!(out, "{}", "-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(width.iter().sum::<usize>() + 2 * (ncols - 1))
+        );
         for row in &self.rows {
             render_row(&mut out, row);
         }

@@ -5,9 +5,10 @@
 use std::process::ExitCode;
 
 use yasksite::cli::{
-    machine_from_flags, params_from_flags, parse_flags, parse_triple, stencil_by_name, USAGE,
+    machine_from_flags, params_from_flags, parse_flags, parse_triple, stencil_by_name,
+    trials_from_flags, USAGE,
 };
-use yasksite::{SearchSpace, Solution, TuneStrategy};
+use yasksite::{Provenance, SearchSpace, Solution, TuneStrategy};
 use yasksite_arch::{machine_table, Machine};
 use yasksite_stencil::{paper_suite, stencil_table};
 
@@ -31,7 +32,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "predict" | "measure" | "codegen" | "tune" => {
-            let machine = machine_from_flags(&flags)?;
+            let machine = machine_from_flags(&flags).map_err(|e| e.to_string())?;
             let sname = flags
                 .get("stencil")
                 .ok_or_else(|| "--stencil <name> is required".to_string())?;
@@ -54,7 +55,11 @@ fn run() -> Result<(), String> {
                         "prediction @ {cores} cores: {:.0} MLUP/s, {:.4} s/sweep{}",
                         p.mlups,
                         p.seconds_per_sweep,
-                        if p.wavefront_effective { " (wavefront active)" } else { "" }
+                        if p.wavefront_effective {
+                            " (wavefront active)"
+                        } else {
+                            ""
+                        }
                     );
                 }
                 "measure" => {
@@ -79,24 +84,39 @@ fn run() -> Result<(), String> {
                     print!("{}", sol.codegen(&params).source);
                 }
                 "tune" => {
-                    let cores: usize = flags
-                        .get("cores")
-                        .map_or(Ok(1), |c| c.parse().map_err(|_| format!("bad --cores '{c}'")))?;
+                    let cores: usize = flags.get("cores").map_or(Ok(1), |c| {
+                        c.parse().map_err(|_| format!("bad --cores '{c}'"))
+                    })?;
                     let strategy = match flags.get("strategy").map(String::as_str) {
                         None | Some("analytic") => TuneStrategy::Analytic,
                         Some("hybrid") => TuneStrategy::Hybrid { shortlist: 3 },
                         Some("empirical") => TuneStrategy::Empirical,
                         Some(other) => return Err(format!("unknown strategy '{other}'")),
                     };
+                    let (cfg, mut budget) = trials_from_flags(&flags)?;
                     let space = SearchSpace::standard(sol.stencil(), domain, &machine);
                     let r = sol
-                        .tune_space(&space, strategy, cores.max(1))
+                        .tune_space_trials(&space, strategy, cores.max(1), &cfg, &mut budget)
                         .map_err(|e| e.to_string())?;
                     println!("best: {}  ({:.0} MLUP/s)", r.best, r.best_score);
+                    if matches!(r.best_provenance, Some(p) if p.is_fallback()) {
+                        println!(
+                            "warning: the winner rests on the analytic fallback \
+                             (no successful measurement)"
+                        );
+                    }
                     println!("cost: {}", r.cost.summary());
+                    if r.trials.trials > 0 {
+                        println!("trials: {}", r.trials);
+                    }
                     println!("top candidates:");
-                    for (p, s) in r.ranked.iter().take(5) {
-                        println!("  {p:<40} {s:>8.0} MLUP/s");
+                    for (i, (p, s)) in r.ranked.iter().take(5).enumerate() {
+                        let tag = match r.provenances.get(i) {
+                            Some(pr) if pr.is_fallback() => "  [predicted fallback]",
+                            Some(Provenance::Retried { .. }) => "  [retried]",
+                            _ => "",
+                        };
+                        println!("  {p:<40} {s:>8.0} MLUP/s{tag}");
                     }
                 }
                 _ => unreachable!(),

@@ -12,6 +12,8 @@ use yasksite_engine::TuningParams;
 use yasksite_grid::Fold;
 use yasksite_stencil::{builders, paper_suite, Stencil};
 
+use crate::{ToolError, TrialBudget, TrialConfig};
+
 /// Parses `"512x8x8"`-style extent triples.
 ///
 /// # Errors
@@ -64,9 +66,7 @@ pub fn stencil_by_name(name: &str) -> Option<Stencil> {
         return Some(s);
     }
     // Parametric families not in the fixed suite.
-    let parse_r = |prefix: &str| -> Option<usize> {
-        name.strip_prefix(prefix)?.parse().ok()
-    };
+    let parse_r = |prefix: &str| -> Option<usize> { name.strip_prefix(prefix)?.parse().ok() };
     if let Some(r) = parse_r("heat-3d-r") {
         return Some(builders::heat3d(r));
     }
@@ -103,9 +103,9 @@ pub fn params_from_flags(
         }
         None => Fold::new(machine.lanes(), 1, 1),
     };
-    let cores: usize = flags
-        .get("cores")
-        .map_or(Ok(1), |c| c.parse().map_err(|_| format!("bad --cores '{c}'")))?;
+    let cores: usize = flags.get("cores").map_or(Ok(1), |c| {
+        c.parse().map_err(|_| format!("bad --cores '{c}'"))
+    })?;
     let wavefront: usize = flags.get("wavefront").map_or(Ok(1), |w| {
         w.parse().map_err(|_| format!("bad --wavefront '{w}'"))
     })?;
@@ -120,16 +120,65 @@ pub fn params_from_flags(
 /// [`yasksite_arch::parse_machine`] for the format).
 ///
 /// # Errors
-/// Returns a message for unknown machine names, unreadable files or
-/// invalid models.
-pub fn machine_from_flags(flags: &HashMap<String, String>) -> Result<Machine, String> {
+/// Returns [`ToolError::InvalidInput`] for unknown machine names or
+/// unreadable files, and [`ToolError::MachineFile`] — carrying the line
+/// number and error kind — for malformed or invalid model files.
+pub fn machine_from_flags(flags: &HashMap<String, String>) -> Result<Machine, ToolError> {
     if let Some(path) = flags.get("machine-file") {
         let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read '{path}': {e}"))?;
-        return yasksite_arch::parse_machine(&text).map_err(|e| format!("{path}: {e}"));
+            .map_err(|e| ToolError::InvalidInput(format!("cannot read '{path}': {e}")))?;
+        return yasksite_arch::parse_machine(&text).map_err(ToolError::from);
     }
     let name = flags.get("machine").map_or("clx", String::as_str);
-    Machine::by_short_name(name).ok_or_else(|| format!("unknown machine '{name}' (clx|rome|host)"))
+    Machine::by_short_name(name)
+        .ok_or_else(|| ToolError::InvalidInput(format!("unknown machine '{name}' (clx|rome|host)")))
+}
+
+/// Builds the trial protocol and budget from parsed flags:
+/// `--samples N`, `--warmup N`, `--retries N`, `--budget-runs N`,
+/// `--budget-secs S`. With none of the protocol flags given the legacy
+/// single-shot protocol is used (one run per candidate, no retries).
+///
+/// # Errors
+/// Returns a message on malformed values.
+pub fn trials_from_flags(
+    flags: &HashMap<String, String>,
+) -> Result<(TrialConfig, TrialBudget), String> {
+    let get = |key: &str| -> Result<Option<usize>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse().map_err(|_| format!("bad --{key} '{v}'")))
+            .transpose()
+    };
+    let samples = get("samples")?;
+    let warmup = get("warmup")?;
+    let retries = get("retries")?;
+    let mut cfg = if samples.is_none() && warmup.is_none() && retries.is_none() {
+        TrialConfig::single_shot()
+    } else {
+        TrialConfig::default()
+    };
+    if let Some(s) = samples {
+        cfg.samples = s.max(1);
+    }
+    if let Some(w) = warmup {
+        cfg.warmup = w;
+    }
+    if let Some(r) = retries {
+        cfg.max_retries = r;
+    }
+    let mut budget = TrialBudget::unlimited();
+    budget.max_runs = get("budget-runs")?;
+    budget.max_seconds = flags
+        .get("budget-secs")
+        .map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| s.is_finite() && *s > 0.0)
+                .ok_or_else(|| format!("bad --budget-secs '{v}'"))
+        })
+        .transpose()?;
+    Ok((cfg, budget))
 }
 
 /// The usage text of the binary.
@@ -146,6 +195,8 @@ USAGE:
                      natively with --machine host)
   yasksite tune     --stencil <name> --domain AxBxC [--machine ...]
                    [--cores N] [--strategy analytic|hybrid|empirical]
+                   [--samples N] [--warmup N] [--retries N]
+                   [--budget-runs N] [--budget-secs S]
   yasksite codegen  (same flags as predict; prints the C kernel source)
 
 Stencil names: heat-3d-r<r>, heat-2d-r<r>, box-3d-r<r>, star-3d-r<r>,
@@ -210,6 +261,55 @@ mod tests {
         flags.insert("machine".into(), "rome".into());
         assert_eq!(machine_from_flags(&flags).unwrap().tag(), "ROME");
         flags.insert("machine".into(), "m2".into());
-        assert!(machine_from_flags(&flags).is_err());
+        assert!(matches!(
+            machine_from_flags(&flags),
+            Err(ToolError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn machine_file_errors_are_typed() {
+        let dir = std::env::temp_dir().join("yasksite-cli-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.machine");
+        std::fs::write(&path, "definitely not a machine file\n").unwrap();
+        let mut flags = HashMap::new();
+        flags.insert("machine-file".into(), path.to_str().unwrap().to_string());
+        let err = machine_from_flags(&flags).unwrap_err();
+        assert!(matches!(err, ToolError::MachineFile(_)), "{err}");
+        assert!(err.to_string().contains("line 1"), "{err}");
+        flags.insert("machine-file".into(), "/no/such/file".into());
+        assert!(matches!(
+            machine_from_flags(&flags),
+            Err(ToolError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn trial_flags_default_to_single_shot() {
+        let flags = HashMap::new();
+        let (cfg, budget) = trials_from_flags(&flags).unwrap();
+        assert_eq!(cfg.samples, 1);
+        assert_eq!(cfg.warmup, 0);
+        assert_eq!(cfg.max_retries, 0);
+        assert!(budget.max_runs.is_none() && budget.max_seconds.is_none());
+    }
+
+    #[test]
+    fn trial_flags_override_the_protocol() {
+        let mut flags = HashMap::new();
+        flags.insert("samples".into(), "7".into());
+        flags.insert("budget-runs".into(), "100".into());
+        let (cfg, budget) = trials_from_flags(&flags).unwrap();
+        assert_eq!(cfg.samples, 7);
+        // Unspecified knobs fall back to the robust defaults once any
+        // protocol flag is present.
+        assert_eq!(cfg.warmup, TrialConfig::default().warmup);
+        assert_eq!(cfg.max_retries, TrialConfig::default().max_retries);
+        assert_eq!(budget.max_runs, Some(100));
+        flags.insert("budget-secs".into(), "nope".into());
+        assert!(trials_from_flags(&flags).is_err());
+        flags.insert("budget-secs".into(), "-1".into());
+        assert!(trials_from_flags(&flags).is_err());
     }
 }

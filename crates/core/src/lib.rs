@@ -43,6 +43,7 @@ mod online;
 mod predict;
 mod solution;
 mod space;
+mod trial;
 mod tuner;
 
 pub use cost::TuneCost;
@@ -50,4 +51,8 @@ pub use online::OnlineTuner;
 pub use predict::{predict_params, predict_params_resident, PredictedPerf};
 pub use solution::{MeasuredPerf, Solution, ToolError};
 pub use space::SearchSpace;
+pub use trial::{
+    run_trial, FallbackReason, FaultPlan, FaultyBackend, MeasureBackend, Provenance,
+    SolutionBackend, TrialBudget, TrialConfig, TrialResult, TrialRng, TrialSummary,
+};
 pub use tuner::{TuneResult, TuneStrategy};

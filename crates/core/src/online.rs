@@ -6,18 +6,30 @@
 //! steps. This is the empirical counterpart the paper's analytic approach
 //! competes against; having both allows the cost/quality comparison of
 //! experiment E9 to be extended to the online setting.
+//!
+//! The tuner accepts either raw step times ([`OnlineTuner::record`]) or
+//! whole robust trials ([`OnlineTuner::record_trial`]); in the latter
+//! case the [`Provenance`] of every lattice point is retained, so a
+//! winner that rests on an analytic fallback instead of a measurement is
+//! visible to the caller. No method panics: protocol violations and
+//! invalid input come back as [`ToolError`].
 
 use yasksite_engine::TuningParams;
 
+use crate::solution::{Solution, ToolError};
 use crate::space::SearchSpace;
+use crate::trial::{
+    run_trial, MeasureBackend, Provenance, TrialBudget, TrialConfig, TrialResult, TrialSummary,
+};
 
 /// Hill-climbing online tuner over the `(block_y, block_z)` lattice of a
 /// [`SearchSpace`].
 ///
 /// Protocol: repeatedly call [`OnlineTuner::suggest`] for the parameters
-/// to use for the next measured step(s), then [`OnlineTuner::record`]
-/// with the observed seconds. When [`OnlineTuner::converged`] turns true,
-/// [`OnlineTuner::best`] is the tuned configuration.
+/// to use for the next measured step(s), then [`OnlineTuner::record`] (or
+/// [`OnlineTuner::record_trial`]) with the observation. When
+/// [`OnlineTuner::converged`] turns true, [`OnlineTuner::best`] is the
+/// tuned configuration.
 #[derive(Debug, Clone)]
 pub struct OnlineTuner {
     /// Distinct y-extents, ascending.
@@ -26,42 +38,49 @@ pub struct OnlineTuner {
     zs: Vec<usize>,
     /// Measurement per lattice point (`ys.len() * zs.len()`), seconds.
     measured: Vec<Option<f64>>,
+    /// Provenance per lattice point, parallel to `measured`.
+    prov: Vec<Option<Provenance>>,
     template: TuningParams,
     /// Current best lattice point.
     best: (usize, usize),
     /// Points queued for measurement.
     queue: Vec<(usize, usize)>,
     trials: usize,
+    /// Aggregate statistics over recorded trials.
+    summary: TrialSummary,
 }
 
 impl OnlineTuner {
     /// Builds the tuner from a search space (its block list defines the
     /// lattice) and a parameter template providing fold/threads/etc.
     ///
-    /// # Panics
-    /// Panics if the space has no blocks.
-    #[must_use]
-    pub fn new(space: &SearchSpace, template: TuningParams) -> Self {
+    /// # Errors
+    /// [`ToolError::InvalidInput`] if the space has no blocks.
+    pub fn new(space: &SearchSpace, template: TuningParams) -> Result<Self, ToolError> {
         let mut ys: Vec<usize> = space.blocks().iter().map(|b| b[1]).collect();
         let mut zs: Vec<usize> = space.blocks().iter().map(|b| b[2]).collect();
         ys.sort_unstable();
         ys.dedup();
         zs.sort_unstable();
         zs.dedup();
-        assert!(!ys.is_empty() && !zs.is_empty(), "empty block lattice");
+        if ys.is_empty() || zs.is_empty() {
+            return Err(ToolError::InvalidInput("empty block lattice".into()));
+        }
         // Start in the middle of the lattice.
         let start = (ys.len() / 2, zs.len() / 2);
         let mut t = OnlineTuner {
             measured: vec![None; ys.len() * zs.len()],
+            prov: vec![None; ys.len() * zs.len()],
             ys,
             zs,
             template,
             best: start,
             queue: Vec::new(),
             trials: 0,
+            summary: TrialSummary::default(),
         };
         t.queue.push(start);
-        t
+        Ok(t)
     }
 
     fn idx(&self, p: (usize, usize)) -> usize {
@@ -110,21 +129,51 @@ impl OnlineTuner {
         self.queue.last().map(|&p| self.params_at(p))
     }
 
-    /// Records the measured step time of the most recently suggested
-    /// configuration.
-    ///
-    /// # Panics
-    /// Panics if called without a pending suggestion.
-    pub fn record(&mut self, seconds: f64) {
-        let p = self.queue.pop().expect("record without a pending suggestion");
+    fn record_inner(&mut self, seconds: f64, prov: Provenance) -> Result<(), ToolError> {
+        if !seconds.is_finite() || seconds <= 0.0 {
+            return Err(ToolError::Measurement(format!(
+                "non-finite or non-positive step time {seconds}"
+            )));
+        }
+        let Some(p) = self.queue.pop() else {
+            return Err(ToolError::Protocol(
+                "record without a pending suggestion".into(),
+            ));
+        };
         let i = self.idx(p);
         self.measured[i] = Some(seconds);
+        self.prov[i] = Some(prov);
         self.trials += 1;
         let best_t = self.measured[self.idx(self.best)].unwrap_or(f64::INFINITY);
         if seconds < best_t {
             self.best = p;
             self.queue.clear(); // restart the neighbourhood around the new best
         }
+        Ok(())
+    }
+
+    /// Records the measured step time of the most recently suggested
+    /// configuration.
+    ///
+    /// # Errors
+    /// [`ToolError::Protocol`] without a pending suggestion (the
+    /// observation is discarded and the tuner state is unchanged);
+    /// [`ToolError::Measurement`] for a non-finite or non-positive time
+    /// (the suggestion stays pending so the caller can re-measure).
+    pub fn record(&mut self, seconds: f64) -> Result<(), ToolError> {
+        self.record_inner(seconds, Provenance::Measured)
+    }
+
+    /// Records a whole robust trial for the most recently suggested
+    /// configuration, retaining its provenance and statistics.
+    ///
+    /// # Errors
+    /// As [`OnlineTuner::record`]; a fallback trial with a non-finite
+    /// prediction is rejected as a measurement error.
+    pub fn record_trial(&mut self, trial: &TrialResult) -> Result<(), ToolError> {
+        self.record_inner(trial.seconds_per_sweep, trial.provenance)?;
+        self.summary.absorb(trial);
+        Ok(())
     }
 
     /// Whether the hill climb has no unmeasured improving direction left.
@@ -143,10 +192,24 @@ impl OnlineTuner {
         self.params_at(self.best)
     }
 
+    /// Provenance of the current best point (`None` until it has been
+    /// recorded, which only holds before the first record).
+    #[must_use]
+    pub fn best_provenance(&self) -> Option<Provenance> {
+        self.prov[self.idx(self.best)]
+    }
+
     /// Number of measurements consumed.
     #[must_use]
     pub fn trials(&self) -> usize {
         self.trials
+    }
+
+    /// Aggregate statistics over all trials recorded via
+    /// [`OnlineTuner::record_trial`].
+    #[must_use]
+    pub fn summary(&self) -> TrialSummary {
+        self.summary
     }
 
     /// Size of the full lattice (what exhaustive search would measure).
@@ -154,12 +217,44 @@ impl OnlineTuner {
     pub fn lattice_size(&self) -> usize {
         self.ys.len() * self.zs.len()
     }
+
+    /// Drives the tuner to convergence against `backend`, measuring every
+    /// suggestion as a robust trial with `sol`'s analytic prediction as
+    /// the fallback. Returns the tuned parameters.
+    ///
+    /// This is the fault-tolerant entry point: under an all-failures
+    /// backend every lattice point degrades to its ECM prediction and the
+    /// climb still terminates with a valid configuration.
+    ///
+    /// # Errors
+    /// [`ToolError::Measurement`] only if a fallback prediction itself is
+    /// non-finite (a corrupt machine model).
+    pub fn run_to_convergence(
+        &mut self,
+        sol: &Solution,
+        backend: &mut dyn MeasureBackend,
+        cfg: &TrialConfig,
+        budget: &mut TrialBudget,
+    ) -> Result<TuningParams, ToolError> {
+        while !self.converged() {
+            let p = match self.suggest() {
+                Some(p) => p,
+                None => break,
+            };
+            let cores = p.threads.max(1);
+            let fallback = sol.predict(&p, cores).seconds_per_sweep;
+            let trial = run_trial(backend, &p, fallback, cfg, budget);
+            self.record_trial(&trial)?;
+        }
+        Ok(self.best())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::solution::Solution;
+    use crate::trial::{FaultPlan, FaultyBackend, SolutionBackend};
     use yasksite_arch::Machine;
     use yasksite_grid::Fold;
     use yasksite_stencil::builders::heat3d;
@@ -168,7 +263,7 @@ mod tests {
         while !tuner.converged() {
             let p = tuner.suggest().expect("not converged");
             let m = sol.measure(&p).expect("simulated measurement");
-            tuner.record(m.seconds_per_sweep);
+            tuner.record(m.seconds_per_sweep).expect("valid record");
         }
         tuner.trials()
     }
@@ -179,7 +274,7 @@ mod tests {
         let sol = Solution::new(heat3d(1), [64, 64, 64], m.clone());
         let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), &m);
         let template = TuningParams::new([64, 8, 8], Fold::new(8, 1, 1));
-        let mut tuner = OnlineTuner::new(&space, template);
+        let mut tuner = OnlineTuner::new(&space, template).unwrap();
         let trials = drive(&mut tuner, &sol);
         assert!(
             trials < tuner.lattice_size(),
@@ -202,26 +297,81 @@ mod tests {
     fn suggestion_record_protocol() {
         let m = Machine::cascade_lake();
         let space = SearchSpace::spatial_only(&heat3d(1), [32, 32, 32], &m);
-        let mut tuner = OnlineTuner::new(&space, TuningParams::new([32, 8, 8], Fold::new(8, 1, 1)));
+        let mut tuner =
+            OnlineTuner::new(&space, TuningParams::new([32, 8, 8], Fold::new(8, 1, 1))).unwrap();
         let first = tuner.suggest().expect("has a start point");
         assert_eq!(first.block[0], 32);
-        tuner.record(1.0);
+        tuner.record(1.0).unwrap();
         assert_eq!(tuner.trials(), 1);
         // A better neighbour becomes the new best.
-        let _ = tuner.suggest().expect("neighbours queued");
-        tuner.record(0.5);
-        assert_eq!(tuner.best().block, tuner.best().block);
+        let suggested = tuner.suggest().expect("neighbours queued");
+        tuner.record(0.5).unwrap();
+        assert_eq!(
+            tuner.best().block,
+            suggested.block,
+            "the faster neighbour must take over as best"
+        );
+        assert_ne!(tuner.best().block, first.block);
         assert!(tuner.trials() == 2);
     }
 
     #[test]
-    #[should_panic(expected = "record without a pending suggestion")]
     fn record_requires_suggestion() {
         let m = Machine::cascade_lake();
         let space = SearchSpace::spatial_only(&heat3d(1), [32, 32, 32], &m);
-        let mut tuner = OnlineTuner::new(&space, TuningParams::new([32, 8, 8], Fold::new(8, 1, 1)));
+        let mut tuner =
+            OnlineTuner::new(&space, TuningParams::new([32, 8, 8], Fold::new(8, 1, 1))).unwrap();
         let _ = tuner.suggest();
-        tuner.record(1.0);
-        tuner.record(1.0); // no suggestion pending
+        tuner.record(1.0).unwrap();
+        let err = tuner.record(1.0).unwrap_err(); // no suggestion pending
+        assert!(matches!(err, ToolError::Protocol(_)), "{err}");
+        assert_eq!(tuner.trials(), 1, "failed record must not count");
+    }
+
+    #[test]
+    fn empty_lattice_is_an_error_not_a_panic() {
+        let space = SearchSpace::empty();
+        let err = OnlineTuner::new(&space, TuningParams::new([32, 8, 8], Fold::new(8, 1, 1)))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ToolError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn non_finite_record_is_rejected_and_suggestion_stays_pending() {
+        let m = Machine::cascade_lake();
+        let space = SearchSpace::spatial_only(&heat3d(1), [32, 32, 32], &m);
+        let mut tuner =
+            OnlineTuner::new(&space, TuningParams::new([32, 8, 8], Fold::new(8, 1, 1))).unwrap();
+        let _ = tuner.suggest().expect("start point");
+        let err = tuner.record(f64::NAN).unwrap_err();
+        assert!(matches!(err, ToolError::Measurement(_)), "{err}");
+        // The suggestion is still pending: a valid re-measure succeeds.
+        tuner.record(1.0).unwrap();
+        assert_eq!(tuner.trials(), 1);
+    }
+
+    #[test]
+    fn run_to_convergence_under_total_failure_falls_back() {
+        let m = Machine::cascade_lake();
+        let sol = Solution::new(heat3d(1), [32, 32, 32], m.clone());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), &m);
+        let template = TuningParams::new([32, 8, 8], Fold::new(8, 1, 1)).threads(1);
+        let mut tuner = OnlineTuner::new(&space, template).unwrap();
+        let mut backend = FaultyBackend::new(SolutionBackend::new(&sol), FaultPlan::always_fail(3));
+        let best = tuner
+            .run_to_convergence(
+                &sol,
+                &mut backend,
+                &TrialConfig::default(),
+                &mut TrialBudget::unlimited(),
+            )
+            .expect("terminates with a valid config");
+        assert!(best.block[1] > 0 && best.block[2] > 0);
+        assert!(
+            tuner.best_provenance().expect("recorded").is_fallback(),
+            "all-failures plan must leave a fallback winner"
+        );
+        assert_eq!(tuner.summary().fallbacks, tuner.trials());
     }
 }

@@ -67,12 +67,15 @@ pub fn predict_params_resident(
     if params.wavefront > 1 && stencil.num_inputs() == 1 {
         let shift = info.radius[2].max(1);
         let planes = params.wavefront * shift + 2 * info.radius[2];
-        let plane_bytes = (domain[0] + 2 * info.radius[0]) as f64
-            * (domain[1] + 2 * info.radius[1]) as f64
-            * 8.0;
+        let plane_bytes =
+            (domain[0] + 2 * info.radius[0]) as f64 * (domain[1] + 2 * info.radius[1]) as f64 * 8.0;
         let ws = planes as f64 * plane_bytes * 2.0; // both ping-pong buffers
         let llc = machine.caches.last().expect("machine has caches");
-        let users = llc.scope.sharers(machine.cores_per_socket).min(cores).max(1);
+        let users = llc
+            .scope
+            .sharers(machine.cores_per_socket)
+            .min(cores)
+            .max(1);
         let eff = llc.size_bytes as f64 * yasksite_ecm::layer::CAPACITY_SAFETY / users as f64;
         if ws <= eff {
             wavefront_effective = true;
@@ -83,9 +86,7 @@ pub fn predict_params_resident(
             let cache_sum: f64 = p.t_data[..nlev - 1].iter().sum();
             p.t_ecm = match p.policy {
                 OverlapPolicy::Serial => p.t_ol.max(p.t_nol + cache_sum + t_mem_new),
-                OverlapPolicy::MemOverlap => {
-                    p.t_ol.max(p.t_nol + cache_sum).max(t_mem_new)
-                }
+                OverlapPolicy::MemOverlap => p.t_ol.max(p.t_nol + cache_sum).max(t_mem_new),
             };
             p.mlups_single =
                 yasksite_ecm::incore::UPDATES_PER_UNIT / p.t_ecm * machine.freq_ghz * 1e3;
@@ -94,8 +95,8 @@ pub fn predict_params_resident(
             // The ceiling cannot exceed what the cores can execute.
             let core_bound = machine.cores_per_socket as f64 * p.mlups_single;
             p.mlups_sat = p.mlups_sat.min(core_bound);
-            p.sat_cores = ((p.mlups_sat / p.mlups_single).ceil() as usize)
-                .clamp(1, machine.cores_per_socket);
+            p.sat_cores =
+                ((p.mlups_sat / p.mlups_single).ceil() as usize).clamp(1, machine.cores_per_socket);
         }
     }
 
@@ -104,9 +105,7 @@ pub fn predict_params_resident(
     // `ceil(nb / cores)` block rounds; blocks that do not decompose
     // finely enough waste cores.
     let block = params.clipped_block(domain);
-    let nb: usize = (0..3)
-        .map(|d| domain[d].div_ceil(block[d]))
-        .product();
+    let nb: usize = (0..3).map(|d| domain[d].div_ceil(block[d])).product();
     let rounds = nb.div_ceil(cores.max(1));
     let efficiency = nb as f64 / (cores as f64 * rounds as f64);
 
@@ -164,7 +163,10 @@ mod tests {
         let single = predict_params(&s, domain, &clx(), &params, 1).mlups;
         for cores in [2, 4, 8, 16, 20] {
             let p = predict_params(&s, domain, &clx(), &params, cores);
-            assert!(p.mlups.is_finite() && p.mlups > 0.9 * single, "cores={cores}");
+            assert!(
+                p.mlups.is_finite() && p.mlups > 0.9 * single,
+                "cores={cores}"
+            );
         }
         let full = predict_params(&s, domain, &clx(), &params, 20).mlups;
         assert!(full > 3.0 * single);

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use yasksite_arch::{Machine, MachineKind};
+use yasksite_arch::{Machine, MachineFileError, MachineKind};
 use yasksite_engine::{
     apply_native, apply_simulated, codegen, run_wavefront_native, run_wavefront_simulated,
     CodegenOutput, EngineError, SimContext, TuningParams,
@@ -13,11 +13,21 @@ use yasksite_stencil::Stencil;
 
 use crate::predict::{predict_params, predict_params_resident, PredictedPerf};
 
-/// Errors reported by the tool layer.
+/// Errors reported by the tool layer — the single taxonomy every public
+/// tuning entry point funnels into (no panics escape the public API).
 #[derive(Debug)]
 pub enum ToolError {
     /// The engine rejected the configuration.
     Engine(EngineError),
+    /// A machine description file failed to parse or validate.
+    MachineFile(MachineFileError),
+    /// The caller broke the suggest/record protocol of a tuner.
+    Protocol(String),
+    /// The caller supplied input the API cannot act on (empty space,
+    /// non-finite measurement, ...).
+    InvalidInput(String),
+    /// A measurement sample failed or produced unusable data.
+    Measurement(String),
     /// Tool-level invariant violation.
     Other(String),
 }
@@ -26,6 +36,10 @@ impl fmt::Display for ToolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ToolError::Engine(e) => write!(f, "engine: {e}"),
+            ToolError::MachineFile(e) => write!(f, "machine file: {e}"),
+            ToolError::Protocol(s) => write!(f, "protocol: {s}"),
+            ToolError::InvalidInput(s) => write!(f, "invalid input: {s}"),
+            ToolError::Measurement(s) => write!(f, "measurement: {s}"),
             ToolError::Other(s) => write!(f, "{s}"),
         }
     }
@@ -35,7 +49,11 @@ impl std::error::Error for ToolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ToolError::Engine(e) => Some(e),
-            ToolError::Other(_) => None,
+            ToolError::MachineFile(e) => Some(e),
+            ToolError::Protocol(_)
+            | ToolError::InvalidInput(_)
+            | ToolError::Measurement(_)
+            | ToolError::Other(_) => None,
         }
     }
 }
@@ -43,6 +61,12 @@ impl std::error::Error for ToolError {
 impl From<EngineError> for ToolError {
     fn from(e: EngineError) -> Self {
         ToolError::Engine(e)
+    }
+}
+
+impl From<MachineFileError> for ToolError {
+    fn from(e: MachineFileError) -> Self {
+        ToolError::MachineFile(e)
     }
 }
 
@@ -136,8 +160,7 @@ impl Solution {
         let halo = info.radius;
         let inputs: Vec<Grid3> = (0..self.stencil.num_inputs())
             .map(|g| {
-                let mut grid =
-                    Grid3::new(&format!("in{g}"), self.domain, halo, params.fold);
+                let mut grid = Grid3::new(&format!("in{g}"), self.domain, halo, params.fold);
                 grid.fill_with(|i, j, k| ((i * 7 + j * 3 + k) % 13) as f64 * 0.05);
                 grid
             })
@@ -194,9 +217,7 @@ impl Solution {
             if params.wavefront > 1 {
                 run_wavefront_simulated(&self.stencil, a, b, params, ctx)
             } else {
-                let refs: Vec<&Grid3> = std::iter::once(a)
-                    .chain(inputs.iter().skip(1))
-                    .collect();
+                let refs: Vec<&Grid3> = std::iter::once(a).chain(inputs.iter().skip(1)).collect();
                 apply_simulated(&self.stencil, &refs, b, params, ctx)
             }
         };

@@ -66,6 +66,18 @@ impl SearchSpace {
         }
     }
 
+    /// A space with no candidates at all. Valid stencil/machine inputs
+    /// never produce this; it exists so callers can exercise the
+    /// empty-space error paths of the tuners.
+    #[must_use]
+    pub fn empty() -> Self {
+        SearchSpace {
+            blocks: Vec::new(),
+            folds: Vec::new(),
+            wavefronts: Vec::new(),
+        }
+    }
+
     /// A reduced space without temporal blocking (used by experiments that
     /// isolate spatial effects).
     #[must_use]
@@ -95,11 +107,7 @@ impl SearchSpace {
         for &b in &self.blocks {
             for &f in &self.folds {
                 for &w in &self.wavefronts {
-                    out.push(
-                        TuningParams::new(b, f)
-                            .threads(threads)
-                            .wavefront(w),
-                    );
+                    out.push(TuningParams::new(b, f).threads(threads).wavefront(w));
                 }
             }
         }
@@ -149,14 +157,20 @@ mod tests {
     fn one_dim_stencils_get_inline_fold_only() {
         let m = Machine::cascade_lake();
         let sp = SearchSpace::standard(&inverter_chain_rhs(5.0, 1.0, 1.0), [1024, 1, 1], &m);
-        assert!(sp.candidates(1).iter().all(|p| p.fold == Fold::new(8, 1, 1)));
+        assert!(sp
+            .candidates(1)
+            .iter()
+            .all(|p| p.fold == Fold::new(8, 1, 1)));
     }
 
     #[test]
     fn rome_uses_four_lane_folds() {
         let m = Machine::rome();
         let sp = SearchSpace::standard(&heat2d(1), [256, 256, 1], &m);
-        assert!(sp.candidates(1).iter().any(|p| p.fold == Fold::new(2, 2, 1)));
+        assert!(sp
+            .candidates(1)
+            .iter()
+            .any(|p| p.fold == Fold::new(2, 2, 1)));
         assert!(sp.candidates(1).iter().all(|p| p.fold.elems() == 4));
     }
 

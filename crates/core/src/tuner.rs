@@ -1,5 +1,14 @@
 //! Tuning strategies: analytic (ECM-ranked), empirical (run everything),
 //! and the hybrid the paper advocates.
+//!
+//! All empirical measurement goes through the robust trial layer
+//! ([`crate::trial`]): failed or noisy runs are retried and
+//! outlier-filtered, and when a candidate cannot be measured at all (or
+//! the session budget runs out) its analytic ECM prediction is used
+//! instead, flagged by [`Provenance::PredictedFallback`] in
+//! [`TuneResult::provenances`]. A tuning session therefore always
+//! terminates with a valid configuration — never a panic, and an error
+//! only for genuinely unusable input (an empty search space).
 
 use std::time::Instant;
 
@@ -8,6 +17,9 @@ use yasksite_engine::TuningParams;
 use crate::cost::TuneCost;
 use crate::solution::{Solution, ToolError};
 use crate::space::SearchSpace;
+use crate::trial::{
+    run_trial, MeasureBackend, Provenance, SolutionBackend, TrialBudget, TrialConfig, TrialSummary,
+};
 
 /// How to pick the best point in the search space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,54 +47,126 @@ pub struct TuneResult {
     /// The selected candidate's score (MLUP/s; predicted for analytic,
     /// measured otherwise).
     pub best_score: f64,
+    /// Where the winner's score came from (`None` for purely analytic
+    /// sessions, which run nothing).
+    pub best_provenance: Option<Provenance>,
     /// All scored candidates, best first.
     pub ranked: Vec<(TuningParams, f64)>,
+    /// Provenance per ranked candidate, parallel to `ranked` (empty for
+    /// analytic sessions).
+    pub provenances: Vec<Provenance>,
+    /// Aggregate trial statistics of the session.
+    pub trials: TrialSummary,
     /// What the session cost.
     pub cost: TuneCost,
+}
+
+impl TuneResult {
+    /// How many ranked candidates rest on an analytic fallback instead of
+    /// a measurement.
+    #[must_use]
+    pub fn fallback_count(&self) -> usize {
+        self.provenances.iter().filter(|p| p.is_fallback()).count()
+    }
 }
 
 impl Solution {
     /// Tunes over the standard search space at `cores` active cores.
     ///
     /// # Errors
-    /// Propagates engine errors from empirical runs.
+    /// Fails only on an empty search space; measurement failures degrade
+    /// to analytic predictions (see [`TuneResult::provenances`]).
     pub fn tune(&self, strategy: TuneStrategy, cores: usize) -> Result<TuneResult, ToolError> {
         let space = SearchSpace::standard(self.stencil(), self.domain(), self.machine());
         self.tune_space(&space, strategy, cores)
     }
 
-    /// Tunes over an explicit search space.
+    /// Tunes over an explicit search space with the legacy single-shot
+    /// protocol (one run per measured candidate, no retries, no budget).
     ///
     /// # Errors
-    /// Propagates engine errors from empirical runs; fails on an empty
-    /// space.
+    /// Fails on an empty space.
     pub fn tune_space(
         &self,
         space: &SearchSpace,
         strategy: TuneStrategy,
         cores: usize,
     ) -> Result<TuneResult, ToolError> {
+        self.tune_space_trials(
+            space,
+            strategy,
+            cores,
+            &TrialConfig::single_shot(),
+            &mut TrialBudget::unlimited(),
+        )
+    }
+
+    /// Tunes over an explicit search space under the robust trial
+    /// protocol `cfg`, drawing on `budget`.
+    ///
+    /// # Errors
+    /// Fails on an empty space.
+    pub fn tune_space_trials(
+        &self,
+        space: &SearchSpace,
+        strategy: TuneStrategy,
+        cores: usize,
+        cfg: &TrialConfig,
+        budget: &mut TrialBudget,
+    ) -> Result<TuneResult, ToolError> {
+        let mut backend = SolutionBackend::new(self);
+        self.tune_space_with_backend(&mut backend, space, strategy, cores, cfg, budget)
+    }
+
+    /// [`Solution::tune_space_trials`] against an arbitrary measurement
+    /// backend (the seam the fault-injection harness plugs into).
+    ///
+    /// # Errors
+    /// Fails on an empty space.
+    pub fn tune_space_with_backend(
+        &self,
+        backend: &mut dyn MeasureBackend,
+        space: &SearchSpace,
+        strategy: TuneStrategy,
+        cores: usize,
+        cfg: &TrialConfig,
+        budget: &mut TrialBudget,
+    ) -> Result<TuneResult, ToolError> {
         let start = Instant::now();
         let candidates = space.candidates(cores);
         if candidates.is_empty() {
-            return Err(ToolError::Other("empty search space".into()));
+            return Err(ToolError::InvalidInput("empty search space".into()));
         }
         let mut cost = TuneCost::default();
-        let mut ranked: Vec<(TuningParams, f64)> = Vec::with_capacity(candidates.len());
+        let mut trials = TrialSummary::default();
+        // (params, score MLUP/s, provenance): provenance is None for
+        // analytic scores that ran nothing.
+        let mut entries: Vec<(TuningParams, f64, Option<Provenance>)> =
+            Vec::with_capacity(candidates.len());
+        let mut measure = |p: TuningParams,
+                           cost: &mut TuneCost,
+                           trials: &mut TrialSummary,
+                           budget: &mut TrialBudget|
+         -> (TuningParams, f64, Option<Provenance>) {
+            let fallback = self.predict(&p, cores).seconds_per_sweep;
+            let r = run_trial(backend, &p, fallback, cfg, budget);
+            cost.engine_runs += r.attempts;
+            cost.target_seconds += 2.0 * r.seconds_per_sweep * p.wavefront as f64;
+            trials.absorb(&r);
+            let mlups = self.updates_per_sweep() as f64 / r.seconds_per_sweep.max(1e-12) / 1e6;
+            (p, mlups, Some(r.provenance))
+        };
         match strategy {
             TuneStrategy::Analytic => {
                 for p in candidates {
                     let pred = self.predict(&p, cores);
                     cost.model_evals += 1;
-                    ranked.push((p, pred.mlups));
+                    entries.push((p, pred.mlups, None));
                 }
             }
             TuneStrategy::Empirical => {
                 for p in candidates {
-                    let m = self.measure(&p)?;
-                    cost.engine_runs += 1;
-                    cost.target_seconds += 2.0 * m.seconds_per_sweep * p.wavefront as f64;
-                    ranked.push((p, m.mlups));
+                    entries.push(measure(p, &mut cost, &mut trials, budget));
                 }
             }
             TuneStrategy::Hybrid { shortlist } => {
@@ -97,20 +181,23 @@ impl Solution {
                 pre.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let k = shortlist.max(1).min(pre.len());
                 for (p, _) in pre.drain(..k) {
-                    let m = self.measure(&p)?;
-                    cost.engine_runs += 1;
-                    cost.target_seconds += 2.0 * m.seconds_per_sweep * p.wavefront as f64;
-                    ranked.push((p, m.mlups));
+                    entries.push(measure(p, &mut cost, &mut trials, budget));
                 }
             }
         }
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1));
         cost.wall_seconds = start.elapsed().as_secs_f64();
-        let (best, best_score) = ranked[0].clone();
+        let (best, best_score, best_provenance) = entries[0].clone();
+        let provenances: Vec<Provenance> = entries.iter().filter_map(|e| e.2).collect();
+        let ranked: Vec<(TuningParams, f64)> =
+            entries.into_iter().map(|(p, s, _)| (p, s)).collect();
         Ok(TuneResult {
             best,
             best_score,
+            best_provenance,
             ranked,
+            provenances,
+            trials,
             cost,
         })
     }
@@ -119,6 +206,7 @@ impl Solution {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trial::{FaultPlan, FaultyBackend};
     use yasksite_arch::Machine;
     use yasksite_stencil::builders::heat3d;
 
@@ -132,6 +220,8 @@ mod tests {
         assert_eq!(r.cost.engine_runs, 0);
         assert!(r.cost.model_evals > 10);
         assert!(r.best_score > 0.0);
+        assert!(r.best_provenance.is_none());
+        assert!(r.provenances.is_empty());
         // Ranked is sorted descending.
         for w in r.ranked.windows(2) {
             assert!(w[0].1 >= w[1].1);
@@ -146,6 +236,9 @@ mod tests {
         assert_eq!(r.cost.engine_runs, space.len());
         assert_eq!(r.cost.model_evals, 0);
         assert!(r.cost.target_seconds > 0.0);
+        assert_eq!(r.provenances.len(), space.len());
+        assert_eq!(r.fallback_count(), 0);
+        assert_eq!(r.best_provenance, Some(Provenance::Measured));
     }
 
     #[test]
@@ -175,5 +268,75 @@ mod tests {
             chosen_measured,
             empirical.best_score
         );
+    }
+
+    #[test]
+    fn total_measurement_failure_degrades_to_analytic_ranking() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), sol.machine());
+        let mut backend =
+            FaultyBackend::new(SolutionBackend::new(&sol), FaultPlan::always_fail(11));
+        let r = sol
+            .tune_space_with_backend(
+                &mut backend,
+                &space,
+                TuneStrategy::Empirical,
+                1,
+                &TrialConfig::default(),
+                &mut TrialBudget::unlimited(),
+            )
+            .unwrap();
+        // Every candidate fell back to its prediction, the ranking equals
+        // the analytic one, and the result says so.
+        assert_eq!(r.fallback_count(), space.len());
+        assert!(r.best_provenance.unwrap().is_fallback());
+        assert_eq!(r.trials.fallbacks, space.len());
+        let analytic = sol.tune_space(&space, TuneStrategy::Analytic, 1).unwrap();
+        assert_eq!(r.best.block, analytic.best.block);
+        assert!(r.best_score > 0.0 && r.best_score.is_finite());
+    }
+
+    #[test]
+    fn budget_exhaustion_mid_session_still_ranks_everything() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), sol.machine());
+        // Enough budget for roughly half the candidates.
+        let mut budget = TrialBudget::runs(space.len() / 2);
+        let r = sol
+            .tune_space_trials(
+                &space,
+                TuneStrategy::Empirical,
+                1,
+                &TrialConfig::single_shot(),
+                &mut budget,
+            )
+            .unwrap();
+        assert_eq!(r.ranked.len(), space.len(), "every candidate is ranked");
+        assert!(
+            r.fallback_count() >= space.len() / 2,
+            "candidates past the budget must fall back"
+        );
+        assert!(budget.exhausted());
+        assert!(r.best_score.is_finite());
+    }
+
+    #[test]
+    fn noisy_backend_still_finds_a_finite_winner() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), sol.machine());
+        let mut backend = FaultyBackend::new(SolutionBackend::new(&sol), FaultPlan::noisy(5));
+        let r = sol
+            .tune_space_with_backend(
+                &mut backend,
+                &space,
+                TuneStrategy::Empirical,
+                1,
+                &TrialConfig::default(),
+                &mut TrialBudget::unlimited(),
+            )
+            .unwrap();
+        assert!(r.best_score.is_finite() && r.best_score > 0.0);
+        assert_eq!(r.provenances.len(), space.len());
+        assert!(r.trials.samples > 0);
     }
 }

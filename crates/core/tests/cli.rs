@@ -51,13 +51,7 @@ fn predict_pipeline() {
 
 #[test]
 fn measure_small_simulated() {
-    let (stdout, _, ok) = run(&[
-        "measure",
-        "--stencil",
-        "heat-2d-r1",
-        "--domain",
-        "64x64x1",
-    ]);
+    let (stdout, _, ok) = run(&["measure", "--stencil", "heat-2d-r1", "--domain", "64x64x1"]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("simulated"));
     assert!(stdout.contains("memory traffic"));

@@ -60,7 +60,11 @@ pub fn incore(info: &StencilInfo, ports: &PortModel, fold: Fold) -> InCore {
     let mut permutes = 0.0;
     if inline_layout {
         for (_, off) in &info.offsets {
-            loads += if off[0] % lanes as i32 == 0 { 1.0 } else { UNALIGNED_LOAD_COST };
+            loads += if off[0] % lanes as i32 == 0 {
+                1.0
+            } else {
+                UNALIGNED_LOAD_COST
+            };
         }
     } else {
         // Distinct bricks covering all offsets share one load each.

@@ -289,8 +289,8 @@ mod tests {
         // L1 (16 KiB effective) holds neither 3 layers of 514x10 nor
         // 5 rows of 514 -> LC None: 5 input + 2 output lines cross L1<->L2.
         assert!((p.t_data[0] - 7.0 * 1.0).abs() < 1e-9); // 64 B/cy
-        // L2/L3 hold the layers; blocked 8x8 in y/z adds halo factor
-        // (10/8)^2 = 1.5625 on the compulsory input line.
+                                                         // L2/L3 hold the layers; blocked 8x8 in y/z adds halo factor
+                                                         // (10/8)^2 = 1.5625 on the compulsory input line.
         let lines = 1.5625 + 2.0;
         assert!((p.t_data[1] - lines * 4.0).abs() < 1e-9); // 16 B/cy
         let mem_cy = 64.0 * 2.5 / 14.0;
@@ -320,8 +320,12 @@ mod tests {
         let m = Machine::cascade_lake();
         let s = heat3d(1);
         let d = KernelDesc::new(&s, [512, 512, 512]).tile([512, 8, 8]);
-        let serial = EcmModel::new(&m).with_policy(OverlapPolicy::Serial).predict(&d);
-        let overlap = EcmModel::new(&m).with_policy(OverlapPolicy::MemOverlap).predict(&d);
+        let serial = EcmModel::new(&m)
+            .with_policy(OverlapPolicy::Serial)
+            .predict(&d);
+        let overlap = EcmModel::new(&m)
+            .with_policy(OverlapPolicy::MemOverlap)
+            .predict(&d);
         assert!(overlap.t_ecm <= serial.t_ecm);
     }
 

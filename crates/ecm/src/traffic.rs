@@ -68,8 +68,8 @@ pub fn traffic_resident(
             break;
         }
     }
-    t.bytes_per_lup_mem =
-        t.per_boundary_lines[nlev - 1] * machine.line_bytes() as f64 / crate::incore::UPDATES_PER_UNIT;
+    t.bytes_per_lup_mem = t.per_boundary_lines[nlev - 1] * machine.line_bytes() as f64
+        / crate::incore::UPDATES_PER_UNIT;
     t
 }
 
@@ -192,7 +192,10 @@ mod tests {
         // y/z so only x untiled (tile[0] == domain[0] -> no halo factor).
         let t = traffic(&s.info(), [64, 8, 8], [64, 8, 8], &m, 1, false);
         for b in 0..3 {
-            assert!((t.per_boundary_lines[b] - 3.0).abs() < 1e-12, "boundary {b}");
+            assert!(
+                (t.per_boundary_lines[b] - 3.0).abs() < 1e-12,
+                "boundary {b}"
+            );
         }
         // 3 lines * 64 B / 8 updates = 24 B/LUP.
         assert!((t.bytes_per_lup_mem - 24.0).abs() < 1e-12);

@@ -38,7 +38,9 @@ impl Tape {
                         accesses.push(key);
                         accesses.len() - 1
                     });
-                    ops.push(TapeOp::Load(u16::try_from(slot).expect("tape slot overflow")));
+                    ops.push(TapeOp::Load(
+                        u16::try_from(slot).expect("tape slot overflow"),
+                    ));
                 }
                 Expr::Add(a, b) => {
                     walk(a, ops, accesses);
@@ -72,7 +74,11 @@ impl Tape {
             }
             max_stack = max_stack.max(depth);
         }
-        Tape { ops, accesses, max_stack }
+        Tape {
+            ops,
+            accesses,
+            max_stack,
+        }
     }
 
     /// The access slots the tape reads; the caller pre-fetches these into
@@ -151,7 +157,10 @@ impl LinForm {
 
 fn linearize(e: &Expr) -> Option<LinForm> {
     match e {
-        Expr::Const(v) => Some(LinForm { terms: vec![], constant: *v }),
+        Expr::Const(v) => Some(LinForm {
+            terms: vec![],
+            constant: *v,
+        }),
         Expr::At { grid, dx, dy, dz } => Some(LinForm {
             terms: vec![((*grid, [*dx, *dy, *dz]), 1.0)],
             constant: 0.0,
@@ -216,19 +225,16 @@ impl CompiledStencil {
             CompiledStencil::Linear { terms, constant } => {
                 let mut acc = *constant;
                 for ((g, o), c) in terms {
-                    acc += c
-                        * inputs[*g].get(i + o[0] as isize, j + o[1] as isize, k + o[2] as isize);
+                    acc +=
+                        c * inputs[*g].get(i + o[0] as isize, j + o[1] as isize, k + o[2] as isize);
                 }
                 acc
             }
             CompiledStencil::Tape(t) => {
                 let mut vals = [0.0f64; 256];
                 for (s, (g, o)) in t.accesses().iter().enumerate() {
-                    vals[s] = inputs[*g].get(
-                        i + o[0] as isize,
-                        j + o[1] as isize,
-                        k + o[2] as isize,
-                    );
+                    vals[s] =
+                        inputs[*g].get(i + o[0] as isize, j + o[1] as isize, k + o[2] as isize);
                 }
                 t.eval(&vals[..t.accesses().len()])
             }
@@ -287,7 +293,11 @@ mod tests {
                     for i in 0..8isize {
                         let r = s.eval(&[&u], i, j, k);
                         let f = cs.eval_at(&[&u], i, j, k);
-                        assert!((r - f).abs() < 1e-12, "{} at ({i},{j},{k}): {r} vs {f}", s.name());
+                        assert!(
+                            (r - f).abs() < 1e-12,
+                            "{} at ({i},{j},{k}): {r} vs {f}",
+                            s.name()
+                        );
                     }
                 }
             }
@@ -296,7 +306,12 @@ mod tests {
 
     #[test]
     fn tape_eval_const_expression() {
-        let s = Stencil::new("k", 1, 1, (c(2.0) + c(3.0)) * at(0, 0, 0, 0) * at(0, 0, 0, 0));
+        let s = Stencil::new(
+            "k",
+            1,
+            1,
+            (c(2.0) + c(3.0)) * at(0, 0, 0, 0) * at(0, 0, 0, 0),
+        );
         let cs = CompiledStencil::compile(&s);
         assert!(!cs.is_linear());
         let mut u = Grid3::new("u", [2, 1, 1], [0, 0, 0], Fold::unit());

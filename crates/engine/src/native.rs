@@ -23,11 +23,7 @@ pub struct NativeRun {
 }
 
 /// Validates that all grids carry the fold the parameters assume.
-fn check_folds(
-    inputs: &[&Grid3],
-    out: &Grid3,
-    params: &TuningParams,
-) -> Result<(), EngineError> {
+fn check_folds(inputs: &[&Grid3], out: &Grid3, params: &TuningParams) -> Result<(), EngineError> {
     for g in inputs.iter().copied().chain(std::iter::once(out)) {
         if g.fold() != params.fold {
             return Err(EngineError::BadParams {
@@ -186,34 +182,38 @@ fn linear_fast_path(
                         for ib in (0..n[0]).step_by(block[0]) {
                             let ix1 = (ib + block[0]).min(n[0]);
                             for skb in (kb..kz1).step_by(sub[2]) {
-                            let skz = (skb + sub[2]).min(kz1);
-                            for sjb in (jb..jy1).step_by(sub[1]) {
-                            let sjy = (sjb + sub[1]).min(jy1);
-                            for sib in (ib..ix1).step_by(sub[0]) {
-                            let six = (sib + sub[0]).min(ix1);
-                            for k in skb..skz {
-                                for j in sjb..sjy {
-                                    let out_row =
-                                        out_geom.row_base(j as isize, k as isize) - slab_base;
-                                    let in_rows: Vec<(isize, &[f64], f64)> = term_desc
-                                        .iter()
-                                        .map(|&(g, off, c)| {
-                                            let base = geoms[g]
-                                                .row_base(j as isize, k as isize)
-                                                + off;
-                                            (base, inputs[g].as_slice(), c)
-                                        })
-                                        .collect();
-                                    for i in sib..six {
-                                        let mut acc = constant;
-                                        for &(base, src, c) in &in_rows {
-                                            acc += c * src[(base + i as isize) as usize];
+                                let skz = (skb + sub[2]).min(kz1);
+                                for sjb in (jb..jy1).step_by(sub[1]) {
+                                    let sjy = (sjb + sub[1]).min(jy1);
+                                    for sib in (ib..ix1).step_by(sub[0]) {
+                                        let six = (sib + sub[0]).min(ix1);
+                                        for k in skb..skz {
+                                            for j in sjb..sjy {
+                                                let out_row = out_geom
+                                                    .row_base(j as isize, k as isize)
+                                                    - slab_base;
+                                                let in_rows: Vec<(isize, &[f64], f64)> = term_desc
+                                                    .iter()
+                                                    .map(|&(g, off, c)| {
+                                                        let base = geoms[g]
+                                                            .row_base(j as isize, k as isize)
+                                                            + off;
+                                                        (base, inputs[g].as_slice(), c)
+                                                    })
+                                                    .collect();
+                                                for i in sib..six {
+                                                    let mut acc = constant;
+                                                    for &(base, src, c) in &in_rows {
+                                                        acc +=
+                                                            c * src[(base + i as isize) as usize];
+                                                    }
+                                                    slab[(out_row + i as isize) as usize] = acc;
+                                                }
+                                            }
                                         }
-                                        slab[(out_row + i as isize) as usize] = acc;
                                     }
                                 }
                             }
-                            } } }
                         }
                     }
                 }
@@ -362,7 +362,9 @@ mod tests {
         let r = reference(&s, &[&u], n);
         for sub in [[4, 2, 2], [1, 1, 1], [32, 32, 32], [5, 3, 2]] {
             let mut out = Grid3::new("o", n, [1, 1, 1], fold);
-            let p = TuningParams::new([16, 8, 8], fold).sub_block(sub).threads(2);
+            let p = TuningParams::new([16, 8, 8], fold)
+                .sub_block(sub)
+                .threads(2);
             apply_native(&s, &[&u], &mut out, &p).unwrap();
             assert!(out.max_abs_diff(&r).unwrap() < 1e-12, "sub {sub:?}");
         }

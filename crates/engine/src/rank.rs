@@ -74,7 +74,10 @@ impl RankDecomposition {
     /// Largest per-rank point count (the load-balance bottleneck).
     #[must_use]
     pub fn max_slab_points(&self) -> u64 {
-        (0..self.ranks).map(|r| self.slab_points(r)).max().unwrap_or(0)
+        (0..self.ranks)
+            .map(|r| self.slab_points(r))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Load-balance efficiency: mean slab size over max slab size.

@@ -245,49 +245,51 @@ pub fn apply_simulated(
             let sub = params.sub_block.unwrap_or(block).map(|e| e.max(1));
             let mut units = 0u64;
             for skb in (kb..kz1).step_by(sub[2]) {
-            let skz = (skb + sub[2]).min(kz1);
-            for sjb in (jb..jy1).step_by(sub[1]) {
-            let sjy = (sjb + sub[1]).min(jy1);
-            for sib in (ib..ix1).step_by(sub[0]) {
-            let six = (sib + sub[0]).min(ix1);
-            for k in skb..skz {
-                for j in sjb..sjy {
-                    let mut i = sib;
-                    while i < six {
-                        let iend = (i + 8).min(six) - 1;
-                        for &(g, dy, dz, lo, hi) in &groups.read {
-                            touch_row(
-                                &mut ctx.hierarchy,
-                                c,
-                                inputs[g],
-                                i as isize + lo as isize,
-                                iend as isize + hi as isize,
-                                j as isize + dy as isize,
-                                k as isize + dz as isize,
-                                RowAccess::Read,
-                            );
+                let skz = (skb + sub[2]).min(kz1);
+                for sjb in (jb..jy1).step_by(sub[1]) {
+                    let sjy = (sjb + sub[1]).min(jy1);
+                    for sib in (ib..ix1).step_by(sub[0]) {
+                        let six = (sib + sub[0]).min(ix1);
+                        for k in skb..skz {
+                            for j in sjb..sjy {
+                                let mut i = sib;
+                                while i < six {
+                                    let iend = (i + 8).min(six) - 1;
+                                    for &(g, dy, dz, lo, hi) in &groups.read {
+                                        touch_row(
+                                            &mut ctx.hierarchy,
+                                            c,
+                                            inputs[g],
+                                            i as isize + lo as isize,
+                                            iend as isize + hi as isize,
+                                            j as isize + dy as isize,
+                                            k as isize + dz as isize,
+                                            RowAccess::Read,
+                                        );
+                                    }
+                                    let store = if params.streaming_stores {
+                                        RowAccess::WriteNt
+                                    } else {
+                                        RowAccess::Write
+                                    };
+                                    touch_row(
+                                        &mut ctx.hierarchy,
+                                        c,
+                                        out,
+                                        i as isize,
+                                        iend as isize,
+                                        j as isize,
+                                        k as isize,
+                                        store,
+                                    );
+                                    units += 1;
+                                    i = iend + 1;
+                                }
+                            }
                         }
-                        let store = if params.streaming_stores {
-                            RowAccess::WriteNt
-                        } else {
-                            RowAccess::Write
-                        };
-                        touch_row(
-                            &mut ctx.hierarchy,
-                            c,
-                            out,
-                            i as isize,
-                            iend as isize,
-                            j as isize,
-                            k as isize,
-                            store,
-                        );
-                        units += 1;
-                        i = iend + 1;
                     }
                 }
             }
-            } } }
             ctx.incore_cycles[c] += units as f64 * ic.t_nol;
             ctx.ol_cycles[c] += units as f64 * ic.t_ol;
             ctx.updates += (kz1 - kb) as u64 * (jy1 - jb) as u64 * (ix1 - ib) as u64;
@@ -397,7 +399,10 @@ mod tests {
             mem.push(st.mem_read_lines);
         }
         let diff = mem[0].abs_diff(mem[1]) as f64;
-        assert!(diff / (mem[0] as f64) < 0.05, "compulsory traffic diverged: {mem:?}");
+        assert!(
+            diff / (mem[0] as f64) < 0.05,
+            "compulsory traffic diverged: {mem:?}"
+        );
     }
 
     #[test]

@@ -60,12 +60,17 @@ pub fn run_wavefront_native(
     let zmax = n[2] + (wf - 1) * shift;
     for zt in 0..zmax {
         for s in 0..wf {
-            let Some(z) = zt.checked_sub(s * shift) else { break };
+            let Some(z) = zt.checked_sub(s * shift) else {
+                break;
+            };
             if z >= n[2] {
                 continue;
             }
-            let (src, dst): (&Grid3, &mut Grid3) =
-                if s % 2 == 0 { (&*a, &mut *b) } else { (&*b, &mut *a) };
+            let (src, dst): (&Grid3, &mut Grid3) = if s % 2 == 0 {
+                (&*a, &mut *b)
+            } else {
+                (&*b, &mut *a)
+            };
             for j in 0..n[1] as isize {
                 for i in 0..n[0] as isize {
                     let v = compiled.eval_at(&[src], i, j, z as isize);
@@ -119,7 +124,9 @@ pub fn run_wavefront_simulated(
     let mut units = vec![0u64; cores];
     for zt in 0..zmax {
         for s in 0..wf {
-            let Some(z) = zt.checked_sub(s * shift) else { break };
+            let Some(z) = zt.checked_sub(s * shift) else {
+                break;
+            };
             if z >= n[2] {
                 continue;
             }

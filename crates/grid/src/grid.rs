@@ -234,8 +234,7 @@ impl Grid3 {
         for k in -h[2]..n[2] + h[2] {
             for j in -h[1]..n[1] + h[1] {
                 for i in -h[0]..n[0] + h[0] {
-                    let inside =
-                        i >= 0 && i < n[0] && j >= 0 && j < n[1] && k >= 0 && k < n[2];
+                    let inside = i >= 0 && i < n[0] && j >= 0 && j < n[1] && k >= 0 && k < n[2];
                     if !inside {
                         self.set(i, j, k, v);
                     }
@@ -253,8 +252,7 @@ impl Grid3 {
         for k in -h[2]..n[2] + h[2] {
             for j in -h[1]..n[1] + h[1] {
                 for i in -h[0]..n[0] + h[0] {
-                    let inside =
-                        i >= 0 && i < n[0] && j >= 0 && j < n[1] && k >= 0 && k < n[2];
+                    let inside = i >= 0 && i < n[0] && j >= 0 && j < n[1] && k >= 0 && k < n[2];
                     if !inside {
                         let v = self.get(wrap(i, n[0]), wrap(j, n[1]), wrap(k, n[2]));
                         self.set(i, j, k, v);
@@ -303,6 +301,23 @@ impl Grid3 {
         Ok(())
     }
 
+    /// Whether every domain (non-halo) value is finite — the divergence
+    /// check integrators run after a step. A plain `f64::max` scan would
+    /// silently skip NaN, so each element is tested individually.
+    #[must_use]
+    pub fn interior_all_finite(&self) -> bool {
+        for k in 0..self.n[2] as isize {
+            for j in 0..self.n[1] as isize {
+                for i in 0..self.n[0] as isize {
+                    if !self.get(i, j, k).is_finite() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
     /// Sum of all domain values (useful as a cheap checksum in tests).
     #[must_use]
     pub fn domain_sum(&self) -> f64 {
@@ -329,6 +344,20 @@ mod tests {
         // x: 10+2=12 -> 16; y: 7 -> 7; z: 5 -> 5.
         assert_eq!(g.alloc(), [16, 7, 5]);
         assert_eq!(g.len(), 16 * 7 * 5);
+    }
+
+    #[test]
+    fn interior_finiteness_check_sees_nan_and_inf() {
+        let mut g = Grid3::new("u", [4, 4, 2], [1, 1, 1], Fold::unit());
+        g.fill_all(1.0);
+        assert!(g.interior_all_finite());
+        // Halo values do not count.
+        g.set(-1, 0, 0, f64::NAN);
+        assert!(g.interior_all_finite());
+        g.set(2, 3, 1, f64::NAN);
+        assert!(!g.interior_all_finite());
+        g.set(2, 3, 1, f64::INFINITY);
+        assert!(!g.interior_all_finite());
     }
 
     #[test]

@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn capacity_miss_on_working_set_overflow() {
         let mut c = tiny(4, 4); // 16 lines capacity
-        // Stream 32 distinct lines twice: second pass must still miss.
+                                // Stream 32 distinct lines twice: second pass must still miss.
         for pass in 0..2 {
             for line in 0..32u64 {
                 if !c.access_line(line, false) {

@@ -75,13 +75,19 @@ impl MemHierarchy {
     #[must_use]
     pub fn new(machine: &Machine, ncores: usize) -> Self {
         machine.validate().expect("invalid machine model");
-        assert!(ncores >= 1 && ncores <= machine.cores_per_socket, "bad core count");
+        assert!(
+            ncores >= 1 && ncores <= machine.cores_per_socket,
+            "bad core count"
+        );
         let nlev = machine.caches.len();
         let mut levels = Vec::with_capacity(nlev);
         let mut sharers = Vec::with_capacity(nlev);
         let mut victim = Vec::with_capacity(nlev);
         for c in &machine.caches {
-            let share = c.scope.sharers(machine.cores_per_socket).min(machine.cores_per_socket);
+            let share = c
+                .scope
+                .sharers(machine.cores_per_socket)
+                .min(machine.cores_per_socket);
             let ninst = ncores.div_ceil(share);
             levels.push((0..ninst).map(|_| CacheSim::new(c)).collect());
             sharers.push(share);

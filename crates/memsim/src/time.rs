@@ -126,7 +126,14 @@ mod tests {
         let t = compose_time(
             &m,
             &h.stats(),
-            &[CoreWork { incore_cycles: 1000.0 }, CoreWork { incore_cycles: 10.0 }],
+            &[
+                CoreWork {
+                    incore_cycles: 1000.0,
+                },
+                CoreWork {
+                    incore_cycles: 10.0,
+                },
+            ],
         );
         assert!(t.core_cycles[0] > t.core_cycles[1]);
         assert!(t.max_core_cycles >= 1000.0);

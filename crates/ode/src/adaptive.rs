@@ -69,7 +69,14 @@ impl EmbeddedPair {
                     0.0,
                     0.0,
                 ],
-                vec![439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0, 0.0],
+                vec![
+                    439.0 / 216.0,
+                    -8.0,
+                    3680.0 / 513.0,
+                    -845.0 / 4104.0,
+                    0.0,
+                    0.0,
+                ],
                 vec![
                     -8.0 / 27.0,
                     2.0,
@@ -79,7 +86,14 @@ impl EmbeddedPair {
                     0.0,
                 ],
             ],
-            vec![25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -0.2, 0.0],
+            vec![
+                25.0 / 216.0,
+                0.0,
+                1408.0 / 2565.0,
+                2197.0 / 4104.0,
+                -0.2,
+                0.0,
+            ],
             vec![0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5],
             4,
         );
@@ -231,8 +245,9 @@ impl<'a> AdaptiveIntegrator<'a> {
     /// Attempts steps until `t_end` is reached (the last step is clipped).
     ///
     /// # Errors
-    /// Fails if the controller underflows the step size (stiffness) or an
-    /// RHS evaluation fails.
+    /// Fails if the controller underflows the step size (stiffness), an
+    /// RHS evaluation fails, or a blown-up stage makes the error estimate
+    /// non-finite ([`OdeError::Diverged`]).
     pub fn integrate_to(&mut self, t_end: f64) -> Result<(), OdeError> {
         let s = self.pair.tableau.stages();
         let p = self.pair.tableau.order().min(self.pair.order_hat) as f64;
@@ -253,7 +268,10 @@ impl<'a> AdaptiveIntegrator<'a> {
                 };
                 ks.push(self.eval_rhs(&yi)?);
             }
-            // Error estimate: h·max|Σ (b−b̂)_i k_i|.
+            // Error estimate: h·max|Σ (b−b̂)_i k_i|. Non-finite stage
+            // values must be caught explicitly — `f64::max` ignores NaN,
+            // so a blown-up stage would otherwise masquerade as err = 0
+            // and be *accepted*.
             let n = self.ivp.domain();
             let mut err = 0.0f64;
             for fl in 0..self.ivp.fields() {
@@ -265,7 +283,13 @@ impl<'a> AdaptiveIntegrator<'a> {
                                 d += (self.pair.tableau.b(st) - self.pair.b_hat[st])
                                     * kk[fl].get(i, j, k);
                             }
-                            err = err.max((h * d).abs());
+                            let scaled = (h * d).abs();
+                            if !scaled.is_finite() {
+                                return Err(OdeError::Diverged {
+                                    step: self.stats.accepted + self.stats.rejected + 1,
+                                });
+                            }
+                            err = err.max(scaled);
                         }
                     }
                 }
@@ -326,10 +350,17 @@ mod tests {
 
     #[test]
     fn pairs_are_consistent() {
-        for pair in [EmbeddedPair::bogacki_shampine32(), EmbeddedPair::fehlberg45()] {
+        for pair in [
+            EmbeddedPair::bogacki_shampine32(),
+            EmbeddedPair::fehlberg45(),
+        ] {
             assert_eq!(pair.b_hat.len(), pair.tableau.stages());
             let sum: f64 = pair.b_hat.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-12, "{}: b̂ sums to {sum}", pair.tableau.name());
+            assert!(
+                (sum - 1.0).abs() < 1e-12,
+                "{}: b̂ sums to {sum}",
+                pair.tableau.name()
+            );
         }
     }
 
@@ -351,8 +382,7 @@ mod tests {
     #[test]
     fn controller_grows_steps_on_smooth_decay() {
         let ivp = Heat2d::new(9);
-        let mut integ =
-            AdaptiveIntegrator::new(&ivp, EmbeddedPair::fehlberg45(), 1e-6, 1e-7);
+        let mut integ = AdaptiveIntegrator::new(&ivp, EmbeddedPair::fehlberg45(), 1e-6, 1e-7);
         integ.integrate_to(4e-3).unwrap();
         let stats = integ.stats();
         assert!(
@@ -368,6 +398,18 @@ mod tests {
             AdaptiveIntegrator::new(&ivp, EmbeddedPair::bogacki_shampine32(), 1e-2, 1e-8);
         integ.integrate_to(1e-2).unwrap();
         assert!(integ.stats().rejected > 0, "{:?}", integ.stats());
+    }
+
+    #[test]
+    fn blown_up_stages_report_divergence() {
+        // An absurd initial step makes the stage cascade overflow within
+        // one attempted step; the guard must return Diverged instead of
+        // letting `f64::max` swallow the NaN error estimate.
+        let ivp = Heat2d::new(9);
+        let mut integ =
+            AdaptiveIntegrator::new(&ivp, EmbeddedPair::bogacki_shampine32(), 1e150, 1e-6);
+        let err = integ.integrate_to(1e150).unwrap_err();
+        assert!(matches!(err, OdeError::Diverged { .. }), "{err}");
     }
 
     #[test]

@@ -16,6 +16,12 @@ pub enum OdeError {
     Engine(EngineError),
     /// Inconsistent plan.
     Plan(String),
+    /// The state left the finite range — the method blew up (unstable
+    /// step size, stiff problem, bad coefficients).
+    Diverged {
+        /// The 1-based step on which non-finite state was detected.
+        step: u64,
+    },
 }
 
 impl fmt::Display for OdeError {
@@ -23,6 +29,12 @@ impl fmt::Display for OdeError {
         match self {
             OdeError::Engine(e) => write!(f, "engine: {e}"),
             OdeError::Plan(s) => write!(f, "plan: {s}"),
+            OdeError::Diverged { step } => {
+                write!(
+                    f,
+                    "integration diverged: non-finite state after step {step}"
+                )
+            }
         }
     }
 }
@@ -120,7 +132,8 @@ impl Integrator {
     /// Performs one method step.
     ///
     /// # Errors
-    /// Propagates engine errors.
+    /// Propagates engine errors; returns [`OdeError::Diverged`] when the
+    /// new state contains non-finite values.
     ///
     /// # Panics
     /// Panics if the plan aliases an op's output with an input (prevented
@@ -141,6 +154,16 @@ impl Integrator {
         }
         self.t += self.h;
         self.steps_done += 1;
+        // Divergence guard: an unstable step size turns the state
+        // non-finite; detect it here instead of letting NaN/inf propagate
+        // into downstream error norms and comparisons.
+        for &s in &self.plan.state_grids {
+            if !self.pool[s].borrow().interior_all_finite() {
+                return Err(OdeError::Diverged {
+                    step: self.steps_done,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -244,7 +267,10 @@ pub fn temporal_order(
 /// -major fold, modest blocks.
 #[must_use]
 pub fn default_params(domain: [usize; 3]) -> TuningParams {
-    TuningParams::new([domain[0], domain[1].min(16), domain[2].min(16)], Fold::new(8, 1, 1))
+    TuningParams::new(
+        [domain[0], domain[1].min(16), domain[2].min(16)],
+        Fold::new(8, 1, 1),
+    )
 }
 
 #[cfg(test)]
@@ -278,8 +304,7 @@ mod tests {
         let mut results = Vec::new();
         for v in Variant::all() {
             let mut integ =
-                Integrator::new(&ivp, erk_plan(&Tableau::rk4(), &ivp, h, v), h, p.clone())
-                    .unwrap();
+                Integrator::new(&ivp, erk_plan(&Tableau::rk4(), &ivp, h, v), h, p.clone()).unwrap();
             integ.run(10).unwrap();
             results.push(integ);
         }
@@ -357,6 +382,36 @@ mod tests {
     }
 
     #[test]
+    fn unstable_step_size_reports_divergence() {
+        // Explicit Euler on heat2d at n=15 has a stability limit of
+        // h < 2/λ_max ≈ 2e-3; h = 1.0 amplifies the stiffest mode by
+        // ~1000x per step and must be caught as Diverged, not ridden
+        // into NaN.
+        let ivp = Heat2d::new(15);
+        let h = 1.0;
+        let p = default_params(ivp.domain());
+        let plan = erk_plan(&Tableau::euler(), &ivp, h, Variant::A);
+        let mut integ = Integrator::new(&ivp, plan, h, p).unwrap();
+        let err = integ.run(500).unwrap_err();
+        match err {
+            OdeError::Diverged { step } => {
+                assert!(step > 0 && step < 500, "diverged at step {step}");
+            }
+            other => panic!("expected Diverged, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stable_step_size_does_not_trip_the_guard() {
+        let ivp = Heat2d::new(15);
+        let h = 5e-4; // well inside the stability region
+        let p = default_params(ivp.domain());
+        let plan = erk_plan(&Tableau::euler(), &ivp, h, Variant::A);
+        let mut integ = Integrator::new(&ivp, plan, h, p).unwrap();
+        integ.run(50).unwrap();
+    }
+
+    #[test]
     fn wave2d_standing_wave() {
         let ivp = Wave2d::new(15, 1.0);
         let h = 2e-3;
@@ -394,7 +449,11 @@ mod tests {
             res.push(integ);
         }
         for (i, r) in res.iter().enumerate().skip(1) {
-            assert!(res[0].max_diff(r) < 1e-9, "variant {} diverges", Variant::all()[i]);
+            assert!(
+                res[0].max_diff(r) < 1e-9,
+                "variant {} diverges",
+                Variant::all()[i]
+            );
         }
         // The perturbation of the stable steady state must have shrunk
         // (relaxation rate ~ (1 + a² - b) + 2απ²/h² ≈ 0.7 here).

@@ -145,10 +145,7 @@ impl Tableau {
     pub fn radau_iia2() -> Self {
         Tableau::new(
             "radauIIA2",
-            vec![
-                vec![5.0 / 12.0, -1.0 / 12.0],
-                vec![3.0 / 4.0, 1.0 / 4.0],
-            ],
+            vec![vec![5.0 / 12.0, -1.0 / 12.0], vec![3.0 / 4.0, 1.0 / 4.0]],
             vec![3.0 / 4.0, 1.0 / 4.0],
             vec![1.0 / 3.0, 1.0],
             3,
@@ -161,10 +158,7 @@ impl Tableau {
         let r3 = 3.0f64.sqrt();
         Tableau::new(
             "gauss2",
-            vec![
-                vec![0.25, 0.25 - r3 / 6.0],
-                vec![0.25 + r3 / 6.0, 0.25],
-            ],
+            vec![vec![0.25, 0.25 - r3 / 6.0], vec![0.25 + r3 / 6.0, 0.25]],
             vec![0.5, 0.5],
             vec![0.5 - r3 / 6.0, 0.5 + r3 / 6.0],
             4,

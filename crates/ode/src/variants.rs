@@ -178,8 +178,7 @@ pub fn erk_plan(tab: &Tableau, ivp: &dyn Ivp, h: f64, variant: Variant) -> StepP
             let i = s - 1;
             let js: Vec<usize> = (0..s).filter(|&j| tab.a(i, j) != 0.0).collect();
             for fl in 0..f {
-                let (stencil, inputs) =
-                    fused_final(ivp, tab, h, i, &js, fl, f, y0, k0);
+                let (stencil, inputs) = fused_final(ivp, tab, h, i, &js, fl, f, y0, k0);
                 ops.push(StepOp {
                     stencil,
                     inputs,

@@ -56,9 +56,7 @@ impl MethodSpec {
     pub fn plan(&self, ivp: &dyn Ivp, h: f64, variant: Variant) -> StepPlan {
         match self {
             MethodSpec::Erk(t) => erk_plan(t, ivp, h, variant),
-            MethodSpec::Pirk { corrector, iters } => {
-                pirk_plan(corrector, *iters, ivp, h, variant)
-            }
+            MethodSpec::Pirk { corrector, iters } => pirk_plan(corrector, *iters, ivp, h, variant),
         }
     }
 

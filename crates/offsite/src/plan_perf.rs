@@ -84,12 +84,36 @@ pub fn measure_plan(
     step(&mut ctx)?;
     let total = ctx.finish();
     let seconds = (total.time.seconds - warm.time.seconds).max(1e-12);
-    let mem_bytes = total.stats.mem_bytes(machine.line_bytes())
-        - warm.stats.mem_bytes(machine.line_bytes());
+    let mem_bytes =
+        total.stats.mem_bytes(machine.line_bytes()) - warm.stats.mem_bytes(machine.line_bytes());
     Ok(PlanMeasurement {
         seconds_per_step: seconds,
         mem_bytes_per_step: mem_bytes.max(0.0),
     })
+}
+
+/// A [`MeasureBackend`] over a whole step plan: one sample is one
+/// steady-state step measurement via [`measure_plan`]. This is the hook
+/// the offsite evaluator uses so that plan measurements flow through the
+/// same robust trial protocol (retries, outlier rejection, fallback) as
+/// single-sweep measurements, and so faults can be injected for testing.
+pub struct PlanBackend<'a> {
+    plan: &'a StepPlan,
+    machine: &'a Machine,
+}
+
+impl<'a> PlanBackend<'a> {
+    /// Creates a backend measuring `plan` on `machine`.
+    #[must_use]
+    pub fn new(plan: &'a StepPlan, machine: &'a Machine) -> Self {
+        Self { plan, machine }
+    }
+}
+
+impl yasksite::MeasureBackend for PlanBackend<'_> {
+    fn run_sample(&mut self, params: &TuningParams) -> Result<f64, ToolError> {
+        Ok(measure_plan(self.plan, self.machine, params)?.seconds_per_step)
+    }
 }
 
 #[cfg(test)]
@@ -121,8 +145,18 @@ mod tests {
         let ivp = Heat2d::new(128);
         let params = TuningParams::new([128, 16, 1], Fold::new(8, 1, 1));
         let m = Machine::cascade_lake();
-        let a = predict_plan(&erk_plan(&Tableau::rk4(), &ivp, 1e-5, Variant::A), &m, &params, 1);
-        let d = predict_plan(&erk_plan(&Tableau::rk4(), &ivp, 1e-5, Variant::D), &m, &params, 1);
+        let a = predict_plan(
+            &erk_plan(&Tableau::rk4(), &ivp, 1e-5, Variant::A),
+            &m,
+            &params,
+            1,
+        );
+        let d = predict_plan(
+            &erk_plan(&Tableau::rk4(), &ivp, 1e-5, Variant::D),
+            &m,
+            &params,
+            1,
+        );
         assert!(
             d.seconds_per_step < a.seconds_per_step,
             "D {:.3e} should beat A {:.3e}",

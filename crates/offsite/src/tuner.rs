@@ -1,12 +1,15 @@
 //! The Offsite evaluation loop: enumerate, predict, rank, validate.
 
-use yasksite::{SearchSpace, Solution, ToolError, TuneCost, TuneStrategy};
+use yasksite::{
+    run_trial, FaultPlan, FaultyBackend, Provenance, SearchSpace, Solution, ToolError, TrialBudget,
+    TrialConfig, TrialResult, TrialSummary, TuneCost, TuneStrategy,
+};
 use yasksite_arch::Machine;
 use yasksite_engine::TuningParams;
-use yasksite_ode::{Ivp, Variant};
+use yasksite_ode::{Ivp, StepPlan, Variant};
 
 use crate::method::MethodSpec;
-use crate::plan_perf::{measure_plan, predict_plan};
+use crate::plan_perf::{predict_plan, PlanBackend};
 
 /// One evaluated `(method, variant)` candidate.
 #[derive(Debug, Clone)]
@@ -19,10 +22,14 @@ pub struct CandidateReport {
     pub params: TuningParams,
     /// Predicted seconds per step.
     pub predicted_s: f64,
-    /// Simulator-measured seconds per step.
+    /// Simulator-measured seconds per step (or the analytic prediction
+    /// when measurement fell back — see `provenance`).
     pub measured_s: f64,
-    /// `|predicted - measured| / measured`.
+    /// `|predicted - measured| / measured` (zero for fallback candidates,
+    /// whose "measurement" *is* the prediction).
     pub rel_err: f64,
+    /// How `measured_s` was obtained.
+    pub provenance: Provenance,
 }
 
 /// Full evaluation of an IVP across methods and variants.
@@ -37,9 +44,10 @@ pub struct EvalReport {
     /// Per-method speedup of the predicted pick over that method's naive
     /// baseline (variant A, unblocked, in-line fold): `(method, speedup)`.
     pub speedups: Vec<(String, f64)>,
-    /// Mean relative prediction error over all candidates.
+    /// Mean relative prediction error over the *measured* (non-fallback)
+    /// candidates; zero when every candidate fell back.
     pub mean_rel_err: f64,
-    /// Maximum relative prediction error.
+    /// Maximum relative prediction error over the measured candidates.
     pub max_rel_err: f64,
     /// Cost of the *selection* work (model evaluations; what the paper's
     /// Offsite+YaskSite pipeline spends).
@@ -47,6 +55,12 @@ pub struct EvalReport {
     /// Cost of the validation measurements (what an exhaustive empirical
     /// tuner would spend).
     pub validate_cost: TuneCost,
+    /// Aggregate trial statistics (samples, rejections, retries,
+    /// fallbacks) across every measurement in the report.
+    pub trials: TrialSummary,
+    /// How many candidates rest on the analytic fallback rather than a
+    /// real measurement.
+    pub fallback_candidates: usize,
 }
 
 /// The offline tuner bound to a machine model and an active core count.
@@ -54,13 +68,27 @@ pub struct EvalReport {
 pub struct Offsite {
     machine: Machine,
     cores: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl Offsite {
     /// Creates the tuner for `cores` active cores of `machine`.
     #[must_use]
     pub fn new(machine: Machine, cores: usize) -> Self {
-        Offsite { machine, cores }
+        Offsite {
+            machine,
+            cores,
+            faults: None,
+        }
+    }
+
+    /// Injects deterministic faults into every plan measurement this
+    /// tuner performs (testing hook; each measurement gets a decorrelated
+    /// sub-stream of `plan`).
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The target machine.
@@ -95,30 +123,91 @@ impl Offsite {
         .threads(self.cores)
     }
 
+    /// One robust trial of a whole step plan: the plan backend is wrapped
+    /// in the fault harness when faults are configured, and the analytic
+    /// prediction serves as the fallback estimate.
+    fn measure_step_trial(
+        &self,
+        plan: &StepPlan,
+        params: &TuningParams,
+        fallback_seconds: f64,
+        stream: u64,
+        cfg: &TrialConfig,
+        budget: &mut TrialBudget,
+    ) -> TrialResult {
+        let backend = PlanBackend::new(plan, &self.machine);
+        match self.faults {
+            Some(f) => run_trial(
+                &mut FaultyBackend::new(backend, f.stream(stream)),
+                params,
+                fallback_seconds,
+                cfg,
+                budget,
+            ),
+            None => {
+                let mut backend = backend;
+                run_trial(&mut backend, params, fallback_seconds, cfg, budget)
+            }
+        }
+    }
+
     /// Evaluates every `(method, variant)` candidate on `ivp` with step
     /// size `h`: predicts each, measures each on the simulated hierarchy,
     /// and reports prediction accuracy, ranking quality, per-method
     /// speedups over the naive baseline, and both cost ledgers.
     ///
-    /// # Errors
-    /// Propagates engine/tool errors.
+    /// Each measurement is a single-shot trial with an unlimited budget;
+    /// use [`Offsite::evaluate_trials`] for the full robust protocol.
     ///
-    /// # Panics
-    /// Panics if `methods` is empty.
+    /// # Errors
+    /// Returns [`ToolError::InvalidInput`] for an empty method list and
+    /// propagates tool errors from parameter tuning. Measurement failures
+    /// do *not* error — the candidate degrades to its analytic prediction
+    /// with [`Provenance::PredictedFallback`].
     pub fn evaluate(
         &self,
         ivp: &dyn Ivp,
         methods: &[MethodSpec],
         h: f64,
     ) -> Result<EvalReport, ToolError> {
-        assert!(!methods.is_empty(), "no methods to evaluate");
+        self.evaluate_trials(
+            ivp,
+            methods,
+            h,
+            &TrialConfig::single_shot(),
+            &mut TrialBudget::unlimited(),
+        )
+    }
+
+    /// [`Offsite::evaluate`] with an explicit trial protocol: every plan
+    /// measurement (candidates and naive baselines) runs under `cfg`
+    /// against the shared `budget`, falling back to the analytic
+    /// prediction when sampling fails or the budget runs out.
+    ///
+    /// # Errors
+    /// Returns [`ToolError::InvalidInput`] for an empty method list or a
+    /// method without variants; propagates tool errors from parameter
+    /// tuning. Measurement failures never error.
+    pub fn evaluate_trials(
+        &self,
+        ivp: &dyn Ivp,
+        methods: &[MethodSpec],
+        h: f64,
+        cfg: &TrialConfig,
+        budget: &mut TrialBudget,
+    ) -> Result<EvalReport, ToolError> {
+        if methods.is_empty() {
+            return Err(ToolError::InvalidInput("no methods to evaluate".into()));
+        }
         let mut select_cost = TuneCost::default();
         let mut validate_cost = TuneCost::default();
+        let mut trials = TrialSummary::default();
         let (params, tune_cost) = self.tuned_params(ivp)?;
         select_cost += tune_cost;
 
         let mut candidates = Vec::new();
         let mut speedups = Vec::new();
+        let mut stream = 0u64;
         for m in methods {
             let mut per_method: Vec<usize> = Vec::new();
             for v in m.variants() {
@@ -129,55 +218,100 @@ impl Offsite {
                 select_cost.wall_seconds += t0.elapsed().as_secs_f64();
 
                 let t1 = std::time::Instant::now();
-                let meas = measure_plan(&plan, &self.machine, &params)?;
-                validate_cost.engine_runs += 1;
-                validate_cost.target_seconds += 2.0 * meas.seconds_per_step;
+                let r = self.measure_step_trial(
+                    &plan,
+                    &params,
+                    pred.seconds_per_step,
+                    stream,
+                    cfg,
+                    budget,
+                );
+                stream += 1;
+                validate_cost.engine_runs += r.attempts;
+                validate_cost.target_seconds += 2.0 * r.seconds_per_sweep;
                 validate_cost.wall_seconds += t1.elapsed().as_secs_f64();
+                trials.absorb(&r);
 
+                let measured_s = r.seconds_per_sweep;
                 per_method.push(candidates.len());
                 candidates.push(CandidateReport {
                     method: m.name(),
                     variant: v,
                     params: params.clone(),
                     predicted_s: pred.seconds_per_step,
-                    measured_s: meas.seconds_per_step,
-                    rel_err: (pred.seconds_per_step - meas.seconds_per_step).abs()
-                        / meas.seconds_per_step,
+                    measured_s,
+                    rel_err: (pred.seconds_per_step - measured_s).abs() / measured_s.max(1e-300),
+                    provenance: r.provenance,
                 });
             }
             // Per-method speedup: predicted pick vs naive variant-A run.
-            let pick = per_method
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    candidates[a]
-                        .predicted_s
-                        .total_cmp(&candidates[b].predicted_s)
-                })
-                .expect("method has variants");
+            let Some(pick) = per_method.iter().copied().min_by(|&a, &b| {
+                candidates[a]
+                    .predicted_s
+                    .total_cmp(&candidates[b].predicted_s)
+            }) else {
+                return Err(ToolError::InvalidInput(format!(
+                    "method {} has no variants",
+                    m.name()
+                )));
+            };
             let naive = self.naive_params(ivp);
             let base_plan = m.plan(ivp, h, Variant::A);
-            let base = measure_plan(&base_plan, &self.machine, &naive)?;
-            validate_cost.engine_runs += 1;
-            validate_cost.target_seconds += 2.0 * base.seconds_per_step;
+            let base_pred = predict_plan(&base_plan, &self.machine, &naive, self.cores);
+            let base = self.measure_step_trial(
+                &base_plan,
+                &naive,
+                base_pred.seconds_per_step,
+                stream,
+                cfg,
+                budget,
+            );
+            stream += 1;
+            validate_cost.engine_runs += base.attempts;
+            validate_cost.target_seconds += 2.0 * base.seconds_per_sweep;
+            trials.absorb(&base);
             speedups.push((
                 m.name(),
-                base.seconds_per_step / candidates[pick].measured_s,
+                base.seconds_per_sweep / candidates[pick].measured_s,
             ));
         }
 
         // Ranking quality: where does the prediction's favourite land in
-        // the measured order?
+        // the measured order? `candidates` is non-empty here (each method
+        // contributed at least one variant), so the fallbacks to index 0
+        // are unreachable — they just keep the API panic-free.
         let pred_pick = (0..candidates.len())
-            .min_by(|&a, &b| candidates[a].predicted_s.total_cmp(&candidates[b].predicted_s))
-            .expect("non-empty");
+            .min_by(|&a, &b| {
+                candidates[a]
+                    .predicted_s
+                    .total_cmp(&candidates[b].predicted_s)
+            })
+            .unwrap_or(0);
         let mut order: Vec<usize> = (0..candidates.len()).collect();
-        order.sort_by(|&a, &b| candidates[a].measured_s.total_cmp(&candidates[b].measured_s));
-        let rank_of_pick = order.iter().position(|&i| i == pred_pick).expect("present");
+        order.sort_by(|&a, &b| {
+            candidates[a]
+                .measured_s
+                .total_cmp(&candidates[b].measured_s)
+        });
+        let rank_of_pick = order.iter().position(|&i| i == pred_pick).unwrap_or(0);
 
-        let mean_rel_err =
-            candidates.iter().map(|c| c.rel_err).sum::<f64>() / candidates.len() as f64;
-        let max_rel_err = candidates.iter().map(|c| c.rel_err).fold(0.0, f64::max);
+        // Prediction accuracy is only meaningful against real
+        // measurements; fallback candidates compare the model to itself.
+        let measured_errs: Vec<f64> = candidates
+            .iter()
+            .filter(|c| !c.provenance.is_fallback())
+            .map(|c| c.rel_err)
+            .collect();
+        let mean_rel_err = if measured_errs.is_empty() {
+            0.0
+        } else {
+            measured_errs.iter().sum::<f64>() / measured_errs.len() as f64
+        };
+        let max_rel_err = measured_errs.iter().copied().fold(0.0, f64::max);
+        let fallback_candidates = candidates
+            .iter()
+            .filter(|c| c.provenance.is_fallback())
+            .count();
         let mut sorted = candidates.clone();
         sorted.sort_by(|a, b| a.measured_s.total_cmp(&b.measured_s));
         Ok(EvalReport {
@@ -189,6 +323,8 @@ impl Offsite {
             max_rel_err,
             select_cost,
             validate_cost,
+            trials,
+            fallback_candidates,
         })
     }
 }
@@ -223,10 +359,9 @@ impl Offsite {
     /// Returns entries sorted by predicted total time, fastest first.
     ///
     /// # Errors
-    /// Propagates tool errors from parameter tuning.
-    ///
-    /// # Panics
-    /// Panics if `methods` is empty or `tol`/`t_end` are not positive.
+    /// Returns [`ToolError::InvalidInput`] for an empty method list or a
+    /// non-positive `tol`/`t_end`; propagates tool errors from parameter
+    /// tuning.
     pub fn rank_by_tolerance(
         &self,
         ivp: &dyn Ivp,
@@ -234,8 +369,14 @@ impl Offsite {
         tol: f64,
         t_end: f64,
     ) -> Result<Vec<WorkPrecisionEntry>, ToolError> {
-        assert!(!methods.is_empty(), "no methods to rank");
-        assert!(tol > 0.0 && t_end > 0.0, "tolerance and horizon must be positive");
+        if methods.is_empty() {
+            return Err(ToolError::InvalidInput("no methods to rank".into()));
+        }
+        if !(tol > 0.0 && t_end > 0.0) {
+            return Err(ToolError::InvalidInput(
+                "tolerance and horizon must be positive".into(),
+            ));
+        }
         let (params, _) = self.tuned_params(ivp)?;
         let mut out = Vec::new();
         for m in methods {
@@ -281,6 +422,13 @@ mod tests {
         assert!(r.select_cost.model_evals > 0);
         assert_eq!(r.select_cost.engine_runs, 0);
         assert!(r.validate_cost.engine_runs >= 4);
+        // A clean backend measures everything for real.
+        assert_eq!(r.fallback_candidates, 0);
+        assert_eq!(r.trials.fallbacks, 0);
+        assert!(r.trials.samples >= r.candidates.len());
+        for c in &r.candidates {
+            assert_eq!(c.provenance, Provenance::Measured);
+        }
     }
 
     #[test]
@@ -303,7 +451,9 @@ mod tests {
             MethodSpec::erk(Tableau::rk4()),
         ];
         let loose = offsite.rank_by_tolerance(&ivp, &methods, 0.5, 1.0).unwrap();
-        let tight = offsite.rank_by_tolerance(&ivp, &methods, 1e-10, 1.0).unwrap();
+        let tight = offsite
+            .rank_by_tolerance(&ivp, &methods, 1e-10, 1.0)
+            .unwrap();
         assert_eq!(loose[0].method, "euler", "loose tolerance favours Euler");
         assert_eq!(tight[0].method, "rk4", "tight tolerance favours RK4");
         // Sorted ascending by predicted time.
@@ -322,5 +472,74 @@ mod tests {
         let p = offsite.naive_params(&ivp);
         assert_eq!(p.block, [32, 32, 1]);
         assert_eq!(p.wavefront, 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_errors_not_panics() {
+        let offsite = Offsite::new(Machine::cascade_lake(), 1);
+        let ivp = Heat2d::new(16);
+        let err = offsite.evaluate(&ivp, &[], 1e-5).unwrap_err();
+        assert!(matches!(err, ToolError::InvalidInput(_)), "{err}");
+        let methods = [MethodSpec::erk(Tableau::euler())];
+        let err = offsite.rank_by_tolerance(&ivp, &[], 1e-3, 1.0).unwrap_err();
+        assert!(matches!(err, ToolError::InvalidInput(_)), "{err}");
+        let err = offsite
+            .rank_by_tolerance(&ivp, &methods, -1.0, 1.0)
+            .unwrap_err();
+        assert!(matches!(err, ToolError::InvalidInput(_)), "{err}");
+    }
+
+    #[test]
+    fn total_measurement_failure_degrades_to_the_model() {
+        let ivp = Heat2d::new(32);
+        let methods = [MethodSpec::erk(Tableau::heun2())];
+        let eval = |seed: u64| {
+            Offsite::new(Machine::cascade_lake(), 1)
+                .with_faults(FaultPlan::always_fail(seed))
+                .evaluate(&ivp, &methods, 1e-5)
+                .unwrap()
+        };
+        let r = eval(7);
+        assert_eq!(r.candidates.len(), 4);
+        assert_eq!(r.fallback_candidates, r.candidates.len());
+        for c in &r.candidates {
+            assert!(c.provenance.is_fallback(), "{:?}", c.provenance);
+            // The "measurement" is the analytic prediction itself.
+            assert_eq!(c.measured_s, c.predicted_s);
+            assert!(c.measured_s.is_finite() && c.measured_s > 0.0);
+        }
+        // No real measurements -> no accuracy claim.
+        assert_eq!(r.mean_rel_err, 0.0);
+        assert_eq!(r.max_rel_err, 0.0);
+        // The pick equals the model's favourite, so the report agrees
+        // with itself.
+        assert!(r.picked_best);
+        // Deterministic: the same fault seed reproduces the report.
+        let r2 = eval(7);
+        for (a, b) in r.candidates.iter().zip(&r2.candidates) {
+            assert_eq!(a.method, b.method);
+            assert_eq!(a.variant, b.variant);
+            assert_eq!(a.measured_s.to_bits(), b.measured_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn noisy_faults_keep_the_report_finite() {
+        let offsite = Offsite::new(Machine::cascade_lake(), 1).with_faults(FaultPlan::noisy(42));
+        let ivp = Heat2d::new(32);
+        let methods = [MethodSpec::erk(Tableau::heun2())];
+        let cfg = TrialConfig::default();
+        let mut budget = TrialBudget::unlimited();
+        let r = offsite
+            .evaluate_trials(&ivp, &methods, 1e-5, &cfg, &mut budget)
+            .unwrap();
+        assert_eq!(r.candidates.len(), 4);
+        for c in &r.candidates {
+            assert!(c.measured_s.is_finite() && c.measured_s > 0.0);
+        }
+        assert!(r.mean_rel_err.is_finite());
+        for (_, s) in &r.speedups {
+            assert!(s.is_finite() && *s > 0.0);
+        }
     }
 }

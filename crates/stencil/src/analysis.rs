@@ -187,12 +187,7 @@ mod tests {
 
     #[test]
     fn duplicate_accesses_dedup() {
-        let s = Stencil::new(
-            "dup",
-            1,
-            1,
-            at(0, 0, 0, 0) + at(0, 0, 0, 0) * c(2.0),
-        );
+        let s = Stencil::new("dup", 1, 1, at(0, 0, 0, 0) + at(0, 0, 0, 0) * c(2.0));
         let i = s.info();
         assert_eq!(i.reads_per_point, 1);
         assert_eq!(i.radius, [0, 0, 0]);

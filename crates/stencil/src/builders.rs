@@ -186,8 +186,8 @@ pub fn heat3d_varcoeff() -> Stencil {
 #[must_use]
 pub fn heat2d_varcoeff() -> Stencil {
     let u = at(0, 0, 0, 0);
-    let lap = at(0, -1, 0, 0) + at(0, 1, 0, 0) + at(0, 0, -1, 0) + at(0, 0, 1, 0)
-        - c(4.0) * u.clone();
+    let lap =
+        at(0, -1, 0, 0) + at(0, 1, 0, 0) + at(0, 0, -1, 0) + at(0, 0, 1, 0) - c(4.0) * u.clone();
     let kappa = at(1, 0, 0, 0);
     Stencil::new("heat-2d-vc", 2, 2, u + kappa * lap)
 }
@@ -295,15 +295,18 @@ mod tests {
         assert_eq!(s.num_inputs(), 2);
         assert_eq!(i.read_grids, 2);
         assert_eq!(i.reads_per_point, 8); // 7 of u + 1 of kappa
-        // With kappa == alpha constant it must equal the fixed-coeff
-        // stencil's behaviour on a constant field.
+                                          // With kappa == alpha constant it must equal the fixed-coeff
+                                          // stencil's behaviour on a constant field.
         let mut u = Grid3::new("u", [6, 6, 6], [1, 1, 1], Fold::unit());
         u.fill_all(2.0);
         let mut kap = Grid3::new("k", [6, 6, 6], [1, 1, 1], Fold::unit());
         kap.fill_all(0.125);
         let mut out = Grid3::new("o", [6, 6, 6], [0, 0, 0], Fold::unit());
         s.apply_reference(&[&u, &kap], &mut out).unwrap();
-        assert!((out.get(3, 3, 3) - 2.0).abs() < 1e-14, "constant field is a fixed point");
+        assert!(
+            (out.get(3, 3, 3) - 2.0).abs() < 1e-14,
+            "constant field is a fixed point"
+        );
     }
 
     #[test]

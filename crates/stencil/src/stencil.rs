@@ -43,9 +43,17 @@ impl fmt::Display for StencilError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StencilError::UnknownGrid { grid, num_inputs } => {
-                write!(f, "expression reads grid {grid} but stencil has {num_inputs} inputs")
+                write!(
+                    f,
+                    "expression reads grid {grid} but stencil has {num_inputs} inputs"
+                )
             }
-            StencilError::HaloTooSmall { grid, dim, needed, have } => write!(
+            StencilError::HaloTooSmall {
+                grid,
+                dim,
+                needed,
+                have,
+            } => write!(
                 f,
                 "input {grid} halo in dim {dim} is {have}, stencil needs {needed}"
             ),
@@ -155,11 +163,7 @@ impl Stencil {
     ///
     /// # Errors
     /// Returns an error if arities, domains or halos are inconsistent.
-    pub fn apply_reference(
-        &self,
-        inputs: &[&Grid3],
-        out: &mut Grid3,
-    ) -> Result<(), StencilError> {
+    pub fn apply_reference(&self, inputs: &[&Grid3], out: &mut Grid3) -> Result<(), StencilError> {
         self.check_bindings(inputs, out)?;
         let n = out.n();
         for k in 0..n[2] as isize {
@@ -209,11 +213,9 @@ impl Stencil {
 fn eval_expr(e: &Expr, inputs: &[&Grid3], i: isize, j: isize, k: isize) -> f64 {
     match e {
         Expr::Const(v) => *v,
-        Expr::At { grid, dx, dy, dz } => inputs[*grid].get(
-            i + *dx as isize,
-            j + *dy as isize,
-            k + *dz as isize,
-        ),
+        Expr::At { grid, dx, dy, dz } => {
+            inputs[*grid].get(i + *dx as isize, j + *dy as isize, k + *dz as isize)
+        }
         Expr::Add(a, b) => eval_expr(a, inputs, i, j, k) + eval_expr(b, inputs, i, j, k),
         Expr::Sub(a, b) => eval_expr(a, inputs, i, j, k) - eval_expr(b, inputs, i, j, k),
         Expr::Mul(a, b) => eval_expr(a, inputs, i, j, k) * eval_expr(b, inputs, i, j, k),
@@ -236,18 +238,16 @@ mod tests {
         let e = at(1, 0, 0, 0);
         assert_eq!(
             Stencil::try_new("s", 1, 1, e).unwrap_err(),
-            StencilError::UnknownGrid { grid: 1, num_inputs: 1 }
+            StencilError::UnknownGrid {
+                grid: 1,
+                num_inputs: 1
+            }
         );
     }
 
     #[test]
     fn eval_matches_hand_computation() {
-        let s = Stencil::new(
-            "avg",
-            1,
-            1,
-            c(0.5) * (at(0, -1, 0, 0) + at(0, 1, 0, 0)),
-        );
+        let s = Stencil::new("avg", 1, 1, c(0.5) * (at(0, -1, 0, 0) + at(0, 1, 0, 0)));
         let mut u = grid([4, 1, 1], [1, 0, 0]);
         u.fill_with(|i, _, _| i as f64);
         u.fill_halo(0.0);
@@ -272,7 +272,9 @@ mod tests {
         let u = grid([4, 1, 1], [1, 0, 0]);
         let mut out = grid([4, 1, 1], [0, 0, 0]);
         match s.apply_reference(&[&u], &mut out) {
-            Err(StencilError::HaloTooSmall { needed: 2, have: 1, .. }) => {}
+            Err(StencilError::HaloTooSmall {
+                needed: 2, have: 1, ..
+            }) => {}
             other => panic!("expected halo error, got {other:?}"),
         }
     }
@@ -284,7 +286,10 @@ mod tests {
         let mut out = grid([2, 1, 1], [0, 0, 0]);
         assert_eq!(
             s.apply_reference(&[&u], &mut out).unwrap_err(),
-            StencilError::ArityMismatch { expected: 2, got: 1 }
+            StencilError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
         );
     }
 

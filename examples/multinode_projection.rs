@@ -34,8 +34,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("InfiniBand HDR", Interconnect::infiniband()),
         ("100 GbE", Interconnect::ethernet100g()),
     ] {
-        println!("\n{name} ({:.0} GB/s, {:.0} µs):", net.bandwidth_gbs, net.latency_s * 1e6);
-        println!("{:>6} {:>12} {:>10} {:>10} {:>11}", "ranks", "step [ms]", "comp [ms]", "comm [ms]", "efficiency");
+        println!(
+            "\n{name} ({:.0} GB/s, {:.0} µs):",
+            net.bandwidth_gbs,
+            net.latency_s * 1e6
+        );
+        println!(
+            "{:>6} {:>12} {:>10} {:>10} {:>11}",
+            "ranks", "step [ms]", "comp [ms]", "comm [ms]", "efficiency"
+        );
         for ranks in [1usize, 2, 4, 8, 16, 32] {
             let d = RankDecomposition::new(domain, ranks, 1)?;
             let p = predict_multirank(step_s, &d, 1, &net);

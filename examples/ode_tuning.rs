@@ -24,10 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MethodSpec::pirk(Tableau::radau_iia2(), 3),
     ];
 
-    println!("tuning Heat2D(256) on {} with {cores} cores...", offsite.machine().tag());
+    println!(
+        "tuning Heat2D(256) on {} with {cores} cores...",
+        offsite.machine().tag()
+    );
     let report = offsite.evaluate(&ivp, &methods, 1e-6)?;
 
-    println!("\n{:<24} {:>13} {:>13} {:>6}", "method/variant", "predicted[s]", "measured[s]", "err%");
+    println!(
+        "\n{:<24} {:>13} {:>13} {:>6}",
+        "method/variant", "predicted[s]", "measured[s]", "err%"
+    );
     for c in &report.candidates {
         println!(
             "{:<24} {:>13.3e} {:>13.3e} {:>6.0}",
@@ -40,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nprediction picked the measured rank-{} candidate{}",
         report.rank_of_pick + 1,
-        if report.picked_best { " — the true best" } else { "" }
+        if report.picked_best {
+            " — the true best"
+        } else {
+            ""
+        }
     );
     println!("mean prediction error: {:.0}%", report.mean_rel_err * 100.0);
     println!("\nspeedups over the naive baseline:");
@@ -48,7 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {m:<20} {s:.2}x");
     }
     println!("\ncosts:");
-    println!("  selection  (model only): {}", report.select_cost.summary());
-    println!("  validation (exhaustive): {}", report.validate_cost.summary());
+    println!(
+        "  selection  (model only): {}",
+        report.select_cost.summary()
+    );
+    println!(
+        "  validation (exhaustive): {}",
+        report.validate_cost.summary()
+    );
     Ok(())
 }

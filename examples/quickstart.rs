@@ -26,15 +26,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cores = 8;
     let result = solution.tune(TuneStrategy::Analytic, cores)?;
     println!("candidates ranked analytically: {}", result.ranked.len());
-    println!("model evaluations:              {}", result.cost.model_evals);
-    println!("kernel runs needed:             {}", result.cost.engine_runs);
+    println!(
+        "model evaluations:              {}",
+        result.cost.model_evals
+    );
+    println!(
+        "kernel runs needed:             {}",
+        result.cost.engine_runs
+    );
     println!("selected parameters:            {}", result.best);
 
     // 3. What does the model say about the winner?
     let pred = solution.predict(&result.best, cores);
     println!("\nECM prediction @ {cores} cores:");
     println!("  {}", pred.ecm.summary());
-    println!("  => {:.0} MLUP/s, {:.3} ms/sweep", pred.mlups, pred.seconds_per_sweep * 1e3);
+    println!(
+        "  => {:.0} MLUP/s, {:.3} ms/sweep",
+        pred.mlups,
+        pred.seconds_per_sweep * 1e3
+    );
 
     // 4. Check it against the simulated Cascade Lake hierarchy.
     let measured = solution.measure(&result.best)?;

@@ -29,7 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = std::time::Instant::now();
     for chunk in 0..10 {
         integ.run(steps / 10)?;
-        let err = integ.error_vs_exact(&ivp).expect("heat2d has an exact solution");
+        let err = integ
+            .error_vs_exact(&ivp)
+            .expect("heat2d has an exact solution");
         let mid = integ.state(0).get(n as isize / 2, n as isize / 2, 0);
         println!(
             "t = {:.4}  u(mid) = {:.5}  max error vs exact = {:.2e}",

@@ -103,7 +103,9 @@ fn codegen_reflects_tuning() {
     let r = sol.tune_space(&space, TuneStrategy::Analytic, 4).unwrap();
     let code = sol.codegen(&r.best);
     assert!(code.source.contains(&format!("kb += {}", r.best.block[2])));
-    assert!(code.source.contains(&format!("#define FOLD_X {}", r.best.fold.x)));
+    assert!(code
+        .source
+        .contains(&format!("#define FOLD_X {}", r.best.fold.x)));
     assert!(code.source.contains("num_threads(4)"));
 }
 

@@ -35,8 +35,8 @@ fn manual_rk4_step(ivp: &Heat2d, u0: &Grid3, h: f64) -> Grid3 {
     let mut out = u0.clone();
     for j in 0..n[1] as isize {
         for i in 0..n[0] as isize {
-            let incr = k1.get(i, j, 0) + 2.0 * k2.get(i, j, 0) + 2.0 * k3.get(i, j, 0)
-                + k4.get(i, j, 0);
+            let incr =
+                k1.get(i, j, 0) + 2.0 * k2.get(i, j, 0) + 2.0 * k3.get(i, j, 0) + k4.get(i, j, 0);
             out.set(i, j, 0, u0.get(i, j, 0) + h / 6.0 * incr);
         }
     }

@@ -10,17 +10,15 @@ use yasksite_stencil::{at, c, Expr, Stencil};
 
 /// Strategy: a random linear stencil with offsets within radius 2.
 fn arb_linear_stencil() -> impl Strategy<Value = Stencil> {
-    proptest::collection::vec(
-        ((-2i32..=2), (-2i32..=2), (-2i32..=2), -2.0f64..2.0),
-        1..8,
+    proptest::collection::vec(((-2i32..=2), (-2i32..=2), (-2i32..=2), -2.0f64..2.0), 1..8).prop_map(
+        |terms| {
+            let exprs: Vec<Expr> = terms
+                .iter()
+                .map(|&(dx, dy, dz, w)| c(w) * at(0, dx, dy, dz))
+                .collect();
+            Stencil::new("prop", 3, 1, Expr::sum(exprs))
+        },
     )
-    .prop_map(|terms| {
-        let exprs: Vec<Expr> = terms
-            .iter()
-            .map(|&(dx, dy, dz, w)| c(w) * at(0, dx, dy, dz))
-            .collect();
-        Stencil::new("prop", 3, 1, Expr::sum(exprs))
-    })
 }
 
 fn arb_fold() -> impl Strategy<Value = Fold> {

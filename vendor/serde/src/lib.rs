@@ -1,0 +1,20 @@
+//! Hermetic stand-in for the `serde` façade crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so every external dependency is either dropped or replaced by a small
+//! in-repo crate with a compatible API surface (see `vendor/README.md`).
+//! This crate keeps the `#[derive(Serialize, Deserialize)]` annotations in
+//! `yasksite-arch` compiling: the traits are empty markers and the derives
+//! emit empty impls. No (de)serialisation is performed anywhere in the
+//! workspace today; if a real serialisation format is ever needed, point
+//! the workspace `serde` dependency back at crates.io and everything
+//! downstream keeps compiling unchanged.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

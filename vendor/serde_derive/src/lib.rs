@@ -1,0 +1,41 @@
+//! No-op `Serialize`/`Deserialize` derives for the in-repo serde stand-in.
+//!
+//! The derive macros locate the name of the annotated `struct`/`enum`
+//! (skipping attributes, doc comments and visibility) and emit an empty
+//! marker-trait impl. Generic types are not supported — the workspace only
+//! derives on concrete machine-model types.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the first `struct` or `enum` keyword.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive(Serialize) on a struct or enum");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("derive(Deserialize) on a struct or enum");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
