@@ -1,5 +1,5 @@
 //! Experiment driver (see DESIGN.md experiment index). Pass `--small`
-//! for a miniature run.
+//! for a miniature run and `--jobs N` to pin the ranking worker count.
 
 use yasksite_arch::Machine;
 #[allow(unused_imports)]
@@ -7,8 +7,9 @@ use yasksite_bench::Scale;
 
 fn main() {
     let scale = Scale::from_args();
+    let jobs = Scale::jobs_from_args();
     println!(
         "{}",
-        yasksite_bench::experiments::e9_tuning_cost(&Machine::cascade_lake(), scale)
+        yasksite_bench::experiments::e9_tuning_cost(&Machine::cascade_lake(), scale, jobs)
     );
 }

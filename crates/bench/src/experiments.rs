@@ -2,9 +2,10 @@
 //! DESIGN.md).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-use offsite::{MethodSpec, Offsite};
-use yasksite::{SearchSpace, Solution, TuneStrategy};
+use offsite::{EvalOptions, MethodSpec, Offsite};
+use yasksite::{PredictionCache, SearchSpace, Solution, TuneRequest, TuneStrategy};
 use yasksite_arch::{machine_table, Machine};
 use yasksite_ecm::roofline_mlups;
 use yasksite_engine::TuningParams;
@@ -35,6 +36,19 @@ impl Scale {
         } else {
             Scale::Paper
         }
+    }
+
+    /// Parses `--jobs N` from argv; `None` lets the tuner pick
+    /// (`YASKSITE_JOBS` or all cores). Results are jobs-invariant, only
+    /// wall time changes.
+    #[must_use]
+    pub fn jobs_from_args() -> Option<usize> {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|j| j.max(1))
     }
 
     fn heat3d_domain(self, machine: &Machine) -> [usize; 3] {
@@ -211,17 +225,31 @@ pub fn e4_scaling(machine: &Machine, scale: Scale) -> String {
 }
 
 /// E5 — spatial block sweep: measured performance over the block space,
-/// with the analytically selected block marked.
+/// with the analytically selected block marked. The analytic ranking
+/// runs twice through the same prediction cache (cold, then warm) so the
+/// output also quantifies what memoization saves on repeated sweeps.
 #[must_use]
-pub fn e5_block_sweep(machine: &Machine, scale: Scale) -> String {
+pub fn e5_block_sweep(machine: &Machine, scale: Scale, jobs: Option<usize>) -> String {
     let s = builders::heat3d(1);
     let domain = scale.sweep_domain();
     let fold = fold_for(machine);
     let sol = Solution::new(s.clone(), domain, machine.clone());
     let space = SearchSpace::spatial_only(&s, domain, machine).with_folds(vec![fold]);
+    let cache = Arc::new(PredictionCache::new());
+    let mut req = TuneRequest::new(TuneStrategy::Analytic).cache(Arc::clone(&cache));
+    if let Some(j) = jobs {
+        req = req.jobs(j);
+    }
     let analytic = sol
-        .tune_space(&space, TuneStrategy::Analytic, 1)
+        .tune_space_with(&space, &req)
         .expect("analytic tuning succeeds");
+    let warm = sol
+        .tune_space_with(&space, &req)
+        .expect("analytic tuning succeeds");
+    assert_eq!(
+        analytic.best, warm.best,
+        "cached re-tune must pick the same block"
+    );
 
     let mut rows: Vec<(TuningParams, f64, f64)> = Vec::new();
     for p in space.candidates(1) {
@@ -246,14 +274,18 @@ pub fn e5_block_sweep(machine: &Machine, scale: Scale) -> String {
         .find(|(p, _, _)| *p == analytic.best)
         .map_or(0.0, |r| r.2);
     format!(
-        "E5: block sweep, {} {}x{}x{} on {} (1 core, MLUP/s)\n\n{}\nanalytic pick reaches {:.0}% of empirical best\n",
+        "E5: block sweep, {} {}x{}x{} on {} (1 core, MLUP/s, {} ranking workers)\n\n{}\nanalytic pick reaches {:.0}% of empirical best\ncold tune: {}\nwarm tune: {}  ({:.1}x wall speedup from the cache)\n",
         s.name(),
         domain[0],
         domain[1],
         domain[2],
         machine.tag(),
+        req.effective_jobs(),
         t.render(),
-        chosen / best * 100.0
+        chosen / best * 100.0,
+        analytic.cost.summary(),
+        warm.cost.summary(),
+        analytic.cost.wall_seconds / warm.cost.wall_seconds.max(1e-9)
     )
 }
 
@@ -373,10 +405,11 @@ fn eval_ivp(
     ivp: &dyn Ivp,
     methods: &[MethodSpec],
     h: f64,
+    opts: &EvalOptions,
     t: &mut Table,
 ) -> offsite::EvalReport {
     let r = offsite
-        .evaluate(ivp, methods, h)
+        .evaluate_with(ivp, methods, h, opts)
         .expect("evaluation succeeds");
     for c in &r.candidates {
         t.row(vec![
@@ -393,10 +426,14 @@ fn eval_ivp(
 /// E7 — Offsite prediction accuracy: predicted vs measured step time for
 /// every method × variant on each IVP.
 #[must_use]
-pub fn e7_prediction_accuracy(machine: &Machine, scale: Scale) -> String {
+pub fn e7_prediction_accuracy(machine: &Machine, scale: Scale, jobs: Option<usize>) -> String {
     let offsite = Offsite::new(machine.clone(), 1);
     let (n2, n3, ni) = scale.ode_sizes();
     let methods = MethodSpec::paper_set();
+    let mut opts = EvalOptions::default().cache(Arc::new(PredictionCache::new()));
+    if let Some(j) = jobs {
+        opts = opts.jobs(j);
+    }
     let mut t = Table::new(&[
         "ivp",
         "method/variant",
@@ -413,7 +450,7 @@ pub fn e7_prediction_accuracy(machine: &Machine, scale: Scale) -> String {
         (&heat3d as &dyn Ivp, 1e-6),
         (&inv as &dyn Ivp, 1e-4),
     ] {
-        let r = eval_ivp(&offsite, ivp, &methods, h, &mut t);
+        let r = eval_ivp(&offsite, ivp, &methods, h, &opts, &mut t);
         let _ = writeln!(
             lines,
             "{:<14} mean err {:>3.0}%  max err {:>3.0}%  predicted pick = measured rank {}{}",
@@ -423,9 +460,10 @@ pub fn e7_prediction_accuracy(machine: &Machine, scale: Scale) -> String {
             r.rank_of_pick + 1,
             if r.picked_best { " (best)" } else { "" }
         );
+        let _ = writeln!(lines, "{:<14} selection: {}", "", r.select_cost.summary());
     }
     format!(
-        "E7: Offsite+YaskSite prediction accuracy on {} (1 core)\n\n{}\n{}",
+        "E7: Offsite+YaskSite prediction accuracy on {} (1 core, shared prediction cache)\n\n{}\n{}",
         machine.tag(),
         t.render(),
         lines
@@ -467,21 +505,30 @@ pub fn e8_speedups(machine: &Machine, scale: Scale) -> String {
 /// E9 — autotuning cost: analytic vs hybrid vs exhaustive-empirical
 /// selection for one kernel, plus the Offsite selection/validation split.
 #[must_use]
-pub fn e9_tuning_cost(machine: &Machine, scale: Scale) -> String {
+pub fn e9_tuning_cost(machine: &Machine, scale: Scale, jobs: Option<usize>) -> String {
     let s = builders::heat3d(1);
     let domain = scale.sweep_domain();
     let sol = Solution::new(s.clone(), domain, machine.clone());
     let space = SearchSpace::spatial_only(&s, domain, machine).with_folds(vec![fold_for(machine)]);
+    let cache = Arc::new(PredictionCache::new());
     let mut t = Table::new(&[
         "strategy",
         "model evals",
+        "cached",
         "runs",
         "target[s]",
         "wall[s]",
         "quality%",
     ]);
+    let base_req = |strategy| {
+        let mut req = TuneRequest::new(strategy).cache(Arc::clone(&cache));
+        if let Some(j) = jobs {
+            req = req.jobs(j);
+        }
+        req
+    };
     let empirical = sol
-        .tune_space(&space, TuneStrategy::Empirical, 1)
+        .tune_space_with(&space, &base_req(TuneStrategy::Empirical))
         .expect("empirical tuning");
     let best = empirical.best_score;
     for (name, strat) in [
@@ -489,11 +536,14 @@ pub fn e9_tuning_cost(machine: &Machine, scale: Scale) -> String {
         ("hybrid(3)", TuneStrategy::Hybrid { shortlist: 3 }),
         ("empirical", TuneStrategy::Empirical),
     ] {
-        let r = sol.tune_space(&space, strat, 1).expect("tuning");
+        let r = sol
+            .tune_space_with(&space, &base_req(strat))
+            .expect("tuning");
         let achieved = sol.measure(&r.best).expect("measure").mlups;
         t.row(vec![
             name.to_string(),
             r.cost.model_evals.to_string(),
+            r.cost.cache_hits.to_string(),
             r.cost.engine_runs.to_string(),
             format!("{:.3}", r.cost.target_seconds),
             format!("{:.3}", r.cost.wall_seconds),
@@ -505,8 +555,12 @@ pub fn e9_tuning_cost(machine: &Machine, scale: Scale) -> String {
     let offsite = Offsite::new(machine.clone(), 1);
     let (n2, _, _) = scale.ode_sizes();
     let ivp = Heat2d::new(n2);
+    let mut opts = EvalOptions::default();
+    if let Some(j) = jobs {
+        opts = opts.jobs(j);
+    }
     let r = offsite
-        .evaluate(&ivp, &MethodSpec::paper_set(), 1e-7)
+        .evaluate_with(&ivp, &MethodSpec::paper_set(), 1e-7, &opts)
         .expect("offsite evaluation");
     let mut extra = String::new();
     let _ = writeln!(
@@ -572,8 +626,25 @@ mod tests {
 
     #[test]
     fn e9_small_runs() {
-        let out = e9_tuning_cost(&Machine::cascade_lake(), Scale::Small);
+        let out = e9_tuning_cost(&Machine::cascade_lake(), Scale::Small, Some(2));
         assert!(out.contains("analytic"));
         assert!(out.contains("selection"));
+        assert!(out.contains("cached"));
+    }
+
+    #[test]
+    fn e5_warm_pass_hits_the_cache() {
+        let out = e5_block_sweep(&Machine::cascade_lake(), Scale::Small, Some(2));
+        assert!(out.contains("analytic pick"));
+        let cold = out.lines().find(|l| l.starts_with("cold tune:")).unwrap();
+        let warm = out.lines().find(|l| l.starts_with("warm tune:")).unwrap();
+        assert!(
+            cold.contains("(0 cached)"),
+            "cold pass starts from an empty cache: {cold}"
+        );
+        assert!(
+            !warm.contains("(0 cached)"),
+            "warm pass must hit the cache: {warm}"
+        );
     }
 }

@@ -5,10 +5,10 @@
 use std::process::ExitCode;
 
 use yasksite::cli::{
-    machine_from_flags, params_from_flags, parse_flags, parse_triple, stencil_by_name,
-    trials_from_flags, USAGE,
+    machine_from_flags, params_from_flags, parse_flags, parse_triple, request_from_flags,
+    stencil_by_name, USAGE,
 };
-use yasksite::{Provenance, SearchSpace, Solution, TuneStrategy};
+use yasksite::{Provenance, SearchSpace, Solution};
 use yasksite_arch::{machine_table, Machine};
 use yasksite_stencil::{paper_suite, stencil_table};
 
@@ -84,19 +84,10 @@ fn run() -> Result<(), String> {
                     print!("{}", sol.codegen(&params).source);
                 }
                 "tune" => {
-                    let cores: usize = flags.get("cores").map_or(Ok(1), |c| {
-                        c.parse().map_err(|_| format!("bad --cores '{c}'"))
-                    })?;
-                    let strategy = match flags.get("strategy").map(String::as_str) {
-                        None | Some("analytic") => TuneStrategy::Analytic,
-                        Some("hybrid") => TuneStrategy::Hybrid { shortlist: 3 },
-                        Some("empirical") => TuneStrategy::Empirical,
-                        Some(other) => return Err(format!("unknown strategy '{other}'")),
-                    };
-                    let (cfg, mut budget) = trials_from_flags(&flags)?;
+                    let req = request_from_flags(&flags)?;
                     let space = SearchSpace::standard(sol.stencil(), domain, &machine);
                     let r = sol
-                        .tune_space_trials(&space, strategy, cores.max(1), &cfg, &mut budget)
+                        .tune_space_with(&space, &req)
                         .map_err(|e| e.to_string())?;
                     println!("best: {}  ({:.0} MLUP/s)", r.best, r.best_score);
                     if matches!(r.best_provenance, Some(p) if p.is_fallback()) {

@@ -12,7 +12,7 @@ use yasksite_engine::TuningParams;
 use yasksite_grid::Fold;
 use yasksite_stencil::{builders, paper_suite, Stencil};
 
-use crate::{ToolError, TrialBudget, TrialConfig};
+use crate::{ToolError, TrialBudget, TrialConfig, TuneRequest, TuneStrategy};
 
 /// Parses `"512x8x8"`-style extent triples.
 ///
@@ -181,6 +181,36 @@ pub fn trials_from_flags(
     Ok((cfg, budget))
 }
 
+/// Builds the full [`TuneRequest`] for the `tune` command from parsed
+/// flags: `--strategy analytic|hybrid|empirical`, `--cores N`,
+/// `--jobs N` (default: `YASKSITE_JOBS` or the available parallelism),
+/// plus the trial protocol and budget flags of [`trials_from_flags`].
+/// This is the single config path the CLI and library share.
+///
+/// # Errors
+/// Returns a message on malformed values or an unknown strategy.
+pub fn request_from_flags(flags: &HashMap<String, String>) -> Result<TuneRequest, String> {
+    let strategy = match flags.get("strategy").map(String::as_str) {
+        None | Some("analytic") => TuneStrategy::Analytic,
+        Some("hybrid") => TuneStrategy::Hybrid { shortlist: 3 },
+        Some("empirical") => TuneStrategy::Empirical,
+        Some(other) => return Err(format!("unknown strategy '{other}'")),
+    };
+    let cores: usize = flags.get("cores").map_or(Ok(1), |c| {
+        c.parse().map_err(|_| format!("bad --cores '{c}'"))
+    })?;
+    let (cfg, budget) = trials_from_flags(flags)?;
+    let mut req = TuneRequest::new(strategy)
+        .cores(cores.max(1))
+        .trial(cfg)
+        .budget(budget);
+    if let Some(j) = flags.get("jobs") {
+        let jobs: usize = j.parse().map_err(|_| format!("bad --jobs '{j}'"))?;
+        req = req.jobs(jobs.max(1));
+    }
+    Ok(req)
+}
+
 /// The usage text of the binary.
 pub const USAGE: &str = "\
 yasksite — stencil kernel tuning with the ECM performance model
@@ -195,6 +225,9 @@ USAGE:
                      natively with --machine host)
   yasksite tune     --stencil <name> --domain AxBxC [--machine ...]
                    [--cores N] [--strategy analytic|hybrid|empirical]
+                   [--jobs N]   (analytic ranking workers; default:
+                                YASKSITE_JOBS or all cores — results are
+                                identical for every value)
                    [--samples N] [--warmup N] [--retries N]
                    [--budget-runs N] [--budget-secs S]
   yasksite codegen  (same flags as predict; prints the C kernel source)
@@ -293,6 +326,34 @@ mod tests {
         assert_eq!(cfg.warmup, 0);
         assert_eq!(cfg.max_retries, 0);
         assert!(budget.max_runs.is_none() && budget.max_seconds.is_none());
+    }
+
+    #[test]
+    fn request_from_flags_builds_the_full_request() {
+        let mut flags = HashMap::new();
+        let req = request_from_flags(&flags).unwrap();
+        assert_eq!(req.strategy, TuneStrategy::Analytic);
+        assert_eq!(req.cores, 1);
+        assert!(req.jobs.is_none(), "jobs defaults to auto");
+        assert_eq!(req.trial.samples, 1, "no protocol flags -> single shot");
+
+        flags.insert("strategy".into(), "hybrid".into());
+        flags.insert("cores".into(), "8".into());
+        flags.insert("jobs".into(), "4".into());
+        flags.insert("samples".into(), "5".into());
+        flags.insert("budget-runs".into(), "50".into());
+        let req = request_from_flags(&flags).unwrap();
+        assert_eq!(req.strategy, TuneStrategy::Hybrid { shortlist: 3 });
+        assert_eq!(req.cores, 8);
+        assert_eq!(req.effective_jobs(), 4);
+        assert_eq!(req.trial.samples, 5);
+        assert_eq!(req.budget.max_runs, Some(50));
+
+        flags.insert("strategy".into(), "nope".into());
+        assert!(request_from_flags(&flags).is_err());
+        flags.insert("strategy".into(), "empirical".into());
+        flags.insert("jobs".into(), "x".into());
+        assert!(request_from_flags(&flags).is_err());
     }
 
     #[test]

@@ -6,7 +6,9 @@ use std::ops::AddAssign;
 /// "minimal code generation time and autotuning costs" claim.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TuneCost {
-    /// Analytic model evaluations (microseconds each).
+    /// Analytic model evaluations (microseconds each). Counts every time
+    /// a strategy *consulted* the model, whether or not the answer came
+    /// from the prediction cache.
     pub model_evals: usize,
     /// Kernel executions (simulated or native) performed.
     pub engine_runs: usize,
@@ -17,6 +19,11 @@ pub struct TuneCost {
     pub wall_seconds: f64,
     /// Seconds spent generating kernel source.
     pub codegen_seconds: f64,
+    /// Predictions served from the memoized [`crate::PredictionCache`]
+    /// without recomputation.
+    pub cache_hits: usize,
+    /// Predictions computed fresh (and stored for later sessions).
+    pub cache_misses: usize,
 }
 
 impl AddAssign for TuneCost {
@@ -26,6 +33,8 @@ impl AddAssign for TuneCost {
         self.target_seconds += rhs.target_seconds;
         self.wall_seconds += rhs.wall_seconds;
         self.codegen_seconds += rhs.codegen_seconds;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
     }
 }
 
@@ -34,9 +43,25 @@ impl TuneCost {
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{} model evals, {} runs, {:.3}s target time, {:.3}s wall",
-            self.model_evals, self.engine_runs, self.target_seconds, self.wall_seconds
+            "{} model evals ({} cached), {} runs, {:.3}s target time, {:.3}s wall",
+            self.model_evals,
+            self.cache_hits,
+            self.engine_runs,
+            self.target_seconds,
+            self.wall_seconds
         )
+    }
+
+    /// This cost with the cache counters zeroed — what the determinism
+    /// guarantee compares, since hit/miss splits depend on cache warmth,
+    /// not on the tuning outcome.
+    #[must_use]
+    pub fn without_cache_counters(&self) -> TuneCost {
+        TuneCost {
+            cache_hits: 0,
+            cache_misses: 0,
+            ..*self
+        }
     }
 }
 
@@ -53,13 +78,36 @@ mod tests {
             target_seconds: 0.5,
             wall_seconds: 0.1,
             codegen_seconds: 0.01,
+            cache_hits: 2,
+            cache_misses: 1,
         };
         a += TuneCost {
             model_evals: 2,
+            cache_hits: 1,
             ..TuneCost::default()
         };
         assert_eq!(a.model_evals, 5);
         assert_eq!(a.engine_runs, 1);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.cache_misses, 1);
         assert!(a.summary().contains("5 model evals"));
+    }
+
+    #[test]
+    fn cache_counters_strippable() {
+        let a = TuneCost {
+            model_evals: 7,
+            cache_hits: 4,
+            cache_misses: 3,
+            ..TuneCost::default()
+        };
+        let b = TuneCost {
+            model_evals: 7,
+            cache_hits: 0,
+            cache_misses: 7,
+            ..TuneCost::default()
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.without_cache_counters(), b.without_cache_counters());
     }
 }

@@ -11,8 +11,9 @@
 //! 3. **measure** any point, natively on the host or on the simulated
 //!    Cascade Lake / Rome hierarchies — [`Solution::measure`];
 //! 4. select the best configuration by analytic ranking, empirical
-//!    search, or the hybrid of both, with full cost accounting —
-//!    [`Solution::tune`]; and
+//!    search, or the hybrid of both, with full cost accounting, on a
+//!    deterministic parallel engine with a memoized prediction cache —
+//!    [`Solution::tune_with`]; and
 //! 5. emit the corresponding kernel source — [`Solution::codegen`].
 //!
 //! External tuners (the Offsite reproduction in the `offsite` crate) use
@@ -21,34 +22,47 @@
 //!
 //! # Examples
 //!
+//! The canonical entry point is [`Solution::tune_with`], driven by a
+//! builder-style [`TuneRequest`]:
+//!
 //! ```
-//! use yasksite::{Solution, TuneStrategy};
+//! use yasksite::{Solution, TuneRequest, TuneStrategy};
 //! use yasksite_arch::Machine;
 //! use yasksite_stencil::builders::heat3d;
 //!
 //! let sol = Solution::new(heat3d(1), [128, 64, 64], Machine::cascade_lake());
-//! let result = sol.tune(TuneStrategy::Analytic, 4)?;
+//! let req = TuneRequest::new(TuneStrategy::Analytic).cores(4).jobs(2);
+//! let result = sol.tune_with(&req)?;
 //! assert!(result.best_score > 0.0);
 //! assert!(result.cost.engine_runs == 0); // analytic tuning runs nothing
+//! // The same request with any other `jobs` value returns a
+//! // bitwise-identical winner and ranking.
 //! # Ok::<(), yasksite::ToolError>(())
 //! ```
+//!
+//! The legacy `sol.tune(TuneStrategy::Analytic, 4)` form still works as a
+//! thin wrapper over the same engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 
+mod cache;
 mod cost;
 mod online;
 mod predict;
+mod request;
 mod solution;
 mod space;
 mod trial;
 mod tuner;
 
+pub use cache::{PredictKey, PredictionCache};
 pub use cost::TuneCost;
 pub use online::OnlineTuner;
 pub use predict::{predict_params, predict_params_resident, PredictedPerf};
+pub use request::{TuneRequest, JOBS_ENV};
 pub use solution::{MeasuredPerf, Solution, ToolError};
 pub use space::SearchSpace;
 pub use trial::{

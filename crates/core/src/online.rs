@@ -16,6 +16,7 @@
 
 use yasksite_engine::TuningParams;
 
+use crate::cache::PredictionCache;
 use crate::solution::{Solution, ToolError};
 use crate::space::SearchSpace;
 use crate::trial::{
@@ -222,6 +223,11 @@ impl OnlineTuner {
     /// suggestion as a robust trial with `sol`'s analytic prediction as
     /// the fallback. Returns the tuned parameters.
     ///
+    /// Fallback predictions are served through the process-wide
+    /// [`PredictionCache::global`]; use
+    /// [`OnlineTuner::run_to_convergence_cached`] to supply a private
+    /// cache.
+    ///
     /// This is the fault-tolerant entry point: under an all-failures
     /// backend every lattice point degrades to its ECM prediction and the
     /// climb still terminates with a valid configuration.
@@ -236,13 +242,33 @@ impl OnlineTuner {
         cfg: &TrialConfig,
         budget: &mut TrialBudget,
     ) -> Result<TuningParams, ToolError> {
+        self.run_to_convergence_cached(sol, backend, cfg, budget, PredictionCache::global())
+    }
+
+    /// [`OnlineTuner::run_to_convergence`] with an explicit
+    /// [`PredictionCache`] for the analytic fallback predictions. The
+    /// climb itself is inherently sequential (each suggestion depends on
+    /// the previous record), so the cache is where repeated online
+    /// sessions save their model work.
+    ///
+    /// # Errors
+    /// As [`OnlineTuner::run_to_convergence`].
+    pub fn run_to_convergence_cached(
+        &mut self,
+        sol: &Solution,
+        backend: &mut dyn MeasureBackend,
+        cfg: &TrialConfig,
+        budget: &mut TrialBudget,
+        cache: &PredictionCache,
+    ) -> Result<TuningParams, ToolError> {
         while !self.converged() {
             let p = match self.suggest() {
                 Some(p) => p,
                 None => break,
             };
             let cores = p.threads.max(1);
-            let fallback = sol.predict(&p, cores).seconds_per_sweep;
+            let (pred, _) = cache.predict(sol, &p, cores);
+            let fallback = pred.seconds_per_sweep;
             let trial = run_trial(backend, &p, fallback, cfg, budget);
             self.record_trial(&trial)?;
         }

@@ -127,6 +127,25 @@ impl Solution {
         (self.domain[0] * self.domain[1] * self.domain[2]) as u64
     }
 
+    /// A hash identifying this solution's prediction inputs (stencil ×
+    /// domain × machine). Two solutions with equal signatures produce
+    /// identical analytic predictions, which is what lets
+    /// [`crate::PredictionCache`] share entries across `Solution` values.
+    /// Stable within a process; not a persistent format.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        // Stencil and Machine hold f64s and do not implement Hash; their
+        // Debug renderings are exact enough to distinguish any two values
+        // the model would treat differently.
+        format!("{:?}", self.stencil).hash(&mut h);
+        self.domain.hash(&mut h);
+        format!("{:?}", self.machine).hash(&mut h);
+        h.finish()
+    }
+
     /// Analytic (ECM) prediction for `params` at `cores` — runs nothing.
     #[must_use]
     pub fn predict(&self, params: &TuningParams, cores: usize) -> PredictedPerf {

@@ -1,5 +1,7 @@
 //! The tuning-parameter search space.
 
+use std::collections::HashSet;
+
 use yasksite_arch::Machine;
 use yasksite_engine::TuningParams;
 use yasksite_grid::Fold;
@@ -8,8 +10,16 @@ use yasksite_stencil::Stencil;
 /// Enumerable tuning space of one kernel: the cross product of block
 /// shapes, vector folds and wavefront depths that YASK-style kernels
 /// expose, pruned to sensible members.
+///
+/// Enumeration is *canonical*: block extents are clipped to the domain
+/// and points that collapse to the same effective configuration (e.g.
+/// two oversize blocks that both clip to the full domain) are emitted
+/// once, in first-occurrence order. This keeps rankings free of
+/// duplicates and makes candidate counts stable for the parallel tuning
+/// engine's chunking.
 #[derive(Debug, Clone)]
 pub struct SearchSpace {
+    domain: [usize; 3],
     blocks: Vec<[usize; 3]>,
     folds: Vec<Fold>,
     wavefronts: Vec<usize>,
@@ -60,6 +70,7 @@ impl SearchSpace {
             wavefronts.extend([2, 4, 8]);
         }
         SearchSpace {
+            domain,
             blocks,
             folds,
             wavefronts,
@@ -72,6 +83,7 @@ impl SearchSpace {
     #[must_use]
     pub fn empty() -> Self {
         SearchSpace {
+            domain: [1, 1, 1],
             blocks: Vec::new(),
             folds: Vec::new(),
             wavefronts: Vec::new(),
@@ -94,36 +106,65 @@ impl SearchSpace {
         self
     }
 
-    /// The block shapes in the space.
+    /// Replaces the block list with caller-chosen shapes (sweeps,
+    /// ablations). Shapes may exceed the domain; enumeration clips them
+    /// and drops the duplicates the clipping creates.
+    #[must_use]
+    pub fn with_blocks(mut self, blocks: Vec<[usize; 3]>) -> Self {
+        self.blocks = blocks;
+        self
+    }
+
+    /// The domain the space was built for.
+    #[must_use]
+    pub fn domain(&self) -> [usize; 3] {
+        self.domain
+    }
+
+    /// The block shapes in the space, as provided (not yet clipped to the
+    /// domain — [`SearchSpace::candidates`] does that).
     #[must_use]
     pub fn blocks(&self) -> &[[usize; 3]] {
         &self.blocks
     }
 
-    /// Enumerates all candidate parameter sets for `threads` cores.
+    /// Enumerates all candidate parameter sets for `threads` cores, in a
+    /// deterministic order: blocks × folds × wavefronts as listed, with
+    /// block extents clipped to the domain and configurations that
+    /// collapse to the same effective point emitted only once (first
+    /// occurrence wins).
     #[must_use]
     pub fn candidates(&self, threads: usize) -> Vec<TuningParams> {
+        let mut seen: HashSet<TuningParams> = HashSet::new();
         let mut out = Vec::new();
         for &b in &self.blocks {
             for &f in &self.folds {
                 for &w in &self.wavefronts {
-                    out.push(TuningParams::new(b, f).threads(threads).wavefront(w));
+                    let mut p = TuningParams::new(b, f).threads(threads).wavefront(w);
+                    p.block = p.clipped_block(self.domain);
+                    if seen.insert(p.clone()) {
+                        out.push(p);
+                    }
                 }
             }
         }
         out
     }
 
-    /// Number of candidates per thread count.
+    /// Number of distinct candidates per thread count (after clipping and
+    /// dedup — always equal to `candidates(t).len()` for any `t`).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.blocks.len() * self.folds.len() * self.wavefronts.len()
+        self.candidates(1).len()
     }
 
     /// Whether the space is empty (never, for valid inputs).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.blocks.is_empty()
+            || self.folds.is_empty()
+            || self.wavefronts.is_empty()
+            || self.len() == 0
     }
 }
 
@@ -180,5 +221,46 @@ mod tests {
         let sp = SearchSpace::spatial_only(&heat3d(1), [64, 64, 64], &m);
         assert!(sp.candidates(1).iter().all(|p| p.wavefront == 1));
         assert!(!sp.is_empty());
+    }
+
+    #[test]
+    fn oversize_blocks_are_clipped_and_deduped() {
+        // Regression: blocks exceeding the grid collapse to the same
+        // effective configuration and used to be enumerated repeatedly,
+        // skewing rankings and the parallel engine's chunk accounting.
+        let m = Machine::cascade_lake();
+        let sp = SearchSpace::spatial_only(&heat3d(1), [64, 32, 32], &m).with_blocks(vec![
+            [64, 32, 32],
+            [64, 64, 32],   // y clips to 32 -> duplicate of the first
+            [128, 999, 64], // everything clips to the domain -> duplicate
+            [64, 16, 32],   // genuinely distinct
+        ]);
+        let c = sp.candidates(1);
+        let folds = sp.folds.len();
+        assert_eq!(
+            c.len(),
+            2 * folds,
+            "four raw blocks collapse to two effective ones"
+        );
+        assert!(c
+            .iter()
+            .all(|p| { p.block[0] <= 64 && p.block[1] <= 32 && p.block[2] <= 32 }));
+        // No two emitted candidates are equal.
+        let mut uniq = HashSet::new();
+        assert!(c.iter().all(|p| uniq.insert(p.clone())));
+        // len() reports the deduped count.
+        assert_eq!(sp.len(), c.len());
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence_order() {
+        let m = Machine::cascade_lake();
+        let sp = SearchSpace::spatial_only(&heat3d(1), [64, 32, 32], &m)
+            .with_blocks(vec![[64, 16, 32], [64, 64, 64], [64, 32, 32]])
+            .with_folds(vec![Fold::new(8, 1, 1)]);
+        let c = sp.candidates(1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].block, [64, 16, 32], "enumeration order is preserved");
+        assert_eq!(c[1].block, [64, 32, 32]);
     }
 }

@@ -1,5 +1,19 @@
 //! Tuning strategies: analytic (ECM-ranked), empirical (run everything),
-//! and the hybrid the paper advocates.
+//! and the hybrid the paper advocates — executed by a deterministic
+//! parallel engine with a memoized prediction cache.
+//!
+//! The analytic ranking phase (every candidate of a [`SearchSpace`]
+//! scored by the ECM model) is embarrassingly parallel and by far the
+//! most-executed path in the repo, so the engine chunks it across a
+//! scoped worker pool ([`TuneRequest::jobs`]) and serves repeated
+//! predictions from a [`PredictionCache`]. Parallelism is *strictly
+//! deterministic*: candidates are split into contiguous chunks, each
+//! worker returns its chunk's scores in enumeration order, chunks are
+//! concatenated back in order, and the final ranking uses a stable sort —
+//! so `jobs = N` is bitwise-identical to `jobs = 1` for every strategy.
+//! Empirical measurements always run serially on the single backend,
+//! which keeps fault-injection streams and budget accounting identical
+//! regardless of the job count.
 //!
 //! All empirical measurement goes through the robust trial layer
 //! ([`crate::trial`]): failed or noisy runs are retried and
@@ -14,11 +28,14 @@ use std::time::Instant;
 
 use yasksite_engine::TuningParams;
 
+use crate::cache::PredictionCache;
 use crate::cost::TuneCost;
+use crate::request::TuneRequest;
 use crate::solution::{Solution, ToolError};
 use crate::space::SearchSpace;
 use crate::trial::{
-    run_trial, MeasureBackend, Provenance, SolutionBackend, TrialBudget, TrialConfig, TrialSummary,
+    run_trial, FaultyBackend, MeasureBackend, Provenance, SolutionBackend, TrialBudget,
+    TrialConfig, TrialSummary,
 };
 
 /// How to pick the best point in the search space.
@@ -59,6 +76,9 @@ pub struct TuneResult {
     pub trials: TrialSummary,
     /// What the session cost.
     pub cost: TuneCost,
+    /// Final state of the session budget (what request-based sessions
+    /// return instead of mutating a caller-owned budget).
+    pub budget: TrialBudget,
 }
 
 impl TuneResult {
@@ -70,8 +90,74 @@ impl TuneResult {
     }
 }
 
+/// Scores every candidate analytically through `cache`, in enumeration
+/// order, fanning the work out over `jobs` scoped workers. Returns the
+/// scored list plus the session's cache hit/miss counts.
+///
+/// Determinism: candidates are split into contiguous chunks; worker `i`
+/// scores chunk `i` and chunks are re-concatenated in index order, so the
+/// output is independent of `jobs` and of thread scheduling (predictions
+/// are pure, and cache hits return bit-identical values by construction).
+fn rank_analytic(
+    sol: &Solution,
+    candidates: &[TuningParams],
+    cores: usize,
+    jobs: usize,
+    cache: &PredictionCache,
+) -> (Vec<(TuningParams, f64)>, usize, usize) {
+    let jobs = jobs.max(1).min(candidates.len().max(1));
+    let score_chunk = |chunk: &[TuningParams]| -> Vec<(TuningParams, f64, bool)> {
+        chunk
+            .iter()
+            .map(|p| {
+                let (pred, hit) = cache.predict(sol, p, cores);
+                (p.clone(), pred.mlups, hit)
+            })
+            .collect()
+    };
+    let scored: Vec<(TuningParams, f64, bool)> = if jobs <= 1 {
+        score_chunk(candidates)
+    } else {
+        let chunk_len = candidates.len().div_ceil(jobs);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk_len)
+                .map(|chunk| s.spawn(move || score_chunk(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| {
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect()
+        })
+    };
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    let scored = scored
+        .into_iter()
+        .map(|(p, mlups, hit)| {
+            if hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            (p, mlups)
+        })
+        .collect();
+    (scored, hits, misses)
+}
+
 impl Solution {
     /// Tunes over the standard search space at `cores` active cores.
+    ///
+    /// Compatibility wrapper kept for existing callers; it is equivalent
+    /// to `tune_with(&TuneRequest::new(strategy).cores(cores)
+    /// .trial(TrialConfig::single_shot()))`. New code should prefer
+    /// [`Solution::tune_with`], which exposes the full knob set (jobs,
+    /// trial protocol, budget, fault injection, cache choice); this
+    /// wrapper may be removed in a future major revision.
     ///
     /// # Errors
     /// Fails only on an empty search space; measurement failures degrade
@@ -81,8 +167,66 @@ impl Solution {
         self.tune_space(&space, strategy, cores)
     }
 
+    /// Tunes over the standard search space as configured by `req` — the
+    /// canonical entry point.
+    ///
+    /// # Errors
+    /// Fails only on an empty search space.
+    pub fn tune_with(&self, req: &TuneRequest) -> Result<TuneResult, ToolError> {
+        let space = SearchSpace::standard(self.stencil(), self.domain(), self.machine());
+        self.tune_space_with(&space, req)
+    }
+
+    /// Tunes over an explicit search space as configured by `req`.
+    ///
+    /// Determinism guarantee: for a fixed request (modulo `jobs`) and
+    /// space, the returned winner, scores, ranking, provenances and
+    /// [`TuneCost`] — except its cache hit/miss counters, which depend on
+    /// cache warmth — are bitwise-identical for every `jobs` value.
+    ///
+    /// The request's budget is copied in; the final state comes back in
+    /// [`TuneResult::budget`].
+    ///
+    /// # Errors
+    /// Fails on an empty space.
+    pub fn tune_space_with(
+        &self,
+        space: &SearchSpace,
+        req: &TuneRequest,
+    ) -> Result<TuneResult, ToolError> {
+        let mut budget = req.budget;
+        match req.faults {
+            Some(plan) => {
+                let mut backend = FaultyBackend::new(SolutionBackend::new(self), plan);
+                self.tune_engine(&mut backend, space, req, &mut budget)
+            }
+            None => {
+                let mut backend = SolutionBackend::new(self);
+                self.tune_engine(&mut backend, space, req, &mut budget)
+            }
+        }
+    }
+
+    /// [`Solution::tune_space_with`] against an arbitrary measurement
+    /// backend (the seam the fault-injection harness plugs into). The
+    /// request's own `faults` field is ignored here — wrap `backend`
+    /// yourself if you want both.
+    ///
+    /// # Errors
+    /// Fails on an empty space.
+    pub fn tune_space_with_backend_req(
+        &self,
+        backend: &mut dyn MeasureBackend,
+        space: &SearchSpace,
+        req: &TuneRequest,
+    ) -> Result<TuneResult, ToolError> {
+        let mut budget = req.budget;
+        self.tune_engine(backend, space, req, &mut budget)
+    }
+
     /// Tunes over an explicit search space with the legacy single-shot
     /// protocol (one run per measured candidate, no retries, no budget).
+    /// Compatibility wrapper over [`Solution::tune_space_with`].
     ///
     /// # Errors
     /// Fails on an empty space.
@@ -102,7 +246,8 @@ impl Solution {
     }
 
     /// Tunes over an explicit search space under the robust trial
-    /// protocol `cfg`, drawing on `budget`.
+    /// protocol `cfg`, drawing on `budget`. Compatibility wrapper; new
+    /// code should carry the protocol in a [`TuneRequest`].
     ///
     /// # Errors
     /// Fails on an empty space.
@@ -119,7 +264,8 @@ impl Solution {
     }
 
     /// [`Solution::tune_space_trials`] against an arbitrary measurement
-    /// backend (the seam the fault-injection harness plugs into).
+    /// backend. Compatibility wrapper that mutates the caller's `budget`
+    /// in place.
     ///
     /// # Errors
     /// Fails on an empty space.
@@ -132,7 +278,26 @@ impl Solution {
         cfg: &TrialConfig,
         budget: &mut TrialBudget,
     ) -> Result<TuneResult, ToolError> {
+        let req = TuneRequest::new(strategy).cores(cores).trial(*cfg);
+        let r = self.tune_engine(backend, space, &req, budget)?;
+        Ok(r)
+    }
+
+    /// The tuning engine every entry point funnels into. `budget` is
+    /// mutated in place (legacy callers hand in their own; request-based
+    /// callers hand in a copy and read [`TuneResult::budget`]).
+    fn tune_engine(
+        &self,
+        backend: &mut dyn MeasureBackend,
+        space: &SearchSpace,
+        req: &TuneRequest,
+        budget: &mut TrialBudget,
+    ) -> Result<TuneResult, ToolError> {
         let start = Instant::now();
+        let cores = req.cores;
+        let cfg = &req.trial;
+        let cache = req.cache_ref();
+        let jobs = req.effective_jobs();
         let candidates = space.candidates(cores);
         if candidates.is_empty() {
             return Err(ToolError::InvalidInput("empty search space".into()));
@@ -143,12 +308,20 @@ impl Solution {
         // analytic scores that ran nothing.
         let mut entries: Vec<(TuningParams, f64, Option<Provenance>)> =
             Vec::with_capacity(candidates.len());
+        // Measurements stay serial on the one backend: fault streams and
+        // budget draws happen in enumeration order for every job count.
         let mut measure = |p: TuningParams,
                            cost: &mut TuneCost,
                            trials: &mut TrialSummary,
                            budget: &mut TrialBudget|
          -> (TuningParams, f64, Option<Provenance>) {
-            let fallback = self.predict(&p, cores).seconds_per_sweep;
+            let (pred, hit) = cache.predict(self, &p, cores);
+            if hit {
+                cost.cache_hits += 1;
+            } else {
+                cost.cache_misses += 1;
+            }
+            let fallback = pred.seconds_per_sweep;
             let r = run_trial(backend, &p, fallback, cfg, budget);
             cost.engine_runs += r.attempts;
             cost.target_seconds += 2.0 * r.seconds_per_sweep * p.wavefront as f64;
@@ -156,13 +329,13 @@ impl Solution {
             let mlups = self.updates_per_sweep() as f64 / r.seconds_per_sweep.max(1e-12) / 1e6;
             (p, mlups, Some(r.provenance))
         };
-        match strategy {
+        match req.strategy {
             TuneStrategy::Analytic => {
-                for p in candidates {
-                    let pred = self.predict(&p, cores);
-                    cost.model_evals += 1;
-                    entries.push((p, pred.mlups, None));
-                }
+                let (scored, hits, misses) = rank_analytic(self, &candidates, cores, jobs, cache);
+                cost.model_evals += scored.len();
+                cost.cache_hits += hits;
+                cost.cache_misses += misses;
+                entries.extend(scored.into_iter().map(|(p, mlups)| (p, mlups, None)));
             }
             TuneStrategy::Empirical => {
                 for p in candidates {
@@ -170,14 +343,10 @@ impl Solution {
                 }
             }
             TuneStrategy::Hybrid { shortlist } => {
-                let mut pre: Vec<(TuningParams, f64)> = candidates
-                    .into_iter()
-                    .map(|p| {
-                        let pred = self.predict(&p, cores);
-                        cost.model_evals += 1;
-                        (p, pred.mlups)
-                    })
-                    .collect();
+                let (mut pre, hits, misses) = rank_analytic(self, &candidates, cores, jobs, cache);
+                cost.model_evals += pre.len();
+                cost.cache_hits += hits;
+                cost.cache_misses += misses;
                 pre.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let k = shortlist.max(1).min(pre.len());
                 for (p, _) in pre.drain(..k) {
@@ -199,6 +368,7 @@ impl Solution {
             provenances,
             trials,
             cost,
+            budget: *budget,
         })
     }
 }
@@ -207,6 +377,7 @@ impl Solution {
 mod tests {
     use super::*;
     use crate::trial::{FaultPlan, FaultyBackend};
+    use std::sync::Arc;
     use yasksite_arch::Machine;
     use yasksite_stencil::builders::heat3d;
 
@@ -317,6 +488,7 @@ mod tests {
             "candidates past the budget must fall back"
         );
         assert!(budget.exhausted());
+        assert!(r.budget.exhausted(), "result carries the final budget");
         assert!(r.best_score.is_finite());
     }
 
@@ -338,5 +510,85 @@ mod tests {
         assert!(r.best_score.is_finite() && r.best_score > 0.0);
         assert_eq!(r.provenances.len(), space.len());
         assert!(r.trials.samples > 0);
+    }
+
+    #[test]
+    fn parallel_jobs_bitwise_identical_to_serial() {
+        let sol = solution();
+        let space = SearchSpace::standard(sol.stencil(), sol.domain(), sol.machine());
+        let base = TuneRequest::new(TuneStrategy::Analytic).cores(2);
+        let serial = sol
+            .tune_space_with(
+                &space,
+                &base.clone().jobs(1).cache(Arc::new(PredictionCache::new())),
+            )
+            .unwrap();
+        for jobs in [2, 4, 7] {
+            let par = sol
+                .tune_space_with(
+                    &space,
+                    &base
+                        .clone()
+                        .jobs(jobs)
+                        .cache(Arc::new(PredictionCache::new())),
+                )
+                .unwrap();
+            assert_eq!(par.best, serial.best);
+            assert_eq!(par.best_score.to_bits(), serial.best_score.to_bits());
+            assert_eq!(par.ranked.len(), serial.ranked.len());
+            for (a, b) in par.ranked.iter().zip(serial.ranked.iter()) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+            assert_eq!(
+                par.cost.without_cache_counters(),
+                TuneCost {
+                    wall_seconds: par.cost.wall_seconds,
+                    ..serial.cost.without_cache_counters()
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_tune_hits_the_cache() {
+        let sol = solution();
+        let cache = Arc::new(PredictionCache::new());
+        let req = TuneRequest::new(TuneStrategy::Analytic)
+            .cores(2)
+            .jobs(2)
+            .cache(cache.clone());
+        let cold = sol.tune_with(&req).unwrap();
+        assert_eq!(cold.cost.cache_hits, 0, "fresh cache has nothing to hit");
+        assert_eq!(cold.cost.cache_misses, cold.cost.model_evals);
+        let warm = sol.tune_with(&req).unwrap();
+        assert_eq!(warm.cost.cache_hits, warm.cost.model_evals);
+        assert_eq!(warm.cost.cache_misses, 0);
+        assert_eq!(warm.best, cold.best);
+        assert_eq!(warm.best_score.to_bits(), cold.best_score.to_bits());
+    }
+
+    #[test]
+    fn request_faults_are_injected() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), sol.machine());
+        let req = TuneRequest::new(TuneStrategy::Empirical)
+            .cores(1)
+            .faults(FaultPlan::always_fail(11))
+            .cache(Arc::new(PredictionCache::new()));
+        let r = sol.tune_space_with(&space, &req).unwrap();
+        assert_eq!(r.fallback_count(), space.len());
+    }
+
+    #[test]
+    fn legacy_tune_matches_request_equivalent() {
+        let sol = solution();
+        let legacy = sol.tune(TuneStrategy::Analytic, 2).unwrap();
+        let req = TuneRequest::new(TuneStrategy::Analytic)
+            .cores(2)
+            .trial(TrialConfig::single_shot());
+        let modern = sol.tune_with(&req).unwrap();
+        assert_eq!(legacy.best, modern.best);
+        assert_eq!(legacy.best_score.to_bits(), modern.best_score.to_bits());
     }
 }

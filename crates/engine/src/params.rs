@@ -7,7 +7,7 @@ use yasksite_grid::Fold;
 /// The tunable execution parameters of one kernel, mirroring YASK's knob
 /// set: spatial block sizes, the vector fold, thread count, wavefront depth
 /// and the store policy.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TuningParams {
     /// Spatial block extents `[bx, by, bz]` in lattice points.
     pub block: [usize; 3],

@@ -39,5 +39,7 @@ mod plan_perf;
 mod tuner;
 
 pub use method::MethodSpec;
-pub use plan_perf::{measure_plan, predict_plan, PlanMeasurement, PlanPrediction};
-pub use tuner::{CandidateReport, EvalReport, Offsite, WorkPrecisionEntry};
+pub use plan_perf::{
+    measure_plan, predict_plan, predict_plan_cached, PlanBackend, PlanMeasurement, PlanPrediction,
+};
+pub use tuner::{CandidateReport, EvalOptions, EvalReport, Offsite, WorkPrecisionEntry};

@@ -1,6 +1,6 @@
 //! Predicting and measuring whole step plans.
 
-use yasksite::{Solution, ToolError};
+use yasksite::{PredictionCache, Solution, ToolError};
 use yasksite_arch::Machine;
 use yasksite_engine::{apply_simulated, SimContext, TuningParams};
 use yasksite_grid::Grid3;
@@ -13,6 +13,10 @@ pub struct PlanPrediction {
     pub seconds_per_step: f64,
     /// Per-op predictions `(label, seconds)`.
     pub per_op: Vec<(String, f64)>,
+    /// Per-op predictions served from the prediction cache.
+    pub cache_hits: usize,
+    /// Per-op predictions computed fresh.
+    pub cache_misses: usize,
 }
 
 /// Measured (simulated) cost of one method step.
@@ -28,6 +32,12 @@ pub struct PlanMeasurement {
 /// predicted by the YaskSite ECM layer with the given tuning parameters
 /// and core count, and the sweep times add up (the sweeps are globally
 /// synchronised, as in the generated OpenMP code).
+///
+/// Predictions are served through the process-wide
+/// [`PredictionCache::global`] — ERK plans reuse the same handful of
+/// stencils across stages and methods, so repeated plan predictions are
+/// mostly cache hits. Use [`predict_plan_cached`] to supply a private
+/// cache.
 #[must_use]
 pub fn predict_plan(
     plan: &StepPlan,
@@ -35,8 +45,22 @@ pub fn predict_plan(
     params: &TuningParams,
     cores: usize,
 ) -> PlanPrediction {
+    predict_plan_cached(plan, machine, params, cores, PredictionCache::global())
+}
+
+/// [`predict_plan`] against an explicit [`PredictionCache`].
+#[must_use]
+pub fn predict_plan_cached(
+    plan: &StepPlan,
+    machine: &Machine,
+    params: &TuningParams,
+    cores: usize,
+    cache: &PredictionCache,
+) -> PlanPrediction {
     let mut per_op = Vec::with_capacity(plan.ops.len());
     let mut total = 0.0;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
     // Steady-state resident set: the whole grid pool of the step.
     let grid_bytes = (plan.domain[0] + 2 * plan.halo[0]) as f64
         * (plan.domain[1] + 2 * plan.halo[1]) as f64
@@ -45,13 +69,20 @@ pub fn predict_plan(
     let resident = plan.num_grids as f64 * grid_bytes;
     for op in &plan.ops {
         let sol = Solution::new(op.stencil.clone(), plan.domain, machine.clone());
-        let pred = sol.predict_with_resident(params, cores, resident);
+        let (pred, hit) = cache.predict_resident(&sol, params, cores, resident);
+        if hit {
+            cache_hits += 1;
+        } else {
+            cache_misses += 1;
+        }
         per_op.push((op.label.clone(), pred.seconds_per_sweep));
         total += pred.seconds_per_sweep;
     }
     PlanPrediction {
         seconds_per_step: total,
         per_op,
+        cache_hits,
+        cache_misses,
     }
 }
 
@@ -92,7 +123,7 @@ pub fn measure_plan(
     })
 }
 
-/// A [`MeasureBackend`] over a whole step plan: one sample is one
+/// A [`yasksite::MeasureBackend`] over a whole step plan: one sample is one
 /// steady-state step measurement via [`measure_plan`]. This is the hook
 /// the offsite evaluator uses so that plan measurements flow through the
 /// same robust trial protocol (retries, outlier rejection, fallback) as
@@ -163,6 +194,26 @@ mod tests {
             d.seconds_per_step,
             a.seconds_per_step
         );
+    }
+
+    #[test]
+    fn cached_plan_prediction_matches_fresh() {
+        let (_ivp, plan, params, m) = setup();
+        let cache = PredictionCache::new();
+        let cold = predict_plan_cached(&plan, &m, &params, 1, &cache);
+        let warm = predict_plan_cached(&plan, &m, &params, 1, &cache);
+        assert_eq!(
+            cold.seconds_per_step.to_bits(),
+            warm.seconds_per_step.to_bits()
+        );
+        for (a, b) in cold.per_op.iter().zip(warm.per_op.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        assert_eq!(cold.cache_hits + cold.cache_misses, plan.ops.len());
+        assert!(cold.cache_misses >= 1);
+        assert_eq!(warm.cache_misses, 0, "second pass is fully cached");
+        assert_eq!(warm.cache_hits, plan.ops.len());
     }
 
     #[test]

@@ -1,15 +1,105 @@
 //! The Offsite evaluation loop: enumerate, predict, rank, validate.
 
+use std::sync::Arc;
+
 use yasksite::{
-    run_trial, FaultPlan, FaultyBackend, Provenance, SearchSpace, Solution, ToolError, TrialBudget,
-    TrialConfig, TrialResult, TrialSummary, TuneCost, TuneStrategy,
+    run_trial, FaultPlan, FaultyBackend, PredictionCache, Provenance, SearchSpace, Solution,
+    ToolError, TrialBudget, TrialConfig, TrialResult, TrialSummary, TuneCost, TuneRequest,
+    TuneStrategy,
 };
 use yasksite_arch::Machine;
 use yasksite_engine::TuningParams;
 use yasksite_ode::{Ivp, StepPlan, Variant};
 
 use crate::method::MethodSpec;
-use crate::plan_perf::{predict_plan, PlanBackend};
+use crate::plan_perf::{predict_plan, predict_plan_cached, PlanBackend};
+
+/// Builder-style options for [`Offsite::evaluate_with`] — the offsite
+/// mirror of the core [`TuneRequest`], consolidating the trial protocol,
+/// budget, worker count, fault injection and cache choice behind one
+/// type so the CLI and library share a single configuration path.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Measurement protocol for every plan measurement.
+    pub trial: TrialConfig,
+    /// Session-wide measurement budget; the final state comes back in
+    /// [`EvalReport::budget`].
+    pub budget: TrialBudget,
+    /// Worker threads for the analytic tuning phase; `None` resolves via
+    /// [`TuneRequest::default_jobs`]. The report is identical for every
+    /// value.
+    pub jobs: Option<usize>,
+    /// Fault injection for plan measurements; `None` keeps whatever the
+    /// [`Offsite`] instance itself was configured with.
+    pub faults: Option<FaultPlan>,
+    /// Prediction cache; `None` uses [`PredictionCache::global`].
+    pub cache: Option<Arc<PredictionCache>>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            trial: TrialConfig::single_shot(),
+            budget: TrialBudget::unlimited(),
+            jobs: None,
+            faults: None,
+            cache: None,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Options with the defaults of [`Offsite::evaluate`]: single-shot
+    /// trials, unlimited budget, automatic jobs, no extra faults, the
+    /// global cache.
+    #[must_use]
+    pub fn new() -> Self {
+        EvalOptions::default()
+    }
+
+    /// Sets the measurement protocol.
+    #[must_use]
+    pub fn trial(mut self, trial: TrialConfig) -> Self {
+        self.trial = trial;
+        self
+    }
+
+    /// Sets the session budget.
+    #[must_use]
+    pub fn budget(mut self, budget: TrialBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Pins the analytic worker count.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Injects faults into every plan measurement.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Uses a private prediction cache instead of the global one.
+    #[must_use]
+    pub fn cache(mut self, cache: Arc<PredictionCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The cache these options resolve to.
+    #[must_use]
+    pub fn cache_ref(&self) -> &PredictionCache {
+        self.cache
+            .as_deref()
+            .unwrap_or_else(|| PredictionCache::global())
+    }
+}
 
 /// One evaluated `(method, variant)` candidate.
 #[derive(Debug, Clone)]
@@ -61,6 +151,8 @@ pub struct EvalReport {
     /// How many candidates rest on the analytic fallback rather than a
     /// real measurement.
     pub fallback_candidates: usize,
+    /// Final state of the session budget.
+    pub budget: TrialBudget,
 }
 
 /// The offline tuner bound to a machine model and an active core count.
@@ -103,10 +195,33 @@ impl Offsite {
     /// # Errors
     /// Propagates tool errors.
     pub fn tuned_params(&self, ivp: &dyn Ivp) -> Result<(TuningParams, TuneCost), ToolError> {
+        self.tuned_params_with(ivp, &EvalOptions::default())
+    }
+
+    /// [`Offsite::tuned_params`] under explicit [`EvalOptions`] (worker
+    /// count and cache choice; the trial knobs are irrelevant to the
+    /// purely analytic tuning phase).
+    ///
+    /// # Errors
+    /// Propagates tool errors.
+    pub fn tuned_params_with(
+        &self,
+        ivp: &dyn Ivp,
+        opts: &EvalOptions,
+    ) -> Result<(TuningParams, TuneCost), ToolError> {
         let rhs = ivp.rhs(0);
         let sol = Solution::new(rhs, ivp.domain(), self.machine.clone());
         let space = SearchSpace::spatial_only(sol.stencil(), ivp.domain(), &self.machine);
-        let r = sol.tune_space(&space, TuneStrategy::Analytic, self.cores)?;
+        let mut req = TuneRequest::new(TuneStrategy::Analytic)
+            .cores(self.cores)
+            .trial(TrialConfig::single_shot());
+        if let Some(jobs) = opts.jobs {
+            req = req.jobs(jobs);
+        }
+        if let Some(cache) = &opts.cache {
+            req = req.cache(cache.clone());
+        }
+        let r = sol.tune_space_with(&space, &req)?;
         let mut params = r.best;
         params.threads = self.cores;
         Ok((params, r.cost))
@@ -126,17 +241,19 @@ impl Offsite {
     /// One robust trial of a whole step plan: the plan backend is wrapped
     /// in the fault harness when faults are configured, and the analytic
     /// prediction serves as the fallback estimate.
+    #[allow(clippy::too_many_arguments)]
     fn measure_step_trial(
         &self,
         plan: &StepPlan,
         params: &TuningParams,
         fallback_seconds: f64,
         stream: u64,
+        faults: Option<FaultPlan>,
         cfg: &TrialConfig,
         budget: &mut TrialBudget,
     ) -> TrialResult {
         let backend = PlanBackend::new(plan, &self.machine);
-        match self.faults {
+        match faults {
             Some(f) => run_trial(
                 &mut FaultyBackend::new(backend, f.stream(stream)),
                 params,
@@ -157,7 +274,7 @@ impl Offsite {
     /// speedups over the naive baseline, and both cost ledgers.
     ///
     /// Each measurement is a single-shot trial with an unlimited budget;
-    /// use [`Offsite::evaluate_trials`] for the full robust protocol.
+    /// use [`Offsite::evaluate_with`] for the full knob set.
     ///
     /// # Errors
     /// Returns [`ToolError::InvalidInput`] for an empty method list and
@@ -170,24 +287,16 @@ impl Offsite {
         methods: &[MethodSpec],
         h: f64,
     ) -> Result<EvalReport, ToolError> {
-        self.evaluate_trials(
-            ivp,
-            methods,
-            h,
-            &TrialConfig::single_shot(),
-            &mut TrialBudget::unlimited(),
-        )
+        self.evaluate_with(ivp, methods, h, &EvalOptions::default())
     }
 
-    /// [`Offsite::evaluate`] with an explicit trial protocol: every plan
-    /// measurement (candidates and naive baselines) runs under `cfg`
-    /// against the shared `budget`, falling back to the analytic
-    /// prediction when sampling fails or the budget runs out.
+    /// [`Offsite::evaluate`] with an explicit trial protocol.
+    /// Compatibility wrapper over [`Offsite::evaluate_with`] that mutates
+    /// the caller's `budget` in place; new code should carry the protocol
+    /// in an [`EvalOptions`].
     ///
     /// # Errors
-    /// Returns [`ToolError::InvalidInput`] for an empty method list or a
-    /// method without variants; propagates tool errors from parameter
-    /// tuning. Measurement failures never error.
+    /// As [`Offsite::evaluate_with`].
     pub fn evaluate_trials(
         &self,
         ivp: &dyn Ivp,
@@ -196,13 +305,43 @@ impl Offsite {
         cfg: &TrialConfig,
         budget: &mut TrialBudget,
     ) -> Result<EvalReport, ToolError> {
+        let opts = EvalOptions::default().trial(*cfg).budget(*budget);
+        let r = self.evaluate_with(ivp, methods, h, &opts)?;
+        *budget = r.budget;
+        Ok(r)
+    }
+
+    /// The canonical evaluation entry point: every plan measurement
+    /// (candidates and naive baselines) runs under the options' trial
+    /// protocol against the options' budget, falling back to the analytic
+    /// prediction when sampling fails or the budget runs out. The
+    /// analytic tuning phase fans out over the options' worker count and
+    /// serves predictions from the options' cache; the report is
+    /// identical for every worker count.
+    ///
+    /// # Errors
+    /// Returns [`ToolError::InvalidInput`] for an empty method list or a
+    /// method without variants; propagates tool errors from parameter
+    /// tuning. Measurement failures never error.
+    pub fn evaluate_with(
+        &self,
+        ivp: &dyn Ivp,
+        methods: &[MethodSpec],
+        h: f64,
+        opts: &EvalOptions,
+    ) -> Result<EvalReport, ToolError> {
         if methods.is_empty() {
             return Err(ToolError::InvalidInput("no methods to evaluate".into()));
         }
+        let cfg = &opts.trial;
+        let mut budget = opts.budget;
+        let budget = &mut budget;
+        let faults = opts.faults.or(self.faults);
+        let cache = opts.cache_ref();
         let mut select_cost = TuneCost::default();
         let mut validate_cost = TuneCost::default();
         let mut trials = TrialSummary::default();
-        let (params, tune_cost) = self.tuned_params(ivp)?;
+        let (params, tune_cost) = self.tuned_params_with(ivp, opts)?;
         select_cost += tune_cost;
 
         let mut candidates = Vec::new();
@@ -213,8 +352,10 @@ impl Offsite {
             for v in m.variants() {
                 let plan = m.plan(ivp, h, v);
                 let t0 = std::time::Instant::now();
-                let pred = predict_plan(&plan, &self.machine, &params, self.cores);
+                let pred = predict_plan_cached(&plan, &self.machine, &params, self.cores, cache);
                 select_cost.model_evals += plan.ops.len();
+                select_cost.cache_hits += pred.cache_hits;
+                select_cost.cache_misses += pred.cache_misses;
                 select_cost.wall_seconds += t0.elapsed().as_secs_f64();
 
                 let t1 = std::time::Instant::now();
@@ -223,6 +364,7 @@ impl Offsite {
                     &params,
                     pred.seconds_per_step,
                     stream,
+                    faults,
                     cfg,
                     budget,
                 );
@@ -257,12 +399,16 @@ impl Offsite {
             };
             let naive = self.naive_params(ivp);
             let base_plan = m.plan(ivp, h, Variant::A);
-            let base_pred = predict_plan(&base_plan, &self.machine, &naive, self.cores);
+            let base_pred =
+                predict_plan_cached(&base_plan, &self.machine, &naive, self.cores, cache);
+            select_cost.cache_hits += base_pred.cache_hits;
+            select_cost.cache_misses += base_pred.cache_misses;
             let base = self.measure_step_trial(
                 &base_plan,
                 &naive,
                 base_pred.seconds_per_step,
                 stream,
+                faults,
                 cfg,
                 budget,
             );
@@ -325,6 +471,7 @@ impl Offsite {
             validate_cost,
             trials,
             fallback_candidates,
+            budget: *budget,
         })
     }
 }
@@ -520,6 +667,56 @@ mod tests {
             assert_eq!(a.method, b.method);
             assert_eq!(a.variant, b.variant);
             assert_eq!(a.measured_s.to_bits(), b.measured_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn evaluate_with_is_jobs_invariant() {
+        let ivp = Heat2d::new(32);
+        let methods = [MethodSpec::erk(Tableau::heun2())];
+        let offsite = Offsite::new(Machine::cascade_lake(), 1);
+        let run = |jobs: usize| {
+            offsite
+                .evaluate_with(
+                    &ivp,
+                    &methods,
+                    1e-5,
+                    &EvalOptions::new()
+                        .jobs(jobs)
+                        .cache(Arc::new(PredictionCache::new())),
+                )
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.candidates.len(), b.candidates.len());
+        for (x, y) in a.candidates.iter().zip(&b.candidates) {
+            assert_eq!(x.method, y.method);
+            assert_eq!(x.variant, y.variant);
+            assert_eq!(x.params, y.params);
+            assert_eq!(x.predicted_s.to_bits(), y.predicted_s.to_bits());
+            assert_eq!(x.measured_s.to_bits(), y.measured_s.to_bits());
+        }
+        assert_eq!(a.rank_of_pick, b.rank_of_pick);
+        assert_eq!(
+            a.select_cost.without_cache_counters().model_evals,
+            b.select_cost.without_cache_counters().model_evals
+        );
+    }
+
+    #[test]
+    fn repeated_evaluation_hits_the_cache() {
+        let ivp = Heat2d::new(32);
+        let methods = [MethodSpec::erk(Tableau::heun2())];
+        let offsite = Offsite::new(Machine::cascade_lake(), 1);
+        let opts = EvalOptions::new().cache(Arc::new(PredictionCache::new()));
+        let cold = offsite.evaluate_with(&ivp, &methods, 1e-5, &opts).unwrap();
+        assert!(cold.select_cost.cache_misses > 0);
+        let warm = offsite.evaluate_with(&ivp, &methods, 1e-5, &opts).unwrap();
+        assert_eq!(warm.select_cost.cache_misses, 0, "second run fully cached");
+        assert!(warm.select_cost.cache_hits > 0);
+        for (x, y) in cold.candidates.iter().zip(&warm.candidates) {
+            assert_eq!(x.predicted_s.to_bits(), y.predicted_s.to_bits());
         }
     }
 

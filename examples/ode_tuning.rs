@@ -11,7 +11,7 @@
 use yasksite_repro::arch::Machine;
 use yasksite_repro::ode::ivps::Heat2d;
 use yasksite_repro::ode::Tableau;
-use yasksite_repro::offsite::{MethodSpec, Offsite};
+use yasksite_repro::offsite::{EvalOptions, MethodSpec, Offsite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = Machine::cascade_lake();
@@ -28,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "tuning Heat2D(256) on {} with {cores} cores...",
         offsite.machine().tag()
     );
-    let report = offsite.evaluate(&ivp, &methods, 1e-6)?;
+    // The options builder mirrors YaskSite's `TuneRequest`: `jobs`
+    // parallelises the analytic rankings (results are jobs-invariant),
+    // and repeated predictions of the shared stage stencils are served
+    // from the memoized prediction cache (see `select_cost` below).
+    let opts = EvalOptions::default().jobs(2);
+    let report = offsite.evaluate_with(&ivp, &methods, 1e-6, &opts)?;
 
     println!(
         "\n{:<24} {:>13} {:>13} {:>6}",

@@ -10,7 +10,7 @@
 
 use yasksite_repro::arch::Machine;
 use yasksite_repro::stencil::builders::heat3d;
-use yasksite_repro::yasksite::{Solution, TuneStrategy};
+use yasksite_repro::yasksite::{Solution, TuneRequest, TuneStrategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A stencil and a target: the 7-point heat kernel on one socket of
@@ -22,9 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let solution = Solution::new(stencil, domain, machine);
 
     // 2. Analytic tuning: rank the whole parameter space with the ECM
-    //    model; nothing is executed.
+    //    model; nothing is executed. The request API is the canonical
+    //    entry point — `jobs` parallelises the ranking without changing
+    //    a single bit of the result (omit it to use all cores).
     let cores = 8;
-    let result = solution.tune(TuneStrategy::Analytic, cores)?;
+    let req = TuneRequest::new(TuneStrategy::Analytic)
+        .cores(cores)
+        .jobs(4);
+    let result = solution.tune_with(&req)?;
     println!("candidates ranked analytically: {}", result.ranked.len());
     println!(
         "model evaluations:              {}",

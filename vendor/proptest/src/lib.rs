@@ -462,7 +462,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Size specifications accepted by [`vec`].
+    /// Size specifications accepted by [`vec()`].
     pub trait IntoSizeRange {
         /// Lower bound (inclusive) and upper bound (inclusive).
         fn bounds(&self) -> (usize, usize);
