@@ -6,10 +6,15 @@ use yasksite_bench::Scale;
 
 fn main() {
     let scale = Scale::from_args();
-    for m in [Machine::cascade_lake(), Machine::rome()] {
+    let machines = [Machine::cascade_lake(), Machine::rome()];
+    print!(
+        "{}",
+        yasksite_bench::run_manifest("e10_suite_validation", &machines, Some(scale), None)
+    );
+    for m in &machines {
         println!(
             "{}",
-            yasksite_bench::experiments::e10_suite_validation(&m, scale)
+            yasksite_bench::experiments::e10_suite_validation(m, scale)
         );
     }
 }

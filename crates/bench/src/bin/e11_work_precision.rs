@@ -6,8 +6,18 @@ use yasksite_bench::Scale;
 
 fn main() {
     let scale = Scale::from_args();
+    let machine = Machine::cascade_lake();
+    print!(
+        "{}",
+        yasksite_bench::run_manifest(
+            "e11_work_precision",
+            std::slice::from_ref(&machine),
+            Some(scale),
+            None
+        )
+    );
     println!(
         "{}",
-        yasksite_bench::experiments::e11_work_precision(&Machine::cascade_lake(), scale)
+        yasksite_bench::experiments::e11_work_precision(&machine, scale)
     );
 }

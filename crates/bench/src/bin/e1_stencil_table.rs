@@ -7,5 +7,9 @@ use yasksite_arch::Machine;
 use yasksite_bench::Scale;
 
 fn main() {
+    print!(
+        "{}",
+        yasksite_bench::run_manifest("e1_stencil_table", &[], None, None)
+    );
     println!("{}", yasksite_bench::experiments::e1_stencil_table());
 }

@@ -7,5 +7,9 @@ use yasksite_arch::Machine;
 use yasksite_bench::Scale;
 
 fn main() {
+    print!(
+        "{}",
+        yasksite_bench::run_manifest("e2_machine_table", &[], None, None)
+    );
     println!("{}", yasksite_bench::experiments::e2_machine_table());
 }

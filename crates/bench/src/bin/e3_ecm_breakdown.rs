@@ -6,7 +6,12 @@ use yasksite_arch::Machine;
 use yasksite_bench::Scale;
 
 fn main() {
-    for m in [Machine::cascade_lake(), Machine::rome()] {
-        println!("{}", yasksite_bench::experiments::e3_ecm_breakdown(&m));
+    let machines = [Machine::cascade_lake(), Machine::rome()];
+    print!(
+        "{}",
+        yasksite_bench::run_manifest("e3_ecm_breakdown", &machines, None, None)
+    );
+    for m in &machines {
+        println!("{}", yasksite_bench::experiments::e3_ecm_breakdown(m));
     }
 }

@@ -7,7 +7,12 @@ use yasksite_bench::Scale;
 
 fn main() {
     let scale = Scale::from_args();
-    for m in [Machine::cascade_lake(), Machine::rome()] {
-        println!("{}", yasksite_bench::experiments::e6_wavefront(&m, scale));
+    let machines = [Machine::cascade_lake(), Machine::rome()];
+    print!(
+        "{}",
+        yasksite_bench::run_manifest("e6_wavefront", &machines, Some(scale), None)
+    );
+    for m in &machines {
+        println!("{}", yasksite_bench::experiments::e6_wavefront(m, scale));
     }
 }

@@ -8,8 +8,18 @@ use yasksite_bench::Scale;
 fn main() {
     let scale = Scale::from_args();
     let jobs = Scale::jobs_from_args();
+    let machine = Machine::cascade_lake();
+    print!(
+        "{}",
+        yasksite_bench::run_manifest(
+            "e9_tuning_cost",
+            std::slice::from_ref(&machine),
+            Some(scale),
+            jobs
+        )
+    );
     println!(
         "{}",
-        yasksite_bench::experiments::e9_tuning_cost(&Machine::cascade_lake(), scale, jobs)
+        yasksite_bench::experiments::e9_tuning_cost(&machine, scale, jobs)
     );
 }

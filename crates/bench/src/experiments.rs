@@ -28,6 +28,15 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// The manifest label for this preset.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Small => "small",
+        }
+    }
+
     /// Parses `--small` from argv.
     #[must_use]
     pub fn from_args() -> Scale {

@@ -11,6 +11,8 @@
 
 pub mod experiments;
 mod fmt;
+pub mod manifest;
 
 pub use experiments::Scale;
 pub use fmt::Table;
+pub use manifest::run_manifest;

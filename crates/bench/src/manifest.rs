@@ -1,0 +1,112 @@
+//! The run manifest printed at the top of every experiment binary.
+//!
+//! A table without its provenance is unreproducible: which machine
+//! models, which scale, how many ranking workers, which seed, which
+//! source revision? The manifest answers those questions in a fixed
+//! `#`-prefixed header so result files stay self-describing while plain
+//! `grep -v '^#'` recovers the bare table.
+
+use yasksite_arch::Machine;
+
+use crate::Scale;
+
+/// Environment variable carrying the experiment seed, recorded in the
+/// manifest when set (the simulator itself is deterministic; the seed
+/// only matters for fault-injection experiments).
+pub const SEED_ENV: &str = "YASKSITE_SEED";
+
+/// The source revision, best effort: `GITHUB_SHA` when CI exported it,
+/// else `git rev-parse --short=12 HEAD`, else `"unknown"` (e.g. when the
+/// binary runs outside a checkout).
+#[must_use]
+pub fn source_revision() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders the manifest header for `experiment`: machine tags, scale,
+/// worker count, seed, crate version and source revision, one
+/// `#`-prefixed line each. `machines` may be empty for table-only
+/// experiments; `scale`/`jobs` are `None` when the experiment has no
+/// such knob.
+#[must_use]
+pub fn run_manifest(
+    experiment: &str,
+    machines: &[Machine],
+    scale: Option<Scale>,
+    jobs: Option<usize>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# run-manifest: {experiment}\n"));
+    if !machines.is_empty() {
+        let tags: Vec<&str> = machines.iter().map(Machine::tag).collect();
+        out.push_str(&format!("#   machines: {}\n", tags.join(", ")));
+    }
+    if let Some(s) = scale {
+        out.push_str(&format!("#   scale: {}\n", s.label()));
+    }
+    match jobs {
+        Some(j) => out.push_str(&format!("#   jobs: {j}\n")),
+        None => out.push_str("#   jobs: auto (YASKSITE_JOBS or all cores)\n"),
+    }
+    match std::env::var(SEED_ENV) {
+        Ok(seed) if !seed.trim().is_empty() => {
+            out.push_str(&format!("#   seed: {}\n", seed.trim()));
+        }
+        _ => out.push_str(&format!("#   seed: {SEED_ENV} unset\n")),
+    }
+    out.push_str(&format!("#   version: {}\n", env!("CARGO_PKG_VERSION")));
+    out.push_str(&format!("#   rev: {}\n", source_revision()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_lines_are_comment_prefixed_and_complete() {
+        let m = run_manifest(
+            "e9_tuning_cost",
+            &[Machine::cascade_lake(), Machine::rome()],
+            Some(Scale::Small),
+            Some(4),
+        );
+        for line in m.lines() {
+            assert!(line.starts_with('#'), "{line}");
+        }
+        assert!(m.contains("run-manifest: e9_tuning_cost"), "{m}");
+        assert!(m.contains("machines: CLX, ROME"), "{m}");
+        assert!(m.contains("scale: small"), "{m}");
+        assert!(m.contains("jobs: 4"), "{m}");
+        assert!(m.contains("seed:"), "{m}");
+        assert!(m.contains("version:"), "{m}");
+        assert!(m.contains("rev:"), "{m}");
+    }
+
+    #[test]
+    fn knobless_experiments_omit_their_lines() {
+        let m = run_manifest("e1_stencil_table", &[], None, None);
+        assert!(!m.contains("machines:"), "{m}");
+        assert!(!m.contains("scale:"), "{m}");
+        assert!(m.contains("jobs: auto"), "{m}");
+    }
+
+    #[test]
+    fn revision_is_never_empty() {
+        assert!(!source_revision().is_empty());
+    }
+}

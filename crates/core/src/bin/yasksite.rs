@@ -6,15 +6,15 @@ use std::process::ExitCode;
 
 use yasksite::cli::{
     machine_from_flags, params_from_flags, parse_flags, parse_triple, request_from_flags,
-    stencil_by_name, USAGE,
+    stencil_by_name, telemetry_from_flags, ErrorReport, USAGE,
 };
+use yasksite::telemetry::Telemetry;
 use yasksite::{Provenance, SearchSpace, Solution};
 use yasksite_arch::{machine_table, Machine};
 use yasksite_stencil::{paper_suite, stencil_table};
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (pos, flags) = parse_flags(&args)?;
+fn run(args: &[String], tel: &Telemetry) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
     let Some(cmd) = pos.first() else {
         println!("{USAGE}");
         return Ok(());
@@ -84,7 +84,7 @@ fn run() -> Result<(), String> {
                     print!("{}", sol.codegen(&params).source);
                 }
                 "tune" => {
-                    let req = request_from_flags(&flags)?;
+                    let req = request_from_flags(&flags)?.telemetry(tel.clone());
                     let space = SearchSpace::standard(sol.stencil(), domain, &machine);
                     let r = sol
                         .tune_space_with(&space, &req)
@@ -109,6 +109,17 @@ fn run() -> Result<(), String> {
                         };
                         println!("  {p:<40} {s:>8.0} MLUP/s{tag}");
                     }
+                    if flags.contains_key("metrics") {
+                        if let Some(snap) = tel.metrics_snapshot() {
+                            println!();
+                            print!("{}", snap.render());
+                        }
+                        let spans = tel.span_report();
+                        if !spans.is_empty() {
+                            println!();
+                            print!("{spans}");
+                        }
+                    }
                 }
                 _ => unreachable!(),
             }
@@ -119,10 +130,26 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The telemetry handle is built before dispatch so even failures land
+    // in the trace. A flag-parse failure here is re-detected (and
+    // reported) by `run` below with a disabled handle.
+    let tel = match parse_flags(&args).and_then(|(_, flags)| telemetry_from_flags(&flags)) {
+        Ok(t) => t,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("{}", ErrorReport::classify(&e).render());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args, &tel) {
+        Ok(()) => {
+            tel.finish();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            tel.error(&e);
+            tel.finish();
+            eprintln!("{}", ErrorReport::classify(&e).render());
             ExitCode::FAILURE
         }
     }

@@ -12,6 +12,7 @@ use yasksite_engine::TuningParams;
 use yasksite_grid::Fold;
 use yasksite_stencil::{builders, paper_suite, Stencil};
 
+use crate::telemetry::{Level, Telemetry};
 use crate::{ToolError, TrialBudget, TrialConfig, TuneRequest, TuneStrategy};
 
 /// Parses `"512x8x8"`-style extent triples.
@@ -36,17 +37,25 @@ pub fn parse_triple(s: &str) -> Result<[usize; 3], String> {
     Ok(out)
 }
 
+/// Flags that take no value (presence alone switches them on).
+pub const BOOLEAN_FLAGS: &[&str] = &["metrics"];
+
 /// Splits `--key value` pairs into a map; returns positional arguments
-/// separately.
+/// separately. Flags listed in [`BOOLEAN_FLAGS`] consume no value and
+/// map to `"true"`.
 ///
 /// # Errors
-/// Returns a message if a `--key` has no value.
+/// Returns a message if a value-taking `--key` has no value.
 pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
     let mut pos = Vec::new();
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let val = it
                 .next()
                 .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -211,6 +220,93 @@ pub fn request_from_flags(flags: &HashMap<String, String>) -> Result<TuneRequest
     Ok(req)
 }
 
+/// Builds the session [`Telemetry`] from parsed flags:
+/// `--trace-out FILE.jsonl` streams JSONL events to a file,
+/// `--metrics` collects metrics and spans without an event stream, and
+/// `--log-level error|info|debug` filters non-span events (default:
+/// `debug`). Without any of these the handle is disabled and tuning runs
+/// at zero observability overhead.
+///
+/// # Errors
+/// Returns a message for an unknown `--log-level` or an unwritable
+/// `--trace-out` path.
+pub fn telemetry_from_flags(flags: &HashMap<String, String>) -> Result<Telemetry, String> {
+    let level = match flags.get("log-level") {
+        Some(s) => {
+            Level::parse(s).ok_or_else(|| format!("bad --log-level '{s}' (error|info|debug)"))?
+        }
+        None => Level::Debug,
+    };
+    if let Some(path) = flags.get("trace-out") {
+        return Telemetry::to_file(path, level)
+            .map_err(|e| format!("cannot open trace file '{path}': {e}"));
+    }
+    if flags.contains_key("metrics") {
+        return Ok(Telemetry::null(level));
+    }
+    Ok(Telemetry::disabled())
+}
+
+/// A classified CLI failure: a stable kind tag for scripts, the original
+/// message, and (when the kind implies one) a recovery hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReport {
+    /// Stable machine-matchable category: `usage`, `io` or `runtime`.
+    pub kind: &'static str,
+    /// The underlying error message, verbatim.
+    pub message: String,
+    /// One-line recovery suggestion, when the category implies one.
+    pub hint: Option<&'static str>,
+}
+
+impl ErrorReport {
+    /// Classifies a CLI error message into a kind and hint. The message
+    /// itself is preserved verbatim so scripted callers matching on
+    /// substrings (e.g. `unknown stencil`) keep working.
+    #[must_use]
+    pub fn classify(message: &str) -> ErrorReport {
+        let (kind, hint): (&'static str, Option<&'static str>) =
+            if message.contains("unknown stencil") {
+                (
+                    "usage",
+                    Some("run 'yasksite stencils' to list the known names"),
+                )
+            } else if message.contains("unknown machine") {
+                (
+                    "usage",
+                    Some("run 'yasksite machines' to list the known models"),
+                )
+            } else if message.contains("unknown command")
+                || message.contains("is required")
+                || message.contains("needs a value")
+                || message.contains("unknown strategy")
+                || message.starts_with("bad --")
+                || message.contains("expected AxBxC")
+            {
+                ("usage", Some("run 'yasksite' without arguments for usage"))
+            } else if message.contains("cannot read") || message.contains("cannot open") {
+                ("io", None)
+            } else {
+                ("runtime", None)
+            };
+        ErrorReport {
+            kind,
+            message: message.to_string(),
+            hint,
+        }
+    }
+
+    /// Renders the report for stderr: `error[kind]: message` plus an
+    /// optional `hint:` line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self.hint {
+            Some(h) => format!("error[{}]: {}\nhint: {}", self.kind, self.message, h),
+            None => format!("error[{}]: {}", self.kind, self.message),
+        }
+    }
+}
+
 /// The usage text of the binary.
 pub const USAGE: &str = "\
 yasksite — stencil kernel tuning with the ECM performance model
@@ -230,6 +326,13 @@ USAGE:
                                 identical for every value)
                    [--samples N] [--warmup N] [--retries N]
                    [--budget-runs N] [--budget-secs S]
+                   [--trace-out FILE.jsonl]  (stream telemetry as JSONL,
+                                             schema v1: one event object
+                                             per line)
+                   [--metrics]               (print the metrics registry
+                                             and span tree after tuning)
+                   [--log-level error|info|debug]  (event filter for
+                                             --trace-out; default debug)
   yasksite codegen  (same flags as predict; prints the C kernel source)
 
 Stencil names: heat-3d-r<r>, heat-2d-r<r>, box-3d-r<r>, star-3d-r<r>,
@@ -354,6 +457,80 @@ mod tests {
         flags.insert("strategy".into(), "empirical".into());
         flags.insert("jobs".into(), "x".into());
         assert!(request_from_flags(&flags).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let args: Vec<String> = ["tune", "--metrics", "--cores", "4"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let (pos, flags) = parse_flags(&args).unwrap();
+        assert_eq!(pos, vec!["tune"]);
+        assert_eq!(flags["metrics"], "true");
+        assert_eq!(flags["cores"], "4", "--metrics must not eat --cores");
+    }
+
+    #[test]
+    fn telemetry_flags_resolve() {
+        let mut flags = HashMap::new();
+        assert!(
+            !telemetry_from_flags(&flags).unwrap().is_enabled(),
+            "no flags -> disabled"
+        );
+        flags.insert("metrics".into(), "true".into());
+        let tel = telemetry_from_flags(&flags).unwrap();
+        assert!(tel.is_enabled(), "--metrics -> collecting handle");
+        flags.insert("log-level".into(), "info".into());
+        assert_eq!(
+            telemetry_from_flags(&flags).unwrap().level(),
+            Some(Level::Info)
+        );
+        flags.insert("log-level".into(), "loud".into());
+        let err = telemetry_from_flags(&flags).unwrap_err();
+        assert!(err.contains("--log-level"), "{err}");
+    }
+
+    #[test]
+    fn trace_out_writes_a_parseable_stream() {
+        let dir = std::env::temp_dir().join("yasksite-cli-telemetry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let mut flags = HashMap::new();
+        flags.insert("trace-out".into(), path.to_str().unwrap().to_string());
+        {
+            let tel = telemetry_from_flags(&flags).unwrap();
+            let span = tel.span("tune_session");
+            tel.event(Level::Info, "session_start", span.id(), &[]);
+            drop(span);
+            tel.finish();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stats = crate::telemetry::check_trace(&text).expect("valid trace");
+        assert_eq!(stats.spans_opened, 1);
+        assert_eq!(stats.spans_closed, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_reports_classify_and_render() {
+        let r = ErrorReport::classify("unknown stencil 'nope'");
+        assert_eq!(r.kind, "usage");
+        let out = r.render();
+        assert!(out.starts_with("error[usage]: unknown stencil"), "{out}");
+        assert!(out.contains("hint: run 'yasksite stencils'"), "{out}");
+
+        let r = ErrorReport::classify("unknown command 'frobnicate'");
+        assert_eq!(r.kind, "usage");
+        assert!(r.render().contains("unknown command"), "substring kept");
+
+        let r = ErrorReport::classify("cannot read '/no/such': gone");
+        assert_eq!(r.kind, "io");
+        assert!(r.hint.is_none());
+        assert_eq!(r.render(), "error[io]: cannot read '/no/such': gone");
+
+        let r = ErrorReport::classify("something exploded");
+        assert_eq!(r.kind, "runtime");
     }
 
     #[test]

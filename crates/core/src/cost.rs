@@ -14,16 +14,21 @@ pub struct TuneCost {
     pub engine_runs: usize,
     /// Sum of the *estimated target-machine* seconds the executed kernels
     /// would take — what an empirical tuner burns on the real testbed.
+    /// Only genuinely measured candidates charge here; a trial that fell
+    /// back to its analytic prediction executed nothing on the target.
     pub target_seconds: f64,
     /// Wall-clock seconds this process spent tuning.
     pub wall_seconds: f64,
-    /// Seconds spent generating kernel source.
+    /// Wall-clock seconds spent generating kernel source for the winner.
     pub codegen_seconds: f64,
     /// Predictions served from the memoized [`crate::PredictionCache`]
     /// without recomputation.
     pub cache_hits: usize,
     /// Predictions computed fresh (and stored for later sessions).
     pub cache_misses: usize,
+    /// Trials that fell back to the analytic prediction instead of a
+    /// measurement (matches [`crate::TrialSummary::fallbacks`]).
+    pub fallbacks: usize,
 }
 
 impl AddAssign for TuneCost {
@@ -35,19 +40,24 @@ impl AddAssign for TuneCost {
         self.codegen_seconds += rhs.codegen_seconds;
         self.cache_hits += rhs.cache_hits;
         self.cache_misses += rhs.cache_misses;
+        self.fallbacks += rhs.fallbacks;
     }
 }
 
 impl TuneCost {
-    /// One-line summary for tables.
+    /// One-line summary for tables: the full cost ledger — model evals
+    /// (with the cached share), engine runs, fallbacks, target time,
+    /// codegen time and wall time.
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{} model evals ({} cached), {} runs, {:.3}s target time, {:.3}s wall",
+            "{} model evals ({} cached), {} runs, {} fallbacks, {:.3}s target time, {:.3}s codegen, {:.3}s wall",
             self.model_evals,
             self.cache_hits,
             self.engine_runs,
+            self.fallbacks,
             self.target_seconds,
+            self.codegen_seconds,
             self.wall_seconds
         )
     }
@@ -60,6 +70,19 @@ impl TuneCost {
         TuneCost {
             cache_hits: 0,
             cache_misses: 0,
+            ..*self
+        }
+    }
+
+    /// This cost with the wall-clock-dependent fields
+    /// (`wall_seconds`, `codegen_seconds`) zeroed — the other half of the
+    /// determinism comparison, since wall time varies run to run even
+    /// when the tuning outcome is bitwise-identical.
+    #[must_use]
+    pub fn without_wall_clock(&self) -> TuneCost {
+        TuneCost {
+            wall_seconds: 0.0,
+            codegen_seconds: 0.0,
             ..*self
         }
     }
@@ -80,6 +103,7 @@ mod tests {
             codegen_seconds: 0.01,
             cache_hits: 2,
             cache_misses: 1,
+            fallbacks: 1,
         };
         a += TuneCost {
             model_evals: 2,
@@ -90,7 +114,29 @@ mod tests {
         assert_eq!(a.engine_runs, 1);
         assert_eq!(a.cache_hits, 3);
         assert_eq!(a.cache_misses, 1);
+        assert_eq!(a.fallbacks, 1);
         assert!(a.summary().contains("5 model evals"));
+    }
+
+    #[test]
+    fn summary_reports_the_full_ledger() {
+        let c = TuneCost {
+            model_evals: 10,
+            engine_runs: 4,
+            target_seconds: 1.5,
+            wall_seconds: 0.25,
+            codegen_seconds: 0.125,
+            cache_hits: 6,
+            cache_misses: 4,
+            fallbacks: 2,
+        };
+        let s = c.summary();
+        assert!(s.contains("10 model evals (6 cached)"), "{s}");
+        assert!(s.contains("4 runs"), "{s}");
+        assert!(s.contains("2 fallbacks"), "{s}");
+        assert!(s.contains("1.500s target time"), "{s}");
+        assert!(s.contains("0.125s codegen"), "{s}");
+        assert!(s.contains("0.250s wall"), "{s}");
     }
 
     #[test]
@@ -109,5 +155,24 @@ mod tests {
         };
         assert_ne!(a, b);
         assert_eq!(a.without_cache_counters(), b.without_cache_counters());
+    }
+
+    #[test]
+    fn wall_clock_strippable() {
+        let a = TuneCost {
+            engine_runs: 2,
+            wall_seconds: 0.7,
+            codegen_seconds: 0.1,
+            ..TuneCost::default()
+        };
+        let b = TuneCost {
+            engine_runs: 2,
+            wall_seconds: 1.9,
+            codegen_seconds: 0.4,
+            ..TuneCost::default()
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.without_wall_clock(), b.without_wall_clock());
+        assert_eq!(a.without_wall_clock().engine_runs, 2);
     }
 }

@@ -66,7 +66,12 @@ pub use request::{TuneRequest, JOBS_ENV};
 pub use solution::{MeasuredPerf, Solution, ToolError};
 pub use space::SearchSpace;
 pub use trial::{
-    run_trial, FallbackReason, FaultPlan, FaultyBackend, MeasureBackend, Provenance,
-    SolutionBackend, TrialBudget, TrialConfig, TrialResult, TrialRng, TrialSummary,
+    run_trial, run_trial_observed, FallbackReason, FaultPlan, FaultyBackend, MeasureBackend,
+    Provenance, SolutionBackend, TrialBudget, TrialConfig, TrialResult, TrialRng, TrialSummary,
 };
 pub use tuner::{TuneResult, TuneStrategy};
+
+/// The in-tree observability layer: re-exported so downstream users need
+/// only the `yasksite` dependency to build a [`yasksite_telemetry::Telemetry`]
+/// handle for [`TuneRequest::telemetry`].
+pub use yasksite_telemetry as telemetry;

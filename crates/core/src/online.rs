@@ -20,8 +20,10 @@ use crate::cache::PredictionCache;
 use crate::solution::{Solution, ToolError};
 use crate::space::SearchSpace;
 use crate::trial::{
-    run_trial, MeasureBackend, Provenance, TrialBudget, TrialConfig, TrialResult, TrialSummary,
+    run_trial_observed, MeasureBackend, Provenance, TrialBudget, TrialConfig, TrialResult,
+    TrialSummary,
 };
+use yasksite_telemetry::{Level, Telemetry};
 
 /// Hill-climbing online tuner over the `(block_y, block_z)` lattice of a
 /// [`SearchSpace`].
@@ -261,17 +263,75 @@ impl OnlineTuner {
         budget: &mut TrialBudget,
         cache: &PredictionCache,
     ) -> Result<TuningParams, ToolError> {
+        self.run_to_convergence_observed(sol, backend, cfg, budget, cache, &Telemetry::disabled())
+    }
+
+    /// [`OnlineTuner::run_to_convergence_cached`] recording the climb into
+    /// `telemetry`: one `tune_session` span for the whole climb, a `trial`
+    /// child per lattice point (with `predict` and `measure` grandchildren)
+    /// and the same `tune.*` counters the offline tuner maintains.
+    /// Telemetry is purely observational — the climb, its winner and its
+    /// trial count are identical with a disabled handle.
+    ///
+    /// # Errors
+    /// As [`OnlineTuner::run_to_convergence`].
+    pub fn run_to_convergence_observed(
+        &mut self,
+        sol: &Solution,
+        backend: &mut dyn MeasureBackend,
+        cfg: &TrialConfig,
+        budget: &mut TrialBudget,
+        cache: &PredictionCache,
+        telemetry: &Telemetry,
+    ) -> Result<TuningParams, ToolError> {
+        let session = telemetry.span("tune_session");
+        telemetry.event(
+            Level::Info,
+            "session_start",
+            session.id(),
+            &[
+                ("strategy", "online".into()),
+                ("lattice", self.lattice_size().into()),
+            ],
+        );
         while !self.converged() {
             let p = match self.suggest() {
                 Some(p) => p,
                 None => break,
             };
             let cores = p.threads.max(1);
-            let (pred, _) = cache.predict(sol, &p, cores);
+            let trial_span = session.child("trial");
+            let (pred, hit) = {
+                let _predict_span = trial_span.child("predict");
+                cache.predict(sol, &p, cores)
+            };
+            if hit {
+                telemetry.inc("tune.cache_hits");
+            } else {
+                telemetry.inc("tune.cache_misses");
+            }
             let fallback = pred.seconds_per_sweep;
-            let trial = run_trial(backend, &p, fallback, cfg, budget);
+            let trial = run_trial_observed(
+                backend,
+                &p,
+                fallback,
+                cfg,
+                budget,
+                telemetry,
+                Some(&trial_span),
+            );
+            telemetry.add("tune.engine_runs", trial.attempts as u64);
+            if trial.provenance.is_fallback() {
+                telemetry.inc("tune.fallbacks");
+            }
             self.record_trial(&trial)?;
         }
+        telemetry.event(
+            Level::Info,
+            "session_end",
+            session.id(),
+            &[("trials", self.trials().into())],
+        );
         Ok(self.best())
     }
 }
@@ -375,6 +435,50 @@ mod tests {
         // The suggestion is still pending: a valid re-measure succeeds.
         tuner.record(1.0).unwrap();
         assert_eq!(tuner.trials(), 1);
+    }
+
+    #[test]
+    fn observed_climb_matches_unobserved_and_balances_spans() {
+        let m = Machine::cascade_lake();
+        let sol = Solution::new(heat3d(1), [32, 32, 32], m.clone());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), &m);
+        let template = TuningParams::new([32, 8, 8], Fold::new(8, 1, 1)).threads(1);
+        let cfg = TrialConfig::default();
+
+        let mut plain = OnlineTuner::new(&space, template.clone()).unwrap();
+        let mut backend = SolutionBackend::new(&sol);
+        let plain_best = plain
+            .run_to_convergence_cached(
+                &sol,
+                &mut backend,
+                &cfg,
+                &mut TrialBudget::unlimited(),
+                &PredictionCache::new(),
+            )
+            .unwrap();
+
+        let (tel, sink) =
+            yasksite_telemetry::Telemetry::recording(yasksite_telemetry::Level::Debug);
+        let mut observed = OnlineTuner::new(&space, template).unwrap();
+        let mut backend = SolutionBackend::new(&sol);
+        let observed_best = observed
+            .run_to_convergence_observed(
+                &sol,
+                &mut backend,
+                &cfg,
+                &mut TrialBudget::unlimited(),
+                &PredictionCache::new(),
+                &tel,
+            )
+            .unwrap();
+
+        assert_eq!(plain_best, observed_best, "telemetry must not steer");
+        assert_eq!(plain.trials(), observed.trials());
+        drop(tel);
+        assert!(!sink.lines().is_empty(), "observed run must emit events");
+        let joined = sink.lines().join("\n");
+        let stats = yasksite_telemetry::check_trace(&joined).expect("balanced trace");
+        assert_eq!(stats.spans_opened, stats.spans_closed);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 
 use std::sync::Arc;
 
+use yasksite_telemetry::Telemetry;
+
 use crate::cache::PredictionCache;
 use crate::trial::{FaultPlan, TrialBudget, TrialConfig};
 use crate::tuner::TuneStrategy;
@@ -58,6 +60,11 @@ pub struct TuneRequest {
     /// Prediction cache to consult; `None` uses the process-wide
     /// [`PredictionCache::global`].
     pub cache: Option<Arc<PredictionCache>>,
+    /// Telemetry handle the session records spans, events and metrics
+    /// into; disabled by default. Telemetry is purely observational: it
+    /// never changes winners, rankings or deterministic cost fields (the
+    /// determinism suite asserts this).
+    pub telemetry: Telemetry,
 }
 
 impl Default for TuneRequest {
@@ -80,6 +87,7 @@ impl TuneRequest {
             budget: TrialBudget::unlimited(),
             faults: None,
             cache: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -123,6 +131,13 @@ impl TuneRequest {
     #[must_use]
     pub fn cache(mut self, cache: Arc<PredictionCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Records the session into `telemetry` (spans, events, metrics).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -181,6 +196,14 @@ mod tests {
         assert_eq!(d.strategy, TuneStrategy::Analytic);
         assert_eq!(d.cores, 1);
         assert!(d.effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn telemetry_defaults_disabled_and_chains() {
+        assert!(!TuneRequest::default().telemetry.is_enabled());
+        let req =
+            TuneRequest::default().telemetry(Telemetry::null(yasksite_telemetry::Level::Info));
+        assert!(req.telemetry.is_enabled());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use std::fmt;
 
 use yasksite_engine::TuningParams;
+use yasksite_telemetry::{Level, SpanGuard, Telemetry, Value};
 
 use crate::solution::{Solution, ToolError};
 
@@ -98,6 +99,16 @@ impl Provenance {
     #[must_use]
     pub fn is_fallback(&self) -> bool {
         matches!(self, Provenance::PredictedFallback { .. })
+    }
+
+    /// Short machine-readable tag used in telemetry events.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Provenance::Measured => "measured",
+            Provenance::Retried { .. } => "retried",
+            Provenance::PredictedFallback { .. } => "predicted_fallback",
+        }
     }
 }
 
@@ -379,6 +390,11 @@ pub struct TrialResult {
     pub attempts: usize,
     /// The raw valid samples, in collection order.
     pub samples: Vec<f64>,
+    /// Whether a *measured* estimate rests on fewer samples than the
+    /// protocol requested (the budget ran out or retries were exhausted
+    /// mid-collection). Previously this truncation was silent; fallbacks
+    /// report `false` here because their provenance already says so.
+    pub truncated: bool,
 }
 
 /// Aggregate trial statistics over a tuning session.
@@ -394,6 +410,9 @@ pub struct TrialSummary {
     pub retries: usize,
     /// Trials that fell back to the analytic prediction.
     pub fallbacks: usize,
+    /// Measured trials that were truncated (fewer samples than the
+    /// protocol requested) — see [`TrialResult::truncated`].
+    pub truncated: usize,
 }
 
 impl TrialSummary {
@@ -406,6 +425,9 @@ impl TrialSummary {
         if r.provenance.is_fallback() {
             self.fallbacks += 1;
         }
+        if r.truncated {
+            self.truncated += 1;
+        }
     }
 }
 
@@ -416,6 +438,7 @@ impl std::ops::AddAssign for TrialSummary {
         self.rejected += rhs.rejected;
         self.retries += rhs.retries;
         self.fallbacks += rhs.fallbacks;
+        self.truncated += rhs.truncated;
     }
 }
 
@@ -423,8 +446,8 @@ impl fmt::Display for TrialSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} trials, {} samples ({} rejected, {} retries, {} fallbacks)",
-            self.trials, self.samples, self.rejected, self.retries, self.fallbacks
+            "{} trials, {} samples ({} rejected, {} retries, {} fallbacks, {} truncated)",
+            self.trials, self.samples, self.rejected, self.retries, self.fallbacks, self.truncated
         )
     }
 }
@@ -476,16 +499,93 @@ pub fn run_trial(
     cfg: &TrialConfig,
     budget: &mut TrialBudget,
 ) -> TrialResult {
-    let fallback = |reason: FallbackReason, retries, attempts, samples: Vec<f64>| TrialResult {
-        seconds_per_sweep: fallback_seconds,
-        provenance: Provenance::PredictedFallback { reason },
-        kept: 0,
-        rejected: 0,
-        retries,
-        attempts,
-        samples,
+    run_trial_observed(
+        backend,
+        params,
+        fallback_seconds,
+        cfg,
+        budget,
+        &Telemetry::disabled(),
+        None,
+    )
+}
+
+/// Emits the `budget_exhausted` event exactly when the budget flips from
+/// live to exhausted, with what remains of each configured cap.
+fn emit_budget_exhausted(tel: &Telemetry, span_id: u64, budget: &TrialBudget) {
+    tel.inc("budget.exhausted");
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("runs_used", budget.runs_used.into()),
+        ("seconds_used", budget.seconds_used.into()),
+    ];
+    if let Some(max) = budget.max_runs {
+        fields.push(("max_runs", max.into()));
+        fields.push((
+            "runs_remaining",
+            max.saturating_sub(budget.runs_used).into(),
+        ));
+    }
+    if let Some(max) = budget.max_seconds {
+        fields.push(("max_seconds", max.into()));
+        fields.push((
+            "seconds_remaining",
+            (max - budget.seconds_used).max(0.0).into(),
+        ));
+    }
+    tel.event(Level::Info, "budget_exhausted", span_id, &fields);
+}
+
+/// [`run_trial`] with telemetry: opens a `measure` span (as a child of
+/// `parent` when given), emits one event per warmup, sample, retry and
+/// fallback, reports `budget_exhausted` at the moment the budget flips,
+/// and flags truncated collections. Identical measurement semantics —
+/// the disabled-telemetry wrapper is the proof, since it *is* this
+/// function.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trial_observed(
+    backend: &mut dyn MeasureBackend,
+    params: &TuningParams,
+    fallback_seconds: f64,
+    cfg: &TrialConfig,
+    budget: &mut TrialBudget,
+    tel: &Telemetry,
+    parent: Option<&SpanGuard>,
+) -> TrialResult {
+    let span = match parent {
+        Some(p) => p.child("measure"),
+        None => tel.span("measure"),
     };
-    if budget.exhausted() {
+    let sid = span.id();
+    tel.inc("trial.count");
+    let mut was_exhausted = budget.exhausted();
+    let fallback = |reason: FallbackReason, retries, attempts, samples: Vec<f64>| {
+        tel.inc("trial.fallbacks");
+        let why = match reason {
+            FallbackReason::AllSamplesFailed => "all_samples_failed",
+            FallbackReason::BudgetExhausted => "budget_exhausted",
+        };
+        tel.event(
+            Level::Info,
+            "fallback",
+            sid,
+            &[
+                ("reason", why.into()),
+                ("provenance", "predicted_fallback".into()),
+                ("seconds", fallback_seconds.into()),
+            ],
+        );
+        TrialResult {
+            seconds_per_sweep: fallback_seconds,
+            provenance: Provenance::PredictedFallback { reason },
+            kept: 0,
+            rejected: 0,
+            retries,
+            attempts,
+            samples,
+            truncated: false,
+        }
+    };
+    if was_exhausted {
         return fallback(FallbackReason::BudgetExhausted, 0, 0, Vec::new());
     }
 
@@ -503,10 +603,26 @@ pub fn run_trial(
             );
         }
         attempts += 1;
-        match backend.run_sample(params) {
-            Ok(s) => budget.charge(s),
-            Err(_) => budget.charge(cfg.backoff_base),
+        let charged = match backend.run_sample(params) {
+            Ok(s) => {
+                budget.charge(s);
+                s
+            }
+            Err(_) => {
+                budget.charge(cfg.backoff_base);
+                cfg.backoff_base
+            }
+        };
+        if !was_exhausted && budget.exhausted() {
+            was_exhausted = true;
+            emit_budget_exhausted(tel, sid, budget);
         }
+        tel.event(
+            Level::Debug,
+            "warmup",
+            sid,
+            &[("seconds", charged.into()), ("attempt", attempts.into())],
+        );
     }
 
     // Timed samples with bounded retry: a failed or non-finite sample
@@ -522,16 +638,41 @@ pub fn run_trial(
         match backend.run_sample(params) {
             Ok(s) if s.is_finite() && s > 0.0 => {
                 budget.charge(s);
+                if !was_exhausted && budget.exhausted() {
+                    was_exhausted = true;
+                    emit_budget_exhausted(tel, sid, budget);
+                }
+                tel.observe("trial.sample_seconds", s);
+                tel.event(
+                    Level::Debug,
+                    "sample",
+                    sid,
+                    &[("seconds", s.into()), ("attempt", attempts.into())],
+                );
                 collected.push(s);
             }
             _ => {
                 let backoff = cfg.backoff_base * f64::from(1u32 << retries.min(20));
                 budget.charge(backoff);
+                if !was_exhausted && budget.exhausted() {
+                    was_exhausted = true;
+                    emit_budget_exhausted(tel, sid, budget);
+                }
                 if retries >= cfg.max_retries {
                     // Out of retries: keep whatever was collected.
                     break;
                 }
                 retries += 1;
+                tel.inc("trial.retries");
+                tel.event(
+                    Level::Debug,
+                    "retry",
+                    sid,
+                    &[
+                        ("retry", retries.into()),
+                        ("backoff_seconds", backoff.into()),
+                    ],
+                );
             }
         }
     }
@@ -545,6 +686,24 @@ pub fn run_trial(
         return fallback(reason, retries, attempts, collected);
     }
 
+    // Fewer samples than requested: the estimate is still measured, but
+    // callers deserve to know it rests on a truncated collection (this
+    // used to pass silently).
+    let truncated = collected.len() < cfg.samples;
+    if truncated {
+        tel.inc("trial.truncated");
+        tel.event(
+            Level::Info,
+            "trial_truncated",
+            sid,
+            &[
+                ("collected", collected.len().into()),
+                ("requested", cfg.samples.into()),
+                ("budget_hit", budget_hit.into()),
+            ],
+        );
+    }
+
     let (kept, rejected) = mad_filter(&collected, cfg.mad_k);
     let mut kept_sorted = kept.clone();
     kept_sorted.sort_by(f64::total_cmp);
@@ -554,6 +713,17 @@ pub fn run_trial(
     } else {
         Provenance::Retried { retries }
     };
+    tel.event(
+        Level::Debug,
+        "trial_result",
+        sid,
+        &[
+            ("provenance", provenance.label().into()),
+            ("seconds", estimate.into()),
+            ("kept", kept.len().into()),
+            ("rejected", rejected.into()),
+        ],
+    );
     TrialResult {
         seconds_per_sweep: estimate,
         provenance,
@@ -562,6 +732,7 @@ pub fn run_trial(
         retries,
         attempts,
         samples: collected,
+        truncated,
     }
 }
 
@@ -762,6 +933,124 @@ mod tests {
         );
         assert!(r.provenance.is_fallback());
         assert_eq!(r.seconds_per_sweep, 0.77);
+    }
+
+    #[test]
+    fn mid_collection_budget_exhaustion_is_flagged_as_truncation() {
+        // Budget allows two runs, the protocol wants five samples: the
+        // estimate is measured from the two collected samples, and the
+        // truncation — previously silent — is now reported.
+        let mut b = Script::new(vec![Ok(1.0), Ok(2.0), Ok(3.0), Ok(4.0), Ok(5.0)]);
+        let cfg = TrialConfig {
+            warmup: 0,
+            samples: 5,
+            ..TrialConfig::default()
+        };
+        let mut budget = TrialBudget::runs(2);
+        let r = run_trial(&mut b, &params(), 9.9, &cfg, &mut budget);
+        assert_eq!(r.provenance, Provenance::Measured);
+        assert_eq!(r.samples.len(), 2);
+        assert!(r.truncated, "short collection must be flagged");
+        let mut s = TrialSummary::default();
+        s.absorb(&r);
+        assert_eq!(s.truncated, 1);
+        assert!(s.to_string().contains("1 truncated"));
+    }
+
+    #[test]
+    fn full_collection_is_not_truncated() {
+        let mut b = Script::new(vec![Ok(1.0), Ok(1.0), Ok(1.0)]);
+        let cfg = TrialConfig {
+            warmup: 0,
+            samples: 3,
+            ..TrialConfig::default()
+        };
+        let r = run_trial(&mut b, &params(), 9.9, &cfg, &mut TrialBudget::unlimited());
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn budget_exhausted_event_fires_once_at_the_flip() {
+        use yasksite_telemetry::{Level, Telemetry};
+        let (tel, sink) = Telemetry::recording(Level::Debug);
+        let mut b = Script::new(vec![Ok(1.0), Ok(1.0), Ok(1.0), Ok(1.0)]);
+        let cfg = TrialConfig {
+            warmup: 0,
+            samples: 5,
+            ..TrialConfig::default()
+        };
+        let mut budget = TrialBudget::runs(3);
+        let r = run_trial_observed(&mut b, &params(), 9.9, &cfg, &mut budget, &tel, None);
+        assert!(r.truncated);
+        let lines = sink.lines();
+        let exhausted: Vec<_> = lines
+            .iter()
+            .filter(|l| l.contains("\"budget_exhausted\""))
+            .collect();
+        assert_eq!(exhausted.len(), 1, "exactly one flip event: {lines:?}");
+        assert!(exhausted[0].contains("\"runs_used\":3"), "{}", exhausted[0]);
+        assert!(
+            exhausted[0].contains("\"runs_remaining\":0"),
+            "{}",
+            exhausted[0]
+        );
+        assert_eq!(tel.counter("budget.exhausted"), 1);
+        // Truncation is reported alongside.
+        assert!(lines.iter().any(|l| l.contains("\"trial_truncated\"")));
+        assert_eq!(tel.counter("trial.truncated"), 1);
+    }
+
+    #[test]
+    fn observed_trial_emits_sample_retry_and_fallback_events() {
+        use yasksite_telemetry::{Level, Telemetry};
+        let (tel, sink) = Telemetry::recording(Level::Debug);
+        let mut b = Script::new(vec![
+            Err(ToolError::Measurement("boom".into())),
+            Ok(1.0),
+            Ok(1.0),
+        ]);
+        let cfg = TrialConfig {
+            warmup: 0,
+            samples: 2,
+            max_retries: 2,
+            ..TrialConfig::default()
+        };
+        let r = run_trial_observed(
+            &mut b,
+            &params(),
+            9.9,
+            &cfg,
+            &mut TrialBudget::unlimited(),
+            &tel,
+            None,
+        );
+        assert_eq!(r.provenance, Provenance::Retried { retries: 1 });
+        let lines = sink.lines().join("\n");
+        assert!(lines.contains("\"sample\""));
+        assert!(lines.contains("\"retry\""));
+        assert!(lines.contains("\"trial_result\""));
+        assert_eq!(tel.counter("trial.retries"), 1);
+
+        // A total failure emits a fallback event with its reason.
+        let (tel2, sink2) = Telemetry::recording(Level::Debug);
+        let mut dead = Script::new(vec![]);
+        let r2 = run_trial_observed(
+            &mut dead,
+            &params(),
+            0.5,
+            &cfg,
+            &mut TrialBudget::unlimited(),
+            &tel2,
+            None,
+        );
+        assert!(r2.provenance.is_fallback());
+        let lines2 = sink2.lines().join("\n");
+        assert!(lines2.contains("\"fallback\""));
+        assert!(lines2.contains("all_samples_failed"));
+        assert_eq!(tel2.counter("trial.fallbacks"), 1);
+        // Spans balanced in both sessions.
+        assert_eq!(tel.open_spans(), 0);
+        assert_eq!(tel2.open_spans(), 0);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use std::time::Instant;
 
 use yasksite_engine::TuningParams;
+use yasksite_telemetry::{Level, SpanGuard, Telemetry};
 
 use crate::cache::PredictionCache;
 use crate::cost::TuneCost;
@@ -34,7 +35,7 @@ use crate::request::TuneRequest;
 use crate::solution::{Solution, ToolError};
 use crate::space::SearchSpace;
 use crate::trial::{
-    run_trial, FaultyBackend, MeasureBackend, Provenance, SolutionBackend, TrialBudget,
+    run_trial_observed, FaultyBackend, MeasureBackend, Provenance, SolutionBackend, TrialBudget,
     TrialConfig, TrialSummary,
 };
 
@@ -54,6 +55,18 @@ pub enum TuneStrategy {
         /// Number of model-ranked candidates to verify empirically.
         shortlist: usize,
     },
+}
+
+impl TuneStrategy {
+    /// Short machine-readable tag used in telemetry events.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TuneStrategy::Analytic => "analytic",
+            TuneStrategy::Empirical => "empirical",
+            TuneStrategy::Hybrid { .. } => "hybrid",
+        }
+    }
 }
 
 /// Outcome of a tuning session.
@@ -98,25 +111,41 @@ impl TuneResult {
 /// scores chunk `i` and chunks are re-concatenated in index order, so the
 /// output is independent of `jobs` and of thread scheduling (predictions
 /// are pure, and cache hits return bit-identical values by construction).
+/// One ranking chunk's output: `(params, predicted MLUP/s, cache hit)`
+/// per candidate, plus the chunk's wall time for the imbalance gauge.
+type RankChunk = (Vec<(TuningParams, f64, bool)>, f64);
+
 fn rank_analytic(
     sol: &Solution,
     candidates: &[TuningParams],
     cores: usize,
     jobs: usize,
     cache: &PredictionCache,
+    tel: &Telemetry,
+    session: &SpanGuard,
 ) -> (Vec<(TuningParams, f64)>, usize, usize) {
     let jobs = jobs.max(1).min(candidates.len().max(1));
-    let score_chunk = |chunk: &[TuningParams]| -> Vec<(TuningParams, f64, bool)> {
-        chunk
+    // Each chunk runs under its own `rank` span (a child of the session
+    // span, so worker-thread spans still hang off the right parent) and
+    // reports its wall time for the imbalance metric.
+    let score_chunk = |chunk: &[TuningParams]| -> RankChunk {
+        let _span = session.child("rank");
+        let start = Instant::now();
+        let scored = chunk
             .iter()
             .map(|p| {
                 let (pred, hit) = cache.predict(sol, p, cores);
                 (p.clone(), pred.mlups, hit)
             })
-            .collect()
+            .collect();
+        let chunk_seconds = start.elapsed().as_secs_f64();
+        tel.inc("rank.chunks");
+        tel.add("rank.candidates", chunk.len() as u64);
+        tel.observe("rank.chunk_seconds", chunk_seconds);
+        (scored, chunk_seconds)
     };
-    let scored: Vec<(TuningParams, f64, bool)> = if jobs <= 1 {
-        score_chunk(candidates)
+    let chunks: Vec<RankChunk> = if jobs <= 1 {
+        vec![score_chunk(candidates)]
     } else {
         let chunk_len = candidates.len().div_ceil(jobs);
         std::thread::scope(|s| {
@@ -126,17 +155,25 @@ fn rank_analytic(
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| {
+                .map(|h| {
                     h.join()
                         .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
                 })
                 .collect()
         })
     };
+    if chunks.len() > 1 {
+        let max = chunks.iter().map(|(_, d)| *d).fold(0.0f64, f64::max);
+        let min = chunks.iter().map(|(_, d)| *d).fold(f64::INFINITY, f64::min);
+        if max > 0.0 {
+            tel.gauge("rank.chunk_imbalance", (max - min) / max);
+        }
+    }
     let mut hits = 0usize;
     let mut misses = 0usize;
-    let scored = scored
+    let scored = chunks
         .into_iter()
+        .flat_map(|(chunk, _)| chunk)
         .map(|(p, mlups, hit)| {
             if hit {
                 hits += 1;
@@ -298,10 +335,24 @@ impl Solution {
         let cfg = &req.trial;
         let cache = req.cache_ref();
         let jobs = req.effective_jobs();
+        let tel = &req.telemetry;
+        let session = tel.span("tune_session");
         let candidates = space.candidates(cores);
         if candidates.is_empty() {
+            tel.error("empty search space");
             return Err(ToolError::InvalidInput("empty search space".into()));
         }
+        tel.event(
+            Level::Info,
+            "session_start",
+            session.id(),
+            &[
+                ("strategy", req.strategy.label().into()),
+                ("cores", cores.into()),
+                ("jobs", jobs.into()),
+                ("candidates", candidates.len().into()),
+            ],
+        );
         let mut cost = TuneCost::default();
         let mut trials = TrialSummary::default();
         // (params, score MLUP/s, provenance): provenance is None for
@@ -310,31 +361,53 @@ impl Solution {
             Vec::with_capacity(candidates.len());
         // Measurements stay serial on the one backend: fault streams and
         // budget draws happen in enumeration order for every job count.
+        // The registry counters below are bumped at the exact same sites
+        // as their TuneCost twins, so a fresh telemetry session always
+        // reconciles with the returned cost, field for field.
         let mut measure = |p: TuningParams,
                            cost: &mut TuneCost,
                            trials: &mut TrialSummary,
                            budget: &mut TrialBudget|
          -> (TuningParams, f64, Option<Provenance>) {
-            let (pred, hit) = cache.predict(self, &p, cores);
+            let trial_span = session.child("trial");
+            let (pred, hit) = {
+                let _predict_span = trial_span.child("predict");
+                cache.predict(self, &p, cores)
+            };
             if hit {
                 cost.cache_hits += 1;
+                tel.inc("tune.cache_hits");
             } else {
                 cost.cache_misses += 1;
+                tel.inc("tune.cache_misses");
             }
             let fallback = pred.seconds_per_sweep;
-            let r = run_trial(backend, &p, fallback, cfg, budget);
+            let r = run_trial_observed(backend, &p, fallback, cfg, budget, tel, Some(&trial_span));
             cost.engine_runs += r.attempts;
-            cost.target_seconds += 2.0 * r.seconds_per_sweep * p.wavefront as f64;
+            tel.add("tune.engine_runs", r.attempts as u64);
+            if r.provenance.is_fallback() {
+                // A fallback executed nothing on the target machine, so
+                // it must not charge estimated target time (it used to,
+                // silently inflating the empirical-cost ledger).
+                cost.fallbacks += 1;
+                tel.inc("tune.fallbacks");
+            } else {
+                cost.target_seconds += 2.0 * r.seconds_per_sweep * p.wavefront as f64;
+            }
             trials.absorb(&r);
             let mlups = self.updates_per_sweep() as f64 / r.seconds_per_sweep.max(1e-12) / 1e6;
             (p, mlups, Some(r.provenance))
         };
         match req.strategy {
             TuneStrategy::Analytic => {
-                let (scored, hits, misses) = rank_analytic(self, &candidates, cores, jobs, cache);
+                let (scored, hits, misses) =
+                    rank_analytic(self, &candidates, cores, jobs, cache, tel, &session);
                 cost.model_evals += scored.len();
                 cost.cache_hits += hits;
                 cost.cache_misses += misses;
+                tel.add("tune.model_evals", scored.len() as u64);
+                tel.add("tune.cache_hits", hits as u64);
+                tel.add("tune.cache_misses", misses as u64);
                 entries.extend(scored.into_iter().map(|(p, mlups)| (p, mlups, None)));
             }
             TuneStrategy::Empirical => {
@@ -343,10 +416,14 @@ impl Solution {
                 }
             }
             TuneStrategy::Hybrid { shortlist } => {
-                let (mut pre, hits, misses) = rank_analytic(self, &candidates, cores, jobs, cache);
+                let (mut pre, hits, misses) =
+                    rank_analytic(self, &candidates, cores, jobs, cache, tel, &session);
                 cost.model_evals += pre.len();
                 cost.cache_hits += hits;
                 cost.cache_misses += misses;
+                tel.add("tune.model_evals", pre.len() as u64);
+                tel.add("tune.cache_hits", hits as u64);
+                tel.add("tune.cache_misses", misses as u64);
                 pre.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let k = shortlist.max(1).min(pre.len());
                 for (p, _) in pre.drain(..k) {
@@ -355,8 +432,39 @@ impl Solution {
             }
         }
         entries.sort_by(|a, b| b.1.total_cmp(&a.1));
-        cost.wall_seconds = start.elapsed().as_secs_f64();
         let (best, best_score, best_provenance) = entries[0].clone();
+        // Generate the winner's kernel source once, under its own span,
+        // so the cost ledger's codegen_seconds reflects reality instead
+        // of staying at zero.
+        {
+            let codegen_span = session.child("codegen");
+            let generated = self.codegen(&best);
+            cost.codegen_seconds = generated.gen_seconds;
+            tel.event(
+                Level::Info,
+                "codegen",
+                codegen_span.id(),
+                &[
+                    ("lines", generated.lines.into()),
+                    ("gen_seconds", generated.gen_seconds.into()),
+                ],
+            );
+        }
+        cost.wall_seconds = start.elapsed().as_secs_f64();
+        tel.event(
+            Level::Info,
+            "session_end",
+            session.id(),
+            &[
+                ("best_score_mlups", best_score.into()),
+                ("ranked", entries.len().into()),
+                ("model_evals", cost.model_evals.into()),
+                ("engine_runs", cost.engine_runs.into()),
+                ("cache_hits", cost.cache_hits.into()),
+                ("cache_misses", cost.cache_misses.into()),
+                ("fallbacks", cost.fallbacks.into()),
+            ],
+        );
         let provenances: Vec<Provenance> = entries.iter().filter_map(|e| e.2).collect();
         let ranked: Vec<(TuningParams, f64)> =
             entries.into_iter().map(|(p, s, _)| (p, s)).collect();
@@ -541,11 +649,8 @@ mod tests {
                 assert_eq!(a.1.to_bits(), b.1.to_bits());
             }
             assert_eq!(
-                par.cost.without_cache_counters(),
-                TuneCost {
-                    wall_seconds: par.cost.wall_seconds,
-                    ..serial.cost.without_cache_counters()
-                }
+                par.cost.without_cache_counters().without_wall_clock(),
+                serial.cost.without_cache_counters().without_wall_clock()
             );
         }
     }

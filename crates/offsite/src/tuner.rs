@@ -2,10 +2,11 @@
 
 use std::sync::Arc;
 
+use yasksite::telemetry::{Level, SpanGuard, Telemetry};
 use yasksite::{
-    run_trial, FaultPlan, FaultyBackend, PredictionCache, Provenance, SearchSpace, Solution,
-    ToolError, TrialBudget, TrialConfig, TrialResult, TrialSummary, TuneCost, TuneRequest,
-    TuneStrategy,
+    run_trial_observed, FaultPlan, FaultyBackend, PredictionCache, Provenance, SearchSpace,
+    Solution, ToolError, TrialBudget, TrialConfig, TrialResult, TrialSummary, TuneCost,
+    TuneRequest, TuneStrategy,
 };
 use yasksite_arch::Machine;
 use yasksite_engine::TuningParams;
@@ -34,6 +35,9 @@ pub struct EvalOptions {
     pub faults: Option<FaultPlan>,
     /// Prediction cache; `None` uses [`PredictionCache::global`].
     pub cache: Option<Arc<PredictionCache>>,
+    /// Telemetry handle the evaluation records into; disabled by default
+    /// and purely observational (the report is identical either way).
+    pub telemetry: Telemetry,
 }
 
 impl Default for EvalOptions {
@@ -44,6 +48,7 @@ impl Default for EvalOptions {
             jobs: None,
             faults: None,
             cache: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -89,6 +94,13 @@ impl EvalOptions {
     #[must_use]
     pub fn cache(mut self, cache: Arc<PredictionCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Records the evaluation into `telemetry` (spans, events, metrics).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -214,7 +226,8 @@ impl Offsite {
         let space = SearchSpace::spatial_only(sol.stencil(), ivp.domain(), &self.machine);
         let mut req = TuneRequest::new(TuneStrategy::Analytic)
             .cores(self.cores)
-            .trial(TrialConfig::single_shot());
+            .trial(TrialConfig::single_shot())
+            .telemetry(opts.telemetry.clone());
         if let Some(jobs) = opts.jobs {
             req = req.jobs(jobs);
         }
@@ -251,19 +264,31 @@ impl Offsite {
         faults: Option<FaultPlan>,
         cfg: &TrialConfig,
         budget: &mut TrialBudget,
+        telemetry: &Telemetry,
+        parent: Option<&SpanGuard>,
     ) -> TrialResult {
         let backend = PlanBackend::new(plan, &self.machine);
         match faults {
-            Some(f) => run_trial(
+            Some(f) => run_trial_observed(
                 &mut FaultyBackend::new(backend, f.stream(stream)),
                 params,
                 fallback_seconds,
                 cfg,
                 budget,
+                telemetry,
+                parent,
             ),
             None => {
                 let mut backend = backend;
-                run_trial(&mut backend, params, fallback_seconds, cfg, budget)
+                run_trial_observed(
+                    &mut backend,
+                    params,
+                    fallback_seconds,
+                    cfg,
+                    budget,
+                    telemetry,
+                    parent,
+                )
             }
         }
     }
@@ -338,6 +363,18 @@ impl Offsite {
         let budget = &mut budget;
         let faults = opts.faults.or(self.faults);
         let cache = opts.cache_ref();
+        let tel = &opts.telemetry;
+        let session = tel.span("eval_session");
+        tel.event(
+            Level::Info,
+            "session_start",
+            session.id(),
+            &[
+                ("strategy", "offsite".into()),
+                ("cores", self.cores.into()),
+                ("methods", methods.len().into()),
+            ],
+        );
         let mut select_cost = TuneCost::default();
         let mut validate_cost = TuneCost::default();
         let mut trials = TrialSummary::default();
@@ -367,6 +404,8 @@ impl Offsite {
                     faults,
                     cfg,
                     budget,
+                    tel,
+                    Some(&session),
                 );
                 stream += 1;
                 validate_cost.engine_runs += r.attempts;
@@ -411,6 +450,8 @@ impl Offsite {
                 faults,
                 cfg,
                 budget,
+                tel,
+                Some(&session),
             );
             stream += 1;
             validate_cost.engine_runs += base.attempts;
@@ -460,6 +501,16 @@ impl Offsite {
             .count();
         let mut sorted = candidates.clone();
         sorted.sort_by(|a, b| a.measured_s.total_cmp(&b.measured_s));
+        tel.event(
+            Level::Info,
+            "session_end",
+            session.id(),
+            &[
+                ("candidates", sorted.len().into()),
+                ("rank_of_pick", rank_of_pick.into()),
+                ("fallback_candidates", fallback_candidates.into()),
+            ],
+        );
         Ok(EvalReport {
             candidates: sorted,
             picked_best: rank_of_pick == 0,
@@ -718,6 +769,43 @@ mod tests {
         for (x, y) in cold.candidates.iter().zip(&warm.candidates) {
             assert_eq!(x.predicted_s.to_bits(), y.predicted_s.to_bits());
         }
+    }
+
+    #[test]
+    fn observed_evaluation_matches_unobserved_and_balances_spans() {
+        let ivp = Heat2d::new(32);
+        let methods = [MethodSpec::erk(Tableau::heun2())];
+        let offsite = Offsite::new(Machine::cascade_lake(), 1);
+        let plain = offsite
+            .evaluate_with(
+                &ivp,
+                &methods,
+                1e-5,
+                &EvalOptions::new().cache(Arc::new(PredictionCache::new())),
+            )
+            .unwrap();
+        let (tel, sink) = Telemetry::recording(Level::Debug);
+        let observed = offsite
+            .evaluate_with(
+                &ivp,
+                &methods,
+                1e-5,
+                &EvalOptions::new()
+                    .cache(Arc::new(PredictionCache::new()))
+                    .telemetry(tel.clone()),
+            )
+            .unwrap();
+        for (x, y) in plain.candidates.iter().zip(&observed.candidates) {
+            assert_eq!(x.method, y.method);
+            assert_eq!(x.variant, y.variant);
+            assert_eq!(x.predicted_s.to_bits(), y.predicted_s.to_bits());
+            assert_eq!(x.measured_s.to_bits(), y.measured_s.to_bits());
+        }
+        assert_eq!(plain.rank_of_pick, observed.rank_of_pick);
+        let joined = sink.lines().join("\n");
+        let stats = yasksite::telemetry::check_trace(&joined).expect("balanced trace");
+        assert_eq!(stats.spans_opened, stats.spans_closed);
+        assert!(stats.spans_opened > 0, "eval session must open spans");
     }
 
     #[test]

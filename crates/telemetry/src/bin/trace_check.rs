@@ -1,0 +1,38 @@
+//! `trace_check FILE.jsonl [FILE2.jsonl ...]` — validates JSONL traces
+//! emitted by the telemetry layer: every line must parse as a JSON
+//! object with the required envelope keys (`v`, `ev`, `t_us`) at the
+//! supported schema version, and span open/close events must balance.
+//! Exits nonzero on the first invalid file; CI runs this against the
+//! `--trace-out` output of a real tuning session.
+
+use std::process::ExitCode;
+
+use yasksite_telemetry::check_trace;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: trace_check FILE.jsonl [FILE2.jsonl ...]");
+        return ExitCode::FAILURE;
+    }
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("trace_check: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_trace(&text) {
+            Ok(stats) => println!(
+                "{file}: OK — {} events, {} spans opened, {} closed",
+                stats.events, stats.spans_opened, stats.spans_closed
+            ),
+            Err(e) => {
+                eprintln!("trace_check: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,159 @@
+//! Trace stream validation: the contract CI enforces on every JSONL
+//! trace the pipeline emits.
+//!
+//! A valid trace has, on every non-empty line, a JSON object carrying the
+//! schema version `"v"` (equal to [`crate::SCHEMA_VERSION`]), an event
+//! kind `"ev"` (string) and a timestamp `"t_us"` (non-negative integer);
+//! and its `span_open`/`span_close` events pair up exactly (every close
+//! names a currently open id, every open is eventually closed). The
+//! `trace_check` binary wraps [`check_trace`] for shell use.
+
+use std::collections::HashSet;
+
+use crate::json::{self, Json};
+use crate::SCHEMA_VERSION;
+
+/// What a validated trace contained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total event lines (including span events).
+    pub events: usize,
+    /// `span_open` events seen.
+    pub spans_opened: usize,
+    /// `span_close` events seen.
+    pub spans_closed: usize,
+}
+
+/// Validates a JSONL trace stream (see the module docs for the
+/// contract). Empty lines are ignored.
+///
+/// # Errors
+/// Returns a message naming the first offending line (1-based) and what
+/// was wrong with it.
+pub fn check_trace(text: &str) -> Result<TraceStats, String> {
+    let mut stats = TraceStats::default();
+    let mut open: HashSet<u64> = HashSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if !matches!(j, Json::Obj(_)) {
+            return Err(format!("line {lineno}: not a JSON object"));
+        }
+        match j.get("v").and_then(Json::as_u64) {
+            Some(v) if v == SCHEMA_VERSION => {}
+            Some(v) => {
+                return Err(format!(
+                    "line {lineno}: schema version {v}, expected {SCHEMA_VERSION}"
+                ))
+            }
+            None => return Err(format!("line {lineno}: missing \"v\"")),
+        }
+        let ev = j
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing \"ev\""))?;
+        if j.get("t_us").and_then(Json::as_u64).is_none() {
+            return Err(format!("line {lineno}: missing \"t_us\""));
+        }
+        stats.events += 1;
+        match ev {
+            "span_open" => {
+                let id = j
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: span_open without \"id\""))?;
+                if !open.insert(id) {
+                    return Err(format!("line {lineno}: span {id} opened twice"));
+                }
+                stats.spans_opened += 1;
+            }
+            "span_close" => {
+                let id = j
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: span_close without \"id\""))?;
+                if !open.remove(&id) {
+                    return Err(format!(
+                        "line {lineno}: span {id} closed without being open"
+                    ));
+                }
+                stats.spans_closed += 1;
+            }
+            _ => {}
+        }
+    }
+    if !open.is_empty() {
+        let mut ids: Vec<u64> = open.into_iter().collect();
+        ids.sort_unstable();
+        return Err(format!("unbalanced trace: spans {ids:?} never closed"));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_balanced_stream() {
+        let trace = concat!(
+            "{\"v\":1,\"ev\":\"span_open\",\"t_us\":0,\"id\":1,\"parent\":0,\"name\":\"s\"}\n",
+            "{\"v\":1,\"ev\":\"sample\",\"t_us\":5,\"span\":1,\"level\":\"debug\",\"seconds\":0.001}\n",
+            "\n",
+            "{\"v\":1,\"ev\":\"span_close\",\"t_us\":9,\"id\":1,\"dur_us\":9,\"name\":\"s\"}\n",
+        );
+        let stats = check_trace(trace).unwrap();
+        assert_eq!(
+            stats,
+            TraceStats {
+                events: 3,
+                spans_opened: 1,
+                spans_closed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_malformed_streams() {
+        let unclosed =
+            "{\"v\":1,\"ev\":\"span_open\",\"t_us\":0,\"id\":7,\"parent\":0,\"name\":\"s\"}";
+        assert!(check_trace(unclosed).unwrap_err().contains("never closed"));
+
+        let unopened =
+            "{\"v\":1,\"ev\":\"span_close\",\"t_us\":0,\"id\":7,\"dur_us\":0,\"name\":\"s\"}";
+        assert!(check_trace(unopened)
+            .unwrap_err()
+            .contains("without being open"));
+
+        assert!(check_trace("not json").unwrap_err().contains("line 1"));
+        assert!(check_trace("{\"ev\":\"x\",\"t_us\":0}")
+            .unwrap_err()
+            .contains("missing \"v\""));
+        assert!(check_trace("{\"v\":1,\"t_us\":0}")
+            .unwrap_err()
+            .contains("missing \"ev\""));
+        assert!(check_trace("{\"v\":1,\"ev\":\"x\"}")
+            .unwrap_err()
+            .contains("missing \"t_us\""));
+        assert!(check_trace("{\"v\":99,\"ev\":\"x\",\"t_us\":0}")
+            .unwrap_err()
+            .contains("schema version 99"));
+    }
+
+    #[test]
+    fn rejects_double_open() {
+        let trace = concat!(
+            "{\"v\":1,\"ev\":\"span_open\",\"t_us\":0,\"id\":1,\"parent\":0,\"name\":\"a\"}\n",
+            "{\"v\":1,\"ev\":\"span_open\",\"t_us\":1,\"id\":1,\"parent\":0,\"name\":\"b\"}\n",
+        );
+        assert!(check_trace(trace).unwrap_err().contains("opened twice"));
+    }
+
+    #[test]
+    fn empty_stream_is_valid() {
+        assert_eq!(check_trace("").unwrap(), TraceStats::default());
+    }
+}

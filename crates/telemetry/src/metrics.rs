@@ -1,0 +1,344 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms behind interior mutability, so any thread holding a
+//! [`crate::Telemetry`] clone can record without coordination.
+//!
+//! Names are free-form dotted strings (`"tune.cache_hits"`,
+//! `"trial.sample_seconds"`). Storage is `BTreeMap`-backed so snapshots
+//! and rendered reports list metrics in a deterministic order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Default histogram bucket upper bounds for durations in seconds: one
+/// decade per bucket from 1 µs to 100 s, plus an implicit overflow
+/// bucket.
+pub const DEFAULT_SECONDS_BOUNDS: [f64; 9] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0];
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket `i`, and one extra overflow bucket catches everything above the
+/// last bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (must be sorted ascending; callers
+    /// pass literals, so this is asserted in debug builds only).
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation. Non-finite values are counted in the
+    /// overflow bucket but excluded from `sum`/`min`/`max`.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all finite observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest finite observation, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.min.is_finite()).then_some(self.min)
+    }
+
+    /// Largest finite observation, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.max.is_finite()).then_some(self.max)
+    }
+
+    /// The bucket upper bounds this histogram was built with.
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Compact one-line rendering of the non-empty buckets, e.g.
+    /// `le=0.001:4 le=0.01:1 inf:0`.
+    #[must_use]
+    pub fn render_buckets(&self) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if i < self.bounds.len() {
+                let _ = write!(out, "le={}:{c}", self.bounds[i]);
+            } else {
+                let _ = write!(out, "inf:{c}");
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty)");
+        }
+        out
+    }
+}
+
+/// Thread-safe registry of named counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero first if needed.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut c = self.counters.lock().expect("metrics poisoned");
+        *c.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("metrics poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        let mut g = self.gauges.lock().expect("metrics poisoned");
+        g.insert(name.to_string(), v);
+    }
+
+    /// Current value of gauge `name`, if ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .expect("metrics poisoned")
+            .get(name)
+            .copied()
+    }
+
+    /// Records `v` into histogram `name`, creating it with the default
+    /// seconds buckets ([`DEFAULT_SECONDS_BOUNDS`]) if needed.
+    pub fn observe(&self, name: &str, v: f64) {
+        self.observe_with(name, &DEFAULT_SECONDS_BOUNDS, v);
+    }
+
+    /// Records `v` into histogram `name`, creating it over `bounds` if
+    /// needed (an existing histogram keeps its original bounds).
+    pub fn observe_with(&self, name: &str, bounds: &[f64], v: f64) {
+        let mut h = self.histograms.lock().expect("metrics poisoned");
+        h.entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// A point-in-time copy of every metric, in name order.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metrics poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen, name-ordered copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values, in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, in name order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, in name order.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Whether no metric was ever recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Human-readable multi-line report (deterministic order).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("metrics:\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "  counter   {name:<32} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "  gauge     {name:<32} {v:.6}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  histogram {name:<32} count={} sum={:.6} min={:.6} max={:.6} [{}]",
+                h.count(),
+                h.sum(),
+                h.min().unwrap_or(0.0),
+                h.max().unwrap_or(0.0),
+                h.render_buckets()
+            );
+        }
+        if self.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_values_on_inclusive_upper_edges() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 1.5, 10.0, 99.0, 100.5, 1e9] {
+            h.observe(v);
+        }
+        // <=1: {0.5, 1.0}; <=10: {1.5, 10.0}; <=100: {99.0}; overflow: 2.
+        assert_eq!(h.bucket_counts(), &[2, 2, 1, 2]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(1e9));
+    }
+
+    #[test]
+    fn histogram_handles_non_finite_and_empty() {
+        let mut h = Histogram::new(&[1.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.render_buckets(), "(empty)");
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.bucket_counts(), &[0, 2], "non-finite lands in overflow");
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let m = MetricsRegistry::new();
+        m.add("a.hits", 2);
+        m.add("a.hits", 3);
+        m.set_gauge("imbalance", 0.25);
+        m.set_gauge("imbalance", 0.5);
+        assert_eq!(m.counter("a.hits"), 5);
+        assert_eq!(m.counter("never"), 0);
+        assert_eq!(m.gauge("imbalance"), Some(0.5));
+        assert_eq!(m.gauge("never"), None);
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_renders() {
+        let m = MetricsRegistry::new();
+        m.add("z.last", 1);
+        m.add("a.first", 1);
+        m.observe("lat", 0.5e-3);
+        let s = m.snapshot();
+        assert_eq!(s.counters[0].0, "a.first");
+        assert_eq!(s.counters[1].0, "z.last");
+        let text = s.render();
+        assert!(text.contains("counter   a.first"));
+        assert!(text.contains("histogram lat"));
+        assert!(text.contains("le=0.001:1"));
+    }
+
+    #[test]
+    fn default_bounds_cover_microseconds_to_minutes() {
+        let m = MetricsRegistry::new();
+        m.observe("t", 3e-6);
+        m.observe("t", 0.02);
+        m.observe("t", 250.0);
+        let s = m.snapshot();
+        let (_, h) = &s.histograms[0];
+        assert_eq!(h.count(), 3);
+        assert_eq!(*h.bucket_counts().last().unwrap(), 1, "250s overflows");
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("n"), 4000);
+    }
+}

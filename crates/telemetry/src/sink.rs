@@ -1,0 +1,164 @@
+//! Event sinks: where encoded JSONL event lines go.
+//!
+//! The [`crate::Telemetry`] handle encodes each event to a single JSON
+//! line and hands it to its sink. Three implementations cover the
+//! pipeline's needs: [`NullSink`] (spans and metrics are still collected
+//! in memory, but no line is ever encoded or stored — the near-zero
+//! overhead mode), [`MemorySink`] (test harness), and [`WriterSink`]
+//! (streams to any `io::Write`, typically the `--trace-out` file).
+
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Destination for encoded JSONL event lines. Implementations must be
+/// callable from any thread.
+pub trait EventSink: Send + Sync {
+    /// Consumes one encoded event line (no trailing newline).
+    fn emit(&self, line: &str);
+
+    /// Flushes any buffered lines to their final destination.
+    fn flush(&self) {}
+
+    /// Whether this sink wants event lines at all. When `false`, the
+    /// telemetry layer skips JSON encoding entirely; spans and metrics
+    /// are still collected.
+    fn wants_events(&self) -> bool {
+        true
+    }
+}
+
+/// Discards every event without encoding it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _line: &str) {}
+
+    fn wants_events(&self) -> bool {
+        false
+    }
+}
+
+/// Collects event lines in memory; the test harness's sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of every line emitted so far, in order.
+    #[must_use]
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("sink poisoned").clone()
+    }
+
+    /// Number of lines emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("sink poisoned").len()
+    }
+
+    /// Whether nothing was emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, line: &str) {
+        self.lines
+            .lock()
+            .expect("sink poisoned")
+            .push(line.to_string());
+    }
+}
+
+/// Streams each event line (newline-terminated) to a wrapped writer —
+/// the JSONL file sink behind `--trace-out`.
+pub struct WriterSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl WriterSink {
+    /// Sink writing to `writer`. Callers wanting buffered file output
+    /// should pass a `BufWriter` (see [`crate::Telemetry::to_file`]).
+    #[must_use]
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        WriterSink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl std::fmt::Debug for WriterSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WriterSink")
+    }
+}
+
+impl EventSink for WriterSink {
+    fn emit(&self, line: &str) {
+        let mut w = self.writer.lock().expect("sink poisoned");
+        // Telemetry must never take the process down: I/O errors on the
+        // trace stream are swallowed (the tuning result is the product,
+        // the trace is a diagnostic).
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_declines_events() {
+        let s = NullSink;
+        assert!(!s.wants_events());
+        s.emit("ignored");
+        s.flush();
+    }
+
+    #[test]
+    fn memory_sink_keeps_order() {
+        let s = MemorySink::new();
+        assert!(s.is_empty());
+        s.emit("a");
+        s.emit("b");
+        assert_eq!(s.lines(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn writer_sink_terminates_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(Mutex::new(buf));
+        struct Probe(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Probe {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = WriterSink::new(Box::new(Probe(shared.clone())));
+        sink.emit("{\"v\":1}");
+        sink.flush();
+        assert_eq!(
+            String::from_utf8(shared.lock().unwrap().clone()).unwrap(),
+            "{\"v\":1}\n"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Span collection and the human-readable span-tree report.
+//!
+//! Spans themselves are opened and closed through
+//! [`crate::Telemetry::span`] / [`crate::SpanGuard`]; this module holds
+//! the thread-safe collector the guards record into and the aggregation
+//! that turns thousands of raw [`SpanRecord`]s into a compact tree
+//! (count and total duration per unique path), similar to a collapsed
+//! flame graph.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One closed span: identity, parentage and timing relative to the
+/// owning [`crate::Telemetry`] epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the telemetry session (ids start at 1).
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root span.
+    pub parent: u64,
+    /// Static span name (`"tune_session"`, `"rank"`, `"trial"`, ...).
+    pub name: &'static str,
+    /// Open time in microseconds since the telemetry epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Thread-safe store of closed spans plus open/close balance counters.
+#[derive(Debug, Default)]
+pub(crate) struct SpanCollector {
+    next_id: AtomicU64,
+    opened: AtomicU64,
+    closed: AtomicU64,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl SpanCollector {
+    /// Allocates the next span id (1-based) and counts the open.
+    pub(crate) fn open(&self) -> u64 {
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records a closed span.
+    pub(crate) fn close(&self, record: SpanRecord) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+        self.records.lock().expect("spans poisoned").push(record);
+    }
+
+    pub(crate) fn opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn closed(&self) -> u64 {
+        self.closed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().expect("spans poisoned").clone()
+    }
+}
+
+/// Aggregated statistics of one unique span path.
+struct PathStats {
+    depth: usize,
+    name: &'static str,
+    count: u64,
+    total_us: u64,
+    first_start: u64,
+}
+
+/// Renders closed spans as an aggregated tree: one line per unique
+/// ancestry path with call count and total duration, children indented
+/// under parents, siblings ordered by first occurrence.
+#[must_use]
+pub fn render_span_tree(records: &[SpanRecord]) -> String {
+    if records.is_empty() {
+        return "span tree: (no spans recorded)\n".to_string();
+    }
+    let by_id: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    // Path of a span = names of its ancestors plus its own, joined.
+    let path_of = |r: &SpanRecord| -> String {
+        let mut names = vec![r.name];
+        let mut cur = r.parent;
+        while cur != 0 {
+            match by_id.get(&cur) {
+                Some(p) => {
+                    names.push(p.name);
+                    cur = p.parent;
+                }
+                // Parent closed later than the snapshot (or never): treat
+                // this span as a root of its own path.
+                None => break,
+            }
+        }
+        names.reverse();
+        names.join("\u{1f}")
+    };
+    let mut stats: Vec<(String, PathStats)> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut sorted: Vec<&SpanRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| (r.start_us, r.id));
+    for r in sorted {
+        let path = path_of(r);
+        let depth = path.matches('\u{1f}').count();
+        match index.get(&path) {
+            Some(&i) => {
+                let s = &mut stats[i].1;
+                s.count += 1;
+                s.total_us += r.dur_us;
+            }
+            None => {
+                index.insert(path.clone(), stats.len());
+                stats.push((
+                    path,
+                    PathStats {
+                        depth,
+                        name: r.name,
+                        count: 1,
+                        total_us: r.dur_us,
+                        first_start: r.start_us,
+                    },
+                ));
+            }
+        }
+    }
+    // Depth-first order: sort by path string with parents prefixing
+    // children, tie-broken by first occurrence so sibling order is the
+    // order the program entered them.
+    stats.sort_by(|a, b| {
+        let (pa, pb) = (&a.0, &b.0);
+        if pb.starts_with(pa.as_str()) && pb.len() > pa.len() {
+            return std::cmp::Ordering::Less;
+        }
+        if pa.starts_with(pb.as_str()) && pa.len() > pb.len() {
+            return std::cmp::Ordering::Greater;
+        }
+        a.1.first_start
+            .cmp(&b.1.first_start)
+            .then_with(|| pa.cmp(pb))
+    });
+    let total_us: u64 = stats
+        .iter()
+        .filter(|(_, s)| s.depth == 0)
+        .map(|(_, s)| s.total_us)
+        .sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "span tree (root total {}):", fmt_us(total_us));
+    for (_, s) in &stats {
+        let _ = writeln!(
+            out,
+            "  {:indent$}{:<width$} {:>6}  {:>12}",
+            "",
+            s.name,
+            s.count,
+            fmt_us(s.total_us),
+            indent = s.depth * 2,
+            width = 24usize.saturating_sub(s.depth * 2).max(1),
+        );
+    }
+    out
+}
+
+/// Formats microseconds with a readable unit.
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.3}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64, name: &'static str, start_us: u64, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            start_us,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn collector_balances_ids_and_counts() {
+        let c = SpanCollector::default();
+        let a = c.open();
+        let b = c.open();
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(c.opened(), 2);
+        assert_eq!(c.closed(), 0);
+        c.close(rec(b, a, "inner", 5, 10));
+        c.close(rec(a, 0, "outer", 0, 20));
+        assert_eq!(c.closed(), 2);
+        assert_eq!(c.records().len(), 2);
+    }
+
+    #[test]
+    fn tree_aggregates_repeated_paths() {
+        let records = vec![
+            rec(1, 0, "tune_session", 0, 100),
+            rec(2, 1, "rank", 1, 30),
+            rec(3, 1, "trial", 40, 20),
+            rec(4, 3, "predict", 41, 2),
+            rec(5, 1, "trial", 65, 25),
+            rec(6, 5, "predict", 66, 3),
+        ];
+        let tree = render_span_tree(&records);
+        assert!(tree.contains("tune_session"), "{tree}");
+        // Two trials aggregate into one line with count 2, total 45us.
+        let trial_line = tree
+            .lines()
+            .find(|l| l.trim_start().starts_with("trial"))
+            .unwrap();
+        assert!(trial_line.contains('2'), "{trial_line}");
+        assert!(trial_line.contains("45us"), "{trial_line}");
+        let predict_line = tree
+            .lines()
+            .find(|l| l.trim_start().starts_with("predict"))
+            .unwrap();
+        assert!(predict_line.contains("5us"), "{predict_line}");
+        // predict is indented deeper than trial.
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(predict_line) > indent(trial_line));
+    }
+
+    #[test]
+    fn empty_and_orphan_records_render() {
+        assert!(render_span_tree(&[]).contains("no spans"));
+        // Orphan: parent id never closed — treated as a root.
+        let tree = render_span_tree(&[rec(7, 99, "lost", 0, 5)]);
+        assert!(tree.contains("lost"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Telemetry is purely observational: attaching a sink of any kind to a
+//! tuning session must never change its outcome. The properties here run
+//! the same request with telemetry disabled, with the null sink and with
+//! a recording JSONL sink — across strategies, job counts, fault plans
+//! and budgets — and require the winner, ranking, provenances and the
+//! deterministic [`yasksite::TuneCost`] fields to stay bitwise-identical.
+//! The recorded stream itself must be valid schema-v1 JSONL with
+//! balanced spans, and the metrics registry must reconcile exactly with
+//! the cost ledger the session returned.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use yasksite::telemetry::{check_trace, Level, Telemetry};
+use yasksite::{
+    FaultPlan, PredictionCache, SearchSpace, Solution, TrialBudget, TrialConfig, TuneRequest,
+    TuneResult, TuneStrategy,
+};
+use yasksite_arch::Machine;
+use yasksite_stencil::builders::heat2d;
+
+fn setup() -> (Solution, SearchSpace) {
+    let m = Machine::cascade_lake();
+    let sol = Solution::new(heat2d(1), [64, 64, 1], m.clone());
+    let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), &m);
+    (sol, space)
+}
+
+/// Runs `req` with a fresh private cache and the given telemetry handle.
+fn run_with(
+    sol: &Solution,
+    space: &SearchSpace,
+    req: &TuneRequest,
+    jobs: usize,
+    tel: Telemetry,
+) -> TuneResult {
+    let req = req
+        .clone()
+        .cache(Arc::new(PredictionCache::new()))
+        .jobs(jobs)
+        .telemetry(tel);
+    sol.tune_space_with(space, &req).expect("tuning succeeds")
+}
+
+/// The documented determinism guarantee: identical modulo wall time and
+/// cache-warmth counters.
+fn assert_identical(a: &TuneResult, b: &TuneResult) {
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
+    assert_eq!(a.ranked.len(), b.ranked.len());
+    for ((pa, sa), (pb, sb)) in a.ranked.iter().zip(b.ranked.iter()) {
+        assert_eq!(pa, pb);
+        assert_eq!(sa.to_bits(), sb.to_bits());
+    }
+    assert_eq!(a.provenances, b.provenances);
+    let (ca, cb) = (
+        a.cost.without_cache_counters().without_wall_clock(),
+        b.cost.without_cache_counters().without_wall_clock(),
+    );
+    assert_eq!(ca.model_evals, cb.model_evals);
+    assert_eq!(ca.engine_runs, cb.engine_runs);
+    assert_eq!(ca.fallbacks, cb.fallbacks);
+    assert_eq!(ca.target_seconds.to_bits(), cb.target_seconds.to_bits());
+    assert_eq!(a.budget.runs_used, b.budget.runs_used);
+}
+
+/// Counters in a *fresh* telemetry session must agree with the returned
+/// cost ledger, field for field.
+fn assert_reconciles(tel: &Telemetry, r: &TuneResult) {
+    assert_eq!(tel.counter("tune.model_evals"), r.cost.model_evals as u64);
+    assert_eq!(tel.counter("tune.engine_runs"), r.cost.engine_runs as u64);
+    assert_eq!(tel.counter("tune.cache_hits"), r.cost.cache_hits as u64);
+    assert_eq!(tel.counter("tune.cache_misses"), r.cost.cache_misses as u64);
+    assert_eq!(tel.counter("tune.fallbacks"), r.cost.fallbacks as u64);
+    assert_eq!(tel.counter("trial.fallbacks"), r.trials.fallbacks as u64);
+    assert_eq!(tel.counter("trial.retries"), r.trials.retries as u64);
+    assert_eq!(tel.spans_opened(), tel.spans_closed(), "balanced spans");
+}
+
+fn strategy_from(ix: usize) -> TuneStrategy {
+    match ix {
+        0 => TuneStrategy::Analytic,
+        1 => TuneStrategy::Empirical,
+        _ => TuneStrategy::Hybrid { shortlist: 3 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The core invariant of the observability layer, quantified over
+    /// strategy, worker count, fault injection and budget pressure.
+    #[test]
+    fn telemetry_never_changes_the_tuning_result(
+        strategy_ix in 0usize..3,
+        jobs in prop_oneof![Just(1usize), Just(2), Just(4)],
+        fault_seed in prop_oneof![Just(None), (0u64..1000).prop_map(Some)],
+        budget_runs in prop_oneof![Just(None), (1usize..20).prop_map(Some)],
+    ) {
+        let (sol, space) = setup();
+        let mut req = TuneRequest::new(strategy_from(strategy_ix))
+            .trial(TrialConfig::single_shot());
+        if let Some(seed) = fault_seed {
+            req = req.faults(FaultPlan::noisy(seed));
+        }
+        if let Some(runs) = budget_runs {
+            req = req.budget(TrialBudget::runs(runs));
+        }
+
+        let baseline = run_with(&sol, &space, &req, jobs, Telemetry::disabled());
+        let nulled = run_with(&sol, &space, &req, jobs, Telemetry::null(Level::Debug));
+        assert_identical(&baseline, &nulled);
+
+        let (tel, sink) = Telemetry::recording(Level::Debug);
+        let recorded = run_with(&sol, &space, &req, jobs, tel.clone());
+        assert_identical(&baseline, &recorded);
+        assert_reconciles(&tel, &recorded);
+
+        // The stream is valid schema-v1 JSONL with balanced spans.
+        let text = sink.lines().join("\n");
+        prop_assert!(!text.is_empty(), "recording run must emit events");
+        let stats = check_trace(&text).expect("valid balanced trace");
+        prop_assert_eq!(stats.spans_opened, stats.spans_closed);
+        prop_assert!(stats.spans_opened > 0);
+    }
+}
+
+#[test]
+fn registry_reconciles_with_cost_under_faults_and_budget() {
+    let (sol, space) = setup();
+    let req = TuneRequest::new(TuneStrategy::Empirical)
+        .trial(TrialConfig::default())
+        .faults(FaultPlan::noisy(41))
+        .budget(TrialBudget::runs(7));
+    let (tel, _sink) = Telemetry::recording(Level::Debug);
+    let r = run_with(&sol, &space, &req, 1, tel.clone());
+    assert_reconciles(&tel, &r);
+    assert!(r.budget.exhausted(), "a 7-run budget must run out here");
+    assert!(
+        tel.counter("budget.exhausted") == 1,
+        "exactly one exhaustion flip event"
+    );
+    assert!(r.cost.fallbacks > 0, "post-exhaustion trials fall back");
+}
+
+#[test]
+fn every_recorded_line_is_json_with_the_required_keys() {
+    let (sol, space) = setup();
+    let req =
+        TuneRequest::new(TuneStrategy::Hybrid { shortlist: 2 }).trial(TrialConfig::single_shot());
+    let (tel, sink) = Telemetry::recording(Level::Debug);
+    let _ = run_with(&sol, &space, &req, 2, tel.clone());
+    tel.finish();
+    let lines = sink.lines();
+    assert!(!lines.is_empty());
+    for line in &lines {
+        let v = yasksite::telemetry::json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable line {line:?}: {e}"));
+        assert_eq!(
+            v.get("v").and_then(|x| x.as_u64()),
+            Some(yasksite::telemetry::SCHEMA_VERSION),
+            "{line}"
+        );
+        assert!(v.get("ev").and_then(|x| x.as_str()).is_some(), "{line}");
+        assert!(v.get("t_us").and_then(|x| x.as_u64()).is_some(), "{line}");
+    }
+    // finish() appended the metric summary lines.
+    assert!(
+        lines.iter().any(|l| l.contains("\"ev\":\"metric\"")),
+        "metric summaries present after finish()"
+    );
+}
