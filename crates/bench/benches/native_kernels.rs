@@ -3,7 +3,7 @@
 //! blocking/folding ablations called out in DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use yasksite_engine::{apply_native, TuningParams};
+use yasksite_engine::{apply_native, run_wavefront_native, TuningParams};
 use yasksite_grid::{Fold, Grid3};
 use yasksite_stencil::builders::{box3d, heat3d, inverter_chain_rhs};
 
@@ -67,5 +67,49 @@ fn bench_tape(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_blocking, bench_fold_paths, bench_tape);
+/// Regression guard for the allocation-free fast path at a memory-bound
+/// size: grids far exceed LLC, so any per-row allocation or bounds-check
+/// regression shows up directly in the element throughput.
+fn bench_memory_bound_fastpath(c: &mut Criterion) {
+    let n = [256, 128, 128];
+    let fold = Fold::new(8, 1, 1);
+    let p = TuningParams::new([256, 16, 16], fold);
+    let mut g = c.benchmark_group("fastpath_memory_bound");
+    g.throughput(Throughput::Elements((n[0] * n[1] * n[2]) as u64));
+    for (name, s) in [("heat3d", heat3d(1)), ("box3d", box3d(1))] {
+        let (u, mut out) = grids(n, [1, 1, 1], fold);
+        g.bench_function(name, |b| {
+            b.iter(|| apply_native(&s, &[&u], &mut out, &p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Regression guard for the blocked wavefront at a memory-bound size:
+/// depth 1 (plain sweep through the wavefront driver) vs depth 2
+/// (temporal blocking engaged — per-step throughput must not collapse).
+fn bench_wavefront(c: &mut Criterion) {
+    let n = [256, 128, 128];
+    let fold = Fold::new(8, 1, 1);
+    let s = heat3d(1);
+    let mut g = c.benchmark_group("wavefront_memory_bound");
+    for depth in [1usize, 2] {
+        let p = TuningParams::new([256, 16, 16], fold).wavefront(depth);
+        let (mut a, mut b2) = grids(n, [1, 1, 1], fold);
+        g.throughput(Throughput::Elements((depth * n[0] * n[1] * n[2]) as u64));
+        g.bench_with_input(BenchmarkId::new("depth", depth), &p, |b, p| {
+            b.iter(|| run_wavefront_native(&s, &mut a, &mut b2, p).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_blocking,
+    bench_fold_paths,
+    bench_tape,
+    bench_memory_bound_fastpath,
+    bench_wavefront
+);
 criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Native kernel engine throughput: seed-replica baselines vs the
+//! allocation-free fast path and blocked+threaded wavefront.
+//!
+//! Usage:
+//!   e12_kernel_throughput [--scale tiny|small|paper] [--out PATH]
+//!   e12_kernel_throughput --validate PATH
+//!
+//! Default scale is `paper` (heat3d at 256³). The run writes a
+//! `yasksite.bench_kernels.v1` JSON record (default `BENCH_kernels.json`)
+//! and validates it before exiting; `--validate` checks an existing file
+//! without measuring anything (CI uses it on the smoke-run output).
+
+use yasksite_bench::kernels::{e12_kernel_throughput, validate_kernels_json, KernelScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--validate needs a file path");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        });
+        match validate_kernels_json(&text) {
+            Ok(()) => {
+                println!("{path}: ok");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let scale = KernelScale::from_args();
+    print!(
+        "{}",
+        yasksite_bench::run_manifest("e12_kernel_throughput", &[], None, None)
+    );
+    println!("#   scale: {}", scale.label());
+
+    let report = e12_kernel_throughput(scale);
+    println!("{}", report.render_text());
+
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_kernels.json", String::as_str);
+    let json = report.to_json();
+    if let Err(e) = validate_kernels_json(&json) {
+        eprintln!("internal error: emitted JSON failed validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
+        eprintln!("{out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

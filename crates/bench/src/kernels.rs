@@ -1,0 +1,614 @@
+//! E12 — native kernel engine throughput.
+//!
+//! Measures the rebuilt execution layer against faithful replicas of the
+//! seed implementation: the per-row-allocating linear sweep and the
+//! per-point naive wavefront. The replicas are kept here (not in the
+//! engine) so the engine crate only ever carries the fast code; the bench
+//! preserves the old cost profile purely as a baseline.
+//!
+//! Emits `BENCH_kernels.json` (schema `yasksite.bench_kernels.v1`) with
+//! one entry per measured kernel and the two headline ratios the roadmap
+//! tracks: allocation-free fast path vs seed (single-threaded) and
+//! blocked+threaded wavefront vs seed naive wavefront at depth 2.
+
+use std::time::Instant;
+
+use yasksite::telemetry::json::{self, write_escaped, write_f64, Json};
+use yasksite_engine::{
+    apply_native, run_wavefront_native, CompiledStencil, ExecPool, TuningParams,
+};
+use yasksite_grid::{Fold, Grid3};
+use yasksite_stencil::{builders, Stencil};
+
+use crate::Table;
+
+/// Identifier stamped into the JSON so downstream checks can reject files
+/// produced by a different (incompatible) emitter.
+pub const KERNELS_SCHEMA: &str = "yasksite.bench_kernels.v1";
+
+/// Problem size for the throughput experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelScale {
+    /// CI smoke size — finishes in well under a second.
+    Tiny,
+    /// Cache-resident-ish middle size for quick local runs.
+    Small,
+    /// The paper's memory-bound working size (256³).
+    Paper,
+}
+
+impl KernelScale {
+    /// Domain extents for this scale.
+    #[must_use]
+    pub fn domain(self) -> [usize; 3] {
+        match self {
+            KernelScale::Tiny => [64, 32, 32],
+            KernelScale::Small => [128, 96, 96],
+            KernelScale::Paper => [256, 256, 256],
+        }
+    }
+
+    /// Human/JSON label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelScale::Tiny => "tiny",
+            KernelScale::Small => "small",
+            KernelScale::Paper => "paper",
+        }
+    }
+
+    /// Timed repetitions per kernel (each preceded by one warm-up).
+    #[must_use]
+    pub fn reps(self) -> usize {
+        match self {
+            KernelScale::Tiny | KernelScale::Small => 3,
+            KernelScale::Paper => 2,
+        }
+    }
+
+    /// Parses a `--scale` operand.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<KernelScale> {
+        match name {
+            "tiny" => Some(KernelScale::Tiny),
+            "small" => Some(KernelScale::Small),
+            "paper" => Some(KernelScale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Reads `--scale {tiny|small|paper}` from the process arguments
+    /// (default: paper, the acceptance-criterion size).
+    #[must_use]
+    pub fn from_args() -> KernelScale {
+        let args: Vec<String> = std::env::args().collect();
+        match args.iter().position(|a| a == "--scale") {
+            Some(i) => {
+                let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+                KernelScale::parse(name).unwrap_or_else(|| {
+                    eprintln!("unknown --scale '{name}', expected tiny|small|paper");
+                    std::process::exit(2);
+                })
+            }
+            None => KernelScale::Paper,
+        }
+    }
+}
+
+/// One measured kernel configuration.
+#[derive(Debug, Clone)]
+pub struct KernelSample {
+    /// Kernel / path name (e.g. `heat3d_fastpath_new`).
+    pub name: String,
+    /// Million lattice updates per second (best of the timed reps).
+    pub mlups: f64,
+    /// Seconds per domain sweep (wavefront entries: per fused step).
+    pub seconds_per_sweep: f64,
+    /// Threads requested for the run.
+    pub threads: usize,
+    /// Wavefront depth (1 = plain spatial sweep).
+    pub depth: usize,
+}
+
+/// The full experiment record: samples plus derived headline ratios.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Scale label (`tiny`/`small`/`paper`).
+    pub scale: &'static str,
+    /// Domain extents measured.
+    pub domain: [usize; 3],
+    /// Host parallelism available to the multi-threaded entries.
+    pub threads_available: usize,
+    /// All measured kernels.
+    pub samples: Vec<KernelSample>,
+    /// Named speedup ratios (new / seed).
+    pub ratios: Vec<(&'static str, f64)>,
+}
+
+impl KernelReport {
+    /// Renders the report as an aligned text table plus the ratio lines.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut t = Table::new(&["kernel", "threads", "depth", "MLUP/s", "s/sweep"]);
+        for s in &self.samples {
+            t.row(vec![
+                s.name.clone(),
+                s.threads.to_string(),
+                s.depth.to_string(),
+                format!("{:.1}", s.mlups),
+                format!("{:.6}", s.seconds_per_sweep),
+            ]);
+        }
+        let mut out = t.render();
+        out.push('\n');
+        for (name, r) in &self.ratios {
+            out.push_str(&format!("{name}: {r:.2}x\n"));
+        }
+        out
+    }
+
+    /// Serialises the report to the `yasksite.bench_kernels.v1` JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": ");
+        write_escaped(&mut s, KERNELS_SCHEMA);
+        s.push_str(",\n  \"scale\": ");
+        write_escaped(&mut s, self.scale);
+        s.push_str(&format!(
+            ",\n  \"domain\": [{}, {}, {}]",
+            self.domain[0], self.domain[1], self.domain[2]
+        ));
+        s.push_str(&format!(
+            ",\n  \"threads_available\": {}",
+            self.threads_available
+        ));
+        s.push_str(",\n  \"kernels\": [");
+        for (i, k) in self.samples.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {\"name\": ");
+            write_escaped(&mut s, &k.name);
+            s.push_str(", \"mlups\": ");
+            write_f64(&mut s, k.mlups);
+            s.push_str(", \"seconds_per_sweep\": ");
+            write_f64(&mut s, k.seconds_per_sweep);
+            s.push_str(&format!(
+                ", \"threads\": {}, \"depth\": {}}}",
+                k.threads, k.depth
+            ));
+        }
+        s.push_str("\n  ],\n  \"ratios\": {");
+        for (i, (name, r)) in self.ratios.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    ");
+            write_escaped(&mut s, name);
+            s.push_str(": ");
+            write_f64(&mut s, *r);
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+}
+
+/// Validates a `BENCH_kernels.json` document: parses it and checks the
+/// schema id, domain shape, kernel entries and headline ratios.
+///
+/// # Errors
+/// Returns a description of the first problem found.
+pub fn validate_kernels_json(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing 'schema'")?;
+    if schema != KERNELS_SCHEMA {
+        return Err(format!("schema is '{schema}', expected '{KERNELS_SCHEMA}'"));
+    }
+    doc.get("scale")
+        .and_then(Json::as_str)
+        .ok_or("missing 'scale'")?;
+    match doc.get("domain") {
+        Some(Json::Arr(dims)) if dims.len() == 3 => {
+            for d in dims {
+                d.as_u64().ok_or("non-integer domain extent")?;
+            }
+        }
+        _ => return Err("'domain' must be an array of 3 extents".into()),
+    }
+    doc.get("threads_available")
+        .and_then(Json::as_u64)
+        .ok_or("missing 'threads_available'")?;
+    let kernels = match doc.get("kernels") {
+        Some(Json::Arr(ks)) if !ks.is_empty() => ks,
+        _ => return Err("'kernels' must be a non-empty array".into()),
+    };
+    for k in kernels {
+        let name = k
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("kernel entry missing 'name'")?;
+        for field in ["mlups", "seconds_per_sweep"] {
+            let v = k
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("kernel '{name}' missing '{field}'"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("kernel '{name}' has non-positive '{field}'"));
+            }
+        }
+        for field in ["threads", "depth"] {
+            let v = k
+                .get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("kernel '{name}' missing '{field}'"))?;
+            if v == 0 {
+                return Err(format!("kernel '{name}' has zero '{field}'"));
+            }
+        }
+    }
+    let ratios = doc.get("ratios").ok_or("missing 'ratios'")?;
+    for name in ["fastpath_new_vs_seed_1t", "wavefront_new_vs_seed_d2"] {
+        let r = ratios
+            .get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing ratio '{name}'"))?;
+        if !r.is_finite() || r <= 0.0 {
+            return Err(format!("ratio '{name}' is non-positive"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Seed replicas (baseline only — deliberately reproduce the old cost
+// profile: per-row descriptor Vec allocations and per-point grid-API
+// evaluation).
+// ---------------------------------------------------------------------------
+
+/// Replica of the seed `linear_fast_path` restricted to one thread and one
+/// input grid: the blocked nest is identical, but every row rebuilds a
+/// `Vec<(isize, &[f64], f64)>` of term descriptors — the allocation the
+/// rebuilt engine eliminated.
+fn seed_linear_sweep(stencil: &Stencil, input: &Grid3, out: &mut Grid3, params: &TuningParams) {
+    let compiled = CompiledStencil::compile(stencil);
+    let (terms, constant) = compiled
+        .linear_terms()
+        .expect("seed replica needs a linear stencil");
+    let n = out.n();
+    let block = params.clipped_block(n);
+    let sub = params.sub_block.unwrap_or(block).map(|e| e.max(1));
+
+    let ia = input.alloc();
+    let ih = input.halo();
+    let (iax, iay) = (ia[0] as isize, ia[1] as isize);
+    let (ihx, ihy, ihz) = (ih[0] as isize, ih[1] as isize, ih[2] as isize);
+    let in_row = |j: isize, k: isize| ((k + ihz) * iay + (j + ihy)) * iax + ihx;
+    let term_desc: Vec<(isize, f64)> = terms
+        .iter()
+        .map(|&((_, o), c)| {
+            let off = (o[2] as isize * iay + o[1] as isize) * iax + o[0] as isize;
+            (off, c)
+        })
+        .collect();
+
+    let oa = out.alloc();
+    let oh = out.halo();
+    let (oax, oay) = (oa[0] as isize, oa[1] as isize);
+    let (ohx, ohy, ohz) = (oh[0] as isize, oh[1] as isize, oh[2] as isize);
+    let src_all = input.as_slice();
+    let data = out.as_mut_slice();
+    for kb in (0..n[2]).step_by(block[2]) {
+        let kz1 = (kb + block[2]).min(n[2]);
+        for jb in (0..n[1]).step_by(block[1]) {
+            let jy1 = (jb + block[1]).min(n[1]);
+            for ib in (0..n[0]).step_by(block[0]) {
+                let ix1 = (ib + block[0]).min(n[0]);
+                for skb in (kb..kz1).step_by(sub[2]) {
+                    let skz = (skb + sub[2]).min(kz1);
+                    for sjb in (jb..jy1).step_by(sub[1]) {
+                        let sjy = (sjb + sub[1]).min(jy1);
+                        for sib in (ib..ix1).step_by(sub[0]) {
+                            let six = (sib + sub[0]).min(ix1);
+                            for k in skb..skz {
+                                for j in sjb..sjy {
+                                    let out_row =
+                                        ((k as isize + ohz) * oay + (j as isize + ohy)) * oax + ohx;
+                                    let in_rows: Vec<(isize, &[f64], f64)> = term_desc
+                                        .iter()
+                                        .map(|&(off, c)| {
+                                            (in_row(j as isize, k as isize) + off, src_all, c)
+                                        })
+                                        .collect();
+                                    for i in sib..six {
+                                        let mut acc = constant;
+                                        for &(base, src, c) in &in_rows {
+                                            acc += c * src[(base + i as isize) as usize];
+                                        }
+                                        data[(out_row + i as isize) as usize] = acc;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replica of the seed `run_wavefront_native`: the identical skewed plane
+/// order, but every point goes through `CompiledStencil::eval_at` and
+/// `Grid3::set` — no blocking, no threading, per-point brick addressing.
+fn seed_wavefront(stencil: &Stencil, a: &mut Grid3, b: &mut Grid3, wf: usize) {
+    let compiled = CompiledStencil::compile(stencil);
+    let info = stencil.info();
+    let shift = info.radius[2].max(1);
+    let n = a.n();
+    let zmax = n[2] + (wf - 1) * shift;
+    for zt in 0..zmax {
+        for s in 0..wf {
+            let Some(z) = zt.checked_sub(s * shift) else {
+                break;
+            };
+            if z >= n[2] {
+                continue;
+            }
+            let (src, dst): (&Grid3, &mut Grid3) = if s % 2 == 0 {
+                (&*a, &mut *b)
+            } else {
+                (&*b, &mut *a)
+            };
+            for j in 0..n[1] as isize {
+                for i in 0..n[0] as isize {
+                    let v = compiled.eval_at(&[src], i, j, z as isize);
+                    dst.set(i, j, z as isize, v);
+                }
+            }
+        }
+    }
+    if wf % 2 == 1 {
+        a.swap_data(b).expect("ping-pong pair has identical layout");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+/// Best wall time over `reps` timed runs, preceded by one warm-up run.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn filled_grid(name: &str, n: [usize; 3], halo: [usize; 3], fold: Fold) -> Grid3 {
+    let mut g = Grid3::new(name, n, halo, fold);
+    g.fill_with(|i, j, k| ((i * 7 + j * 3 + k) % 13) as f64 * 0.05);
+    g.fill_halo(0.0);
+    g
+}
+
+/// Runs the kernel-throughput experiment at `scale` and returns the
+/// report (the caller renders/serialises it).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn e12_kernel_throughput(scale: KernelScale) -> KernelReport {
+    let n = scale.domain();
+    let fold = Fold::new(8, 1, 1);
+    let halo = [1usize, 1, 1];
+    let stencil = builders::heat3d(1);
+    let points = (n[0] * n[1] * n[2]) as f64;
+    let reps = scale.reps();
+    let threads_available = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // Warm the pool once so thread spawn cost never lands in a sample.
+    let _ = ExecPool::global().workers();
+
+    let p1 = TuningParams::new([n[0], 16, 16], fold);
+    let pmt = p1.clone().threads(threads_available);
+
+    let mut samples = Vec::new();
+    let mut push = |name: &str, secs: f64, updates: f64, threads: usize, depth: usize| {
+        let per_sweep = secs / depth as f64;
+        samples.push(KernelSample {
+            name: name.to_string(),
+            mlups: updates / secs.max(1e-12) / 1e6,
+            seconds_per_sweep: per_sweep,
+            threads,
+            depth,
+        });
+    };
+
+    // --- Spatial fast path: seed replica vs rebuilt engine. ---
+    {
+        let u = filled_grid("u", n, halo, fold);
+        let mut out = Grid3::new("out", n, halo, fold);
+        let secs = time_best(reps, || seed_linear_sweep(&stencil, &u, &mut out, &p1));
+        push("heat3d_fastpath_seed", secs, points, 1, 1);
+        let secs = time_best(reps, || {
+            apply_native(&stencil, &[&u], &mut out, &p1).expect("fast path");
+        });
+        push("heat3d_fastpath_new", secs, points, 1, 1);
+        let secs = time_best(reps, || {
+            apply_native(&stencil, &[&u], &mut out, &pmt).expect("fast path");
+        });
+        push("heat3d_fastpath_new_mt", secs, points, threads_available, 1);
+    }
+
+    // --- 27-point box: exercises the dynamic/specialised arity ladder. ---
+    {
+        let s27 = builders::box3d(1);
+        let u = filled_grid("u", n, halo, fold);
+        let mut out = Grid3::new("out", n, halo, fold);
+        let secs = time_best(reps, || {
+            apply_native(&s27, &[&u], &mut out, &p1).expect("fast path");
+        });
+        push("box3d_fastpath_new", secs, points, 1, 1);
+    }
+
+    // --- Wavefront at depth 2: seed naive vs blocked+threaded. ---
+    let depth = 2usize;
+    {
+        let mut a = filled_grid("a", n, halo, fold);
+        let mut b = filled_grid("b", n, halo, fold);
+        let secs = time_best(reps, || seed_wavefront(&stencil, &mut a, &mut b, depth));
+        push(
+            "heat3d_wavefront_seed_d2",
+            secs,
+            depth as f64 * points,
+            1,
+            depth,
+        );
+
+        let pw1 = p1.clone().wavefront(depth);
+        let secs = time_best(reps, || {
+            run_wavefront_native(&stencil, &mut a, &mut b, &pw1).expect("wavefront");
+        });
+        push(
+            "heat3d_wavefront_new_d2",
+            secs,
+            depth as f64 * points,
+            1,
+            depth,
+        );
+
+        let pwmt = pmt.clone().wavefront(depth);
+        let secs = time_best(reps, || {
+            run_wavefront_native(&stencil, &mut a, &mut b, &pwmt).expect("wavefront");
+        });
+        push(
+            "heat3d_wavefront_new_d2_mt",
+            secs,
+            depth as f64 * points,
+            threads_available,
+            depth,
+        );
+
+        // Depth-4 point for the MLUP/s-vs-depth trajectory.
+        let pw4 = pmt.clone().wavefront(4);
+        let secs = time_best(reps, || {
+            run_wavefront_native(&stencil, &mut a, &mut b, &pw4).expect("wavefront");
+        });
+        push(
+            "heat3d_wavefront_new_d4_mt",
+            secs,
+            4.0 * points,
+            threads_available,
+            4,
+        );
+    }
+
+    let mlups_of = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.mlups)
+            .expect("sample recorded above")
+    };
+    let ratios = vec![
+        (
+            "fastpath_new_vs_seed_1t",
+            mlups_of("heat3d_fastpath_new") / mlups_of("heat3d_fastpath_seed"),
+        ),
+        (
+            "wavefront_new_vs_seed_d2",
+            mlups_of("heat3d_wavefront_new_d2_mt") / mlups_of("heat3d_wavefront_seed_d2"),
+        ),
+        (
+            "wavefront_new_1t_vs_seed_d2",
+            mlups_of("heat3d_wavefront_new_d2") / mlups_of("heat3d_wavefront_seed_d2"),
+        ),
+    ];
+
+    KernelReport {
+        scale: scale.label(),
+        domain: n,
+        threads_available,
+        samples,
+        ratios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_replicas_match_engine_results() {
+        let n = [24, 13, 11];
+        let fold = Fold::new(8, 1, 1);
+        let s = builders::heat3d(1);
+        let p = TuningParams::new([24, 8, 4], fold);
+
+        let u = filled_grid("u", n, [1, 1, 1], fold);
+        let mut seed_out = Grid3::new("so", n, [1, 1, 1], fold);
+        let mut new_out = Grid3::new("no", n, [1, 1, 1], fold);
+        seed_linear_sweep(&s, &u, &mut seed_out, &p);
+        apply_native(&s, &[&u], &mut new_out, &p).unwrap();
+        assert_eq!(seed_out.max_abs_diff(&new_out).unwrap(), 0.0);
+
+        let wf = 3;
+        let mut a1 = filled_grid("a1", n, [1, 1, 1], fold);
+        let mut b1 = filled_grid("b1", n, [1, 1, 1], fold);
+        seed_wavefront(&s, &mut a1, &mut b1, wf);
+        let mut a2 = filled_grid("a2", n, [1, 1, 1], fold);
+        let mut b2 = filled_grid("b2", n, [1, 1, 1], fold);
+        let pw = p.clone().threads(4).wavefront(wf);
+        run_wavefront_native(&s, &mut a2, &mut b2, &pw).unwrap();
+        assert_eq!(a1.max_abs_diff(&a2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn report_json_round_trips_and_validates() {
+        let report = KernelReport {
+            scale: "tiny",
+            domain: [64, 32, 32],
+            threads_available: 4,
+            samples: vec![KernelSample {
+                name: "heat3d_fastpath_new".into(),
+                mlups: 1234.5,
+                seconds_per_sweep: 0.001,
+                threads: 1,
+                depth: 1,
+            }],
+            ratios: vec![
+                ("fastpath_new_vs_seed_1t", 1.8),
+                ("wavefront_new_vs_seed_d2", 2.5),
+            ],
+        };
+        let text = report.to_json();
+        validate_kernels_json(&text).unwrap();
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(KERNELS_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate_kernels_json("{}").is_err());
+        assert!(validate_kernels_json("not json").is_err());
+        let wrong_schema = r#"{"schema": "other.v9"}"#;
+        assert!(validate_kernels_json(wrong_schema)
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn tiny_experiment_runs_end_to_end() {
+        let report = e12_kernel_throughput(KernelScale::Tiny);
+        assert_eq!(report.scale, "tiny");
+        assert!(report.samples.len() >= 7);
+        validate_kernels_json(&report.to_json()).unwrap();
+        for s in &report.samples {
+            assert!(s.mlups > 0.0, "{} has no throughput", s.name);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod experiments;
 mod fmt;
+pub mod kernels;
 pub mod manifest;
 
 pub use experiments::Scale;

@@ -4,8 +4,8 @@ use std::fmt;
 
 use yasksite_arch::{Machine, MachineFileError, MachineKind};
 use yasksite_engine::{
-    apply_native, apply_simulated, codegen, run_wavefront_native, run_wavefront_simulated,
-    CodegenOutput, EngineError, SimContext, TuningParams,
+    apply_native, apply_simulated, codegen, run_wavefront_native_on, run_wavefront_simulated,
+    CodegenOutput, EngineError, ExecPool, SimContext, TuningParams,
 };
 use yasksite_grid::Grid3;
 use yasksite_memsim::HierarchyStats;
@@ -81,6 +81,10 @@ pub struct MeasuredPerf {
     pub stats: Option<HierarchyStats>,
     /// Whether the number came from the simulator or the host.
     pub simulated: bool,
+    /// Threads that actually did work: the engine's count for native
+    /// runs (non-empty slabs / plane chunks), the simulated core count
+    /// otherwise. Can be below `params.threads` on small domains.
+    pub threads_used: usize,
 }
 
 /// One stencil kernel bound to a domain size and a target machine — the
@@ -204,18 +208,20 @@ impl Solution {
 
     fn measure_native(&self, params: &TuningParams) -> Result<MeasuredPerf, ToolError> {
         let (mut inputs, mut out) = self.allocate_grids(params);
+        let pool = ExecPool::global();
         if params.wavefront > 1 {
             let mut a = inputs.swap_remove(0);
             // Warm-up.
-            run_wavefront_native(&self.stencil, &mut a, &mut out, params)?;
+            run_wavefront_native_on(pool, &self.stencil, &mut a, &mut out, params)?;
             let t0 = std::time::Instant::now();
-            run_wavefront_native(&self.stencil, &mut a, &mut out, params)?;
+            let used = run_wavefront_native_on(pool, &self.stencil, &mut a, &mut out, params)?;
             let secs = t0.elapsed().as_secs_f64() / params.wavefront as f64;
             return Ok(MeasuredPerf {
                 mlups: self.updates_per_sweep() as f64 / secs.max(1e-12) / 1e6,
                 seconds_per_sweep: secs,
                 stats: None,
                 simulated: false,
+                threads_used: used,
             });
         }
         let refs: Vec<&Grid3> = inputs.iter().collect();
@@ -226,6 +232,7 @@ impl Solution {
             seconds_per_sweep: run.seconds,
             stats: None,
             simulated: false,
+            threads_used: run.threads_used,
         })
     }
 
@@ -253,6 +260,7 @@ impl Solution {
             seconds_per_sweep: per_sweep,
             stats: Some(total.stats),
             simulated: true,
+            threads_used: params.threads,
         })
     }
 
@@ -276,6 +284,7 @@ mod tests {
         let m = sol.measure(&p).unwrap();
         assert!(!m.simulated);
         assert!(m.mlups > 1.0, "host should exceed 1 MLUP/s: {}", m.mlups);
+        assert_eq!(m.threads_used, 1);
     }
 
     #[test]

@@ -396,6 +396,11 @@ impl Solution {
             }
             trials.absorb(&r);
             let mlups = self.updates_per_sweep() as f64 / r.seconds_per_sweep.max(1e-12) / 1e6;
+            if !r.provenance.is_fallback() {
+                // Per-sweep throughput of trials that really executed —
+                // the MLUP/s trajectory of the execution layer.
+                tel.observe("exec.sweep_mlups", mlups);
+            }
             (p, mlups, Some(r.provenance))
         };
         match req.strategy {
@@ -451,6 +456,14 @@ impl Solution {
             );
         }
         cost.wall_seconds = start.elapsed().as_secs_f64();
+        // Pool-utilisation gauges: cumulative process-wide counters of
+        // the shared execution pool (zero when every trial was simulated
+        // or fell back). Gauges are observability-only and never enter
+        // the cost ledger reconciliation.
+        let pool = yasksite_engine::ExecPool::global().stats();
+        tel.gauge("exec.pool.workers", pool.workers as f64);
+        tel.gauge("exec.pool.sweeps", pool.sweeps as f64);
+        tel.gauge("exec.pool.jobs", pool.jobs as f64);
         tel.event(
             Level::Info,
             "session_end",

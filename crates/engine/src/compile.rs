@@ -93,6 +93,7 @@ impl Tape {
     /// # Panics
     /// Panics if `values.len() < accesses().len()`.
     #[must_use]
+    #[inline]
     pub fn eval(&self, values: &[f64]) -> f64 {
         let mut stack = [0.0f64; 64];
         debug_assert!(self.max_stack <= stack.len());
@@ -215,6 +216,16 @@ impl CompiledStencil {
     #[must_use]
     pub fn is_linear(&self) -> bool {
         matches!(self, CompiledStencil::Linear { .. })
+    }
+
+    /// The linear form's `(terms, constant)`, when the stencil lowered
+    /// to one — what the native fast paths key their specialisation on.
+    #[must_use]
+    pub fn linear_terms(&self) -> Option<(&[(Access, f64)], f64)> {
+        match self {
+            CompiledStencil::Linear { terms, constant } => Some((terms, *constant)),
+            CompiledStencil::Tape(_) => None,
+        }
     }
 
     /// Evaluates at a point through the grid API (layout-agnostic slow

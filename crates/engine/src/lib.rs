@@ -37,7 +37,10 @@
 //! # Ok::<(), yasksite_engine::EngineError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is the worker pool's
+// lifetime erasure of scoped jobs (see `pool.rs` for the allow and the
+// documented soundness argument).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod codegen;
@@ -45,6 +48,7 @@ mod compile;
 mod error;
 mod native;
 mod params;
+mod pool;
 mod rank;
 mod simulate;
 mod wavefront;
@@ -52,8 +56,9 @@ mod wavefront;
 pub use codegen::{codegen, CodegenOutput};
 pub use compile::CompiledStencil;
 pub use error::EngineError;
-pub use native::{apply_native, NativeRun};
+pub use native::{apply_native, apply_native_on, NativeRun};
 pub use params::TuningParams;
+pub use pool::{ExecPool, PoolStats, ScopedJob};
 pub use rank::{predict_multirank, Interconnect, MultiRankPrediction, RankDecomposition};
 pub use simulate::{apply_simulated, SimContext, SimulatedRun};
-pub use wavefront::{run_wavefront_native, run_wavefront_simulated};
+pub use wavefront::{run_wavefront_native, run_wavefront_native_on, run_wavefront_simulated};

@@ -1,13 +1,22 @@
 //! Native (host) execution backend.
+//!
+//! The hot paths here are written so the inner loops are allocation-free
+//! and bounds-check-free: term descriptors are gathered once per sweep,
+//! each row of output is produced from pre-sliced source rows, and the
+//! common stencil arities (2/7/9/27 terms, plus 1) are monomorphised
+//! through a const-generic row kernel that LLVM can unroll and
+//! vectorise. Threading goes through the persistent [`ExecPool`] instead
+//! of spawning OS threads per sweep.
 
 use std::time::Instant;
 
 use yasksite_grid::Grid3;
 use yasksite_stencil::Stencil;
 
-use crate::compile::CompiledStencil;
+use crate::compile::{CompiledStencil, Tape};
 use crate::error::EngineError;
-use crate::params::TuningParams;
+use crate::params::{chunk_ranges, TuningParams};
+use crate::pool::{ExecPool, ScopedJob};
 
 /// Result of one native kernel application.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,7 +27,15 @@ pub struct NativeRun {
     pub mlups: f64,
     /// Lattice updates performed.
     pub updates: u64,
-    /// Threads actually used (1 when the fast path is unavailable).
+    /// Threads that actually received work: the number of non-empty
+    /// z-slabs the sweep was decomposed into (≤ `params.threads`; small
+    /// domains produce fewer slabs than requested threads).
+    ///
+    /// The layout-generic path reports `1` deliberately: folded
+    /// (non-row-major) layouts go through `Grid3`'s brick accessors,
+    /// whose scattered addressing defeats the contiguous-slab split the
+    /// threaded paths rely on, so that path runs single-threaded and
+    /// says so rather than echoing `params.threads` back.
     pub threads_used: usize,
 }
 
@@ -39,19 +56,38 @@ fn check_folds(inputs: &[&Grid3], out: &Grid3, params: &TuningParams) -> Result<
     Ok(())
 }
 
-/// Applies `stencil` once over the full domain of `out`, using the blocked
-/// YASK loop structure with the given tuning parameters, really executing
-/// on the host.
-///
-/// Linear stencils on row-major folds take a vectorisable fast path and
-/// honour `params.threads` (domain decomposed into z-slabs at block
-/// boundaries); everything else runs through the generic path on one
-/// thread.
+/// Applies `stencil` once over the full domain of `out` on the
+/// process-global [`ExecPool`]. See [`apply_native_on`].
 ///
 /// # Errors
 /// Returns binding errors (arity/halo/domain) or parameter errors
 /// (fold mismatch, zero extents).
 pub fn apply_native(
+    stencil: &Stencil,
+    inputs: &[&Grid3],
+    out: &mut Grid3,
+    params: &TuningParams,
+) -> Result<NativeRun, EngineError> {
+    apply_native_on(ExecPool::global(), stencil, inputs, out, params)
+}
+
+/// Applies `stencil` once over the full domain of `out`, using the
+/// blocked YASK loop structure with the given tuning parameters, really
+/// executing on the host with `pool` supplying the worker threads.
+///
+/// Row-major folds take a vectorisable fast path and honour
+/// `params.threads` (domain decomposed into z-slabs at block boundaries,
+/// linear stencils through the specialised row kernels, tapes through a
+/// threaded interpreter); folded layouts run through the generic path on
+/// one thread. The slab decomposition depends only on `params.threads`,
+/// never on the pool width, so results are bitwise identical for any
+/// pool.
+///
+/// # Errors
+/// Returns binding errors (arity/halo/domain) or parameter errors
+/// (fold mismatch, zero extents).
+pub fn apply_native_on(
+    pool: &ExecPool,
     stencil: &Stencil,
     inputs: &[&Grid3],
     out: &mut Grid3,
@@ -68,8 +104,9 @@ pub fn apply_native(
     let start = Instant::now();
     let threads_used = match (&compiled, params.row_major()) {
         (CompiledStencil::Linear { terms, constant }, true) => {
-            linear_fast_path(terms, *constant, inputs, out, params)
+            linear_fast_path(pool, terms, *constant, inputs, out, params)
         }
+        (CompiledStencil::Tape(tape), true) => tape_fast_path(pool, tape, inputs, out, params),
         _ => {
             generic_path(&compiled, inputs, out, params);
             1
@@ -86,16 +123,16 @@ pub fn apply_native(
 
 /// Row-major storage geometry of a grid.
 #[derive(Clone, Copy)]
-struct Geom {
-    ax: isize,
-    ay: isize,
-    hx: isize,
-    hy: isize,
-    hz: isize,
+pub(crate) struct Geom {
+    pub(crate) ax: isize,
+    pub(crate) ay: isize,
+    pub(crate) hx: isize,
+    pub(crate) hy: isize,
+    pub(crate) hz: isize,
 }
 
 impl Geom {
-    fn of(g: &Grid3) -> Geom {
+    pub(crate) fn of(g: &Grid3) -> Geom {
         let a = g.alloc();
         let h = g.halo();
         Geom {
@@ -107,15 +144,242 @@ impl Geom {
         }
     }
 
+    /// Storage index of domain point `(0, j, k)`.
     #[inline]
-    fn row_base(&self, j: isize, k: isize) -> isize {
+    pub(crate) fn row_base(&self, j: isize, k: isize) -> isize {
         ((k + self.hz) * self.ay + (j + self.hy)) * self.ax + self.hx
+    }
+
+    /// Element offset of a stencil access `(dx, dy, dz)`.
+    #[inline]
+    pub(crate) fn offset_of(&self, o: [i32; 3]) -> isize {
+        (o[2] as isize * self.ay + o[1] as isize) * self.ax + o[0] as isize
     }
 }
 
-/// Linear combination over row-major storage: blocked loops, threaded over
-/// z-slabs. Returns the number of threads used.
+/// A linear stencil lowered against a concrete set of input grids: one
+/// geometry/offset/coefficient/slice record per term, gathered **once**
+/// per sweep so the per-row work is pure arithmetic on pre-resolved
+/// slices.
+pub(crate) struct LinearKernel<'a> {
+    geoms: Vec<Geom>,
+    offs: Vec<isize>,
+    coeffs: Vec<f64>,
+    srcs: Vec<&'a [f64]>,
+    constant: f64,
+}
+
+impl<'a> LinearKernel<'a> {
+    pub(crate) fn build(
+        terms: &[((usize, [i32; 3]), f64)],
+        constant: f64,
+        inputs: &[&'a Grid3],
+    ) -> LinearKernel<'a> {
+        let input_geoms: Vec<Geom> = inputs.iter().map(|g| Geom::of(g)).collect();
+        let mut k = LinearKernel {
+            geoms: Vec::with_capacity(terms.len()),
+            offs: Vec::with_capacity(terms.len()),
+            coeffs: Vec::with_capacity(terms.len()),
+            srcs: Vec::with_capacity(terms.len()),
+            constant,
+        };
+        for ((g, o), c) in terms {
+            let ge = input_geoms[*g];
+            k.geoms.push(ge);
+            k.offs.push(ge.offset_of(*o));
+            k.coeffs.push(*c);
+            k.srcs.push(inputs[*g].as_slice());
+        }
+        k
+    }
+
+    /// Applies the kernel over domain points `kr × jr × ir` with the
+    /// YASK block/sub-block traversal, writing through `sink`. The caller
+    /// guarantees the sink's window covers every written row.
+    pub(crate) fn apply_blocked(
+        &self,
+        sink: &mut Sink<'_>,
+        kr: (usize, usize),
+        jr: (usize, usize),
+        ir: (usize, usize),
+        block: [usize; 3],
+        sub: [usize; 3],
+    ) {
+        blocked_nest(kr, jr, ir, block, sub, |k, j, i0, i1| {
+            self.row(sink, k, j, i0, i1);
+        });
+    }
+
+    /// One output row segment: dispatches to the monomorphised kernel
+    /// for the common arities, the dynamic loop otherwise. The dispatch
+    /// is a perfectly predicted branch per row; the inner loops carry no
+    /// allocation and no bounds checks.
+    #[inline]
+    fn row(&self, sink: &mut Sink<'_>, k: usize, j: usize, i0: usize, i1: usize) {
+        match self.coeffs.len() {
+            1 => self.row_spec::<1>(sink, k, j, i0, i1),
+            2 => self.row_spec::<2>(sink, k, j, i0, i1),
+            7 => self.row_spec::<7>(sink, k, j, i0, i1),
+            9 => self.row_spec::<9>(sink, k, j, i0, i1),
+            27 => self.row_spec::<27>(sink, k, j, i0, i1),
+            _ => self.row_dyn(sink, k, j, i0, i1),
+        }
+    }
+
+    /// Monomorphised row kernel for a compile-time arity: all term rows
+    /// are sliced to the exact segment length up front, so the i-loop is
+    /// an unrollable fused multiply-add chain over `T` streams.
+    #[inline]
+    fn row_spec<const T: usize>(
+        &self,
+        sink: &mut Sink<'_>,
+        k: usize,
+        j: usize,
+        i0: usize,
+        i1: usize,
+    ) {
+        let len = i1 - i0;
+        let ob = (sink.geom.row_base(j as isize, k as isize) - sink.base) as usize + i0;
+        let dst = &mut sink.win[ob..ob + len];
+        let mut rows: [&[f64]; T] = [&[]; T];
+        for (((row, ge), off), src) in rows
+            .iter_mut()
+            .zip(&self.geoms)
+            .zip(&self.offs)
+            .zip(&self.srcs)
+        {
+            let base = (ge.row_base(j as isize, k as isize) + off) as usize + i0;
+            *row = &src[base..base + len];
+        }
+        let mut coeffs = [0.0f64; T];
+        coeffs.copy_from_slice(&self.coeffs);
+        let constant = self.constant;
+        for (di, d) in dst.iter_mut().enumerate() {
+            let mut acc = constant;
+            for t in 0..T {
+                acc += coeffs[t] * rows[t][di];
+            }
+            *d = acc;
+        }
+    }
+
+    /// Dynamic-arity fallback: initialises the row to the constant, then
+    /// streams one term at a time. The additions hit the accumulator in
+    /// the same order as the specialised kernel, so both produce bitwise
+    /// identical results.
+    fn row_dyn(&self, sink: &mut Sink<'_>, k: usize, j: usize, i0: usize, i1: usize) {
+        let len = i1 - i0;
+        let ob = (sink.geom.row_base(j as isize, k as isize) - sink.base) as usize + i0;
+        let dst = &mut sink.win[ob..ob + len];
+        dst.fill(self.constant);
+        for t in 0..self.coeffs.len() {
+            let base =
+                (self.geoms[t].row_base(j as isize, k as isize) + self.offs[t]) as usize + i0;
+            let src = &self.srcs[t][base..base + len];
+            let c = self.coeffs[t];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += c * s;
+            }
+        }
+    }
+}
+
+/// The output window a kernel job writes into: a contiguous slice of
+/// output storage, the absolute storage index of its first element, and
+/// the full output geometry (row addressing stays absolute; `base` maps
+/// it into the window).
+pub(crate) struct Sink<'w> {
+    pub(crate) win: &'w mut [f64],
+    pub(crate) base: isize,
+    pub(crate) geom: Geom,
+}
+
+/// The YASK block / sub-block loop nest over `kr × jr × ir`, invoking
+/// `row(k, j, i0, i1)` for every contiguous x-segment, x-innermost.
+#[inline]
+fn blocked_nest(
+    kr: (usize, usize),
+    jr: (usize, usize),
+    ir: (usize, usize),
+    block: [usize; 3],
+    sub: [usize; 3],
+    mut row: impl FnMut(usize, usize, usize, usize),
+) {
+    for kb in (kr.0..kr.1).step_by(block[2]) {
+        let kz1 = (kb + block[2]).min(kr.1);
+        for jb in (jr.0..jr.1).step_by(block[1]) {
+            let jy1 = (jb + block[1]).min(jr.1);
+            for ib in (ir.0..ir.1).step_by(block[0]) {
+                let ix1 = (ib + block[0]).min(ir.1);
+                for skb in (kb..kz1).step_by(sub[2]) {
+                    let skz = (skb + sub[2]).min(kz1);
+                    for sjb in (jb..jy1).step_by(sub[1]) {
+                        let sjy = (sjb + sub[1]).min(jy1);
+                        for sib in (ib..ix1).step_by(sub[0]) {
+                            let six = (sib + sub[0]).min(ix1);
+                            for k in skb..skz {
+                                for j in sjb..sjy {
+                                    row(k, j, sib, six);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A z-slab of the output: domain k-range plus the matching contiguous
+/// window of output storage.
+struct Slab<'w> {
+    win: &'w mut [f64],
+    win_base: isize,
+    k0: usize,
+    k1: usize,
+}
+
+/// Splits the output storage into per-slab contiguous plane windows, one
+/// per non-empty z-block range from [`chunk_ranges`]. The decomposition
+/// depends only on `(n, block, threads)`, never on the pool width.
+fn split_slabs<'w>(
+    data: &'w mut [f64],
+    out_geom: Geom,
+    n: [usize; 3],
+    block_z: usize,
+    threads: usize,
+) -> Vec<Slab<'w>> {
+    let nblocks_z = n[2].div_ceil(block_z);
+    let plane = (out_geom.ax * out_geom.ay) as usize;
+    let hz = out_geom.hz as usize;
+    let mut slabs = Vec::new();
+    let mut rest = data;
+    let mut consumed = 0usize; // storage planes consumed so far
+    for (kb0, kb1) in chunk_ranges(nblocks_z, threads) {
+        let k0 = kb0 * block_z;
+        let k1 = (kb1 * block_z).min(n[2]);
+        let first_plane = k0 + hz;
+        let last_plane = k1 + hz;
+        let skip = (first_plane - consumed) * plane;
+        let take = (last_plane - first_plane) * plane;
+        let (before, after) = rest.split_at_mut(skip + take);
+        rest = after;
+        consumed = last_plane;
+        slabs.push(Slab {
+            win: &mut before[skip..],
+            win_base: (first_plane * plane) as isize,
+            k0,
+            k1,
+        });
+    }
+    slabs
+}
+
+/// Linear combination over row-major storage: blocked loops, threaded
+/// over z-slabs on the pool. Returns the number of slabs that received
+/// work (= threads used).
 fn linear_fast_path(
+    pool: &ExecPool,
     terms: &[((usize, [i32; 3]), f64)],
     constant: f64,
     inputs: &[&Grid3],
@@ -124,106 +388,101 @@ fn linear_fast_path(
 ) -> usize {
     let n = out.n();
     let block = params.clipped_block(n);
-    // Per-term: input slice index, element offset, coefficient.
-    let geoms: Vec<Geom> = inputs.iter().map(|g| Geom::of(g)).collect();
-    let term_desc: Vec<(usize, isize, f64)> = terms
-        .iter()
-        .map(|((g, o), c)| {
-            let ge = &geoms[*g];
-            let off = (o[2] as isize * ge.ay + o[1] as isize) * ge.ax + o[0] as isize;
-            (*g, off, *c)
+    let sub = params.sub_block.unwrap_or(block).map(|e| e.max(1));
+    let kernel = LinearKernel::build(terms, constant, inputs);
+    let out_geom = Geom::of(out);
+    let slabs = split_slabs(out.as_mut_slice(), out_geom, n, block[2], params.threads);
+    let used = slabs.len();
+    let kernel = &kernel;
+    let jobs: Vec<ScopedJob<'_>> = slabs
+        .into_iter()
+        .map(|slab| {
+            Box::new(move || {
+                let mut sink = Sink {
+                    win: slab.win,
+                    base: slab.win_base,
+                    geom: out_geom,
+                };
+                kernel.apply_blocked(
+                    &mut sink,
+                    (slab.k0, slab.k1),
+                    (0, n[1]),
+                    (0, n[0]),
+                    block,
+                    sub,
+                );
+            }) as ScopedJob<'_>
         })
         .collect();
+    pool.run(jobs);
+    used
+}
 
-    // z-slab decomposition at block boundaries.
-    let nblocks_z = n[2].div_ceil(block[2]);
-    let threads = params.threads.clamp(1, nblocks_z);
+/// Tape stencils on row-major storage: the same z-slab threading as the
+/// linear path, with the interpreter fed through direct row addressing
+/// instead of per-point `Grid3::get`. Per-slab scratch (access bases and
+/// values) is allocated once per job, outside the loops.
+fn tape_fast_path(
+    pool: &ExecPool,
+    tape: &Tape,
+    inputs: &[&Grid3],
+    out: &mut Grid3,
+    params: &TuningParams,
+) -> usize {
+    let n = out.n();
+    let block = params.clipped_block(n);
+    let sub = params.sub_block.unwrap_or(block).map(|e| e.max(1));
+    // Per access slot: geometry, element offset, source slice.
+    let slots: Vec<(Geom, isize, &[f64])> = tape
+        .accesses()
+        .iter()
+        .map(|(g, o)| {
+            let ge = Geom::of(inputs[*g]);
+            (ge, ge.offset_of(*o), inputs[*g].as_slice())
+        })
+        .collect();
     let out_geom = Geom::of(out);
-    let plane_elems = (out_geom.ax * out_geom.ay) as usize;
-
-    // Split the output storage into per-slab contiguous plane ranges.
-    let mut slab_limits = Vec::with_capacity(threads + 1); // in z-blocks
-    for t in 0..=threads {
-        slab_limits.push(t * nblocks_z / threads);
-    }
-
-    let out_halo_z = out_geom.hz as usize;
-    let data = out.as_mut_slice();
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut consumed = 0usize; // plane index consumed so far
-        for t in 0..threads {
-            let kb0 = slab_limits[t];
-            let kb1 = slab_limits[t + 1];
-            if kb0 == kb1 {
-                continue;
-            }
-            let k0 = kb0 * block[2];
-            let k1 = (kb1 * block[2]).min(n[2]);
-            // Storage planes [k0+hz, k1+hz).
-            let first_plane = k0 + out_halo_z;
-            let last_plane = k1 + out_halo_z;
-            let skip = (first_plane - consumed) * plane_elems;
-            let take = (last_plane - first_plane) * plane_elems;
-            let (before, after) = rest.split_at_mut(skip + take);
-            let slab = &mut before[skip..];
-            rest = after;
-            consumed = last_plane;
-            let term_desc = &term_desc;
-            let inputs = inputs.to_vec();
-            let geoms = geoms.clone();
-            let sub = params.sub_block.unwrap_or(block).map(|e| e.max(1));
-            scope.spawn(move || {
-                let slab_base = (first_plane * plane_elems) as isize;
-                for kb in (k0..k1).step_by(block[2]) {
-                    let kz1 = (kb + block[2]).min(k1);
-                    for jb in (0..n[1]).step_by(block[1]) {
-                        let jy1 = (jb + block[1]).min(n[1]);
-                        for ib in (0..n[0]).step_by(block[0]) {
-                            let ix1 = (ib + block[0]).min(n[0]);
-                            for skb in (kb..kz1).step_by(sub[2]) {
-                                let skz = (skb + sub[2]).min(kz1);
-                                for sjb in (jb..jy1).step_by(sub[1]) {
-                                    let sjy = (sjb + sub[1]).min(jy1);
-                                    for sib in (ib..ix1).step_by(sub[0]) {
-                                        let six = (sib + sub[0]).min(ix1);
-                                        for k in skb..skz {
-                                            for j in sjb..sjy {
-                                                let out_row = out_geom
-                                                    .row_base(j as isize, k as isize)
-                                                    - slab_base;
-                                                let in_rows: Vec<(isize, &[f64], f64)> = term_desc
-                                                    .iter()
-                                                    .map(|&(g, off, c)| {
-                                                        let base = geoms[g]
-                                                            .row_base(j as isize, k as isize)
-                                                            + off;
-                                                        (base, inputs[g].as_slice(), c)
-                                                    })
-                                                    .collect();
-                                                for i in sib..six {
-                                                    let mut acc = constant;
-                                                    for &(base, src, c) in &in_rows {
-                                                        acc +=
-                                                            c * src[(base + i as isize) as usize];
-                                                    }
-                                                    slab[(out_row + i as isize) as usize] = acc;
-                                                }
-                                            }
-                                        }
-                                    }
-                                }
-                            }
+    let slabs = split_slabs(out.as_mut_slice(), out_geom, n, block[2], params.threads);
+    let used = slabs.len();
+    let slots = &slots;
+    let jobs: Vec<ScopedJob<'_>> = slabs
+        .into_iter()
+        .map(|slab| {
+            Box::new(move || {
+                let mut bases = vec![0usize; slots.len()];
+                let mut vals = vec![0.0f64; slots.len()];
+                let win = slab.win;
+                blocked_nest(
+                    (slab.k0, slab.k1),
+                    (0, n[1]),
+                    (0, n[0]),
+                    block,
+                    sub,
+                    |k, j, i0, i1| {
+                        for (s, &(ge, off, _)) in slots.iter().enumerate() {
+                            bases[s] = (ge.row_base(j as isize, k as isize) + off) as usize;
                         }
-                    }
-                }
-            });
-        }
-    });
-    threads
+                        let ob =
+                            (out_geom.row_base(j as isize, k as isize) - slab.win_base) as usize;
+                        for i in i0..i1 {
+                            for (s, &(_, _, src)) in slots.iter().enumerate() {
+                                vals[s] = src[bases[s] + i];
+                            }
+                            win[ob + i] = tape.eval(&vals);
+                        }
+                    },
+                );
+            }) as ScopedJob<'_>
+        })
+        .collect();
+    pool.run(jobs);
+    used
 }
 
 /// Generic path: blocked loops through the layout-agnostic accessors.
+/// Single-threaded by design — folded layouts scatter a row across
+/// bricks, so there is no contiguous storage window to hand each worker
+/// (see [`NativeRun::threads_used`]).
 fn generic_path(
     compiled: &CompiledStencil,
     inputs: &[&Grid3],
@@ -301,6 +560,37 @@ mod tests {
     }
 
     #[test]
+    fn threads_used_counts_nonempty_slabs_only() {
+        // n_z = 4 with block_z = 2 gives 2 z-blocks: asking for 8 threads
+        // must report 2 slabs of real work, not 8.
+        let s = heat3d(1);
+        let n = [16, 4, 4];
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let mut out = Grid3::new("o", n, [1, 1, 1], fold);
+        let p = TuningParams::new([16, 4, 2], fold).threads(8);
+        let run = apply_native(&s, &[&u], &mut out, &p).unwrap();
+        assert_eq!(run.threads_used, 2);
+        let r = reference(&s, &[&u], n);
+        assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn private_pool_matches_global_pool_bitwise() {
+        let s = heat3d(1);
+        let n = [24, 12, 10];
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let p = TuningParams::new([8, 4, 2], fold).threads(4);
+        let mut a = Grid3::new("a", n, [1, 1, 1], fold);
+        let mut b = Grid3::new("b", n, [1, 1, 1], fold);
+        apply_native(&s, &[&u], &mut a, &p).unwrap();
+        let small = ExecPool::new(1);
+        apply_native_on(&small, &s, &[&u], &mut b, &p).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
+    }
+
+    #[test]
     fn folded_layout_generic_path_matches_reference() {
         let s = box3d(1);
         let n = [12, 6, 6];
@@ -325,6 +615,25 @@ mod tests {
         apply_native(&s, &[&u], &mut out, &p).unwrap();
         let r = reference(&s, &[&u], n);
         assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn threaded_tape_path_matches_single_thread_bitwise() {
+        let s = inverter_chain_rhs(5.0, 1.0, 2.0);
+        let n = [32, 4, 6];
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let p1 = TuningParams::new([16, 2, 2], fold);
+        let mut one = Grid3::new("o1", n, [1, 1, 1], fold);
+        let r1 = apply_native(&s, &[&u], &mut one, &p1).unwrap();
+        assert_eq!(r1.threads_used, 1);
+        for threads in [2, 3, 4] {
+            let mut many = Grid3::new("om", n, [1, 1, 1], fold);
+            let p = p1.clone().threads(threads);
+            let run = apply_native(&s, &[&u], &mut many, &p).unwrap();
+            assert!(run.threads_used > 1, "tape path must thread over slabs");
+            assert_eq!(one.max_abs_diff(&many).unwrap(), 0.0, "threads={threads}");
+        }
     }
 
     #[test]
@@ -383,5 +692,25 @@ mod tests {
             apply_native(&s, &[&u], &mut out, &p).unwrap();
             assert!(out.max_abs_diff(&r).unwrap() < 1e-12, "block {block:?}");
         }
+    }
+
+    #[test]
+    fn dyn_arity_row_matches_specialised_rows_bitwise() {
+        // box3d(2) has 125 terms — no monomorphised kernel — while
+        // box3d(1) has 27 — specialised. Both must agree with the
+        // reference; a radius-2 box against its own single-threaded run
+        // checks the dyn row under threading too.
+        let s = box3d(2);
+        let n = [20, 9, 8];
+        let fold = Fold::new(4, 1, 1);
+        let u = filled("u", n, [2, 2, 2], fold);
+        let p = TuningParams::new([10, 4, 2], fold);
+        let mut one = Grid3::new("o1", n, [2, 2, 2], fold);
+        apply_native(&s, &[&u], &mut one, &p).unwrap();
+        let r = reference(&s, &[&u], n);
+        assert!(one.max_abs_diff(&r).unwrap() < 1e-12);
+        let mut four = Grid3::new("o4", n, [2, 2, 2], fold);
+        apply_native(&s, &[&u], &mut four, &p.clone().threads(4)).unwrap();
+        assert_eq!(one.max_abs_diff(&four).unwrap(), 0.0);
     }
 }

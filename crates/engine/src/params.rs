@@ -112,6 +112,27 @@ impl TuningParams {
     }
 }
 
+/// Splits `total` units into at most `parts` contiguous, non-empty
+/// `(start, end)` ranges — the decomposition every threaded native path
+/// uses (z-blocks into slabs, y-blocks into plane chunks).
+///
+/// The split depends only on `(total, parts)` — the requested thread
+/// count from [`TuningParams::threads`] — and never on how many pool
+/// workers execute the ranges, which is what keeps native results
+/// bitwise reproducible for any pool size.
+pub(crate) fn chunk_ranges(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, total.max(1));
+    let mut out = Vec::with_capacity(parts);
+    for t in 0..parts {
+        let b0 = t * total / parts;
+        let b1 = (t + 1) * total / parts;
+        if b0 != b1 {
+            out.push((b0, b1));
+        }
+    }
+    out
+}
+
 impl fmt::Display for TuningParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -174,6 +195,22 @@ mod tests {
         assert_eq!(p.to_string(), "b=64x8x8 fold=8x1x1 t=1 wf=2");
         let p = p.sub_block([16, 4, 4]);
         assert_eq!(p.to_string(), "b=64x8x8/sb=16x4x4 fold=8x1x1 t=1 wf=2");
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_and_never_exceed_parts() {
+        for total in 0..40usize {
+            for parts in 1..9usize {
+                let r = chunk_ranges(total, parts);
+                assert!(r.len() <= parts);
+                assert!(r.iter().all(|&(a, b)| a < b));
+                let covered: usize = r.iter().map(|&(a, b)| b - a).sum();
+                assert_eq!(covered, total, "total={total} parts={parts}");
+                for w in r.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,13 +8,24 @@
 //! overwrites it. Temporal blocking multiplies the arithmetic per memory
 //! byte by `wf`, lifting the bandwidth ceiling — the paper's key lever for
 //! memory-bound ODE stages.
+//!
+//! The native path composes all three YASK levers, as the paper does:
+//! each skewed plane update runs through the same allocation-free linear
+//! row kernels as [`crate::apply_native`], tiled in x/y by
+//! `params.block`, and the plane's rows are decomposed into
+//! `params.threads` contiguous chunks executed on the persistent
+//! [`ExecPool`]. The per-point operation order is identical to the plain
+//! stepper's, so a depth-`wf` wavefront bitwise-matches `wf` plain
+//! sweeps.
 
 use yasksite_grid::Grid3;
 use yasksite_stencil::Stencil;
 
 use crate::compile::CompiledStencil;
 use crate::error::EngineError;
-use crate::params::TuningParams;
+use crate::native::{Geom, LinearKernel, Sink};
+use crate::params::{chunk_ranges, TuningParams};
+use crate::pool::{ExecPool, ScopedJob};
 use crate::simulate::{apply_simulated, touch_row, Groups, RowAccess, SimContext};
 
 fn wavefront_checks(
@@ -39,11 +50,8 @@ fn wavefront_checks(
 }
 
 /// Performs `params.wavefront` time steps of `stencil` on the ping-pong
-/// pair `(a, b)` using one skewed sweep; on return `a` holds the newest
-/// time level.
-///
-/// Halo values of both buffers are left untouched (fixed-value boundary),
-/// matching how the plain steppers treat them.
+/// pair `(a, b)` on the process-global [`ExecPool`]; on return `a` holds
+/// the newest time level. See [`run_wavefront_native_on`].
 ///
 /// # Errors
 /// Fails for multi-input stencils, binding problems, or invalid
@@ -54,10 +62,45 @@ pub fn run_wavefront_native(
     b: &mut Grid3,
     params: &TuningParams,
 ) -> Result<(), EngineError> {
+    run_wavefront_native_on(ExecPool::global(), stencil, a, b, params).map(|_| ())
+}
+
+/// Performs `params.wavefront` time steps of `stencil` on the ping-pong
+/// pair `(a, b)` using one skewed sweep, with `pool` supplying the
+/// worker threads; on return `a` holds the newest time level. Returns
+/// the number of threads that actually did work (the widest per-plane
+/// chunk count; `1` on the generic fallback).
+///
+/// Linear stencils on matching row-major layouts take the fast path:
+/// each plane update is tiled in x/y by `params.block` and its rows are
+/// split into `params.threads` chunks run on the pool. Everything else
+/// falls back to the per-point generic loop. Halo values of both
+/// buffers are left untouched (fixed-value boundary), matching how the
+/// plain steppers treat them.
+///
+/// # Errors
+/// Fails for multi-input stencils, binding problems, or invalid
+/// parameters.
+pub fn run_wavefront_native_on(
+    pool: &ExecPool,
+    stencil: &Stencil,
+    a: &mut Grid3,
+    b: &mut Grid3,
+    params: &TuningParams,
+) -> Result<usize, EngineError> {
     let (wf, shift) = wavefront_checks(stencil, a, b, params)?;
     let compiled = CompiledStencil::compile(stencil);
     let n = a.n();
+    // The fast path splits plane storage into contiguous row chunks, so
+    // both buffers must really be row-major with identical layouts.
+    let fast = compiled.is_linear()
+        && params.row_major()
+        && a.fold() == params.fold
+        && b.fold() == params.fold
+        && a.halo() == b.halo()
+        && a.alloc() == b.alloc();
     let zmax = n[2] + (wf - 1) * shift;
+    let mut widest = 1usize;
     for zt in 0..zmax {
         for s in 0..wf {
             let Some(z) = zt.checked_sub(s * shift) else {
@@ -71,10 +114,16 @@ pub fn run_wavefront_native(
             } else {
                 (&*b, &mut *a)
             };
-            for j in 0..n[1] as isize {
-                for i in 0..n[0] as isize {
-                    let v = compiled.eval_at(&[src], i, j, z as isize);
-                    dst.set(i, j, z as isize, v);
+            if fast {
+                let (terms, constant) = compiled.linear_terms().expect("fast implies linear");
+                let used = wavefront_plane(pool, terms, constant, src, dst, z, params);
+                widest = widest.max(used);
+            } else {
+                for j in 0..n[1] as isize {
+                    for i in 0..n[0] as isize {
+                        let v = compiled.eval_at(&[src], i, j, z as isize);
+                        dst.set(i, j, z as isize, v);
+                    }
                 }
             }
         }
@@ -82,13 +131,69 @@ pub fn run_wavefront_native(
     if wf % 2 == 1 {
         a.swap_data(b).expect("ping-pong pair has identical layout");
     }
-    Ok(())
+    Ok(widest)
+}
+
+/// One skewed plane update `dst[·,·,z] = stencil(src)` through the
+/// allocation-free linear row kernels: x/y spatial blocking from
+/// `params.block`, rows decomposed into `params.threads` contiguous
+/// chunks at y-block boundaries, chunks run on the pool. Returns the
+/// number of chunks that received work.
+fn wavefront_plane(
+    pool: &ExecPool,
+    terms: &[((usize, [i32; 3]), f64)],
+    constant: f64,
+    src: &Grid3,
+    dst: &mut Grid3,
+    z: usize,
+    params: &TuningParams,
+) -> usize {
+    let n = dst.n();
+    let block = params.clipped_block(n);
+    let sub = params.sub_block.unwrap_or(block).map(|e| e.max(1));
+    let kernel = LinearKernel::build(terms, constant, &[src]);
+    let out_geom = Geom::of(dst);
+    let (ax, ay) = (out_geom.ax as usize, out_geom.ay as usize);
+    let (hy, hz) = (out_geom.hy as usize, out_geom.hz as usize);
+    let plane_start = (z + hz) * ax * ay;
+    let plane = &mut dst.as_mut_slice()[plane_start..plane_start + ax * ay];
+
+    // Contiguous row chunks at y-block boundaries; the chunk count
+    // depends only on params, never on the pool width.
+    let nblocks_y = n[1].div_ceil(block[1]);
+    let kernel = &kernel;
+    let mut jobs: Vec<ScopedJob<'_>> = Vec::new();
+    let mut rest = plane;
+    let mut consumed = 0usize; // storage rows of this plane handed out
+    for (jb0, jb1) in chunk_ranges(nblocks_y, params.threads) {
+        let j0 = jb0 * block[1];
+        let j1 = (jb1 * block[1]).min(n[1]);
+        let first_row = j0 + hy;
+        let last_row = j1 + hy;
+        let skip = (first_row - consumed) * ax;
+        let take = (last_row - first_row) * ax;
+        let (before, after) = rest.split_at_mut(skip + take);
+        rest = after;
+        consumed = last_row;
+        let win = &mut before[skip..];
+        let win_base = (plane_start + first_row * ax) as isize;
+        jobs.push(Box::new(move || {
+            let mut sink = Sink {
+                win,
+                base: win_base,
+                geom: out_geom,
+            };
+            kernel.apply_blocked(&mut sink, (z, z + 1), (j0, j1), (0, n[0]), block, sub);
+        }) as ScopedJob<'_>);
+    }
+    let used = jobs.len();
+    pool.run(jobs);
+    used
 }
 
 /// Simulated counterpart of [`run_wavefront_native`]: walks the identical
-/// skewed iteration order, issuing the touched cache lines to the
-/// context's hierarchy. Planes are decomposed over the context's cores
-/// along y.
+/// skewed plane order, issuing the touched cache lines to the context's
+/// hierarchy. Planes are decomposed over the context's cores along y.
 ///
 /// # Errors
 /// Same conditions as the native variant, plus a core-count mismatch
@@ -226,6 +331,32 @@ mod tests {
     }
 
     #[test]
+    fn threaded_wavefront_is_bitwise_identical_to_single_thread() {
+        let s = heat3d(1);
+        let n = [24, 13, 11];
+        let wf = 3;
+        let run = |threads: usize, block: [usize; 3]| {
+            let mut a = initial(n);
+            let mut b = initial(n);
+            let p = TuningParams::new(block, Fold::new(8, 1, 1))
+                .wavefront(wf)
+                .threads(threads);
+            let used = run_wavefront_native_on(ExecPool::global(), &s, &mut a, &mut b, &p).unwrap();
+            (a, used)
+        };
+        let (base, base_used) = run(1, [8, 4, 4]);
+        assert_eq!(base_used, 1);
+        for threads in [2, 4, 7] {
+            let (got, used) = run(threads, [8, 4, 4]);
+            assert!(used >= 1 && used <= threads);
+            assert_eq!(base.max_abs_diff(&got).unwrap(), 0.0, "threads={threads}");
+        }
+        // Blocking must not change values either.
+        let (odd_blocks, _) = run(3, [5, 3, 2]);
+        assert_eq!(base.max_abs_diff(&odd_blocks).unwrap(), 0.0);
+    }
+
+    #[test]
     fn wavefront_rejects_two_input_stencils() {
         let s = wave2d(0.3);
         let mut a = Grid3::new("a", [8, 8, 1], [1, 1, 0], Fold::new(8, 1, 1));
@@ -235,6 +366,26 @@ mod tests {
             run_wavefront_native(&s, &mut a, &mut b, &p),
             Err(EngineError::Unsupported { .. })
         ));
+    }
+
+    #[test]
+    fn mismatched_layouts_fall_back_to_generic_path() {
+        // b allocates a wider halo than a: the fast path's identical
+        // -layout precondition fails, the generic path must still give
+        // the right answer.
+        let s = heat3d(1);
+        let n = [12, 6, 8];
+        let a0 = initial(n);
+        let want = stepper_reference(&s, &a0, 2);
+        let mut a = a0.clone();
+        let mut b = Grid3::new("b", n, [2, 2, 2], Fold::new(8, 1, 1));
+        b.fill_halo(0.0);
+        let p = TuningParams::new([12, 6, 8], Fold::new(8, 1, 1))
+            .wavefront(2)
+            .threads(2);
+        let used = run_wavefront_native_on(ExecPool::global(), &s, &mut a, &mut b, &p).unwrap();
+        assert_eq!(used, 1, "generic fallback is single-threaded");
+        assert!(a.max_abs_diff(&want).unwrap() < 1e-12);
     }
 
     /// A scaled-down Cascade-Lake-like machine whose LLC the test domain

@@ -2,8 +2,9 @@
 
 use std::cell::RefCell;
 use std::fmt;
+use std::sync::Arc;
 
-use yasksite_engine::{apply_native, EngineError, TuningParams};
+use yasksite_engine::{apply_native_on, EngineError, ExecPool, TuningParams};
 use yasksite_grid::{Fold, Grid3};
 
 use crate::ivps::Ivp;
@@ -53,6 +54,7 @@ pub struct Integrator {
     plan: StepPlan,
     pool: Vec<RefCell<Grid3>>,
     params: TuningParams,
+    exec: Option<Arc<ExecPool>>,
     t: f64,
     h: f64,
     steps_done: u64,
@@ -111,10 +113,30 @@ impl Integrator {
             plan,
             pool,
             params,
+            exec: None,
             t: 0.0,
             h,
             steps_done: 0,
         })
+    }
+
+    /// Runs every sweep of this integrator on `exec` instead of the
+    /// process-global [`ExecPool`]. Sharing one pool across integrators
+    /// (or with a tuning session) reuses its workers for every step —
+    /// there is no per-sweep spawn/join either way, and results are
+    /// bitwise identical for any pool because the engine decomposes work
+    /// from `params.threads`, never from the pool width.
+    #[must_use]
+    pub fn with_pool(mut self, exec: Arc<ExecPool>) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    fn exec_pool(&self) -> &ExecPool {
+        match &self.exec {
+            Some(p) => p,
+            None => ExecPool::global(),
+        }
     }
 
     /// The plan being executed.
@@ -144,7 +166,7 @@ impl Integrator {
                 op.inputs.iter().map(|&g| self.pool[g].borrow()).collect();
             let refs: Vec<&Grid3> = borrowed.iter().map(|r| &**r).collect();
             let mut out = self.pool[op.output].borrow_mut();
-            apply_native(&op.stencil, &refs, &mut out, &self.params)?;
+            apply_native_on(self.exec_pool(), &op.stencil, &refs, &mut out, &self.params)?;
         }
         for (&s, &n) in self.plan.state_grids.iter().zip(&self.plan.next_grids) {
             let mut a = self.pool[s].borrow_mut();
@@ -315,6 +337,22 @@ mod tests {
                 Variant::all()[i]
             );
         }
+    }
+
+    #[test]
+    fn dedicated_pool_is_bitwise_identical_to_global() {
+        let ivp = Heat2d::new(12);
+        let h = 1e-3;
+        let p = default_params(ivp.domain()).threads(3);
+        let plan = |v| erk_plan(&Tableau::rk4(), &ivp, h, v);
+        let mut on_global = Integrator::new(&ivp, plan(Variant::A), h, p.clone()).unwrap();
+        on_global.run(10).unwrap();
+        let shared = Arc::new(ExecPool::new(2));
+        let mut on_shared = Integrator::new(&ivp, plan(Variant::A), h, p)
+            .unwrap()
+            .with_pool(shared);
+        on_shared.run(10).unwrap();
+        assert_eq!(on_global.max_diff(&on_shared), 0.0);
     }
 
     #[test]
