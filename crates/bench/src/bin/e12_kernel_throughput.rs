@@ -4,13 +4,29 @@
 //! Usage:
 //!   e12_kernel_throughput [--scale tiny|small|paper] [--out PATH]
 //!   e12_kernel_throughput --validate PATH
+//!   e12_kernel_throughput --gate NEW BASELINE
 //!
 //! Default scale is `paper` (heat3d at 256³). The run writes a
-//! `yasksite.bench_kernels.v1` JSON record (default `BENCH_kernels.json`)
-//! and validates it before exiting; `--validate` checks an existing file
-//! without measuring anything (CI uses it on the smoke-run output).
+//! `yasksite.bench_kernels.v1` JSON record (default `BENCH_kernels.json`),
+//! appending itself to the file's `history` array (keyed by source
+//! revision and `YASKSITE_SEED`) while keeping the top-level
+//! `kernels`/`ratios` as the latest run; it validates the result before
+//! exiting. `--validate` checks an existing file without measuring
+//! anything; `--gate` compares the headline ratios of a fresh report
+//! against a committed baseline and exits non-zero on a regression (CI
+//! uses both on the smoke-run output).
 
-use yasksite_bench::kernels::{e12_kernel_throughput, validate_kernels_json, KernelScale};
+use yasksite_bench::kernels::{
+    e12_kernel_throughput, gate_kernels_json, validate_kernels_json, KernelScale,
+};
+use yasksite_bench::manifest::{source_revision, SEED_ENV};
+
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,10 +36,7 @@ fn main() {
             eprintln!("--validate needs a file path");
             std::process::exit(2);
         });
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("{path}: {e}");
-            std::process::exit(1);
-        });
+        let text = read_or_die(path);
         match validate_kernels_json(&text) {
             Ok(()) => {
                 println!("{path}: ok");
@@ -34,6 +47,31 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--gate") {
+        let (Some(new_path), Some(base_path)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("--gate needs NEW and BASELINE file paths");
+            std::process::exit(2);
+        };
+        let outcome = gate_kernels_json(&read_or_die(new_path), &read_or_die(base_path))
+            .unwrap_or_else(|e| {
+                eprintln!("gate: {e}");
+                std::process::exit(1);
+            });
+        for line in &outcome.lines {
+            println!("{line}");
+        }
+        println!(
+            "gate: {} compared, {} warnings, {} failures",
+            outcome.lines.len(),
+            outcome.warnings,
+            outcome.failures
+        );
+        if outcome.failures > 0 {
+            std::process::exit(1);
+        }
+        return;
     }
 
     let scale = KernelScale::from_args();
@@ -51,7 +89,12 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_kernels.json", String::as_str);
-    let json = report.to_json();
+    let prev = std::fs::read_to_string(out_path).ok();
+    let seed = std::env::var(SEED_ENV)
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    let json = report.to_json_with_history(prev.as_deref(), &source_revision(), seed.as_deref());
     if let Err(e) = validate_kernels_json(&json) {
         eprintln!("internal error: emitted JSON failed validation: {e}");
         std::process::exit(1);

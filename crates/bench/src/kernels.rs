@@ -167,27 +167,159 @@ impl KernelReport {
         s.push_str(",\n  \"kernels\": [");
         for (i, k) in self.samples.iter().enumerate() {
             s.push_str(if i == 0 { "\n" } else { ",\n" });
-            s.push_str("    {\"name\": ");
-            write_escaped(&mut s, &k.name);
-            s.push_str(", \"mlups\": ");
-            write_f64(&mut s, k.mlups);
-            s.push_str(", \"seconds_per_sweep\": ");
-            write_f64(&mut s, k.seconds_per_sweep);
-            s.push_str(&format!(
-                ", \"threads\": {}, \"depth\": {}}}",
-                k.threads, k.depth
-            ));
+            s.push_str("    ");
+            write_kernel(&mut s, k);
         }
-        s.push_str("\n  ],\n  \"ratios\": {");
+        s.push_str("\n  ],\n  \"ratios\": ");
+        self.write_ratios(&mut s, "  ");
+        s.push_str("\n}\n");
+        s
+    }
+
+    fn write_ratios(&self, s: &mut String, indent: &str) {
+        s.push('{');
         for (i, (name, r)) in self.ratios.iter().enumerate() {
             s.push_str(if i == 0 { "\n" } else { ",\n" });
-            s.push_str("    ");
-            write_escaped(&mut s, name);
+            s.push_str(indent);
+            s.push_str("  ");
+            write_escaped(s, name);
             s.push_str(": ");
-            write_f64(&mut s, *r);
+            write_f64(s, *r);
         }
-        s.push_str("\n  }\n}\n");
+        s.push('\n');
+        s.push_str(indent);
+        s.push('}');
+    }
+
+    /// Serialises the report with the accumulated run `history`: the new
+    /// run stays the top-level "latest" record (`kernels` / `ratios`)
+    /// *and* is appended as the newest `history` entry, keyed by the
+    /// run-manifest `rev` and `seed`. Prior entries are carried over from
+    /// `prev` — the existing output file's text — so repeated runs no
+    /// longer clobber each other. A `prev` from the pre-history emitter
+    /// (valid, but without a `history` array) is preserved as a
+    /// `rev: "unknown"` entry; an unparsable or schema-mismatched `prev`
+    /// starts the history fresh.
+    #[must_use]
+    pub fn to_json_with_history(
+        &self,
+        prev: Option<&str>,
+        rev: &str,
+        seed: Option<&str>,
+    ) -> String {
+        let mut entries: Vec<String> = Vec::new();
+        if let Some(doc) = prev
+            .and_then(|text| json::parse(text).ok())
+            .filter(|d| d.get("schema").and_then(Json::as_str) == Some(KERNELS_SCHEMA))
+        {
+            match doc.get("history") {
+                Some(Json::Arr(prior)) => {
+                    for e in prior {
+                        let mut s = String::new();
+                        write_json(&mut s, e);
+                        entries.push(s);
+                    }
+                }
+                // Pre-history file: keep its latest run as the first entry.
+                _ => {
+                    let mut s = String::new();
+                    s.push_str("{\"rev\": \"unknown\", \"seed\": null, \"scale\": ");
+                    write_json(&mut s, doc.get("scale").unwrap_or(&Json::Null));
+                    s.push_str(", \"kernels\": ");
+                    write_json(&mut s, doc.get("kernels").unwrap_or(&Json::Arr(vec![])));
+                    s.push_str(", \"ratios\": ");
+                    write_json(&mut s, doc.get("ratios").unwrap_or(&Json::Obj(vec![])));
+                    s.push('}');
+                    entries.push(s);
+                }
+            }
+        }
+        let mut this = String::new();
+        this.push_str("{\"rev\": ");
+        write_escaped(&mut this, rev);
+        this.push_str(", \"seed\": ");
+        match seed {
+            Some(v) => write_escaped(&mut this, v),
+            None => this.push_str("null"),
+        }
+        this.push_str(", \"scale\": ");
+        write_escaped(&mut this, self.scale);
+        this.push_str(", \"kernels\": [");
+        for (i, k) in self.samples.iter().enumerate() {
+            if i > 0 {
+                this.push_str(", ");
+            }
+            write_kernel(&mut this, k);
+        }
+        this.push_str("], \"ratios\": {");
+        for (i, (name, r)) in self.ratios.iter().enumerate() {
+            if i > 0 {
+                this.push_str(", ");
+            }
+            write_escaped(&mut this, name);
+            this.push_str(": ");
+            write_f64(&mut this, *r);
+        }
+        this.push_str("}}");
+        entries.push(this);
+
+        let mut s = self.to_json();
+        let cut = s.rfind("\n}").expect("to_json ends with a closing brace");
+        s.truncate(cut);
+        s.push_str(",\n  \"history\": [");
+        for (i, e) in entries.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    ");
+            s.push_str(e);
+        }
+        s.push_str("\n  ]\n}\n");
         s
+    }
+}
+
+fn write_kernel(s: &mut String, k: &KernelSample) {
+    s.push_str("{\"name\": ");
+    write_escaped(s, &k.name);
+    s.push_str(", \"mlups\": ");
+    write_f64(s, k.mlups);
+    s.push_str(", \"seconds_per_sweep\": ");
+    write_f64(s, k.seconds_per_sweep);
+    s.push_str(&format!(
+        ", \"threads\": {}, \"depth\": {}}}",
+        k.threads, k.depth
+    ));
+}
+
+/// Serialises a parsed [`Json`] value back to compact JSON (used to carry
+/// prior history entries through a merge verbatim).
+fn write_json(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(x) => write_f64(out, *x),
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_json(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_json(out, val);
+            }
+            out.push('}');
+        }
     }
 }
 
@@ -257,7 +389,102 @@ pub fn validate_kernels_json(text: &str) -> Result<(), String> {
             return Err(format!("ratio '{name}' is non-positive"));
         }
     }
+    // `history` is optional (pre-history files lack it) but when present
+    // every entry must carry its run identity and results.
+    match doc.get("history") {
+        None => {}
+        Some(Json::Arr(entries)) => {
+            for (i, e) in entries.iter().enumerate() {
+                e.get("rev")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("history[{i}] missing 'rev'"))?;
+                e.get("scale")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("history[{i}] missing 'scale'"))?;
+                if !matches!(e.get("ratios"), Some(Json::Obj(_))) {
+                    return Err(format!("history[{i}] missing 'ratios' object"));
+                }
+            }
+        }
+        Some(_) => return Err("'history' must be an array".into()),
+    }
     Ok(())
+}
+
+/// Below this fraction of the baseline's headline ratio the gate warns.
+pub const GATE_WARN_FRACTION: f64 = 0.6;
+/// Below this fraction of the baseline's headline ratio the gate fails.
+/// Deliberately generous: the ratios are dimensionless (new kernel vs
+/// seed replica on the *same* host and scale), so they are largely
+/// machine-independent — but CI runners are noisy and the smoke scale is
+/// tiny, so only a collapse to under a third of the committed speedup is
+/// treated as a genuine regression.
+pub const GATE_FAIL_FRACTION: f64 = 0.3;
+
+/// Result of gating a fresh kernel report against a committed baseline.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// One human-readable verdict line per compared ratio.
+    pub lines: Vec<String>,
+    /// Ratios between [`GATE_FAIL_FRACTION`] and [`GATE_WARN_FRACTION`].
+    pub warnings: usize,
+    /// Ratios below [`GATE_FAIL_FRACTION`] (or missing from the new run).
+    pub failures: usize,
+}
+
+/// Compares the headline speedup ratios of `new_text` against
+/// `baseline_text` (both `yasksite.bench_kernels.v1` documents). Only the
+/// dimensionless ratios are compared — never absolute MLUP/s, which vary
+/// with the host — with the generous [`GATE_WARN_FRACTION`] /
+/// [`GATE_FAIL_FRACTION`] thresholds.
+///
+/// # Errors
+/// Returns a description when either document fails validation.
+pub fn gate_kernels_json(new_text: &str, baseline_text: &str) -> Result<GateOutcome, String> {
+    validate_kernels_json(new_text).map_err(|e| format!("new report: {e}"))?;
+    validate_kernels_json(baseline_text).map_err(|e| format!("baseline: {e}"))?;
+    let new_doc = json::parse(new_text)?;
+    let base_doc = json::parse(baseline_text)?;
+    let base_ratios = match base_doc.get("ratios") {
+        Some(Json::Obj(fields)) => fields,
+        _ => return Err("baseline: 'ratios' must be an object".into()),
+    };
+    let mut out = GateOutcome {
+        lines: Vec::new(),
+        warnings: 0,
+        failures: 0,
+    };
+    for (name, base_val) in base_ratios {
+        let Some(base) = base_val.as_f64().filter(|b| b.is_finite() && *b > 0.0) else {
+            continue;
+        };
+        let Some(new) = new_doc
+            .get("ratios")
+            .and_then(|r| r.get(name))
+            .and_then(Json::as_f64)
+        else {
+            out.failures += 1;
+            out.lines
+                .push(format!("FAIL {name}: missing from the new report"));
+            continue;
+        };
+        let rel = new / base;
+        if rel < GATE_FAIL_FRACTION {
+            out.failures += 1;
+            out.lines.push(format!(
+                "FAIL {name}: {new:.2}x is {rel:.2} of the baseline {base:.2}x (< {GATE_FAIL_FRACTION})"
+            ));
+        } else if rel < GATE_WARN_FRACTION {
+            out.warnings += 1;
+            out.lines.push(format!(
+                "WARN {name}: {new:.2}x is {rel:.2} of the baseline {base:.2}x (< {GATE_WARN_FRACTION})"
+            ));
+        } else {
+            out.lines
+                .push(format!("ok   {name}: {new:.2}x vs baseline {base:.2}x"));
+        }
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -599,6 +826,107 @@ mod tests {
         assert!(validate_kernels_json(wrong_schema)
             .unwrap_err()
             .contains("schema"));
+    }
+
+    fn sample_report(mlups: f64) -> KernelReport {
+        KernelReport {
+            scale: "tiny",
+            domain: [64, 32, 32],
+            threads_available: 4,
+            samples: vec![KernelSample {
+                name: "heat3d_fastpath_new".into(),
+                mlups,
+                seconds_per_sweep: 0.001,
+                threads: 1,
+                depth: 1,
+            }],
+            ratios: vec![
+                ("fastpath_new_vs_seed_1t", 2.0),
+                ("wavefront_new_vs_seed_d2", 10.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn history_accumulates_across_runs_and_keeps_latest_on_top() {
+        let r1 = sample_report(1000.0);
+        let first = r1.to_json_with_history(None, "rev-a", Some("7"));
+        validate_kernels_json(&first).unwrap();
+        let doc = json::parse(&first).unwrap();
+        let Some(Json::Arr(h)) = doc.get("history") else {
+            panic!("missing history: {first}");
+        };
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].get("rev").and_then(Json::as_str), Some("rev-a"));
+        assert_eq!(h[0].get("seed").and_then(Json::as_str), Some("7"));
+
+        let r2 = sample_report(2000.0);
+        let second = r2.to_json_with_history(Some(&first), "rev-b", None);
+        validate_kernels_json(&second).unwrap();
+        let doc = json::parse(&second).unwrap();
+        let Some(Json::Arr(h)) = doc.get("history") else {
+            panic!("missing history: {second}");
+        };
+        assert_eq!(h.len(), 2, "second run appends, never clobbers");
+        assert_eq!(h[0].get("rev").and_then(Json::as_str), Some("rev-a"));
+        assert_eq!(h[1].get("rev").and_then(Json::as_str), Some("rev-b"));
+        assert!(matches!(h[1].get("seed"), Some(Json::Null)));
+        // Top-level kernels/ratios reflect the *latest* run.
+        let Some(Json::Arr(kernels)) = doc.get("kernels") else {
+            panic!("missing kernels: {second}");
+        };
+        assert_eq!(kernels[0].get("mlups").and_then(Json::as_f64), Some(2000.0));
+    }
+
+    #[test]
+    fn pre_history_files_are_preserved_as_an_entry() {
+        let old = sample_report(1000.0).to_json();
+        let merged = sample_report(2000.0).to_json_with_history(Some(&old), "rev-b", None);
+        let doc = json::parse(&merged).unwrap();
+        let Some(Json::Arr(h)) = doc.get("history") else {
+            panic!("missing history: {merged}");
+        };
+        assert_eq!(h.len(), 2, "the old latest run becomes the first entry");
+        assert_eq!(h[0].get("rev").and_then(Json::as_str), Some("unknown"));
+        let Some(Json::Arr(old_kernels)) = h[0].get("kernels") else {
+            panic!("carried entry lost its kernels: {merged}");
+        };
+        assert_eq!(
+            old_kernels[0].get("mlups").and_then(Json::as_f64),
+            Some(1000.0)
+        );
+        // Garbage prev starts fresh instead of failing the run.
+        let fresh = sample_report(3000.0).to_json_with_history(Some("not json"), "rev-c", None);
+        let doc = json::parse(&fresh).unwrap();
+        let Some(Json::Arr(h)) = doc.get("history") else {
+            panic!("missing history: {fresh}");
+        };
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn gate_classifies_ok_warn_fail() {
+        let base = sample_report(1000.0).to_json();
+        let same = gate_kernels_json(&base, &base).unwrap();
+        assert_eq!(same.failures, 0);
+        assert_eq!(same.warnings, 0);
+        assert!(same.lines.iter().all(|l| l.starts_with("ok")), "{same:?}");
+
+        // Halve one ratio (0.5 of baseline): warn, not fail.
+        let mut warn_report = sample_report(1000.0);
+        warn_report.ratios[0].1 = 1.0;
+        let g = gate_kernels_json(&warn_report.to_json(), &base).unwrap();
+        assert_eq!(g.warnings, 1, "{g:?}");
+        assert_eq!(g.failures, 0, "{g:?}");
+
+        // Collapse one ratio to a fifth: fail.
+        let mut fail_report = sample_report(1000.0);
+        fail_report.ratios[1].1 = 2.0;
+        let g = gate_kernels_json(&fail_report.to_json(), &base).unwrap();
+        assert_eq!(g.failures, 1, "{g:?}");
+        assert!(g.lines.iter().any(|l| l.starts_with("FAIL")), "{g:?}");
+
+        assert!(gate_kernels_json("not json", &base).is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use yasksite::cli::{
     stencil_by_name, telemetry_from_flags, ErrorReport, USAGE,
 };
 use yasksite::telemetry::Telemetry;
-use yasksite::{Provenance, SearchSpace, Solution};
+use yasksite::{render_report, Provenance, SearchSpace, Solution};
 use yasksite_arch::{machine_table, Machine};
 use yasksite_stencil::{paper_suite, stencil_table};
 
@@ -29,6 +29,26 @@ fn run(args: &[String], tel: &Telemetry) -> Result<(), String> {
         }
         "stencils" => {
             println!("{}", stencil_table(&paper_suite()));
+            Ok(())
+        }
+        "report" => {
+            let path = pos
+                .get(1)
+                .map(String::as_str)
+                .or_else(|| flags.get("trace").map(String::as_str))
+                .ok_or_else(|| {
+                    "usage: yasksite report <trace.jsonl> [--baseline <trace.jsonl>]".to_string()
+                })?;
+            let trace = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace file '{path}': {e}"))?;
+            let baseline = flags
+                .get("baseline")
+                .map(|b| {
+                    std::fs::read_to_string(b)
+                        .map_err(|e| format!("cannot read trace file '{b}': {e}"))
+                })
+                .transpose()?;
+            print!("{}", render_report(&trace, baseline.as_deref())?);
             Ok(())
         }
         "predict" | "measure" | "codegen" | "tune" => {
@@ -99,6 +119,12 @@ fn run(args: &[String], tel: &Telemetry) -> Result<(), String> {
                     println!("cost: {}", r.cost.summary());
                     if r.trials.trials > 0 {
                         println!("trials: {}", r.trials);
+                    }
+                    if !r.drift.is_empty() {
+                        print!("{}", r.drift.render_table());
+                    }
+                    if let Some(prof) = &r.profile {
+                        print!("{}", prof.render());
                     }
                     println!("top candidates:");
                     for (i, (p, s)) in r.ranked.iter().take(5).enumerate() {

@@ -38,7 +38,7 @@ pub fn parse_triple(s: &str) -> Result<[usize; 3], String> {
 }
 
 /// Flags that take no value (presence alone switches them on).
-pub const BOOLEAN_FLAGS: &[&str] = &["metrics"];
+pub const BOOLEAN_FLAGS: &[&str] = &["metrics", "profile"];
 
 /// Splits `--key value` pairs into a map; returns positional arguments
 /// separately. Flags listed in [`BOOLEAN_FLAGS`] consume no value and
@@ -217,6 +217,9 @@ pub fn request_from_flags(flags: &HashMap<String, String>) -> Result<TuneRequest
         let jobs: usize = j.parse().map_err(|_| format!("bad --jobs '{j}'"))?;
         req = req.jobs(jobs.max(1));
     }
+    if flags.contains_key("profile") {
+        req = req.profile();
+    }
     Ok(req)
 }
 
@@ -251,7 +254,8 @@ pub fn telemetry_from_flags(flags: &HashMap<String, String>) -> Result<Telemetry
 /// message, and (when the kind implies one) a recovery hint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorReport {
-    /// Stable machine-matchable category: `usage`, `io` or `runtime`.
+    /// Stable machine-matchable category: `usage`, `io`, `trace-io`,
+    /// `trace-schema` or `runtime`.
     pub kind: &'static str,
     /// The underlying error message, verbatim.
     pub message: String,
@@ -284,6 +288,16 @@ impl ErrorReport {
                 || message.contains("expected AxBxC")
             {
                 ("usage", Some("run 'yasksite' without arguments for usage"))
+            } else if message.contains("cannot read trace file") {
+                (
+                    "trace-io",
+                    Some("pass the JSONL file a tune wrote via --trace-out"),
+                )
+            } else if message.contains("trace schema mismatch") {
+                (
+                    "trace-schema",
+                    Some("re-record the trace with this yasksite build (schema v1)"),
+                )
             } else if message.contains("cannot read") || message.contains("cannot open") {
                 ("io", None)
             } else {
@@ -333,6 +347,12 @@ USAGE:
                                              and span tree after tuning)
                    [--log-level error|info|debug]  (event filter for
                                              --trace-out; default debug)
+                   [--profile]               (profile the winner natively:
+                                             phase timers, pool occupancy,
+                                             drift table)
+  yasksite report   <trace.jsonl> [--baseline <trace.jsonl>]
+                    (render a recorded trace: phase breakdown, pool
+                     utilization, drift table, regressions vs baseline)
   yasksite codegen  (same flags as predict; prints the C kernel source)
 
 Stencil names: heat-3d-r<r>, heat-2d-r<r>, box-3d-r<r>, star-3d-r<r>,
@@ -531,6 +551,30 @@ mod tests {
 
         let r = ErrorReport::classify("something exploded");
         assert_eq!(r.kind, "runtime");
+    }
+
+    #[test]
+    fn trace_errors_classify_before_generic_io() {
+        let r = ErrorReport::classify("cannot read trace file 'x.jsonl': gone");
+        assert_eq!(r.kind, "trace-io");
+        assert!(r.render().contains("--trace-out"), "{}", r.render());
+
+        let r = ErrorReport::classify("trace schema mismatch: line 3 has version 2, expected 1");
+        assert_eq!(r.kind, "trace-schema");
+        assert!(r.render().contains("schema v1"), "{}", r.render());
+    }
+
+    #[test]
+    fn profile_flag_is_boolean_and_wires_the_request() {
+        let args: Vec<String> = ["tune", "--profile", "--cores", "2"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let (_, flags) = parse_flags(&args).unwrap();
+        assert_eq!(flags["profile"], "true");
+        assert_eq!(flags["cores"], "2", "--profile must not eat --cores");
+        assert!(request_from_flags(&flags).unwrap().profile);
+        assert!(!request_from_flags(&HashMap::new()).unwrap().profile);
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub struct TuneCost {
     /// Trials that fell back to the analytic prediction instead of a
     /// measurement (matches [`crate::TrialSummary::fallbacks`]).
     pub fallbacks: usize,
+    /// Measured trials whose predicted-vs-measured residual entered the
+    /// session's [`crate::DriftLedger`] (= measured, non-fallback
+    /// trials; deterministic for a fixed request).
+    pub drift_records: usize,
+    /// Stencils the ledger flagged model suspect (p95 absolute drift
+    /// beyond [`yasksite_ecm::DRIFT_SUSPECT_THRESHOLD`]). Depends on
+    /// measured throughput, so — like wall time — it varies run to run
+    /// on a real host.
+    pub drift_suspects: usize,
 }
 
 impl AddAssign for TuneCost {
@@ -41,21 +50,26 @@ impl AddAssign for TuneCost {
         self.cache_hits += rhs.cache_hits;
         self.cache_misses += rhs.cache_misses;
         self.fallbacks += rhs.fallbacks;
+        self.drift_records += rhs.drift_records;
+        self.drift_suspects += rhs.drift_suspects;
     }
 }
 
 impl TuneCost {
     /// One-line summary for tables: the full cost ledger — model evals
-    /// (with the cached share), engine runs, fallbacks, target time,
-    /// codegen time and wall time.
+    /// (with the cached share), engine runs, fallbacks, drift records
+    /// (with the suspect count), target time, codegen time and wall
+    /// time.
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{} model evals ({} cached), {} runs, {} fallbacks, {:.3}s target time, {:.3}s codegen, {:.3}s wall",
+            "{} model evals ({} cached), {} runs, {} fallbacks, {} drift records ({} suspect), {:.3}s target time, {:.3}s codegen, {:.3}s wall",
             self.model_evals,
             self.cache_hits,
             self.engine_runs,
             self.fallbacks,
+            self.drift_records,
+            self.drift_suspects,
             self.target_seconds,
             self.codegen_seconds,
             self.wall_seconds
@@ -75,14 +89,16 @@ impl TuneCost {
     }
 
     /// This cost with the wall-clock-dependent fields
-    /// (`wall_seconds`, `codegen_seconds`) zeroed — the other half of the
-    /// determinism comparison, since wall time varies run to run even
-    /// when the tuning outcome is bitwise-identical.
+    /// (`wall_seconds`, `codegen_seconds`, `drift_suspects` — suspect
+    /// flags derive from measured throughput) zeroed — the other half of
+    /// the determinism comparison, since wall time varies run to run
+    /// even when the tuning outcome is bitwise-identical.
     #[must_use]
     pub fn without_wall_clock(&self) -> TuneCost {
         TuneCost {
             wall_seconds: 0.0,
             codegen_seconds: 0.0,
+            drift_suspects: 0,
             ..*self
         }
     }
@@ -104,10 +120,13 @@ mod tests {
             cache_hits: 2,
             cache_misses: 1,
             fallbacks: 1,
+            drift_records: 1,
+            drift_suspects: 1,
         };
         a += TuneCost {
             model_evals: 2,
             cache_hits: 1,
+            drift_records: 2,
             ..TuneCost::default()
         };
         assert_eq!(a.model_evals, 5);
@@ -115,6 +134,8 @@ mod tests {
         assert_eq!(a.cache_hits, 3);
         assert_eq!(a.cache_misses, 1);
         assert_eq!(a.fallbacks, 1);
+        assert_eq!(a.drift_records, 3);
+        assert_eq!(a.drift_suspects, 1);
         assert!(a.summary().contains("5 model evals"));
     }
 
@@ -129,11 +150,14 @@ mod tests {
             cache_hits: 6,
             cache_misses: 4,
             fallbacks: 2,
+            drift_records: 2,
+            drift_suspects: 1,
         };
         let s = c.summary();
         assert!(s.contains("10 model evals (6 cached)"), "{s}");
         assert!(s.contains("4 runs"), "{s}");
         assert!(s.contains("2 fallbacks"), "{s}");
+        assert!(s.contains("2 drift records (1 suspect)"), "{s}");
         assert!(s.contains("1.500s target time"), "{s}");
         assert!(s.contains("0.125s codegen"), "{s}");
         assert!(s.contains("0.250s wall"), "{s}");
@@ -163,16 +187,25 @@ mod tests {
             engine_runs: 2,
             wall_seconds: 0.7,
             codegen_seconds: 0.1,
+            drift_records: 2,
+            drift_suspects: 1,
             ..TuneCost::default()
         };
         let b = TuneCost {
             engine_runs: 2,
             wall_seconds: 1.9,
             codegen_seconds: 0.4,
+            drift_records: 2,
+            drift_suspects: 0,
             ..TuneCost::default()
         };
         assert_ne!(a, b);
         assert_eq!(a.without_wall_clock(), b.without_wall_clock());
         assert_eq!(a.without_wall_clock().engine_runs, 2);
+        assert_eq!(
+            a.without_wall_clock().drift_records,
+            2,
+            "drift_records is deterministic and must survive the strip"
+        );
     }
 }

@@ -1,0 +1,185 @@
+//! The model-drift ledger: every measured trial's predicted-vs-measured
+//! residual, aggregated into the auditable statistics behind the
+//! analytic-fallback decisions.
+//!
+//! The tuning engine appends one [`DriftRecord`] per genuinely measured
+//! trial (fallbacks predicted, they did not measure, so they cannot
+//! drift) keyed by `(stencil, params, cores)`. A [`DriftLedger`]
+//! aggregates those records per stencil through
+//! [`yasksite_ecm::DriftStats`], flagging a stencil *model suspect* when
+//! its p95 absolute drift exceeds
+//! [`yasksite_ecm::DRIFT_SUSPECT_THRESHOLD`]. The record count and
+//! suspect count surface in [`crate::TuneCost`], the per-record and
+//! per-stencil numbers in the telemetry trace (`drift` /
+//! `drift_summary` events) and the `yasksite report` drift table.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use yasksite_ecm::{drift_fraction, DriftStats};
+
+/// One measured trial's prediction residual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRecord {
+    /// Stencil the trial ran.
+    pub stencil: String,
+    /// Compact rendering of the trial's tuning parameters.
+    pub params: String,
+    /// Active cores of the trial.
+    pub cores: usize,
+    /// What the ECM model predicted (MLUP/s).
+    pub predicted_mlups: f64,
+    /// What the trial measured (MLUP/s).
+    pub measured_mlups: f64,
+}
+
+impl DriftRecord {
+    /// Signed relative model error of this record (see
+    /// [`yasksite_ecm::drift_fraction`]).
+    #[must_use]
+    pub fn drift(&self) -> f64 {
+        drift_fraction(self.predicted_mlups, self.measured_mlups)
+    }
+}
+
+/// Append-only collection of [`DriftRecord`]s with per-stencil
+/// aggregation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftLedger {
+    records: Vec<DriftRecord>,
+}
+
+impl DriftLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        DriftLedger::default()
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: DriftRecord) {
+        self.records.push(record);
+    }
+
+    /// Records collected so far, in append order.
+    #[must_use]
+    pub fn records(&self) -> &[DriftRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no trial has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Per-stencil drift statistics, sorted by stencil name.
+    #[must_use]
+    pub fn per_stencil(&self) -> Vec<(String, DriftStats)> {
+        let mut by_stencil: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+        for r in &self.records {
+            by_stencil.entry(&r.stencil).or_default().push(r.drift());
+        }
+        by_stencil
+            .into_iter()
+            .filter_map(|(name, drifts)| {
+                DriftStats::from_drifts(&drifts).map(|s| (name.to_string(), s))
+            })
+            .collect()
+    }
+
+    /// Drift statistics over every record regardless of stencil.
+    #[must_use]
+    pub fn overall(&self) -> Option<DriftStats> {
+        let drifts: Vec<f64> = self.records.iter().map(DriftRecord::drift).collect();
+        DriftStats::from_drifts(&drifts)
+    }
+
+    /// How many stencils are currently flagged model suspect.
+    #[must_use]
+    pub fn suspect_count(&self) -> usize {
+        self.per_stencil().iter().filter(|(_, s)| s.suspect).count()
+    }
+
+    /// The drift table: one row per stencil with count, percentiles of
+    /// the absolute drift, worst record and the suspect flag.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        if self.records.is_empty() {
+            return "drift: no measured trials\n".to_string();
+        }
+        let mut out =
+            String::from("stencil                count    p50%    p95%    p99%    max%  model\n");
+        for (name, s) in self.per_stencil() {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>6}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}  {}",
+                name,
+                s.count,
+                s.p50 * 100.0,
+                s.p95 * 100.0,
+                s.p99 * 100.0,
+                s.max_abs * 100.0,
+                if s.suspect { "SUSPECT" } else { "ok" }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(stencil: &str, predicted: f64, measured: f64) -> DriftRecord {
+        DriftRecord {
+            stencil: stencil.to_string(),
+            params: "b=8x8x8 t=1".to_string(),
+            cores: 1,
+            predicted_mlups: predicted,
+            measured_mlups: measured,
+        }
+    }
+
+    #[test]
+    fn ledger_aggregates_per_stencil() {
+        let mut l = DriftLedger::new();
+        assert!(l.is_empty());
+        assert!(l.overall().is_none());
+        l.push(rec("heat-3d", 100.0, 110.0));
+        l.push(rec("heat-3d", 100.0, 95.0));
+        l.push(rec("box-3d", 200.0, 40.0)); // -80% drift: suspect
+        assert_eq!(l.len(), 3);
+        let per = l.per_stencil();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].0, "box-3d"); // sorted
+        assert!(per[0].1.suspect);
+        assert!(!per[1].1.suspect);
+        assert_eq!(l.suspect_count(), 1);
+        assert_eq!(l.overall().unwrap().count, 3);
+    }
+
+    #[test]
+    fn table_renders_rows_and_flags() {
+        let mut l = DriftLedger::new();
+        assert!(l.render_table().contains("no measured trials"));
+        l.push(rec("heat-3d", 100.0, 104.0));
+        l.push(rec("box-3d", 100.0, 10.0));
+        let t = l.render_table();
+        assert!(t.contains("heat-3d"), "{t}");
+        assert!(t.contains("ok"), "{t}");
+        assert!(t.contains("SUSPECT"), "{t}");
+    }
+
+    #[test]
+    fn record_drift_is_signed() {
+        assert!((rec("s", 100.0, 150.0).drift() - 0.5).abs() < 1e-12);
+        assert!((rec("s", 100.0, 50.0).drift() + 0.5).abs() < 1e-12);
+    }
+}

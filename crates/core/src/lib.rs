@@ -50,8 +50,10 @@ pub mod cli;
 
 mod cache;
 mod cost;
+mod drift;
 mod online;
 mod predict;
+mod report;
 mod request;
 mod solution;
 mod space;
@@ -60,8 +62,10 @@ mod tuner;
 
 pub use cache::{PredictKey, PredictionCache};
 pub use cost::TuneCost;
+pub use drift::{DriftLedger, DriftRecord};
 pub use online::OnlineTuner;
 pub use predict::{predict_params, predict_params_resident, PredictedPerf};
+pub use report::render_report;
 pub use request::{TuneRequest, JOBS_ENV};
 pub use solution::{MeasuredPerf, Solution, ToolError};
 pub use space::SearchSpace;

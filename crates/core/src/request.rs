@@ -65,6 +65,13 @@ pub struct TuneRequest {
     /// never changes winners, rankings or deterministic cost fields (the
     /// determinism suite asserts this).
     pub telemetry: Telemetry,
+    /// Profile the winning configuration after tuning: one extra native
+    /// host execution of the winner through the engine's
+    /// [`yasksite_engine::SweepProfiler`], recorded into the telemetry
+    /// trace as `profile` / `profile_pool` events. Off by default.
+    /// Profiling is observational — it never changes the winner, the
+    /// ranking or any deterministic cost field.
+    pub profile: bool,
 }
 
 impl Default for TuneRequest {
@@ -88,6 +95,7 @@ impl TuneRequest {
             faults: None,
             cache: None,
             telemetry: Telemetry::disabled(),
+            profile: false,
         }
     }
 
@@ -141,6 +149,13 @@ impl TuneRequest {
         self
     }
 
+    /// Profiles the winner after tuning (see [`TuneRequest::profile`]).
+    #[must_use]
+    pub fn profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
     /// The worker count this request resolves to: the pinned value, else
     /// [`TuneRequest::default_jobs`]; never 0.
     #[must_use]
@@ -191,6 +206,8 @@ mod tests {
         assert_eq!(req.budget.max_runs, Some(100));
         assert!(req.faults.is_some());
         assert!(req.cache.is_none(), "defaults to the global cache");
+        assert!(!req.profile, "profiling is opt-in");
+        assert!(req.clone().profile().profile);
 
         let d = TuneRequest::default();
         assert_eq!(d.strategy, TuneStrategy::Analytic);

@@ -4,8 +4,9 @@ use std::fmt;
 
 use yasksite_arch::{Machine, MachineFileError, MachineKind};
 use yasksite_engine::{
-    apply_native, apply_simulated, codegen, run_wavefront_native_on, run_wavefront_simulated,
-    CodegenOutput, EngineError, ExecPool, SimContext, TuningParams,
+    apply_native, apply_native_profiled_on, apply_simulated, codegen, run_wavefront_native_on,
+    run_wavefront_native_profiled_on, run_wavefront_simulated, CodegenOutput, EngineError,
+    ExecPool, ProfileReport, SimContext, SweepProfiler, TuningParams,
 };
 use yasksite_grid::Grid3;
 use yasksite_memsim::HierarchyStats;
@@ -269,6 +270,58 @@ impl Solution {
     pub fn codegen(&self, params: &TuningParams) -> CodegenOutput {
         codegen(&self.stencil, self.domain, params)
     }
+
+    /// Executes `params` once natively on **this host** with the
+    /// engine's [`SweepProfiler`] attached, returning the measured
+    /// throughput and the profile report (phase times, chunk/plane
+    /// timing, pool occupancy). Always runs natively regardless of the
+    /// solution's machine model — profiling a simulated hierarchy would
+    /// time the simulator, not the kernel. A warm-up sweep runs
+    /// unprofiled first.
+    ///
+    /// # Errors
+    /// Propagates engine errors (bad parameters, unsupported wavefront).
+    pub fn profile_native(
+        &self,
+        params: &TuningParams,
+    ) -> Result<(MeasuredPerf, ProfileReport), ToolError> {
+        let (mut inputs, mut out) = self.allocate_grids(params);
+        let pool = ExecPool::global();
+        let prof = SweepProfiler::enabled();
+        if params.wavefront > 1 {
+            let mut a = inputs.swap_remove(0);
+            run_wavefront_native_on(pool, &self.stencil, &mut a, &mut out, params)?; // warm-up
+            let t0 = std::time::Instant::now();
+            let used = run_wavefront_native_profiled_on(
+                pool,
+                &self.stencil,
+                &mut a,
+                &mut out,
+                params,
+                &prof,
+            )?;
+            let secs = t0.elapsed().as_secs_f64() / params.wavefront as f64;
+            let perf = MeasuredPerf {
+                mlups: self.updates_per_sweep() as f64 / secs.max(1e-12) / 1e6,
+                seconds_per_sweep: secs,
+                stats: None,
+                simulated: false,
+                threads_used: used,
+            };
+            return Ok((perf, prof.report()));
+        }
+        let refs: Vec<&Grid3> = inputs.iter().collect();
+        apply_native(&self.stencil, &refs, &mut out, params)?; // warm-up
+        let run = apply_native_profiled_on(pool, &self.stencil, &refs, &mut out, params, &prof)?;
+        let perf = MeasuredPerf {
+            mlups: run.mlups,
+            seconds_per_sweep: run.seconds,
+            stats: None,
+            simulated: false,
+            threads_used: run.threads_used,
+        };
+        Ok((perf, prof.report()))
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +373,31 @@ mod tests {
         let a = sol.predict(&p, 4);
         let b = sol.predict(&p, 4);
         assert_eq!(a.mlups, b.mlups);
+    }
+
+    #[test]
+    fn profile_native_runs_on_host_even_for_simulated_machines() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let p = TuningParams::new([32, 8, 8], Fold::new(8, 1, 1)).threads(2);
+        let (perf, report) = sol.profile_native(&p).unwrap();
+        assert!(!perf.simulated, "profiling always executes natively");
+        assert!(perf.mlups > 0.0);
+        assert!(report.enabled);
+        assert!(report.phases.iter().any(|ph| ph.name == "sweep"));
+        assert!(report.chunks.is_some());
+        assert!(report.pool.is_some());
+    }
+
+    #[test]
+    fn profile_native_wavefront_records_planes() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let p = TuningParams::new([32, 8, 8], Fold::new(8, 1, 1))
+            .wavefront(2)
+            .threads(2);
+        let (perf, report) = sol.profile_native(&p).unwrap();
+        assert!(perf.mlups > 0.0);
+        assert!(report.phases.iter().any(|ph| ph.name == "wavefront"));
+        assert!(report.planes.is_some());
     }
 
     #[test]

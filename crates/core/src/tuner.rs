@@ -26,11 +26,12 @@
 
 use std::time::Instant;
 
-use yasksite_engine::TuningParams;
+use yasksite_engine::{ProfileReport, TuningParams};
 use yasksite_telemetry::{Level, SpanGuard, Telemetry};
 
 use crate::cache::PredictionCache;
 use crate::cost::TuneCost;
+use crate::drift::{DriftLedger, DriftRecord};
 use crate::request::TuneRequest;
 use crate::solution::{Solution, ToolError};
 use crate::space::SearchSpace;
@@ -92,6 +93,15 @@ pub struct TuneResult {
     /// Final state of the session budget (what request-based sessions
     /// return instead of mutating a caller-owned budget).
     pub budget: TrialBudget,
+    /// Predicted-vs-measured residual of every genuinely measured trial
+    /// (empty for analytic sessions and total-fallback sessions) — the
+    /// audit trail behind the model-suspect flag in [`TuneCost`].
+    pub drift: DriftLedger,
+    /// The winner's profiler report when the request asked for one
+    /// ([`TuneRequest::profile`]) and the native profiling run succeeded;
+    /// `None` otherwise. Purely observational — carries no weight in the
+    /// ranking.
+    pub profile: Option<ProfileReport>,
 }
 
 impl TuneResult {
@@ -355,6 +365,7 @@ impl Solution {
         );
         let mut cost = TuneCost::default();
         let mut trials = TrialSummary::default();
+        let mut ledger = DriftLedger::new();
         // (params, score MLUP/s, provenance): provenance is None for
         // analytic scores that ran nothing.
         let mut entries: Vec<(TuningParams, f64, Option<Provenance>)> =
@@ -367,6 +378,7 @@ impl Solution {
         let mut measure = |p: TuningParams,
                            cost: &mut TuneCost,
                            trials: &mut TrialSummary,
+                           ledger: &mut DriftLedger,
                            budget: &mut TrialBudget|
          -> (TuningParams, f64, Option<Provenance>) {
             let trial_span = session.child("trial");
@@ -400,6 +412,17 @@ impl Solution {
                 // Per-sweep throughput of trials that really executed —
                 // the MLUP/s trajectory of the execution layer.
                 tel.observe("exec.sweep_mlups", mlups);
+                // Measured trials feed the model-drift ledger: how far
+                // the ECM prediction sat from what the trial saw. A
+                // fallback's "measurement" IS the prediction, so it
+                // carries no drift information and is excluded.
+                ledger.push(DriftRecord {
+                    stencil: self.stencil().name().to_string(),
+                    params: p.to_string(),
+                    cores,
+                    predicted_mlups: pred.mlups,
+                    measured_mlups: mlups,
+                });
             }
             (p, mlups, Some(r.provenance))
         };
@@ -417,7 +440,7 @@ impl Solution {
             }
             TuneStrategy::Empirical => {
                 for p in candidates {
-                    entries.push(measure(p, &mut cost, &mut trials, budget));
+                    entries.push(measure(p, &mut cost, &mut trials, &mut ledger, budget));
                 }
             }
             TuneStrategy::Hybrid { shortlist } => {
@@ -432,12 +455,50 @@ impl Solution {
                 pre.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let k = shortlist.max(1).min(pre.len());
                 for (p, _) in pre.drain(..k) {
-                    entries.push(measure(p, &mut cost, &mut trials, budget));
+                    entries.push(measure(p, &mut cost, &mut trials, &mut ledger, budget));
                 }
             }
         }
         entries.sort_by(|a, b| b.1.total_cmp(&a.1));
         let (best, best_score, best_provenance) = entries[0].clone();
+        // Drift bookkeeping: every record and every per-stencil summary
+        // goes to the trace, the counts to the cost ledger, so analytic
+        // -fallback decisions are auditable after the fact.
+        cost.drift_records = ledger.len();
+        cost.drift_suspects = ledger.suspect_count();
+        tel.add("tune.drift_records", cost.drift_records as u64);
+        tel.add("tune.drift_suspects", cost.drift_suspects as u64);
+        for r in ledger.records() {
+            tel.event(
+                Level::Info,
+                "drift",
+                session.id(),
+                &[
+                    ("stencil", r.stencil.clone().into()),
+                    ("params", r.params.clone().into()),
+                    ("cores", r.cores.into()),
+                    ("predicted_mlups", r.predicted_mlups.into()),
+                    ("measured_mlups", r.measured_mlups.into()),
+                    ("drift", r.drift().into()),
+                ],
+            );
+        }
+        for (name, s) in ledger.per_stencil() {
+            tel.event(
+                Level::Info,
+                "drift_summary",
+                session.id(),
+                &[
+                    ("stencil", name.into()),
+                    ("count", s.count.into()),
+                    ("p50", s.p50.into()),
+                    ("p95", s.p95.into()),
+                    ("p99", s.p99.into()),
+                    ("max_abs", s.max_abs.into()),
+                    ("suspect", s.suspect.into()),
+                ],
+            );
+        }
         // Generate the winner's kernel source once, under its own span,
         // so the cost ledger's codegen_seconds reflects reality instead
         // of staying at zero.
@@ -454,6 +515,72 @@ impl Solution {
                     ("gen_seconds", generated.gen_seconds.into()),
                 ],
             );
+        }
+        let mut profile_report = None;
+        if req.profile {
+            // Winner profiling always executes natively on this host —
+            // the point is to time the real kernel, even when tuning
+            // targeted a simulated machine model.
+            let profile_span = session.child("profile");
+            match self.profile_native(&best) {
+                Ok((perf, report)) => {
+                    for ph in &report.phases {
+                        tel.event(
+                            Level::Info,
+                            "profile",
+                            profile_span.id(),
+                            &[
+                                ("phase", ph.name.into()),
+                                ("seconds", ph.seconds.into()),
+                                ("count", ph.count.into()),
+                            ],
+                        );
+                    }
+                    for (label, stats) in [("chunks", &report.chunks), ("planes", &report.planes)] {
+                        if let Some(c) = stats {
+                            tel.event(
+                                Level::Info,
+                                "profile",
+                                profile_span.id(),
+                                &[
+                                    ("phase", label.into()),
+                                    ("seconds", c.total_seconds.into()),
+                                    ("count", c.count.into()),
+                                    ("min_seconds", c.min_seconds.into()),
+                                    ("max_seconds", c.max_seconds.into()),
+                                    ("imbalance", c.imbalance.into()),
+                                ],
+                            );
+                        }
+                    }
+                    if let Some(w) = &report.pool {
+                        let imb = report.chunks.map_or(0.0, |c| c.imbalance);
+                        tel.event(
+                            Level::Info,
+                            "profile_pool",
+                            profile_span.id(),
+                            &[
+                                ("workers", w.workers.into()),
+                                ("sweeps", w.sweeps.into()),
+                                ("jobs", w.jobs.into()),
+                                ("occupancy", w.occupancy.into()),
+                                ("chunk_imbalance", imb.into()),
+                            ],
+                        );
+                    }
+                    // Effective throughput and the model's memory
+                    // traffic per update: together they say whether the
+                    // winner is doing the bytes-per-LUP the ECM model
+                    // thinks it is. `predict` is pure — no cache state
+                    // is touched, so profiling stays observational.
+                    let bytes_per_lup = self.predict(&best, cores).ecm.bytes_per_lup_mem;
+                    tel.gauge("profile.mlups", perf.mlups);
+                    tel.gauge("profile.bytes_per_lup", bytes_per_lup);
+                    tel.observe("profile.sweep_seconds", perf.seconds_per_sweep);
+                    profile_report = Some(report);
+                }
+                Err(e) => tel.error(&format!("winner profiling failed: {e}")),
+            }
         }
         cost.wall_seconds = start.elapsed().as_secs_f64();
         // Pool-utilisation gauges: cumulative process-wide counters of
@@ -490,6 +617,8 @@ impl Solution {
             trials,
             cost,
             budget: *budget,
+            drift: ledger,
+            profile: profile_report,
         })
     }
 }
@@ -631,6 +760,77 @@ mod tests {
         assert!(r.best_score.is_finite() && r.best_score > 0.0);
         assert_eq!(r.provenances.len(), space.len());
         assert!(r.trials.samples > 0);
+    }
+
+    #[test]
+    fn empirical_sessions_populate_the_drift_ledger() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), sol.machine());
+        let r = sol.tune_space(&space, TuneStrategy::Empirical, 1).unwrap();
+        assert_eq!(r.drift.len(), space.len(), "one record per measured trial");
+        assert_eq!(r.cost.drift_records, space.len());
+        let per = r.drift.per_stencil();
+        assert_eq!(per.len(), 1);
+        assert_eq!(per[0].0, sol.stencil().name());
+        assert_eq!(
+            r.cost.drift_suspects,
+            r.drift.suspect_count(),
+            "cost mirrors the ledger"
+        );
+        for rec in r.drift.records() {
+            assert!(rec.predicted_mlups > 0.0 && rec.measured_mlups > 0.0);
+            assert!(rec.drift().is_finite());
+        }
+    }
+
+    #[test]
+    fn analytic_sessions_have_an_empty_drift_ledger() {
+        let r = solution().tune(TuneStrategy::Analytic, 2).unwrap();
+        assert!(r.drift.is_empty());
+        assert_eq!(r.cost.drift_records, 0);
+        assert_eq!(r.cost.drift_suspects, 0);
+    }
+
+    #[test]
+    fn fallbacks_carry_no_drift_records() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), sol.machine());
+        let req = TuneRequest::new(TuneStrategy::Empirical)
+            .cores(1)
+            .faults(FaultPlan::always_fail(11))
+            .cache(Arc::new(PredictionCache::new()));
+        let r = sol.tune_space_with(&space, &req).unwrap();
+        assert_eq!(r.fallback_count(), space.len());
+        assert!(r.drift.is_empty(), "a fallback measured nothing");
+        assert_eq!(r.cost.drift_records, 0);
+    }
+
+    #[test]
+    fn profile_request_does_not_change_the_outcome() {
+        let sol = Solution::new(heat3d(1), [32, 16, 16], Machine::cascade_lake());
+        let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), sol.machine());
+        let base = TuneRequest::new(TuneStrategy::Hybrid { shortlist: 2 }).cores(1);
+        let plain = sol
+            .tune_space_with(
+                &space,
+                &base.clone().cache(Arc::new(PredictionCache::new())),
+            )
+            .unwrap();
+        let profiled = sol
+            .tune_space_with(
+                &space,
+                &base
+                    .clone()
+                    .profile()
+                    .cache(Arc::new(PredictionCache::new())),
+            )
+            .unwrap();
+        assert_eq!(plain.best, profiled.best);
+        assert_eq!(plain.best_score.to_bits(), profiled.best_score.to_bits());
+        assert_eq!(
+            plain.cost.without_cache_counters().without_wall_clock(),
+            profiled.cost.without_cache_counters().without_wall_clock()
+        );
     }
 
     #[test]

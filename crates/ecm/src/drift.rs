@@ -1,0 +1,147 @@
+//! Model-drift statistics: how far ECM predictions sit from
+//! measurements.
+//!
+//! Every measured tuning trial yields a pair (predicted MLUP/s, measured
+//! MLUP/s). The *drift* of one pair is the signed relative error
+//! `(measured − predicted) / predicted`: negative when the model was
+//! optimistic, positive when it was pessimistic. This module aggregates
+//! a set of drifts into percentiles of the absolute drift and flags a
+//! stencil as *model suspect* once its tail drift exceeds
+//! [`DRIFT_SUSPECT_THRESHOLD`] — the auditable signal behind
+//! analytic-fallback decisions. Pure math, no I/O; the tuner in
+//! `yasksite-core` owns the ledger that feeds it.
+
+/// Absolute drift above which a stencil's model is flagged suspect.
+///
+/// The ECM model is a first-principles throughput bound; the paper's
+/// own validation sees it within tens of percent of measurements, so a
+/// p95 absolute drift beyond 50% means the model is not describing the
+/// machine the measurements came from.
+pub const DRIFT_SUSPECT_THRESHOLD: f64 = 0.5;
+
+/// Signed relative model error for one trial:
+/// `(measured − predicted) / predicted`.
+///
+/// Returns 0 when `predicted` is not a positive finite number (a model
+/// that predicted nothing has no meaningful drift).
+#[must_use]
+pub fn drift_fraction(predicted_mlups: f64, measured_mlups: f64) -> f64 {
+    if !(predicted_mlups.is_finite() && predicted_mlups > 0.0 && measured_mlups.is_finite()) {
+        return 0.0;
+    }
+    (measured_mlups - predicted_mlups) / predicted_mlups
+}
+
+/// Percentile aggregate of the absolute drifts of one stencil (or one
+/// whole run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftStats {
+    /// Pairs aggregated.
+    pub count: u64,
+    /// Median absolute drift.
+    pub p50: f64,
+    /// 95th-percentile absolute drift.
+    pub p95: f64,
+    /// 99th-percentile absolute drift.
+    pub p99: f64,
+    /// Largest absolute drift observed.
+    pub max_abs: f64,
+    /// Whether the tail drift crosses [`DRIFT_SUSPECT_THRESHOLD`].
+    pub suspect: bool,
+}
+
+impl DriftStats {
+    /// Aggregates signed drift fractions; returns `None` for an empty
+    /// set. Non-finite entries are ignored.
+    #[must_use]
+    pub fn from_drifts(drifts: &[f64]) -> Option<DriftStats> {
+        let mut abs: Vec<f64> = drifts
+            .iter()
+            .filter(|d| d.is_finite())
+            .map(|d| d.abs())
+            .collect();
+        if abs.is_empty() {
+            return None;
+        }
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+        let p50 = percentile_sorted(&abs, 0.50);
+        let p95 = percentile_sorted(&abs, 0.95);
+        let p99 = percentile_sorted(&abs, 0.99);
+        let max_abs = *abs.last().expect("non-empty");
+        Some(DriftStats {
+            count: abs.len() as u64,
+            p50,
+            p95,
+            p99,
+            max_abs,
+            suspect: p95 > DRIFT_SUSPECT_THRESHOLD,
+        })
+    }
+}
+
+/// Linear-interpolation percentile of an ascending-sorted sample set
+/// (the same estimator the telemetry histogram summaries use). `q` in
+/// `[0, 1]`.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    match sorted {
+        [] => 0.0,
+        [x] => *x,
+        _ => {
+            let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_is_signed_relative_error() {
+        assert!((drift_fraction(100.0, 150.0) - 0.5).abs() < 1e-12);
+        assert!((drift_fraction(100.0, 50.0) + 0.5).abs() < 1e-12);
+        assert_eq!(drift_fraction(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_predictions_have_zero_drift() {
+        assert_eq!(drift_fraction(0.0, 50.0), 0.0);
+        assert_eq!(drift_fraction(-1.0, 50.0), 0.0);
+        assert_eq!(drift_fraction(f64::NAN, 50.0), 0.0);
+        assert_eq!(drift_fraction(f64::INFINITY, 50.0), 0.0);
+        assert_eq!(drift_fraction(100.0, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = [0.0, 1.0, 2.0, 3.0];
+        assert!((percentile_sorted(&s, 0.5) - 1.5).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&s, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&s, 1.0), 3.0);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+        assert_eq!(percentile_sorted(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn stats_aggregate_and_flag_suspects() {
+        // Small symmetric drifts: well-behaved model.
+        let good = DriftStats::from_drifts(&[0.05, -0.08, 0.02, -0.01]).unwrap();
+        assert_eq!(good.count, 4);
+        assert!(good.p50 <= good.p95 && good.p95 <= good.p99);
+        assert!((good.max_abs - 0.08).abs() < 1e-12);
+        assert!(!good.suspect);
+
+        // Tail blows past the threshold: suspect.
+        let bad = DriftStats::from_drifts(&[0.1, -0.9, 0.8, -0.7, 0.9]).unwrap();
+        assert!(bad.suspect);
+        assert!(bad.p95 > DRIFT_SUSPECT_THRESHOLD);
+
+        assert!(DriftStats::from_drifts(&[]).is_none());
+        assert!(DriftStats::from_drifts(&[f64::NAN]).is_none());
+    }
+}

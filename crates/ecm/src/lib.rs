@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod incore;
 pub mod layer;
 pub mod roofline;
@@ -49,6 +50,7 @@ pub mod traffic;
 
 mod model;
 
+pub use drift::{drift_fraction, DriftStats, DRIFT_SUSPECT_THRESHOLD};
 pub use incore::InCore;
 pub use layer::{LayerStatus, LcReport};
 pub use model::{EcmModel, EcmPrediction, KernelDesc, OverlapPolicy};

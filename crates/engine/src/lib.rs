@@ -49,6 +49,7 @@ mod error;
 mod native;
 mod params;
 mod pool;
+mod profile;
 mod rank;
 mod simulate;
 mod wavefront;
@@ -56,9 +57,13 @@ mod wavefront;
 pub use codegen::{codegen, CodegenOutput};
 pub use compile::CompiledStencil;
 pub use error::EngineError;
-pub use native::{apply_native, apply_native_on, NativeRun};
+pub use native::{apply_native, apply_native_on, apply_native_profiled_on, NativeRun};
 pub use params::TuningParams;
 pub use pool::{ExecPool, PoolStats, ScopedJob};
+pub use profile::{IntervalStats, PhaseStat, PoolWindow, ProfileReport, SweepProfiler};
 pub use rank::{predict_multirank, Interconnect, MultiRankPrediction, RankDecomposition};
 pub use simulate::{apply_simulated, SimContext, SimulatedRun};
-pub use wavefront::{run_wavefront_native, run_wavefront_native_on, run_wavefront_simulated};
+pub use wavefront::{
+    run_wavefront_native, run_wavefront_native_on, run_wavefront_native_profiled_on,
+    run_wavefront_simulated,
+};

@@ -17,6 +17,7 @@ use crate::compile::{CompiledStencil, Tape};
 use crate::error::EngineError;
 use crate::params::{chunk_ranges, TuningParams};
 use crate::pool::{ExecPool, ScopedJob};
+use crate::profile::SweepProfiler;
 
 /// Result of one native kernel application.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,26 +94,61 @@ pub fn apply_native_on(
     out: &mut Grid3,
     params: &TuningParams,
 ) -> Result<NativeRun, EngineError> {
+    apply_native_profiled_on(
+        pool,
+        stencil,
+        inputs,
+        out,
+        params,
+        &SweepProfiler::disabled(),
+    )
+}
+
+/// [`apply_native_on`] with an attached [`SweepProfiler`]: when `prof`
+/// is enabled, compile and sweep phases, per-chunk job times and the
+/// pool-counter window are recorded. Profiling only reads clocks around
+/// the kernel code — never inside it — so results are bitwise identical
+/// to the unprofiled call (the unprofiled entry points delegate here
+/// with a disabled profiler).
+///
+/// # Errors
+/// Same conditions as [`apply_native_on`].
+pub fn apply_native_profiled_on(
+    pool: &ExecPool,
+    stencil: &Stencil,
+    inputs: &[&Grid3],
+    out: &mut Grid3,
+    params: &TuningParams,
+    prof: &SweepProfiler,
+) -> Result<NativeRun, EngineError> {
     stencil.check_bindings(inputs, out)?;
     params
         .validate(out.n())
         .map_err(|reason| EngineError::BadParams { reason })?;
     check_folds(inputs, out, params)?;
 
+    let t_compile = prof.start();
     let compiled = CompiledStencil::compile(stencil);
+    prof.phase_done("compile", t_compile);
     let updates = out.domain_points() as u64;
+    prof.pool_window(pool.stats());
+    let t_sweep = prof.start();
     let start = Instant::now();
     let threads_used = match (&compiled, params.row_major()) {
         (CompiledStencil::Linear { terms, constant }, true) => {
-            linear_fast_path(pool, terms, *constant, inputs, out, params)
+            linear_fast_path(pool, terms, *constant, inputs, out, params, prof)
         }
-        (CompiledStencil::Tape(tape), true) => tape_fast_path(pool, tape, inputs, out, params),
+        (CompiledStencil::Tape(tape), true) => {
+            tape_fast_path(pool, tape, inputs, out, params, prof)
+        }
         _ => {
             generic_path(&compiled, inputs, out, params);
             1
         }
     };
     let seconds = start.elapsed().as_secs_f64();
+    prof.phase_done("sweep", t_sweep);
+    prof.pool_window(pool.stats());
     Ok(NativeRun {
         seconds,
         mlups: updates as f64 / seconds.max(1e-12) / 1e6,
@@ -385,6 +421,7 @@ fn linear_fast_path(
     inputs: &[&Grid3],
     out: &mut Grid3,
     params: &TuningParams,
+    prof: &SweepProfiler,
 ) -> usize {
     let n = out.n();
     let block = params.clipped_block(n);
@@ -398,6 +435,7 @@ fn linear_fast_path(
         .into_iter()
         .map(|slab| {
             Box::new(move || {
+                let t0 = prof.start();
                 let mut sink = Sink {
                     win: slab.win,
                     base: slab.win_base,
@@ -411,6 +449,7 @@ fn linear_fast_path(
                     block,
                     sub,
                 );
+                prof.chunk_done(t0);
             }) as ScopedJob<'_>
         })
         .collect();
@@ -428,6 +467,7 @@ fn tape_fast_path(
     inputs: &[&Grid3],
     out: &mut Grid3,
     params: &TuningParams,
+    prof: &SweepProfiler,
 ) -> usize {
     let n = out.n();
     let block = params.clipped_block(n);
@@ -449,6 +489,7 @@ fn tape_fast_path(
         .into_iter()
         .map(|slab| {
             Box::new(move || {
+                let t0 = prof.start();
                 let mut bases = vec![0usize; slots.len()];
                 let mut vals = vec![0.0f64; slots.len()];
                 let win = slab.win;
@@ -472,6 +513,7 @@ fn tape_fast_path(
                         }
                     },
                 );
+                prof.chunk_done(t0);
             }) as ScopedJob<'_>
         })
         .collect();
@@ -692,6 +734,31 @@ mod tests {
             apply_native(&s, &[&u], &mut out, &p).unwrap();
             assert!(out.max_abs_diff(&r).unwrap() < 1e-12, "block {block:?}");
         }
+    }
+
+    #[test]
+    fn profiled_run_is_bitwise_identical_and_records_phases() {
+        let s = heat3d(1);
+        let n = [24, 12, 10];
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let p = TuningParams::new([8, 4, 2], fold).threads(3);
+        let mut plain = Grid3::new("a", n, [1, 1, 1], fold);
+        let mut profiled = Grid3::new("b", n, [1, 1, 1], fold);
+        let pool = ExecPool::new(3);
+        apply_native_on(&pool, &s, &[&u], &mut plain, &p).unwrap();
+        let prof = SweepProfiler::enabled();
+        let run = apply_native_profiled_on(&pool, &s, &[&u], &mut profiled, &p, &prof).unwrap();
+        assert_eq!(plain.max_abs_diff(&profiled).unwrap(), 0.0);
+        let r = prof.report();
+        assert!(r.enabled);
+        assert!(r.phases.iter().any(|ph| ph.name == "compile"));
+        assert!(r.phases.iter().any(|ph| ph.name == "sweep"));
+        let chunks = r.chunks.expect("threaded sweep records chunks");
+        assert_eq!(chunks.count as usize, run.threads_used);
+        let pool_win = r.pool.expect("pool window recorded");
+        assert_eq!(pool_win.workers, 3);
+        assert!(pool_win.occupancy > 0.0 && pool_win.occupancy <= 1.0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::error::EngineError;
 use crate::native::{Geom, LinearKernel, Sink};
 use crate::params::{chunk_ranges, TuningParams};
 use crate::pool::{ExecPool, ScopedJob};
+use crate::profile::SweepProfiler;
 use crate::simulate::{apply_simulated, touch_row, Groups, RowAccess, SimContext};
 
 fn wavefront_checks(
@@ -88,8 +89,32 @@ pub fn run_wavefront_native_on(
     b: &mut Grid3,
     params: &TuningParams,
 ) -> Result<usize, EngineError> {
+    run_wavefront_native_profiled_on(pool, stencil, a, b, params, &SweepProfiler::disabled())
+}
+
+/// [`run_wavefront_native_on`] with an attached [`SweepProfiler`]: when
+/// `prof` is enabled, the whole skewed sweep is recorded as a
+/// `"wavefront"` phase, every plane update as a plane interval (timed on
+/// the dispatching thread), every per-chunk pool job as a chunk
+/// interval, and the pool-counter window across the sweep. Profiling
+/// never reads clocks inside the numeric loops, so results are bitwise
+/// identical to the unprofiled call (which delegates here with a
+/// disabled profiler).
+///
+/// # Errors
+/// Same conditions as [`run_wavefront_native_on`].
+pub fn run_wavefront_native_profiled_on(
+    pool: &ExecPool,
+    stencil: &Stencil,
+    a: &mut Grid3,
+    b: &mut Grid3,
+    params: &TuningParams,
+    prof: &SweepProfiler,
+) -> Result<usize, EngineError> {
     let (wf, shift) = wavefront_checks(stencil, a, b, params)?;
+    let t_compile = prof.start();
     let compiled = CompiledStencil::compile(stencil);
+    prof.phase_done("compile", t_compile);
     let n = a.n();
     // The fast path splits plane storage into contiguous row chunks, so
     // both buffers must really be row-major with identical layouts.
@@ -101,6 +126,8 @@ pub fn run_wavefront_native_on(
         && a.alloc() == b.alloc();
     let zmax = n[2] + (wf - 1) * shift;
     let mut widest = 1usize;
+    prof.pool_window(pool.stats());
+    let t_wavefront = prof.start();
     for zt in 0..zmax {
         for s in 0..wf {
             let Some(z) = zt.checked_sub(s * shift) else {
@@ -114,9 +141,10 @@ pub fn run_wavefront_native_on(
             } else {
                 (&*b, &mut *a)
             };
+            let t_plane = prof.start();
             if fast {
                 let (terms, constant) = compiled.linear_terms().expect("fast implies linear");
-                let used = wavefront_plane(pool, terms, constant, src, dst, z, params);
+                let used = wavefront_plane(pool, terms, constant, src, dst, z, params, prof);
                 widest = widest.max(used);
             } else {
                 for j in 0..n[1] as isize {
@@ -126,8 +154,11 @@ pub fn run_wavefront_native_on(
                     }
                 }
             }
+            prof.plane_done(t_plane);
         }
     }
+    prof.phase_done("wavefront", t_wavefront);
+    prof.pool_window(pool.stats());
     if wf % 2 == 1 {
         a.swap_data(b).expect("ping-pong pair has identical layout");
     }
@@ -139,6 +170,7 @@ pub fn run_wavefront_native_on(
 /// `params.block`, rows decomposed into `params.threads` contiguous
 /// chunks at y-block boundaries, chunks run on the pool. Returns the
 /// number of chunks that received work.
+#[allow(clippy::too_many_arguments)] // internal helper; one call site per path
 fn wavefront_plane(
     pool: &ExecPool,
     terms: &[((usize, [i32; 3]), f64)],
@@ -147,6 +179,7 @@ fn wavefront_plane(
     dst: &mut Grid3,
     z: usize,
     params: &TuningParams,
+    prof: &SweepProfiler,
 ) -> usize {
     let n = dst.n();
     let block = params.clipped_block(n);
@@ -178,12 +211,14 @@ fn wavefront_plane(
         let win = &mut before[skip..];
         let win_base = (plane_start + first_row * ax) as isize;
         jobs.push(Box::new(move || {
+            let t0 = prof.start();
             let mut sink = Sink {
                 win,
                 base: win_base,
                 geom: out_geom,
             };
             kernel.apply_blocked(&mut sink, (z, z + 1), (j0, j1), (0, n[0]), block, sub);
+            prof.chunk_done(t0);
         }) as ScopedJob<'_>);
     }
     let used = jobs.len();
@@ -354,6 +389,34 @@ mod tests {
         // Blocking must not change values either.
         let (odd_blocks, _) = run(3, [5, 3, 2]);
         assert_eq!(base.max_abs_diff(&odd_blocks).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn profiled_wavefront_is_bitwise_identical_and_records_planes() {
+        let s = heat3d(1);
+        let n = [16, 8, 10];
+        let wf = 3;
+        let p = TuningParams::new([8, 4, 4], Fold::new(8, 1, 1))
+            .wavefront(wf)
+            .threads(2);
+        let run = |prof: &SweepProfiler| {
+            let mut a = initial(n);
+            let mut b = initial(n);
+            run_wavefront_native_profiled_on(ExecPool::global(), &s, &mut a, &mut b, &p, prof)
+                .unwrap();
+            a
+        };
+        let plain = run(&SweepProfiler::disabled());
+        let prof = SweepProfiler::enabled();
+        let profiled = run(&prof);
+        assert_eq!(plain.max_abs_diff(&profiled).unwrap(), 0.0);
+        let r = prof.report();
+        assert!(r.phases.iter().any(|ph| ph.name == "wavefront"));
+        let planes = r.planes.expect("plane timings recorded");
+        assert_eq!(planes.count as usize, wf * n[2]);
+        let chunks = r.chunks.expect("chunk timings recorded");
+        assert!(chunks.count >= planes.count);
+        assert!(r.pool.is_some());
     }
 
     #[test]

@@ -1,18 +1,54 @@
-//! `trace_check FILE.jsonl [FILE2.jsonl ...]` — validates JSONL traces
-//! emitted by the telemetry layer: every line must parse as a JSON
-//! object with the required envelope keys (`v`, `ev`, `t_us`) at the
-//! supported schema version, and span open/close events must balance.
+//! `trace_check [--format chrome|prom|summary] FILE.jsonl [...]` —
+//! validates JSONL traces emitted by the telemetry layer: every line
+//! must parse as a JSON object with the required envelope keys (`v`,
+//! `ev`, `t_us`) at the supported schema version, span open/close
+//! events must balance, and structured event kinds (`metric`,
+//! `metric_bucket`, `profile`, `profile_pool`, `drift`,
+//! `drift_summary`) must carry their required fields.
+//!
+//! Without `--format`, prints one OK line per valid file. With
+//! `--format`, additionally exports each valid file to stdout:
+//! `chrome` emits a chrome://tracing JSON document of the span tree,
+//! `prom` the Prometheus text exposition of the recorded metrics, and
+//! `summary` a human-readable digest with histogram percentiles.
 //! Exits nonzero on the first invalid file; CI runs this against the
 //! `--trace-out` output of a real tuning session.
 
 use std::process::ExitCode;
 
-use yasksite_telemetry::check_trace;
+use yasksite_telemetry::{
+    check_trace, chrome_trace_from_trace, prometheus_from_trace, summary_from_trace,
+};
+
+const USAGE: &str =
+    "usage: trace_check [--format chrome|prom|summary] FILE.jsonl [FILE2.jsonl ...]";
 
 fn main() -> ExitCode {
-    let files: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--format" {
+            match it.next() {
+                Some(f) if matches!(f.as_str(), "chrome" | "prom" | "summary") => {
+                    format = Some(f);
+                }
+                Some(f) => {
+                    eprintln!("trace_check: unknown format '{f}' (chrome|prom|summary)");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("trace_check: --format needs a value (chrome|prom|summary)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(arg);
+        }
+    }
     if files.is_empty() {
-        eprintln!("usage: trace_check FILE.jsonl [FILE2.jsonl ...]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
     for file in &files {
@@ -24,10 +60,26 @@ fn main() -> ExitCode {
             }
         };
         match check_trace(&text) {
-            Ok(stats) => println!(
-                "{file}: OK — {} events, {} spans opened, {} closed",
-                stats.events, stats.spans_opened, stats.spans_closed
-            ),
+            Ok(stats) => match format.as_deref() {
+                None => println!(
+                    "{file}: OK — {} events, {} spans opened, {} closed",
+                    stats.events, stats.spans_opened, stats.spans_closed
+                ),
+                Some(fmt) => {
+                    let exported = match fmt {
+                        "chrome" => chrome_trace_from_trace(&text),
+                        "prom" => prometheus_from_trace(&text),
+                        _ => summary_from_trace(&text),
+                    };
+                    match exported {
+                        Ok(out) => print!("{out}"),
+                        Err(e) => {
+                            eprintln!("trace_check: {file}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            },
             Err(e) => {
                 eprintln!("trace_check: {file}: {e}");
                 return ExitCode::FAILURE;

@@ -5,8 +5,11 @@
 //! schema version `"v"` (equal to [`crate::SCHEMA_VERSION`]), an event
 //! kind `"ev"` (string) and a timestamp `"t_us"` (non-negative integer);
 //! and its `span_open`/`span_close` events pair up exactly (every close
-//! names a currently open id, every open is eventually closed). The
-//! `trace_check` binary wraps [`check_trace`] for shell use.
+//! names a currently open id, every open is eventually closed). Known
+//! structured kinds are checked field-wise: `metric` / `metric_bucket`
+//! summaries, the profiler's `profile` / `profile_pool` events and the
+//! drift ledger's `drift` / `drift_summary` events. The `trace_check`
+//! binary wraps [`check_trace`] for shell use.
 
 use std::collections::HashSet;
 
@@ -82,6 +85,53 @@ pub fn check_trace(text: &str) -> Result<TraceStats, String> {
                 }
                 stats.spans_closed += 1;
             }
+            "metric" => {
+                require_str(&j, "name", ev, lineno)?;
+                match require_str(&j, "kind", ev, lineno)? {
+                    "counter" => {
+                        require_u64(&j, "value", ev, lineno)?;
+                    }
+                    "gauge" => {
+                        require_num(&j, "value", ev, lineno)?;
+                    }
+                    "histogram" => {
+                        require_u64(&j, "count", ev, lineno)?;
+                        require_num(&j, "sum", ev, lineno)?;
+                    }
+                    other => return Err(format!("line {lineno}: unknown metric kind '{other}'")),
+                }
+            }
+            "metric_bucket" => {
+                require_str(&j, "name", ev, lineno)?;
+                require_str(&j, "le", ev, lineno)?;
+                require_u64(&j, "count", ev, lineno)?;
+            }
+            "profile" => {
+                require_str(&j, "phase", ev, lineno)?;
+                require_num(&j, "seconds", ev, lineno)?;
+                require_u64(&j, "count", ev, lineno)?;
+            }
+            "profile_pool" => {
+                for key in ["workers", "sweeps", "jobs"] {
+                    require_u64(&j, key, ev, lineno)?;
+                }
+                for key in ["occupancy", "chunk_imbalance"] {
+                    require_num(&j, key, ev, lineno)?;
+                }
+            }
+            "drift" => {
+                require_str(&j, "stencil", ev, lineno)?;
+                for key in ["predicted_mlups", "measured_mlups", "drift"] {
+                    require_num(&j, key, ev, lineno)?;
+                }
+            }
+            "drift_summary" => {
+                require_str(&j, "stencil", ev, lineno)?;
+                require_u64(&j, "count", ev, lineno)?;
+                for key in ["p50", "p95", "p99"] {
+                    require_num(&j, key, ev, lineno)?;
+                }
+            }
             _ => {}
         }
     }
@@ -91,6 +141,27 @@ pub fn check_trace(text: &str) -> Result<TraceStats, String> {
         return Err(format!("unbalanced trace: spans {ids:?} never closed"));
     }
     Ok(stats)
+}
+
+fn require_str<'a>(j: &'a Json, key: &str, ev: &str, lineno: usize) -> Result<&'a str, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {lineno}: {ev} without \"{key}\""))
+}
+
+fn require_u64(j: &Json, key: &str, ev: &str, lineno: usize) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {lineno}: {ev} without \"{key}\""))
+}
+
+/// A numeric field; JSON `null` is accepted because `write_f64` encodes
+/// non-finite observations that way.
+fn require_num(j: &Json, key: &str, ev: &str, lineno: usize) -> Result<(), String> {
+    match j.get(key) {
+        Some(Json::Num(_) | Json::Null) => Ok(()),
+        _ => Err(format!("line {lineno}: {ev} without \"{key}\"")),
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +226,57 @@ mod tests {
     #[test]
     fn empty_stream_is_valid() {
         assert_eq!(check_trace("").unwrap(), TraceStats::default());
+    }
+
+    #[test]
+    fn validates_metric_and_bucket_events() {
+        let good = concat!(
+            "{\"v\":1,\"ev\":\"metric\",\"t_us\":1,\"kind\":\"counter\",\"name\":\"n\",\"value\":3}\n",
+            "{\"v\":1,\"ev\":\"metric\",\"t_us\":1,\"kind\":\"gauge\",\"name\":\"g\",\"value\":0.5}\n",
+            "{\"v\":1,\"ev\":\"metric\",\"t_us\":1,\"kind\":\"histogram\",\"name\":\"h\",\"count\":2,\"sum\":0.1,\"min\":0.01,\"max\":0.09}\n",
+            "{\"v\":1,\"ev\":\"metric_bucket\",\"t_us\":1,\"name\":\"h\",\"le\":\"0.001\",\"count\":1}\n",
+            "{\"v\":1,\"ev\":\"metric_bucket\",\"t_us\":1,\"name\":\"h\",\"le\":\"+Inf\",\"count\":2}\n",
+        );
+        assert_eq!(check_trace(good).unwrap().events, 5);
+
+        let missing_kind = "{\"v\":1,\"ev\":\"metric\",\"t_us\":1,\"name\":\"n\"}";
+        assert!(check_trace(missing_kind)
+            .unwrap_err()
+            .contains("without \"kind\""));
+        let bad_kind = "{\"v\":1,\"ev\":\"metric\",\"t_us\":1,\"kind\":\"exotic\",\"name\":\"n\"}";
+        assert!(check_trace(bad_kind)
+            .unwrap_err()
+            .contains("unknown metric kind"));
+        let bucket_no_le =
+            "{\"v\":1,\"ev\":\"metric_bucket\",\"t_us\":1,\"name\":\"h\",\"count\":2}";
+        assert!(check_trace(bucket_no_le)
+            .unwrap_err()
+            .contains("without \"le\""));
+    }
+
+    #[test]
+    fn validates_profiler_and_drift_events() {
+        let good = concat!(
+            "{\"v\":1,\"ev\":\"profile\",\"t_us\":1,\"span\":0,\"level\":\"info\",\"phase\":\"sweep\",\"seconds\":0.01,\"count\":4}\n",
+            "{\"v\":1,\"ev\":\"profile_pool\",\"t_us\":2,\"workers\":4,\"sweeps\":2,\"jobs\":8,\"occupancy\":1.0,\"chunk_imbalance\":0.1}\n",
+            "{\"v\":1,\"ev\":\"drift\",\"t_us\":3,\"stencil\":\"heat3d\",\"predicted_mlups\":100.0,\"measured_mlups\":90.0,\"drift\":-0.1}\n",
+            "{\"v\":1,\"ev\":\"drift_summary\",\"t_us\":4,\"stencil\":\"heat3d\",\"count\":3,\"p50\":0.1,\"p95\":0.2,\"p99\":0.3,\"suspects\":0}\n",
+        );
+        assert_eq!(check_trace(good).unwrap().events, 4);
+
+        let profile_no_phase =
+            "{\"v\":1,\"ev\":\"profile\",\"t_us\":1,\"seconds\":0.01,\"count\":1}";
+        assert!(check_trace(profile_no_phase)
+            .unwrap_err()
+            .contains("without \"phase\""));
+        let pool_no_workers =
+            "{\"v\":1,\"ev\":\"profile_pool\",\"t_us\":1,\"sweeps\":1,\"jobs\":1,\"occupancy\":1.0,\"chunk_imbalance\":0.0}";
+        assert!(check_trace(pool_no_workers)
+            .unwrap_err()
+            .contains("without \"workers\""));
+        let drift_no_stencil = "{\"v\":1,\"ev\":\"drift\",\"t_us\":1,\"predicted_mlups\":1.0,\"measured_mlups\":1.0,\"drift\":0.0}";
+        assert!(check_trace(drift_no_stencil)
+            .unwrap_err()
+            .contains("without \"stencil\""));
     }
 }

@@ -35,12 +35,18 @@
 #![warn(missing_docs)]
 
 mod check;
+mod export;
 pub mod json;
 mod metrics;
 mod sink;
 mod span;
 
 pub use check::{check_trace, TraceStats};
+pub use export::{
+    chrome_trace_from_spans, chrome_trace_from_trace, histogram_percentiles,
+    percentiles_from_buckets, prometheus_from_trace, prometheus_text, sanitize_metric_name,
+    summary_from_trace, PercentileSummary,
+};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, DEFAULT_SECONDS_BOUNDS};
 pub use sink::{EventSink, MemorySink, NullSink, WriterSink};
 pub use span::{render_span_tree, SpanRecord};
@@ -415,8 +421,11 @@ impl Telemetry {
     }
 
     /// Ends the session: emits one `metric` summary event per counter,
-    /// gauge and histogram, then flushes the sink. Call once, after all
-    /// spans are closed; safe (and a no-op) on a disabled handle.
+    /// gauge and histogram (histograms additionally emit one
+    /// `metric_bucket` event per bucket with the cumulative count, so a
+    /// consumer can rebuild the exact Prometheus exposition), then
+    /// flushes the sink. Call once, after all spans are closed; safe
+    /// (and a no-op) on a disabled handle.
     pub fn finish(&self) {
         let Some(inner) = &self.inner else {
             return;
@@ -461,6 +470,24 @@ impl Telemetry {
                         ("max", h.max().unwrap_or(0.0).into()),
                     ],
                 );
+                let mut cum = 0u64;
+                for (i, &c) in h.bucket_counts().iter().enumerate() {
+                    cum += c;
+                    let le = match h.bounds().get(i) {
+                        Some(b) => format!("{b}"),
+                        None => "+Inf".to_string(),
+                    };
+                    self.event(
+                        Level::Error,
+                        "metric_bucket",
+                        0,
+                        &[
+                            ("name", name.as_str().into()),
+                            ("le", le.into()),
+                            ("count", cum.into()),
+                        ],
+                    );
+                }
             }
         }
         inner.sink.flush();
@@ -643,13 +670,22 @@ mod tests {
             assert!(j.get("ev").and_then(json::Json::as_str).is_some());
             assert!(j.get("t_us").and_then(json::Json::as_u64).is_some());
         }
-        // finish() emitted metric summaries for the counter + histogram.
+        // finish() emitted metric summaries for the counter + histogram,
+        // plus one metric_bucket line per histogram bucket (9 bounds +
+        // the overflow bucket).
         let metrics: Vec<_> = sink
             .lines()
             .into_iter()
-            .filter(|l| l.contains("\"metric\""))
+            .filter(|l| l.contains("\"ev\":\"metric\""))
             .collect();
         assert_eq!(metrics.len(), 2);
+        let buckets: Vec<_> = sink
+            .lines()
+            .into_iter()
+            .filter(|l| l.contains("\"ev\":\"metric_bucket\""))
+            .collect();
+        assert_eq!(buckets.len(), DEFAULT_SECONDS_BOUNDS.len() + 1);
+        assert!(buckets.iter().any(|l| l.contains("\"le\":\"+Inf\"")));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! The sweep profiler is purely observational: turning it on must never
+//! change what a tuning session computes. The properties here run the
+//! same request with `profile` off and on — across strategies, worker
+//! counts and fault plans — and require the winner, ranking, provenances
+//! and the deterministic [`yasksite::TuneCost`] fields to stay
+//! bitwise-identical. The profiled run must additionally return a
+//! non-empty [`yasksite_engine::ProfileReport`] and record `profile`
+//! events into the trace that `check_trace` accepts.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use yasksite::telemetry::{check_trace, Level, Telemetry};
+use yasksite::{
+    FaultPlan, PredictionCache, SearchSpace, Solution, TrialConfig, TuneRequest, TuneResult,
+    TuneStrategy,
+};
+use yasksite_arch::Machine;
+use yasksite_stencil::builders::heat2d;
+
+fn setup() -> (Solution, SearchSpace) {
+    let m = Machine::cascade_lake();
+    let sol = Solution::new(heat2d(1), [64, 64, 1], m.clone());
+    let space = SearchSpace::spatial_only(sol.stencil(), sol.domain(), &m);
+    (sol, space)
+}
+
+fn run_with(
+    sol: &Solution,
+    space: &SearchSpace,
+    req: &TuneRequest,
+    jobs: usize,
+    tel: Telemetry,
+) -> TuneResult {
+    let req = req
+        .clone()
+        .cache(Arc::new(PredictionCache::new()))
+        .jobs(jobs)
+        .telemetry(tel);
+    sol.tune_space_with(space, &req).expect("tuning succeeds")
+}
+
+/// The documented determinism guarantee: identical modulo wall time and
+/// cache-warmth counters.
+fn assert_identical(a: &TuneResult, b: &TuneResult) {
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.best_score.to_bits(), b.best_score.to_bits());
+    assert_eq!(a.ranked.len(), b.ranked.len());
+    for ((pa, sa), (pb, sb)) in a.ranked.iter().zip(b.ranked.iter()) {
+        assert_eq!(pa, pb);
+        assert_eq!(sa.to_bits(), sb.to_bits());
+    }
+    assert_eq!(a.provenances, b.provenances);
+    assert_eq!(a.drift, b.drift, "the drift ledger is deterministic");
+    let (ca, cb) = (
+        a.cost.without_cache_counters().without_wall_clock(),
+        b.cost.without_cache_counters().without_wall_clock(),
+    );
+    assert_eq!(ca.model_evals, cb.model_evals);
+    assert_eq!(ca.engine_runs, cb.engine_runs);
+    assert_eq!(ca.fallbacks, cb.fallbacks);
+    assert_eq!(ca.drift_records, cb.drift_records);
+    assert_eq!(ca.target_seconds.to_bits(), cb.target_seconds.to_bits());
+    assert_eq!(a.budget.runs_used, b.budget.runs_used);
+}
+
+fn strategy_from(ix: usize) -> TuneStrategy {
+    match ix {
+        0 => TuneStrategy::Analytic,
+        1 => TuneStrategy::Empirical,
+        _ => TuneStrategy::Hybrid { shortlist: 3 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The core invariant of the profiler: profiling the winner never
+    /// changes the winner, quantified over strategy, worker count and
+    /// fault injection.
+    #[test]
+    fn profiling_never_changes_the_tuning_result(
+        strategy_ix in 0usize..3,
+        jobs in prop_oneof![Just(1usize), Just(2), Just(4)],
+        fault_seed in prop_oneof![Just(None), (0u64..1000).prop_map(Some)],
+    ) {
+        let (sol, space) = setup();
+        let mut req = TuneRequest::new(strategy_from(strategy_ix))
+            .trial(TrialConfig::single_shot());
+        if let Some(seed) = fault_seed {
+            req = req.faults(FaultPlan::noisy(seed));
+        }
+
+        let plain = run_with(&sol, &space, &req, jobs, Telemetry::disabled());
+        prop_assert!(plain.profile.is_none(), "profiling is opt-in");
+
+        let profiled = run_with(
+            &sol,
+            &space,
+            &req.clone().profile(),
+            jobs,
+            Telemetry::disabled(),
+        );
+        assert_identical(&plain, &profiled);
+        let report = profiled.profile.expect("profiled run returns a report");
+        prop_assert!(report.enabled);
+        prop_assert!(!report.phases.is_empty(), "winner run records phases");
+    }
+}
+
+#[test]
+fn profiled_trace_round_trips_through_check_and_report() {
+    let (sol, space) = setup();
+    let req = TuneRequest::new(TuneStrategy::Hybrid { shortlist: 2 })
+        .trial(TrialConfig::single_shot())
+        .profile();
+    let (tel, sink) = Telemetry::recording(Level::Debug);
+    let r = run_with(&sol, &space, &req, 2, tel.clone());
+    tel.finish();
+    assert!(r.profile.is_some());
+    assert!(!r.drift.is_empty(), "hybrid sessions measure trials");
+
+    let text = sink.lines().join("\n");
+    let stats = check_trace(&text).expect("profiled trace stays valid schema-v1");
+    assert_eq!(stats.spans_opened, stats.spans_closed);
+    assert!(
+        text.contains("\"ev\":\"profile\""),
+        "profile events recorded"
+    );
+    assert!(text.contains("\"ev\":\"drift\""), "drift events recorded");
+
+    let rendered = yasksite::render_report(&text, None).expect("report renders the trace");
+    assert!(rendered.contains("phase breakdown:"), "{rendered}");
+    assert!(rendered.contains("drift:"), "{rendered}");
+    assert!(rendered.contains("heat-2d-r1"), "{rendered}");
+}
