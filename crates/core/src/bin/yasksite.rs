@@ -6,7 +6,7 @@ use std::process::ExitCode;
 
 use yasksite::cli::{
     machine_from_flags, params_from_flags, parse_flags, parse_triple, request_from_flags,
-    stencil_by_name, telemetry_from_flags, ErrorReport, USAGE,
+    serve_config_from_flags, stencil_by_name, telemetry_from_flags, ErrorReport, USAGE,
 };
 use yasksite::telemetry::Telemetry;
 use yasksite::{render_report, Provenance, SearchSpace, Solution};
@@ -49,6 +49,29 @@ fn run(args: &[String], tel: &Telemetry) -> Result<(), String> {
                 })
                 .transpose()?;
             print!("{}", render_report(&trace, baseline.as_deref())?);
+            Ok(())
+        }
+        "serve" => {
+            let (mut config, socket) = serve_config_from_flags(&flags)?;
+            config.telemetry = tel.clone();
+            install_signal_handlers();
+            let stats = match socket {
+                Some(path) => serve_on_socket(config, &path),
+                None => yasksite::serve_stdin(config, yasksite::shutdown_flag()),
+            }
+            .map_err(|e| format!("serve failed: {e}"))?;
+            // Stdout carries only JSON responses; the exit summary goes
+            // to stderr.
+            eprintln!(
+                "serve: {} received, {} completed, {} overloaded, \
+                 {} budget-rejected, {} degraded, {} persist errors",
+                stats.received,
+                stats.completed,
+                stats.rejected_overload,
+                stats.rejected_budget,
+                stats.degraded,
+                stats.persist_errors
+            );
             Ok(())
         }
         "predict" | "measure" | "codegen" | "tune" => {
@@ -153,6 +176,47 @@ fn run(args: &[String], tel: &Telemetry) -> Result<(), String> {
         }
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
+}
+
+/// Routes SIGTERM and SIGINT into the daemon's shutdown flag so `yasksite
+/// serve` drains in-flight requests, snapshots its state and exits 0
+/// instead of dying mid-write. The handler only stores an atomic — the
+/// signal-safety minimum.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        yasksite::shutdown_flag().store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+#[cfg(unix)]
+fn serve_on_socket(
+    config: yasksite::ServeConfig,
+    path: &std::path::Path,
+) -> std::io::Result<yasksite::ServeStats> {
+    yasksite::serve_unix(config, path, yasksite::shutdown_flag())
+}
+
+#[cfg(not(unix))]
+fn serve_on_socket(
+    _config: yasksite::ServeConfig,
+    _path: &std::path::Path,
+) -> std::io::Result<yasksite::ServeStats> {
+    Err(std::io::Error::other(
+        "--socket requires a Unix platform; use stdin mode instead",
+    ))
 }
 
 fn main() -> ExitCode {

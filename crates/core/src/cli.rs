@@ -6,6 +6,7 @@
 //! argument parsing lives here so it can be unit-tested.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use yasksite_arch::Machine;
 use yasksite_engine::TuningParams;
@@ -13,7 +14,7 @@ use yasksite_grid::Fold;
 use yasksite_stencil::{builders, paper_suite, Stencil};
 
 use crate::telemetry::{Level, Telemetry};
-use crate::{ToolError, TrialBudget, TrialConfig, TuneRequest, TuneStrategy};
+use crate::{ServeConfig, ToolError, TrialBudget, TrialConfig, TuneRequest, TuneStrategy};
 
 /// Parses `"512x8x8"`-style extent triples.
 ///
@@ -220,7 +221,61 @@ pub fn request_from_flags(flags: &HashMap<String, String>) -> Result<TuneRequest
     if flags.contains_key("profile") {
         req = req.profile();
     }
+    if let Some(c) = flags.get("drift-cap") {
+        let cap: usize = c.parse().map_err(|_| format!("bad --drift-cap '{c}'"))?;
+        req = req.drift_cap(cap);
+    }
     Ok(req)
+}
+
+/// Builds the daemon configuration for `yasksite serve` from parsed
+/// flags — `--state-dir DIR` (crash-safe journals), `--queue N`
+/// (bounded request queue, default 16), `--deadline-ms MS` (default
+/// per-request watchdog), `--tenant-runs N` / `--tenant-secs S`
+/// (per-tenant admission caps), `--drift-cap N` (ledger bound per key,
+/// default 64) — plus the optional `--socket PATH` to serve on a Unix
+/// socket instead of stdin. The caller attaches the telemetry handle.
+///
+/// # Errors
+/// Returns a message on malformed values.
+pub fn serve_config_from_flags(
+    flags: &HashMap<String, String>,
+) -> Result<(ServeConfig, Option<PathBuf>), String> {
+    let mut config = ServeConfig {
+        state_dir: flags.get("state-dir").map(PathBuf::from),
+        ..ServeConfig::default()
+    };
+    let usize_flag = |key: &str| -> Result<Option<usize>, String> {
+        flags
+            .get(key)
+            .map(|v| v.parse().map_err(|_| format!("bad --{key} '{v}'")))
+            .transpose()
+    };
+    if let Some(q) = usize_flag("queue")? {
+        config.queue_capacity = q.max(1);
+    }
+    config.default_deadline_ms = flags
+        .get("deadline-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad --deadline-ms '{v}'"))
+        })
+        .transpose()?;
+    config.tenant_runs = usize_flag("tenant-runs")?;
+    config.tenant_secs = flags
+        .get("tenant-secs")
+        .map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| s.is_finite() && *s > 0.0)
+                .ok_or_else(|| format!("bad --tenant-secs '{v}'"))
+        })
+        .transpose()?;
+    if let Some(cap) = usize_flag("drift-cap")? {
+        config.drift_cap = Some(cap);
+    }
+    let socket = flags.get("socket").map(PathBuf::from);
+    Ok((config, socket))
 }
 
 /// Builds the session [`Telemetry`] from parsed flags:
@@ -350,10 +405,35 @@ USAGE:
                    [--profile]               (profile the winner natively:
                                              phase timers, pool occupancy,
                                              drift table)
+                   [--drift-cap N]           (bound the drift ledger to N
+                                             records per key, oldest
+                                             evicted first)
   yasksite report   <trace.jsonl> [--baseline <trace.jsonl>]
                     (render a recorded trace: phase breakdown, pool
-                     utilization, drift table, regressions vs baseline)
+                     utilization, drift table, regressions vs baseline;
+                     truncated lines are skipped with a counted warning)
   yasksite codegen  (same flags as predict; prints the C kernel source)
+  yasksite serve    [--state-dir DIR]   (crash-safe journals: prediction
+                                        cache + drift history survive
+                                        restarts and torn writes)
+                   [--socket PATH]      (serve a Unix socket instead of
+                                        stdin/stdout)
+                   [--queue N]          (bounded request queue; overflow
+                                        is rejected, never buffered;
+                                        default 16)
+                   [--deadline-ms MS]   (default per-request watchdog:
+                                        stuck trials are cancelled to
+                                        their analytic fallback)
+                   [--tenant-runs N] [--tenant-secs S]
+                                        (per-tenant admission caps on
+                                        measurement runs / seconds)
+                   [--drift-cap N]      (drift records kept per key,
+                                        oldest evicted; default 64)
+                    Requests are JSON lines, answers one JSON line each:
+                      {\"id\":\"1\",\"op\":\"tune\",\"stencil\":\"heat-3d-r1\",
+                       \"domain\":\"32x16x16\",\"cores\":2,\"strategy\":\"hybrid\"}
+                    Ops: tune, predict, report, shutdown. SIGTERM drains
+                    in-flight requests, snapshots state and exits 0.
 
 Stencil names: heat-3d-r<r>, heat-2d-r<r>, box-3d-r<r>, star-3d-r<r>,
 star-2d-r2, wave-2d, heat-3d-vc.";
@@ -361,6 +441,7 @@ star-2d-r2, wave-2d, heat-3d-vc.";
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     #[test]
     fn triples() {
@@ -477,6 +558,52 @@ mod tests {
         flags.insert("strategy".into(), "empirical".into());
         flags.insert("jobs".into(), "x".into());
         assert!(request_from_flags(&flags).is_err());
+    }
+
+    #[test]
+    fn drift_cap_flag_wires_the_request() {
+        let mut flags = HashMap::new();
+        assert_eq!(request_from_flags(&flags).unwrap().drift_cap, None);
+        flags.insert("drift-cap".into(), "16".into());
+        assert_eq!(request_from_flags(&flags).unwrap().drift_cap, Some(16));
+        flags.insert("drift-cap".into(), "many".into());
+        assert!(request_from_flags(&flags).is_err());
+    }
+
+    #[test]
+    fn serve_config_resolves_defaults_and_flags() {
+        let mut flags = HashMap::new();
+        let (config, socket) = serve_config_from_flags(&flags).unwrap();
+        assert!(config.state_dir.is_none());
+        assert_eq!(config.queue_capacity, 16);
+        assert_eq!(config.drift_cap, Some(64));
+        assert!(config.tenant_runs.is_none() && config.tenant_secs.is_none());
+        assert!(socket.is_none());
+
+        flags.insert("state-dir".into(), "/tmp/ys-state".into());
+        flags.insert("queue".into(), "4".into());
+        flags.insert("deadline-ms".into(), "2500".into());
+        flags.insert("tenant-runs".into(), "100".into());
+        flags.insert("tenant-secs".into(), "1.5".into());
+        flags.insert("drift-cap".into(), "8".into());
+        flags.insert("socket".into(), "/tmp/ys.sock".into());
+        let (config, socket) = serve_config_from_flags(&flags).unwrap();
+        assert_eq!(
+            config.state_dir.as_deref(),
+            Some(Path::new("/tmp/ys-state"))
+        );
+        assert_eq!(config.queue_capacity, 4);
+        assert_eq!(config.default_deadline_ms, Some(2500));
+        assert_eq!(config.tenant_runs, Some(100));
+        assert_eq!(config.tenant_secs, Some(1.5));
+        assert_eq!(config.drift_cap, Some(8));
+        assert_eq!(socket.as_deref(), Some(Path::new("/tmp/ys.sock")));
+
+        flags.insert("queue".into(), "0".into());
+        let (config, _) = serve_config_from_flags(&flags).unwrap();
+        assert_eq!(config.queue_capacity, 1, "queue is clamped to 1");
+        flags.insert("tenant-secs".into(), "-3".into());
+        assert!(serve_config_from_flags(&flags).is_err());
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct TuneCost {
     /// measured throughput, so — like wall time — it varies run to run
     /// on a real host.
     pub drift_suspects: usize,
+    /// Drift records evicted by a bounded [`crate::DriftLedger`]
+    /// (oldest-first per `(stencil, params, cores)` key). Zero unless the
+    /// session asked for a cap; deterministic for a fixed request.
+    pub drift_evictions: usize,
 }
 
 impl AddAssign for TuneCost {
@@ -52,6 +56,7 @@ impl AddAssign for TuneCost {
         self.fallbacks += rhs.fallbacks;
         self.drift_records += rhs.drift_records;
         self.drift_suspects += rhs.drift_suspects;
+        self.drift_evictions += rhs.drift_evictions;
     }
 }
 
@@ -63,13 +68,14 @@ impl TuneCost {
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{} model evals ({} cached), {} runs, {} fallbacks, {} drift records ({} suspect), {:.3}s target time, {:.3}s codegen, {:.3}s wall",
+            "{} model evals ({} cached), {} runs, {} fallbacks, {} drift records ({} suspect, {} evicted), {:.3}s target time, {:.3}s codegen, {:.3}s wall",
             self.model_evals,
             self.cache_hits,
             self.engine_runs,
             self.fallbacks,
             self.drift_records,
             self.drift_suspects,
+            self.drift_evictions,
             self.target_seconds,
             self.codegen_seconds,
             self.wall_seconds
@@ -122,6 +128,7 @@ mod tests {
             fallbacks: 1,
             drift_records: 1,
             drift_suspects: 1,
+            drift_evictions: 1,
         };
         a += TuneCost {
             model_evals: 2,
@@ -136,6 +143,7 @@ mod tests {
         assert_eq!(a.fallbacks, 1);
         assert_eq!(a.drift_records, 3);
         assert_eq!(a.drift_suspects, 1);
+        assert_eq!(a.drift_evictions, 1);
         assert!(a.summary().contains("5 model evals"));
     }
 
@@ -152,12 +160,13 @@ mod tests {
             fallbacks: 2,
             drift_records: 2,
             drift_suspects: 1,
+            drift_evictions: 3,
         };
         let s = c.summary();
         assert!(s.contains("10 model evals (6 cached)"), "{s}");
         assert!(s.contains("4 runs"), "{s}");
         assert!(s.contains("2 fallbacks"), "{s}");
-        assert!(s.contains("2 drift records (1 suspect)"), "{s}");
+        assert!(s.contains("2 drift records (1 suspect, 3 evicted)"), "{s}");
         assert!(s.contains("1.500s target time"), "{s}");
         assert!(s.contains("0.125s codegen"), "{s}");
         assert!(s.contains("0.250s wall"), "{s}");

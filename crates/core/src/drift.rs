@@ -43,22 +43,67 @@ impl DriftRecord {
 }
 
 /// Append-only collection of [`DriftRecord`]s with per-stencil
-/// aggregation.
+/// aggregation, optionally bounded per `(stencil, params, cores)` key so
+/// a long-lived daemon cannot grow it without limit.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DriftLedger {
     records: Vec<DriftRecord>,
+    cap_per_key: Option<usize>,
+    evicted: usize,
 }
 
 impl DriftLedger {
-    /// An empty ledger.
+    /// An empty, unbounded ledger (the one-shot tuning default: a single
+    /// session is already bounded by its search space and budget).
     #[must_use]
     pub fn new() -> Self {
         DriftLedger::default()
     }
 
-    /// Appends one record.
+    /// An empty ledger keeping at most `cap_per_key` records per
+    /// `(stencil, params, cores)` key; the oldest record of that key is
+    /// evicted first once the cap is reached. A cap of 0 is treated as 1
+    /// (an empty ledger would silently drop all drift evidence).
+    #[must_use]
+    pub fn bounded(cap_per_key: usize) -> Self {
+        DriftLedger {
+            records: Vec::new(),
+            cap_per_key: Some(cap_per_key.max(1)),
+            evicted: 0,
+        }
+    }
+
+    /// Appends one record, evicting the oldest record with the same
+    /// `(stencil, params, cores)` key first when this ledger is bounded
+    /// and the key is at capacity.
     pub fn push(&mut self, record: DriftRecord) {
+        if let Some(cap) = self.cap_per_key {
+            let same_key = |r: &DriftRecord| {
+                r.stencil == record.stencil && r.params == record.params && r.cores == record.cores
+            };
+            if self.records.iter().filter(|r| same_key(r)).count() >= cap {
+                if let Some(oldest) = self.records.iter().position(same_key) {
+                    self.records.remove(oldest);
+                    self.evicted += 1;
+                }
+            }
+        }
         self.records.push(record);
+    }
+
+    /// Copies every record of `other` into this ledger, applying this
+    /// ledger's own eviction policy. Used by the daemon to absorb each
+    /// tuning session's ledger into its long-lived bounded one.
+    pub fn absorb(&mut self, other: &DriftLedger) {
+        for r in other.records() {
+            self.push(r.clone());
+        }
+    }
+
+    /// Records evicted over this ledger's lifetime (0 when unbounded).
+    #[must_use]
+    pub fn evictions(&self) -> usize {
+        self.evicted
     }
 
     /// Records collected so far, in append order.
@@ -175,6 +220,58 @@ mod tests {
         assert!(t.contains("heat-3d"), "{t}");
         assert!(t.contains("ok"), "{t}");
         assert!(t.contains("SUSPECT"), "{t}");
+    }
+
+    #[test]
+    fn bounded_ledger_evicts_oldest_per_key() {
+        let mut l = DriftLedger::bounded(2);
+        l.push(rec("heat-3d", 100.0, 101.0));
+        l.push(rec("heat-3d", 100.0, 102.0));
+        l.push(rec("box-3d", 100.0, 99.0)); // different key: untouched
+        l.push(rec("heat-3d", 100.0, 103.0)); // evicts the 101.0 record
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.evictions(), 1);
+        let heat: Vec<f64> = l
+            .records()
+            .iter()
+            .filter(|r| r.stencil == "heat-3d")
+            .map(|r| r.measured_mlups)
+            .collect();
+        assert_eq!(heat, vec![102.0, 103.0]);
+    }
+
+    #[test]
+    fn unbounded_ledger_never_evicts() {
+        let mut l = DriftLedger::new();
+        for i in 0..100 {
+            l.push(rec("heat-3d", 100.0, 100.0 + i as f64));
+        }
+        assert_eq!(l.len(), 100);
+        assert_eq!(l.evictions(), 0);
+    }
+
+    #[test]
+    fn absorb_applies_the_receivers_policy() {
+        let mut session = DriftLedger::new();
+        for i in 0..5 {
+            session.push(rec("heat-3d", 100.0, 100.0 + i as f64));
+        }
+        let mut daemon = DriftLedger::bounded(3);
+        daemon.absorb(&session);
+        assert_eq!(daemon.len(), 3);
+        assert_eq!(daemon.evictions(), 2);
+        // The newest records survive.
+        let kept: Vec<f64> = daemon.records().iter().map(|r| r.measured_mlups).collect();
+        assert_eq!(kept, vec![102.0, 103.0, 104.0]);
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_to_one() {
+        let mut l = DriftLedger::bounded(0);
+        l.push(rec("s", 100.0, 90.0));
+        l.push(rec("s", 100.0, 95.0));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.records()[0].measured_mlups, 95.0);
     }
 
     #[test]

@@ -52,9 +52,11 @@ mod cache;
 mod cost;
 mod drift;
 mod online;
+mod persist;
 mod predict;
 mod report;
 mod request;
+mod serve;
 mod solution;
 mod space;
 mod trial;
@@ -64,9 +66,20 @@ pub use cache::{PredictKey, PredictionCache};
 pub use cost::TuneCost;
 pub use drift::{DriftLedger, DriftRecord};
 pub use online::OnlineTuner;
+pub use persist::{
+    crc32, decode_drift, decode_journal, decode_prediction, encode_drift, encode_prediction, frame,
+    journal_header, AbsorbStats, FaultyMedium, FileMedium, Journal, JournalKind, JournalMedium,
+    MemMedium, PersistentStore, PredictionRecord, RecoveryEvent, RecoveryReport, WarmStats,
+    JOURNAL_VERSION, MAX_RECORD_BYTES,
+};
 pub use predict::{predict_params, predict_params_resident, PredictedPerf};
 pub use report::render_report;
 pub use request::{TuneRequest, JOBS_ENV};
+#[cfg(unix)]
+pub use serve::serve_unix;
+pub use serve::{
+    overload_response, serve, serve_stdin, shutdown_flag, ServeConfig, ServeState, ServeStats,
+};
 pub use solution::{MeasuredPerf, Solution, ToolError};
 pub use space::SearchSpace;
 pub use trial::{

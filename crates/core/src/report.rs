@@ -39,6 +39,9 @@ struct TraceDigest {
     gauges: Vec<(String, f64)>,
     /// `(span name, total seconds, count)` aggregated from `span_close`.
     spans: Vec<(String, f64, u64)>,
+    /// Lines that were not valid JSON (truncated tail of a crashed run,
+    /// torn concurrent write) — skipped rather than failing the report.
+    skipped: usize,
 }
 
 fn field_f64(j: &Json, key: &str) -> Option<f64> {
@@ -60,7 +63,16 @@ fn digest(trace: &str) -> Result<TraceDigest, String> {
         if line.trim().is_empty() {
             continue;
         }
-        let j = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        // A crash (or a kill signal mid-write) can leave a truncated
+        // final line; a report over the surviving prefix is far more
+        // useful than an error, so unparsable lines are skipped and
+        // counted. Lines that *do* parse but carry the wrong schema
+        // version still fail hard below — that is a real mismatch, not
+        // damage.
+        let Ok(j) = json::parse(line) else {
+            d.skipped += 1;
+            continue;
+        };
         match j.get("v").and_then(Json::as_u64) {
             Some(1) => {}
             Some(v) => {
@@ -150,13 +162,34 @@ fn render_phase_table(out: &mut String, rows: &[(String, f64, u64)]) {
 /// Renders `trace` (a JSONL telemetry trace) as the performance report;
 /// with `baseline` (a second trace), appends the top phase regressions.
 ///
+/// Lines that are not valid JSON — the truncated tail a crash or kill
+/// signal leaves behind — are skipped and surfaced as a counted warning
+/// in the report rather than failing it.
+///
 /// # Errors
-/// Returns a message naming the offending line for unparsable lines or
+/// Returns a message naming the offending line for a parsable line with
 /// an unsupported schema version ("trace schema mismatch: ...").
 pub fn render_report(trace: &str, baseline: Option<&str>) -> Result<String, String> {
     let d = digest(trace)?;
     let base = baseline.map(digest).transpose()?;
     let mut out = String::from("yasksite report\n===============\n\n");
+
+    if d.skipped > 0 {
+        let _ = writeln!(
+            out,
+            "warning: skipped {} unparsable line(s) in the trace (truncated by a crash?)\n",
+            d.skipped
+        );
+    }
+    if let Some(b) = &base {
+        if b.skipped > 0 {
+            let _ = writeln!(
+                out,
+                "warning: skipped {} unparsable line(s) in the baseline trace\n",
+                b.skipped
+            );
+        }
+    }
 
     out.push_str("phase breakdown:\n");
     if d.phases.is_empty() {
@@ -331,6 +364,31 @@ mod tests {
         let missing = r#"{"ev":"x","t_us":0}"#;
         let e = render_report(missing, None).unwrap_err();
         assert!(e.contains("missing \"v\""), "{e}");
-        assert!(render_report("not json", None).is_err());
+    }
+
+    #[test]
+    fn truncated_lines_are_skipped_with_a_counted_warning() {
+        // A crash mid-write leaves a torn final line; the report covers
+        // the surviving prefix and says what it dropped.
+        let mut t = profiled_trace();
+        t += r#"{"v":1,"ev":"profile","t_us":30,"span":1,"level":"info","phase":"swe"#;
+        let r = render_report(&t, None).unwrap();
+        assert!(r.contains("skipped 1 unparsable line(s)"), "{r}");
+        assert!(r.contains("compile"), "prefix still reported: {r}");
+        assert!(r.contains("4 workers"), "{r}");
+
+        // Pure garbage is all skipped, never an error.
+        let r = render_report("not json\nalso not json", None).unwrap();
+        assert!(r.contains("skipped 2 unparsable line(s)"), "{r}");
+
+        // The baseline trace gets the same tolerance, reported
+        // separately.
+        let cur = profiled_trace();
+        let base = format!("{cur}garbage tail");
+        let r = render_report(&cur, Some(&base)).unwrap();
+        assert!(
+            r.contains("skipped 1 unparsable line(s) in the baseline"),
+            "{r}"
+        );
     }
 }

@@ -72,6 +72,10 @@ pub struct TuneRequest {
     /// Profiling is observational — it never changes the winner, the
     /// ranking or any deterministic cost field.
     pub profile: bool,
+    /// Cap on [`crate::DriftLedger`] records per `(stencil, params,
+    /// cores)` key for this session; `None` (the default) keeps every
+    /// record. Evictions surface in [`crate::TuneCost::drift_evictions`].
+    pub drift_cap: Option<usize>,
 }
 
 impl Default for TuneRequest {
@@ -96,6 +100,7 @@ impl TuneRequest {
             cache: None,
             telemetry: Telemetry::disabled(),
             profile: false,
+            drift_cap: None,
         }
     }
 
@@ -156,6 +161,14 @@ impl TuneRequest {
         self
     }
 
+    /// Bounds the session's drift ledger per key (see
+    /// [`TuneRequest::drift_cap`]).
+    #[must_use]
+    pub fn drift_cap(mut self, cap: usize) -> Self {
+        self.drift_cap = Some(cap);
+        self
+    }
+
     /// The worker count this request resolves to: the pinned value, else
     /// [`TuneRequest::default_jobs`]; never 0.
     #[must_use]
@@ -208,6 +221,8 @@ mod tests {
         assert!(req.cache.is_none(), "defaults to the global cache");
         assert!(!req.profile, "profiling is opt-in");
         assert!(req.clone().profile().profile);
+        assert_eq!(req.drift_cap, None, "ledger is unbounded by default");
+        assert_eq!(req.clone().drift_cap(16).drift_cap, Some(16));
 
         let d = TuneRequest::default();
         assert_eq!(d.strategy, TuneStrategy::Analytic);

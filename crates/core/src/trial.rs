@@ -27,6 +27,7 @@
 //! consumed.
 
 use std::fmt;
+use std::time::Instant;
 
 use yasksite_engine::TuningParams;
 use yasksite_telemetry::{Level, SpanGuard, Telemetry, Value};
@@ -75,6 +76,9 @@ pub enum FallbackReason {
     AllSamplesFailed,
     /// The tuning-session budget ran out before the trial could finish.
     BudgetExhausted,
+    /// The request's deadline passed before the trial could finish (the
+    /// daemon's watchdog cancelling a stuck trial).
+    DeadlineExceeded,
 }
 
 /// Where a trial's estimate came from.
@@ -124,6 +128,9 @@ impl fmt::Display for Provenance {
                 FallbackReason::BudgetExhausted => {
                     write!(f, "predicted fallback (budget exhausted)")
                 }
+                FallbackReason::DeadlineExceeded => {
+                    write!(f, "predicted fallback (deadline exceeded)")
+                }
             },
         }
     }
@@ -143,6 +150,11 @@ pub struct TrialConfig {
     pub mad_k: f64,
     /// Budget seconds charged for the first retry; doubles per retry.
     pub backoff_base: f64,
+    /// Wall-clock deadline: no backend run starts at or after this
+    /// instant, and a trial cut short by it degrades to the analytic
+    /// fallback with [`FallbackReason::DeadlineExceeded`]. `None` (the
+    /// default) never cancels.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for TrialConfig {
@@ -153,6 +165,7 @@ impl Default for TrialConfig {
             max_retries: 3,
             mad_k: 3.5,
             backoff_base: 1e-3,
+            deadline: None,
         }
     }
 }
@@ -168,6 +181,14 @@ impl TrialConfig {
             max_retries: 0,
             ..TrialConfig::default()
         }
+    }
+
+    /// This protocol with a wall-clock deadline (see
+    /// [`TrialConfig::deadline`]).
+    #[must_use]
+    pub fn deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
     }
 }
 
@@ -280,6 +301,21 @@ pub struct FaultPlan {
     pub spike_prob: f64,
     /// Multiplier applied to spiked samples (> 1 slows them down).
     pub spike_factor: f64,
+    /// Probability a sample panics outright (a poisoned worker). Only a
+    /// supervisor with panic isolation — the serve daemon — survives
+    /// this; plain tuning propagates it, which is the point of testing
+    /// with it.
+    pub panic_prob: f64,
+    /// Probability a journal append writes only a prefix of the record
+    /// and then errors (a torn write). Consumed by
+    /// [`crate::FaultyMedium`], not by measurement backends.
+    pub io_short_prob: f64,
+    /// Probability a journal append silently flips a bit in the record
+    /// (detected later by the checksum). See [`crate::FaultyMedium`].
+    pub io_corrupt_prob: f64,
+    /// Probability a journal append fails cleanly writing nothing, as a
+    /// full disk would. See [`crate::FaultyMedium`].
+    pub io_enospc_prob: f64,
 }
 
 impl FaultPlan {
@@ -292,6 +328,34 @@ impl FaultPlan {
             nan_prob: 0.0,
             spike_prob: 0.0,
             spike_factor: 1.0,
+            panic_prob: 0.0,
+            io_short_prob: 0.0,
+            io_corrupt_prob: 0.0,
+            io_enospc_prob: 0.0,
+        }
+    }
+
+    /// Every sample panics — exercises the daemon's panic isolation.
+    #[must_use]
+    pub fn always_panic(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic_prob: 1.0,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// I/O faults only: seeded torn writes, silent corruption and
+    /// out-of-space errors for the persistence layer, no measurement
+    /// faults.
+    #[must_use]
+    pub fn io_faults(seed: u64, short: f64, corrupt: f64, enospc: f64) -> Self {
+        FaultPlan {
+            seed,
+            io_short_prob: short,
+            io_corrupt_prob: corrupt,
+            io_enospc_prob: enospc,
+            ..FaultPlan::none()
         }
     }
 
@@ -315,6 +379,7 @@ impl FaultPlan {
             nan_prob: 0.02,
             spike_prob: 0.15,
             spike_factor: 10.0,
+            ..FaultPlan::none()
         }
     }
 
@@ -364,6 +429,9 @@ impl<B: MeasureBackend> MeasureBackend for FaultyBackend<B> {
         }
         if category < self.plan.fail_prob + self.plan.nan_prob {
             return Ok(f64::NAN);
+        }
+        if category < self.plan.fail_prob + self.plan.nan_prob + self.plan.panic_prob {
+            panic!("injected backend panic");
         }
         let mut seconds = self.inner.run_sample(params)?;
         if spike < self.plan.spike_prob {
@@ -563,6 +631,7 @@ pub fn run_trial_observed(
         let why = match reason {
             FallbackReason::AllSamplesFailed => "all_samples_failed",
             FallbackReason::BudgetExhausted => "budget_exhausted",
+            FallbackReason::DeadlineExceeded => "deadline_exceeded",
         };
         tel.event(
             Level::Info,
@@ -588,6 +657,11 @@ pub fn run_trial_observed(
     if was_exhausted {
         return fallback(FallbackReason::BudgetExhausted, 0, 0, Vec::new());
     }
+    let deadline_passed = || cfg.deadline.is_some_and(|d| Instant::now() >= d);
+    if deadline_passed() {
+        tel.inc("trial.deadline_hits");
+        return fallback(FallbackReason::DeadlineExceeded, 0, 0, Vec::new());
+    }
 
     let mut attempts = 0usize;
     let mut retries = 0usize;
@@ -597,6 +671,15 @@ pub fn run_trial_observed(
         if budget.exhausted() {
             return fallback(
                 FallbackReason::BudgetExhausted,
+                retries,
+                attempts,
+                Vec::new(),
+            );
+        }
+        if deadline_passed() {
+            tel.inc("trial.deadline_hits");
+            return fallback(
+                FallbackReason::DeadlineExceeded,
                 retries,
                 attempts,
                 Vec::new(),
@@ -629,9 +712,15 @@ pub fn run_trial_observed(
     // consumes one retry and charges exponential backoff to the budget.
     let mut collected: Vec<f64> = Vec::with_capacity(cfg.samples);
     let mut budget_hit = false;
+    let mut deadline_hit = false;
     while collected.len() < cfg.samples {
         if budget.exhausted() {
             budget_hit = true;
+            break;
+        }
+        if deadline_passed() {
+            deadline_hit = true;
+            tel.inc("trial.deadline_hits");
             break;
         }
         attempts += 1;
@@ -678,7 +767,9 @@ pub fn run_trial_observed(
     }
 
     if collected.is_empty() {
-        let reason = if budget_hit {
+        let reason = if deadline_hit {
+            FallbackReason::DeadlineExceeded
+        } else if budget_hit {
             FallbackReason::BudgetExhausted
         } else {
             FallbackReason::AllSamplesFailed
@@ -700,6 +791,7 @@ pub fn run_trial_observed(
                 ("collected", collected.len().into()),
                 ("requested", cfg.samples.into()),
                 ("budget_hit", budget_hit.into()),
+                ("deadline_hit", deadline_hit.into()),
             ],
         );
     }
@@ -815,6 +907,55 @@ mod tests {
         assert_eq!(r.kept, 3);
         assert_eq!(r.rejected, 0);
         assert_eq!(r.attempts, 3);
+    }
+
+    #[test]
+    fn expired_deadline_falls_back_before_any_run() {
+        let mut b = Script::new(vec![Ok(1.0), Ok(1.0), Ok(1.0)]);
+        let cfg = TrialConfig {
+            warmup: 1,
+            samples: 3,
+            ..TrialConfig::default()
+        }
+        .deadline_at(Instant::now() - std::time::Duration::from_millis(1));
+        let r = run_trial(&mut b, &params(), 9.9, &cfg, &mut TrialBudget::unlimited());
+        assert_eq!(
+            r.provenance,
+            Provenance::PredictedFallback {
+                reason: FallbackReason::DeadlineExceeded
+            }
+        );
+        assert_eq!(r.seconds_per_sweep, 9.9);
+        assert_eq!(r.attempts, 0, "no backend run may start past the deadline");
+        assert_eq!(b.calls, 0);
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let cfg = TrialConfig {
+            warmup: 0,
+            samples: 3,
+            ..TrialConfig::default()
+        };
+        let run = |cfg: &TrialConfig| {
+            let mut b = Script::new(vec![Ok(2.0), Ok(1.0), Ok(3.0)]);
+            run_trial(&mut b, &params(), 9.9, cfg, &mut TrialBudget::unlimited())
+        };
+        let plain = run(&cfg);
+        let with_deadline =
+            run(&cfg.deadline_at(Instant::now() + std::time::Duration::from_secs(3600)));
+        assert_eq!(plain.provenance, with_deadline.provenance);
+        assert_eq!(
+            plain.seconds_per_sweep.to_bits(),
+            with_deadline.seconds_per_sweep.to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "injected backend panic")]
+    fn panic_plan_panics_without_a_supervisor() {
+        let mut b = FaultyBackend::new(Script::new(vec![Ok(1.0)]), FaultPlan::always_panic(7));
+        let _ = b.run_sample(&params());
     }
 
     #[test]

@@ -365,7 +365,10 @@ impl Solution {
         );
         let mut cost = TuneCost::default();
         let mut trials = TrialSummary::default();
-        let mut ledger = DriftLedger::new();
+        let mut ledger = match req.drift_cap {
+            Some(cap) => DriftLedger::bounded(cap),
+            None => DriftLedger::new(),
+        };
         // (params, score MLUP/s, provenance): provenance is None for
         // analytic scores that ran nothing.
         let mut entries: Vec<(TuningParams, f64, Option<Provenance>)> =
@@ -466,8 +469,10 @@ impl Solution {
         // -fallback decisions are auditable after the fact.
         cost.drift_records = ledger.len();
         cost.drift_suspects = ledger.suspect_count();
+        cost.drift_evictions = ledger.evictions();
         tel.add("tune.drift_records", cost.drift_records as u64);
         tel.add("tune.drift_suspects", cost.drift_suspects as u64);
+        tel.add("tune.drift_evictions", cost.drift_evictions as u64);
         for r in ledger.records() {
             tel.event(
                 Level::Info,

@@ -39,6 +39,7 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
                 nan_prob,
                 spike_prob,
                 spike_factor,
+                ..FaultPlan::none()
             },
         );
     prop_oneof![

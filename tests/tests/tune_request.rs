@@ -79,6 +79,7 @@ fn jobs_invariance_holds_under_seeded_faults() {
         nan_prob: 0.1,
         spike_prob: 0.2,
         spike_factor: 8.0,
+        ..FaultPlan::none()
     };
     for strategy in [
         TuneStrategy::Empirical,
