@@ -3,7 +3,7 @@
 //! blocking/folding ablations called out in DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use yasksite_engine::{apply_native, run_wavefront_native, TuningParams};
+use yasksite_engine::{SweepRequest, TierPolicy, TuningParams};
 use yasksite_grid::{Fold, Grid3};
 use yasksite_stencil::builders::{box3d, heat3d, inverter_chain_rhs};
 
@@ -29,7 +29,7 @@ fn bench_blocking(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{}x{}x{}", block[0], block[1], block[2])),
             &p,
             |b, p| {
-                b.iter(|| apply_native(&s, &[&u], &mut out, p).unwrap());
+                b.iter(|| SweepRequest::new(p).apply(&s, &[&u], &mut out).unwrap());
             },
         );
     }
@@ -46,7 +46,7 @@ fn bench_fold_paths(c: &mut Criterion) {
         let (u, mut out) = grids(n, [1, 1, 1], fold);
         let p = TuningParams::new([64, 8, 8], fold);
         g.bench_with_input(BenchmarkId::from_parameter(fold), &fold, |b, _| {
-            b.iter(|| apply_native(&s, &[&u], &mut out, &p).unwrap());
+            b.iter(|| SweepRequest::new(&p).apply(&s, &[&u], &mut out).unwrap());
         });
     }
     g.finish();
@@ -62,7 +62,7 @@ fn bench_tape(c: &mut Criterion) {
     let mut g = c.benchmark_group("inverter_chain_tape");
     g.throughput(Throughput::Elements(n[0] as u64));
     g.bench_function("tape", |b| {
-        b.iter(|| apply_native(&s, &[&u], &mut out, &p).unwrap());
+        b.iter(|| SweepRequest::new(&p).apply(&s, &[&u], &mut out).unwrap());
     });
     g.finish();
 }
@@ -79,7 +79,34 @@ fn bench_memory_bound_fastpath(c: &mut Criterion) {
     for (name, s) in [("heat3d", heat3d(1)), ("box3d", box3d(1))] {
         let (u, mut out) = grids(n, [1, 1, 1], fold);
         g.bench_function(name, |b| {
-            b.iter(|| apply_native(&s, &[&u], &mut out, &p).unwrap());
+            b.iter(|| SweepRequest::new(&p).apply(&s, &[&u], &mut out).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: scalar row kernels vs the folded lane kernel on the same
+/// row-major layout. box3d(2) has 125 terms (dynamic scalar arity), so
+/// the lane kernel's register accumulators show their compute-bound win.
+fn bench_tier_ablation(c: &mut Criterion) {
+    let n = [96, 48, 48];
+    let fold = Fold::new(8, 1, 1);
+    let s = box3d(2);
+    let p = TuningParams::new([96, 8, 8], fold);
+    let mut g = c.benchmark_group("box3d2_tier");
+    g.throughput(Throughput::Elements((n[0] * n[1] * n[2]) as u64));
+    for (name, policy) in [
+        ("scalar", TierPolicy::ForceScalar),
+        ("folded", TierPolicy::ForceFolded),
+    ] {
+        let (u, mut out) = grids(n, [2, 2, 2], fold);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                SweepRequest::new(&p)
+                    .tier(policy)
+                    .apply(&s, &[&u], &mut out)
+                    .unwrap()
+            });
         });
     }
     g.finish();
@@ -98,7 +125,11 @@ fn bench_wavefront(c: &mut Criterion) {
         let (mut a, mut b2) = grids(n, [1, 1, 1], fold);
         g.throughput(Throughput::Elements((depth * n[0] * n[1] * n[2]) as u64));
         g.bench_with_input(BenchmarkId::new("depth", depth), &p, |b, p| {
-            b.iter(|| run_wavefront_native(&s, &mut a, &mut b2, p).unwrap());
+            b.iter(|| {
+                SweepRequest::new(p)
+                    .run_wavefront(&s, &mut a, &mut b2)
+                    .unwrap()
+            });
         });
     }
     g.finish();
@@ -110,6 +141,7 @@ criterion_group!(
     bench_fold_paths,
     bench_tape,
     bench_memory_bound_fastpath,
+    bench_tier_ablation,
     bench_wavefront
 );
 criterion_main!(benches);

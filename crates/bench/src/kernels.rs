@@ -14,9 +14,7 @@
 use std::time::Instant;
 
 use yasksite::telemetry::json::{self, write_escaped, write_f64, Json};
-use yasksite_engine::{
-    apply_native, run_wavefront_native, CompiledStencil, ExecPool, TuningParams,
-};
+use yasksite_engine::{CompiledStencil, ExecPool, SweepRequest, TierPolicy, TuningParams};
 use yasksite_grid::{Fold, Grid3};
 use yasksite_stencil::{builders, Stencil};
 
@@ -59,12 +57,12 @@ impl KernelScale {
     }
 
     /// Timed repetitions per kernel (each preceded by one warm-up).
+    /// Best-of-3 everywhere: the paper scale used to settle for 2, but
+    /// the tier-ratio entries compare two same-scale measurements, so
+    /// one extra rep buys a visibly steadier ratio on noisy hosts.
     #[must_use]
     pub fn reps(self) -> usize {
-        match self {
-            KernelScale::Tiny | KernelScale::Small => 3,
-            KernelScale::Paper => 2,
-        }
+        3
     }
 
     /// Parses a `--scale` operand.
@@ -652,6 +650,10 @@ pub fn e12_kernel_throughput(scale: KernelScale) -> KernelReport {
         });
     };
 
+    // Tiers are pinned per sample (never read from the environment) so a
+    // CI leg running under YASKSITE_FORCE_TIER cannot distort the ratios.
+    let auto = |p: &TuningParams| SweepRequest::new(p).tier(TierPolicy::Auto);
+
     // --- Spatial fast path: seed replica vs rebuilt engine. ---
     {
         let u = filled_grid("u", n, halo, fold);
@@ -659,11 +661,15 @@ pub fn e12_kernel_throughput(scale: KernelScale) -> KernelReport {
         let secs = time_best(reps, || seed_linear_sweep(&stencil, &u, &mut out, &p1));
         push("heat3d_fastpath_seed", secs, points, 1, 1);
         let secs = time_best(reps, || {
-            apply_native(&stencil, &[&u], &mut out, &p1).expect("fast path");
+            auto(&p1)
+                .apply(&stencil, &[&u], &mut out)
+                .expect("fast path");
         });
         push("heat3d_fastpath_new", secs, points, 1, 1);
         let secs = time_best(reps, || {
-            apply_native(&stencil, &[&u], &mut out, &pmt).expect("fast path");
+            auto(&pmt)
+                .apply(&stencil, &[&u], &mut out)
+                .expect("fast path");
         });
         push("heat3d_fastpath_new_mt", secs, points, threads_available, 1);
     }
@@ -674,9 +680,69 @@ pub fn e12_kernel_throughput(scale: KernelScale) -> KernelReport {
         let u = filled_grid("u", n, halo, fold);
         let mut out = Grid3::new("out", n, halo, fold);
         let secs = time_best(reps, || {
-            apply_native(&s27, &[&u], &mut out, &p1).expect("fast path");
+            auto(&p1).apply(&s27, &[&u], &mut out).expect("fast path");
         });
         push("box3d_fastpath_new", secs, points, 1, 1);
+    }
+
+    // --- Folded lane tier vs the scalar rows it replaces. heat3d shows
+    // the memory-bound case; box3d(2) (125 terms, dynamic scalar arity)
+    // shows the compute-bound win of the wide-lane accumulators, which
+    // touch the output once per 16-term stripe instead of once per term.
+    {
+        let u = filled_grid("u", n, halo, fold);
+        let mut out = Grid3::new("out", n, halo, fold);
+        let scalar = SweepRequest::new(&p1).tier(TierPolicy::ForceScalar);
+        let secs = time_best(reps, || {
+            scalar
+                .apply(&stencil, &[&u], &mut out)
+                .expect("scalar tier");
+        });
+        push("heat3d_scalar_tier_1t", secs, points, 1, 1);
+        let folded = SweepRequest::new(&p1).tier(TierPolicy::ForceFolded);
+        let secs = time_best(reps, || {
+            folded
+                .apply(&stencil, &[&u], &mut out)
+                .expect("folded tier");
+        });
+        push("heat3d_folded_tier_1t", secs, points, 1, 1);
+    }
+    {
+        let s125 = builders::box3d(2);
+        let halo2 = [2usize, 2, 2];
+        let u = filled_grid("u", n, halo2, fold);
+        let mut out = Grid3::new("out", n, halo2, fold);
+        let scalar = SweepRequest::new(&p1).tier(TierPolicy::ForceScalar);
+        let secs = time_best(reps, || {
+            scalar.apply(&s125, &[&u], &mut out).expect("scalar tier");
+        });
+        push("box3d2_scalar_tier_1t", secs, points, 1, 1);
+        let folded = SweepRequest::new(&p1).tier(TierPolicy::ForceFolded);
+        let secs = time_best(reps, || {
+            folded.apply(&s125, &[&u], &mut out).expect("folded tier");
+        });
+        push("box3d2_folded_tier_1t", secs, points, 1, 1);
+    }
+
+    // --- Brick kernel on a multi-dimensional fold (4×2×1) vs the
+    // per-point generic path those layouts used before the folded tier.
+    {
+        let fold421 = Fold::new(4, 2, 1);
+        let p421 = TuningParams::new([n[0], 16, 16], fold421);
+        let u = filled_grid("u", n, halo, fold421);
+        let mut out = Grid3::new("out", n, halo, fold421);
+        // ForceScalar on a multi-dim fold degrades to the generic path —
+        // exactly the pre-folded-tier behaviour.
+        let generic = SweepRequest::new(&p421).tier(TierPolicy::ForceScalar);
+        let secs = time_best(reps, || {
+            generic.apply(&stencil, &[&u], &mut out).expect("generic");
+        });
+        push("heat3d_4x2x1_generic_1t", secs, points, 1, 1);
+        let brick = SweepRequest::new(&p421).tier(TierPolicy::ForceFolded);
+        let secs = time_best(reps, || {
+            brick.apply(&stencil, &[&u], &mut out).expect("brick tier");
+        });
+        push("heat3d_4x2x1_brick_1t", secs, points, 1, 1);
     }
 
     // --- Wavefront at depth 2: seed naive vs blocked+threaded. ---
@@ -695,7 +761,9 @@ pub fn e12_kernel_throughput(scale: KernelScale) -> KernelReport {
 
         let pw1 = p1.clone().wavefront(depth);
         let secs = time_best(reps, || {
-            run_wavefront_native(&stencil, &mut a, &mut b, &pw1).expect("wavefront");
+            auto(&pw1)
+                .run_wavefront(&stencil, &mut a, &mut b)
+                .expect("wavefront");
         });
         push(
             "heat3d_wavefront_new_d2",
@@ -707,7 +775,9 @@ pub fn e12_kernel_throughput(scale: KernelScale) -> KernelReport {
 
         let pwmt = pmt.clone().wavefront(depth);
         let secs = time_best(reps, || {
-            run_wavefront_native(&stencil, &mut a, &mut b, &pwmt).expect("wavefront");
+            auto(&pwmt)
+                .run_wavefront(&stencil, &mut a, &mut b)
+                .expect("wavefront");
         });
         push(
             "heat3d_wavefront_new_d2_mt",
@@ -720,7 +790,9 @@ pub fn e12_kernel_throughput(scale: KernelScale) -> KernelReport {
         // Depth-4 point for the MLUP/s-vs-depth trajectory.
         let pw4 = pmt.clone().wavefront(4);
         let secs = time_best(reps, || {
-            run_wavefront_native(&stencil, &mut a, &mut b, &pw4).expect("wavefront");
+            auto(&pw4)
+                .run_wavefront(&stencil, &mut a, &mut b)
+                .expect("wavefront");
         });
         push(
             "heat3d_wavefront_new_d4_mt",
@@ -751,6 +823,18 @@ pub fn e12_kernel_throughput(scale: KernelScale) -> KernelReport {
             "wavefront_new_1t_vs_seed_d2",
             mlups_of("heat3d_wavefront_new_d2") / mlups_of("heat3d_wavefront_seed_d2"),
         ),
+        (
+            "folded_vs_scalar_heat3d_1t",
+            mlups_of("heat3d_folded_tier_1t") / mlups_of("heat3d_scalar_tier_1t"),
+        ),
+        (
+            "folded_vs_scalar_box3d2_1t",
+            mlups_of("box3d2_folded_tier_1t") / mlups_of("box3d2_scalar_tier_1t"),
+        ),
+        (
+            "folded_brick_vs_generic_4x2x1_1t",
+            mlups_of("heat3d_4x2x1_brick_1t") / mlups_of("heat3d_4x2x1_generic_1t"),
+        ),
     ];
 
     KernelReport {
@@ -777,8 +861,13 @@ mod tests {
         let mut seed_out = Grid3::new("so", n, [1, 1, 1], fold);
         let mut new_out = Grid3::new("no", n, [1, 1, 1], fold);
         seed_linear_sweep(&s, &u, &mut seed_out, &p);
-        apply_native(&s, &[&u], &mut new_out, &p).unwrap();
-        assert_eq!(seed_out.max_abs_diff(&new_out).unwrap(), 0.0);
+        for policy in [TierPolicy::ForceScalar, TierPolicy::ForceFolded] {
+            SweepRequest::new(&p)
+                .tier(policy)
+                .apply(&s, &[&u], &mut new_out)
+                .unwrap();
+            assert_eq!(seed_out.max_abs_diff(&new_out).unwrap(), 0.0, "{policy:?}");
+        }
 
         let wf = 3;
         let mut a1 = filled_grid("a1", n, [1, 1, 1], fold);
@@ -787,7 +876,10 @@ mod tests {
         let mut a2 = filled_grid("a2", n, [1, 1, 1], fold);
         let mut b2 = filled_grid("b2", n, [1, 1, 1], fold);
         let pw = p.clone().threads(4).wavefront(wf);
-        run_wavefront_native(&s, &mut a2, &mut b2, &pw).unwrap();
+        SweepRequest::new(&pw)
+            .tier(TierPolicy::Auto)
+            .run_wavefront(&s, &mut a2, &mut b2)
+            .unwrap();
         assert_eq!(a1.max_abs_diff(&a2).unwrap(), 0.0);
     }
 

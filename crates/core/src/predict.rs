@@ -3,7 +3,7 @@
 
 use yasksite_arch::Machine;
 use yasksite_ecm::{EcmModel, EcmPrediction, KernelDesc, OverlapPolicy};
-use yasksite_engine::TuningParams;
+use yasksite_engine::{plan_tier, Tier, TuningParams};
 use yasksite_stencil::Stencil;
 
 /// An analytic performance prediction for one `(params, cores)` point.
@@ -52,10 +52,19 @@ pub fn predict_params_resident(
     cores: usize,
     resident_bytes: Option<f64>,
 ) -> PredictedPerf {
+    // Tier-aware in-core issue: when the engine's planner would run this
+    // configuration on the generic per-point tier (no vectorised kernel
+    // is eligible), the model must not credit it with SIMD throughput.
+    // Linear row-major configurations plan onto the folded/scalar tiers,
+    // so their predictions are unchanged; the tape tier keeps the
+    // vectorised model because its threaded interpreter still streams
+    // whole rows.
+    let (tier, _) = plan_tier(stencil, params);
     let mut desc = KernelDesc::new(stencil, domain)
         .tile(params.clipped_block(domain))
         .fold(params.fold)
-        .streaming_stores(params.streaming_stores);
+        .streaming_stores(params.streaming_stores)
+        .scalar_issue(tier == Tier::Generic);
     if let Some(r) = resident_bytes {
         desc = desc.resident_bytes(r);
     }
@@ -170,6 +179,22 @@ mod tests {
         }
         let full = predict_params(&s, domain, &clx(), &params, 20).mlups;
         assert!(full > 3.0 * single);
+    }
+
+    #[test]
+    fn generic_tier_configurations_lose_simd_credit() {
+        // A fold with an unsupported element count plans onto the generic
+        // per-point tier, so the predictor must charge scalar issue; the
+        // folded-tier configuration keeps its vectorised in-core model.
+        let s = heat3d(1);
+        let domain = [128, 64, 64];
+        let folded = TuningParams::new([128, 8, 8], Fold::new(8, 1, 1));
+        let generic = TuningParams::new([128, 8, 8], Fold::new(3, 2, 1));
+        let pf = predict_params(&s, domain, &clx(), &folded, 1);
+        let pg = predict_params(&s, domain, &clx(), &generic, 1);
+        assert!(!pf.ecm.incore.t_ol.is_nan());
+        assert!(pg.ecm.t_ecm > pf.ecm.t_ecm);
+        assert!(pg.mlups < pf.mlups);
     }
 
     #[test]

@@ -4,9 +4,8 @@ use std::fmt;
 
 use yasksite_arch::{Machine, MachineFileError, MachineKind};
 use yasksite_engine::{
-    apply_native, apply_native_profiled_on, apply_simulated, codegen, run_wavefront_native_on,
-    run_wavefront_native_profiled_on, run_wavefront_simulated, CodegenOutput, EngineError,
-    ExecPool, ProfileReport, SimContext, SweepProfiler, TuningParams,
+    apply_simulated, codegen, run_wavefront_simulated, CodegenOutput, EngineError, ExecPool,
+    ProfileReport, SimContext, SweepProfiler, SweepRequest, TuningParams,
 };
 use yasksite_grid::Grid3;
 use yasksite_memsim::HierarchyStats;
@@ -210,24 +209,24 @@ impl Solution {
     fn measure_native(&self, params: &TuningParams) -> Result<MeasuredPerf, ToolError> {
         let (mut inputs, mut out) = self.allocate_grids(params);
         let pool = ExecPool::global();
+        let request = SweepRequest::new(params).pool(pool);
         if params.wavefront > 1 {
             let mut a = inputs.swap_remove(0);
             // Warm-up.
-            run_wavefront_native_on(pool, &self.stencil, &mut a, &mut out, params)?;
-            let t0 = std::time::Instant::now();
-            let used = run_wavefront_native_on(pool, &self.stencil, &mut a, &mut out, params)?;
-            let secs = t0.elapsed().as_secs_f64() / params.wavefront as f64;
+            request.run_wavefront(&self.stencil, &mut a, &mut out)?;
+            let report = request.run_wavefront(&self.stencil, &mut a, &mut out)?;
+            let secs = report.seconds / params.wavefront as f64;
             return Ok(MeasuredPerf {
                 mlups: self.updates_per_sweep() as f64 / secs.max(1e-12) / 1e6,
                 seconds_per_sweep: secs,
                 stats: None,
                 simulated: false,
-                threads_used: used,
+                threads_used: report.threads_used,
             });
         }
         let refs: Vec<&Grid3> = inputs.iter().collect();
-        apply_native(&self.stencil, &refs, &mut out, params)?; // warm-up
-        let run = apply_native(&self.stencil, &refs, &mut out, params)?;
+        request.apply(&self.stencil, &refs, &mut out)?; // warm-up
+        let run = request.apply(&self.stencil, &refs, &mut out)?;
         Ok(MeasuredPerf {
             mlups: run.mlups,
             seconds_per_sweep: run.seconds,
@@ -288,31 +287,25 @@ impl Solution {
         let (mut inputs, mut out) = self.allocate_grids(params);
         let pool = ExecPool::global();
         let prof = SweepProfiler::enabled();
+        let warmup = SweepRequest::new(params).pool(pool);
+        let profiled = SweepRequest::new(params).pool(pool).profiler(&prof);
         if params.wavefront > 1 {
             let mut a = inputs.swap_remove(0);
-            run_wavefront_native_on(pool, &self.stencil, &mut a, &mut out, params)?; // warm-up
-            let t0 = std::time::Instant::now();
-            let used = run_wavefront_native_profiled_on(
-                pool,
-                &self.stencil,
-                &mut a,
-                &mut out,
-                params,
-                &prof,
-            )?;
-            let secs = t0.elapsed().as_secs_f64() / params.wavefront as f64;
+            warmup.run_wavefront(&self.stencil, &mut a, &mut out)?; // warm-up
+            let report = profiled.run_wavefront(&self.stencil, &mut a, &mut out)?;
+            let secs = report.seconds / params.wavefront as f64;
             let perf = MeasuredPerf {
                 mlups: self.updates_per_sweep() as f64 / secs.max(1e-12) / 1e6,
                 seconds_per_sweep: secs,
                 stats: None,
                 simulated: false,
-                threads_used: used,
+                threads_used: report.threads_used,
             };
             return Ok((perf, prof.report()));
         }
         let refs: Vec<&Grid3> = inputs.iter().collect();
-        apply_native(&self.stencil, &refs, &mut out, params)?; // warm-up
-        let run = apply_native_profiled_on(pool, &self.stencil, &refs, &mut out, params, &prof)?;
+        warmup.apply(&self.stencil, &refs, &mut out)?; // warm-up
+        let run = profiled.apply(&self.stencil, &refs, &mut out)?;
         let perf = MeasuredPerf {
             mlups: run.mlups,
             seconds_per_sweep: run.seconds,

@@ -133,12 +133,21 @@ impl SearchSpace {
     /// block extents clipped to the domain and configurations that
     /// collapse to the same effective point emitted only once (first
     /// occurrence wins).
+    ///
+    /// Folds that do not [`Fold::fits`] the domain are rejected here,
+    /// mirroring how oversize blocks are clipped: a fold wider than the
+    /// grid would force a degenerate layout, so it never becomes a
+    /// candidate (unlike blocks, folds cannot be clipped — the layout is
+    /// all-or-nothing).
     #[must_use]
     pub fn candidates(&self, threads: usize) -> Vec<TuningParams> {
         let mut seen: HashSet<TuningParams> = HashSet::new();
         let mut out = Vec::new();
         for &b in &self.blocks {
             for &f in &self.folds {
+                if !f.fits(self.domain) {
+                    continue;
+                }
                 for &w in &self.wavefronts {
                     let mut p = TuningParams::new(b, f).threads(threads).wavefront(w);
                     p.block = p.clipped_block(self.domain);
@@ -250,6 +259,25 @@ mod tests {
         assert!(c.iter().all(|p| uniq.insert(p.clone())));
         // len() reports the deduped count.
         assert_eq!(sp.len(), c.len());
+    }
+
+    #[test]
+    fn folds_exceeding_the_domain_are_rejected() {
+        // A 16-lane fold cannot tile a 12-point x extent; enumeration
+        // must drop it the way it clips oversize blocks, keeping only
+        // the folds that fit.
+        let m = Machine::cascade_lake();
+        let sp = SearchSpace::spatial_only(&heat3d(1), [12, 8, 8], &m)
+            .with_folds(vec![Fold::new(16, 1, 1), Fold::new(8, 1, 1)]);
+        let c = sp.candidates(1);
+        assert!(!c.is_empty());
+        assert!(c.iter().all(|p| p.fold == Fold::new(8, 1, 1)));
+
+        // When nothing fits, the space is honestly empty.
+        let none = SearchSpace::spatial_only(&heat3d(1), [12, 8, 8], &m)
+            .with_folds(vec![Fold::new(16, 1, 1)]);
+        assert!(none.is_empty());
+        assert!(none.candidates(1).is_empty());
     }
 
     #[test]

@@ -49,6 +49,45 @@ pub const UNALIGNED_LOAD_COST: f64 = 1.5;
 ///   every non-brick-aligned offset costs a permute on the shuffle port.
 #[must_use]
 pub fn incore(info: &StencilInfo, ports: &PortModel, fold: Fold) -> InCore {
+    incore_with_issue(info, ports, fold, false)
+}
+
+/// Like [`incore`], but with an explicit issue regime.
+///
+/// `scalar_issue = true` models a kernel that executes one lattice point
+/// per instruction (the engine's generic per-point tier, selected when no
+/// vectorised kernel is eligible): every offset is one scalar load, every
+/// update one scalar store, and the unit of work takes `lanes` times as
+/// many iterations — no alignment penalties and no fold permutes, because
+/// scalar accesses never straddle lanes. Used by the tier-aware predictor
+/// so configurations the engine cannot vectorise are not credited with
+/// SIMD throughput.
+#[must_use]
+pub fn incore_with_issue(
+    info: &StencilInfo,
+    ports: &PortModel,
+    fold: Fold,
+    scalar_issue: bool,
+) -> InCore {
+    if scalar_issue {
+        // One scalar iteration per lattice update: vec_iters becomes the
+        // full unit of work, one aligned load per offset, no shuffles.
+        let iters = UPDATES_PER_UNIT;
+        let loads = info.offsets.len() as f64;
+        let stores = 1.0;
+        let arith = ports.arith_cycles(
+            info.fmas as f64,
+            (info.adds_rem + info.negs) as f64,
+            info.muls_rem as f64,
+        );
+        return InCore {
+            t_ol: arith * iters,
+            t_nol: ports.mem_cycles(loads, stores) * iters,
+            loads: loads * iters,
+            stores: stores * iters,
+            permutes: 0.0,
+        };
+    }
     let lanes = ports.simd.lanes_f64() as f64;
     // Vector iterations per unit of work (a 512-bit machine does one
     // 8-lane iteration per output line; a 256-bit machine needs two).
@@ -169,6 +208,25 @@ mod tests {
         // Rome runs 2 vector iterations per unit of work.
         assert!((a.stores - 2.0).abs() < 1e-12);
         assert!((b.stores - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_issue_loses_the_simd_speedup() {
+        // The generic per-point tier must never be credited with SIMD
+        // throughput: its in-core time is lanes× the vectorised kernel's
+        // iteration count (8 scalar iterations per unit of work on CLX)
+        // and it pays no permutes or alignment penalties.
+        let m = Machine::cascade_lake();
+        let s = heat3d(1);
+        let vec = incore(&s.info(), &m.ports, Fold::new(8, 1, 1));
+        let scalar = incore_with_issue(&s.info(), &m.ports, Fold::new(8, 1, 1), false);
+        assert_eq!(vec, scalar, "flag off is the plain model");
+        let generic = incore_with_issue(&s.info(), &m.ports, Fold::new(8, 1, 1), true);
+        assert!(generic.t_ol > vec.t_ol * 4.0);
+        assert!(generic.t_nol > vec.t_nol);
+        assert_eq!(generic.permutes, 0.0);
+        // 7 offsets × 8 iterations, one aligned load each.
+        assert!((generic.loads - 56.0).abs() < 1e-12);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use yasksite_arch::{Machine, MachineKind};
 use yasksite_grid::Fold;
 use yasksite_stencil::{Stencil, StencilInfo};
 
-use crate::incore::{incore, InCore, UPDATES_PER_UNIT};
+use crate::incore::{incore_with_issue, InCore, UPDATES_PER_UNIT};
 use crate::traffic::{traffic_resident, TrafficModel};
 
 /// How data-transfer terms combine with each other and the core.
@@ -45,6 +45,10 @@ pub struct KernelDesc {
     pub fold: Fold,
     /// Whether stores bypass the cache (non-temporal).
     pub streaming_stores: bool,
+    /// Whether the kernel issues one lattice point per instruction (the
+    /// engine's generic per-point tier) instead of vectorised kernels;
+    /// see [`crate::incore::incore_with_issue`].
+    pub scalar_issue: bool,
     /// Steady-state resident-set bytes of the kernel's whole working data
     /// (defaults to all of its grids); boundaries below a level that can
     /// hold this carry no steady-state traffic.
@@ -66,6 +70,7 @@ impl KernelDesc {
             tile: domain,
             fold: Fold::new(8, 1, 1),
             streaming_stores: false,
+            scalar_issue: false,
             resident_bytes,
         }
     }
@@ -88,6 +93,16 @@ impl KernelDesc {
     #[must_use]
     pub fn streaming_stores(mut self, on: bool) -> Self {
         self.streaming_stores = on;
+        self
+    }
+
+    /// Marks the kernel as executing on the generic per-point tier
+    /// (scalar issue, no SIMD credit). The tier-aware predictor sets this
+    /// from the engine's tier planner; it defaults to off, so vectorised
+    /// configurations are modelled exactly as before.
+    #[must_use]
+    pub fn scalar_issue(mut self, on: bool) -> Self {
+        self.scalar_issue = on;
         self
     }
 
@@ -214,7 +229,7 @@ impl EcmModel {
     #[must_use]
     pub fn predict_at(&self, desc: &KernelDesc, cores: usize) -> EcmPrediction {
         let m = &self.machine;
-        let ic = incore(&desc.info, &m.ports, desc.fold);
+        let ic = incore_with_issue(&desc.info, &m.ports, desc.fold, desc.scalar_issue);
         let tr = if self.pessimistic_traffic {
             crate::traffic::traffic_pessimistic(&desc.info, m, desc.streaming_stores)
         } else {

@@ -8,10 +8,12 @@
 //! This crate reimplements that structure with three interchangeable
 //! execution backends:
 //!
-//! * **native** ([`apply_native`], [`run_wavefront_native`]): really runs
-//!   the kernel on the host (linear stencils go through a vectorisable
-//!   fast path, everything else through a compiled tape interpreter);
-//!   used for host measurements and as the correctness oracle's subject.
+//! * **native** ([`SweepRequest::apply`], [`SweepRequest::run_wavefront`]):
+//!   really runs the kernel on the host through a specialisation ladder —
+//!   the explicitly vectorised folded tier, the scalar row kernels, the
+//!   compiled tape interpreter, or the layout-agnostic generic path —
+//!   and reports which tier executed; used for host measurements and as
+//!   the correctness oracle's subject.
 //! * **simulated** ([`apply_simulated`], [`run_wavefront_simulated`]):
 //!   walks the *same* iteration order but issues the touched cache lines
 //!   to [`yasksite_memsim::MemHierarchy`], producing the "measured"
@@ -23,7 +25,7 @@
 //! # Examples
 //!
 //! ```
-//! use yasksite_engine::{apply_native, TuningParams};
+//! use yasksite_engine::{SweepRequest, Tier, TierPolicy, TuningParams};
 //! use yasksite_grid::{Fold, Grid3};
 //! use yasksite_stencil::builders::heat3d;
 //!
@@ -32,8 +34,11 @@
 //! u.fill_with(|i, j, k| (i + j + k) as f64);
 //! let mut out = Grid3::new("out", [32, 32, 32], [1, 1, 1], Fold::new(8, 1, 1));
 //! let params = TuningParams::new([32, 8, 8], Fold::new(8, 1, 1));
-//! let run = apply_native(&s, &[&u], &mut out, &params)?;
-//! assert!(run.seconds >= 0.0);
+//! let report = SweepRequest::new(&params)
+//!     .tier(TierPolicy::Auto)
+//!     .apply(&s, &[&u], &mut out)?;
+//! assert!(report.seconds >= 0.0);
+//! assert_eq!(report.tier, Tier::Folded);
 //! # Ok::<(), yasksite_engine::EngineError>(())
 //! ```
 
@@ -46,24 +51,30 @@
 mod codegen;
 mod compile;
 mod error;
+mod fold_tier;
 mod native;
 mod params;
 mod pool;
 mod profile;
 mod rank;
 mod simulate;
+mod sweep;
 mod wavefront;
 
 pub use codegen::{codegen, CodegenOutput};
 pub use compile::CompiledStencil;
 pub use error::EngineError;
-pub use native::{apply_native, apply_native_on, apply_native_profiled_on, NativeRun};
+pub use native::NativeRun;
+#[allow(deprecated)]
+pub use native::{apply_native, apply_native_on, apply_native_profiled_on};
 pub use params::TuningParams;
 pub use pool::{ExecPool, PoolStats, ScopedJob};
 pub use profile::{IntervalStats, PhaseStat, PoolWindow, ProfileReport, SweepProfiler};
 pub use rank::{predict_multirank, Interconnect, MultiRankPrediction, RankDecomposition};
 pub use simulate::{apply_simulated, SimContext, SimulatedRun};
+pub use sweep::{plan_tier, SweepReport, SweepRequest, Tier, TierPolicy, FORCE_TIER_ENV};
+pub use wavefront::run_wavefront_simulated;
+#[allow(deprecated)]
 pub use wavefront::{
     run_wavefront_native, run_wavefront_native_on, run_wavefront_native_profiled_on,
-    run_wavefront_simulated,
 };

@@ -15,9 +15,11 @@ use yasksite_stencil::Stencil;
 
 use crate::compile::{CompiledStencil, Tape};
 use crate::error::EngineError;
+use crate::fold_tier::brick_fast_path;
 use crate::params::{chunk_ranges, TuningParams};
 use crate::pool::{ExecPool, ScopedJob};
 use crate::profile::SweepProfiler;
+use crate::sweep::{plan_spatial, Plan, Tier, TierPolicy};
 
 /// Result of one native kernel application.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,14 +31,15 @@ pub struct NativeRun {
     /// Lattice updates performed.
     pub updates: u64,
     /// Threads that actually received work: the number of non-empty
-    /// z-slabs the sweep was decomposed into (≤ `params.threads`; small
-    /// domains produce fewer slabs than requested threads).
+    /// slabs the sweep was decomposed into (≤ `params.threads`; small
+    /// domains produce fewer slabs than requested threads). Row-major
+    /// layouts split into z-plane slabs, the folded brick tier into
+    /// brick-z slabs.
     ///
-    /// The layout-generic path reports `1` deliberately: folded
-    /// (non-row-major) layouts go through `Grid3`'s brick accessors,
-    /// whose scattered addressing defeats the contiguous-slab split the
-    /// threaded paths rely on, so that path runs single-threaded and
-    /// says so rather than echoing `params.threads` back.
+    /// The layout-generic path reports `1` deliberately: it walks the
+    /// grid through per-point accessors with no contiguous storage
+    /// window to hand each worker, so it runs single-threaded and says
+    /// so rather than echoing `params.threads` back.
     pub threads_used: usize,
 }
 
@@ -58,35 +61,43 @@ fn check_folds(inputs: &[&Grid3], out: &Grid3, params: &TuningParams) -> Result<
 }
 
 /// Applies `stencil` once over the full domain of `out` on the
-/// process-global [`ExecPool`]. See [`apply_native_on`].
+/// process-global [`ExecPool`].
 ///
 /// # Errors
 /// Returns binding errors (arity/halo/domain) or parameter errors
 /// (fold mismatch, zero extents).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `SweepRequest::new(&params)` and call `.apply(...)` instead"
+)]
 pub fn apply_native(
     stencil: &Stencil,
     inputs: &[&Grid3],
     out: &mut Grid3,
     params: &TuningParams,
 ) -> Result<NativeRun, EngineError> {
-    apply_native_on(ExecPool::global(), stencil, inputs, out, params)
+    execute_apply(
+        ExecPool::global(),
+        stencil,
+        inputs,
+        out,
+        params,
+        &SweepProfiler::disabled(),
+        TierPolicy::from_env(),
+    )
+    .map(|(run, _, _)| run)
 }
 
-/// Applies `stencil` once over the full domain of `out`, using the
-/// blocked YASK loop structure with the given tuning parameters, really
-/// executing on the host with `pool` supplying the worker threads.
-///
-/// Row-major folds take a vectorisable fast path and honour
-/// `params.threads` (domain decomposed into z-slabs at block boundaries,
-/// linear stencils through the specialised row kernels, tapes through a
-/// threaded interpreter); folded layouts run through the generic path on
-/// one thread. The slab decomposition depends only on `params.threads`,
-/// never on the pool width, so results are bitwise identical for any
-/// pool.
+/// Applies `stencil` once over the full domain of `out` with `pool`
+/// supplying the worker threads.
 ///
 /// # Errors
 /// Returns binding errors (arity/halo/domain) or parameter errors
 /// (fold mismatch, zero extents).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `SweepRequest::new(&params).pool(pool)` and call `.apply(...)` instead"
+)]
 pub fn apply_native_on(
     pool: &ExecPool,
     stencil: &Stencil,
@@ -94,25 +105,27 @@ pub fn apply_native_on(
     out: &mut Grid3,
     params: &TuningParams,
 ) -> Result<NativeRun, EngineError> {
-    apply_native_profiled_on(
+    execute_apply(
         pool,
         stencil,
         inputs,
         out,
         params,
         &SweepProfiler::disabled(),
+        TierPolicy::from_env(),
     )
+    .map(|(run, _, _)| run)
 }
 
-/// [`apply_native_on`] with an attached [`SweepProfiler`]: when `prof`
-/// is enabled, compile and sweep phases, per-chunk job times and the
-/// pool-counter window are recorded. Profiling only reads clocks around
-/// the kernel code — never inside it — so results are bitwise identical
-/// to the unprofiled call (the unprofiled entry points delegate here
-/// with a disabled profiler).
+/// `apply_native_on` with an attached [`SweepProfiler`].
 ///
 /// # Errors
-/// Same conditions as [`apply_native_on`].
+/// Same conditions as `apply_native_on`.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `SweepRequest::new(&params).pool(pool).profiler(prof)` and call \
+            `.apply(...)` instead"
+)]
 pub fn apply_native_profiled_on(
     pool: &ExecPool,
     stencil: &Stencil,
@@ -121,6 +134,36 @@ pub fn apply_native_profiled_on(
     params: &TuningParams,
     prof: &SweepProfiler,
 ) -> Result<NativeRun, EngineError> {
+    execute_apply(
+        pool,
+        stencil,
+        inputs,
+        out,
+        params,
+        prof,
+        TierPolicy::from_env(),
+    )
+    .map(|(run, _, _)| run)
+}
+
+/// The spatial-sweep executor behind [`crate::SweepRequest::apply`] and
+/// the deprecated `apply_native*` wrappers: validates, compiles, plans
+/// the tier under `policy`, and dispatches to the matching kernel.
+///
+/// Tier selection never changes results — every tier computes each
+/// output point with the identical FP operation order. Threaded tiers
+/// honour `params.threads` with a decomposition that depends only on
+/// `(domain, params.threads)`, never on the pool width, so results are
+/// bitwise identical for any pool.
+pub(crate) fn execute_apply(
+    pool: &ExecPool,
+    stencil: &Stencil,
+    inputs: &[&Grid3],
+    out: &mut Grid3,
+    params: &TuningParams,
+    prof: &SweepProfiler,
+    policy: TierPolicy,
+) -> Result<(NativeRun, Tier, &'static str), EngineError> {
     stencil.check_bindings(inputs, out)?;
     params
         .validate(out.n())
@@ -130,18 +173,40 @@ pub fn apply_native_profiled_on(
     let t_compile = prof.start();
     let compiled = CompiledStencil::compile(stencil);
     prof.phase_done("compile", t_compile);
+    let geometry_shared = inputs
+        .iter()
+        .all(|g| g.alloc() == out.alloc() && g.halo() == out.halo());
+    let (plan, reason) = plan_spatial(&compiled, geometry_shared, params, policy);
     let updates = out.domain_points() as u64;
     prof.pool_window(pool.stats());
     let t_sweep = prof.start();
     let start = Instant::now();
-    let threads_used = match (&compiled, params.row_major()) {
-        (CompiledStencil::Linear { terms, constant }, true) => {
-            linear_fast_path(pool, terms, *constant, inputs, out, params, prof)
+    let threads_used = match plan {
+        Plan::Lanes(lanes) => {
+            let (terms, constant) = compiled.linear_terms().expect("lane plan implies linear");
+            linear_fast_path(pool, terms, constant, inputs, out, params, prof, lanes)
         }
-        (CompiledStencil::Tape(tape), true) => {
+        Plan::Scalar => {
+            let (terms, constant) = compiled.linear_terms().expect("scalar plan implies linear");
+            linear_fast_path(pool, terms, constant, inputs, out, params, prof, 0)
+        }
+        Plan::Brick(elems) => {
+            let (terms, constant) = compiled.linear_terms().expect("brick plan implies linear");
+            match elems {
+                2 => brick_fast_path::<2>(pool, terms, constant, inputs, out, params, prof),
+                4 => brick_fast_path::<4>(pool, terms, constant, inputs, out, params, prof),
+                8 => brick_fast_path::<8>(pool, terms, constant, inputs, out, params, prof),
+                16 => brick_fast_path::<16>(pool, terms, constant, inputs, out, params, prof),
+                _ => unreachable!("planner only emits supported brick sizes"),
+            }
+        }
+        Plan::Tape => {
+            let CompiledStencil::Tape(tape) = &compiled else {
+                unreachable!("tape plan implies tape stencil")
+            };
             tape_fast_path(pool, tape, inputs, out, params, prof)
         }
-        _ => {
+        Plan::Generic => {
             generic_path(&compiled, inputs, out, params);
             1
         }
@@ -149,12 +214,16 @@ pub fn apply_native_profiled_on(
     let seconds = start.elapsed().as_secs_f64();
     prof.phase_done("sweep", t_sweep);
     prof.pool_window(pool.stats());
-    Ok(NativeRun {
-        seconds,
-        mlups: updates as f64 / seconds.max(1e-12) / 1e6,
-        updates,
-        threads_used,
-    })
+    Ok((
+        NativeRun {
+            seconds,
+            mlups: updates as f64 / seconds.max(1e-12) / 1e6,
+            updates,
+            threads_used,
+        },
+        plan.tier(),
+        reason,
+    ))
 }
 
 /// Row-major storage geometry of a grid.
@@ -203,6 +272,10 @@ pub(crate) struct LinearKernel<'a> {
     coeffs: Vec<f64>,
     srcs: Vec<&'a [f64]>,
     constant: f64,
+    /// Lane width of the folded lane kernel (`0` = scalar row kernels).
+    /// Set by the tier planner; the supported widths are monomorphised
+    /// in [`LinearKernel::row`].
+    lanes: usize,
 }
 
 impl<'a> LinearKernel<'a> {
@@ -210,6 +283,7 @@ impl<'a> LinearKernel<'a> {
         terms: &[((usize, [i32; 3]), f64)],
         constant: f64,
         inputs: &[&'a Grid3],
+        lanes: usize,
     ) -> LinearKernel<'a> {
         let input_geoms: Vec<Geom> = inputs.iter().map(|g| Geom::of(g)).collect();
         let mut k = LinearKernel {
@@ -218,6 +292,7 @@ impl<'a> LinearKernel<'a> {
             coeffs: Vec::with_capacity(terms.len()),
             srcs: Vec::with_capacity(terms.len()),
             constant,
+            lanes,
         };
         for ((g, o), c) in terms {
             let ge = input_geoms[*g];
@@ -246,19 +321,127 @@ impl<'a> LinearKernel<'a> {
         });
     }
 
-    /// One output row segment: dispatches to the monomorphised kernel
-    /// for the common arities, the dynamic loop otherwise. The dispatch
-    /// is a perfectly predicted branch per row; the inner loops carry no
+    /// One output row segment: the folded lane kernel when the planner
+    /// set a lane width, else the monomorphised scalar kernel for the
+    /// common arities, the dynamic loop otherwise. The dispatch is a
+    /// perfectly predicted branch per row; the inner loops carry no
     /// allocation and no bounds checks.
     #[inline]
     fn row(&self, sink: &mut Sink<'_>, k: usize, j: usize, i0: usize, i1: usize) {
-        match self.coeffs.len() {
-            1 => self.row_spec::<1>(sink, k, j, i0, i1),
-            2 => self.row_spec::<2>(sink, k, j, i0, i1),
-            7 => self.row_spec::<7>(sink, k, j, i0, i1),
-            9 => self.row_spec::<9>(sink, k, j, i0, i1),
-            27 => self.row_spec::<27>(sink, k, j, i0, i1),
-            _ => self.row_dyn(sink, k, j, i0, i1),
+        match self.lanes {
+            2 => self.row_lanes::<2>(sink, k, j, i0, i1),
+            4 => self.row_lanes::<4>(sink, k, j, i0, i1),
+            8 => self.row_lanes::<8>(sink, k, j, i0, i1),
+            16 => self.row_lanes::<16>(sink, k, j, i0, i1),
+            _ => match self.coeffs.len() {
+                1 => self.row_spec::<1>(sink, k, j, i0, i1),
+                2 => self.row_spec::<2>(sink, k, j, i0, i1),
+                7 => self.row_spec::<7>(sink, k, j, i0, i1),
+                9 => self.row_spec::<9>(sink, k, j, i0, i1),
+                27 => self.row_spec::<27>(sink, k, j, i0, i1),
+                _ => self.row_dyn(sink, k, j, i0, i1),
+            },
+        }
+    }
+
+    /// Folded lane kernel: processes the row in `L`-wide column chunks
+    /// with explicit wide accumulators (`[f64; L]` blocks LLVM lowers to
+    /// vector registers), working for *any* term count — including the
+    /// dynamic arities the scalar ladder relegates to [`Self::row_dyn`]'s
+    /// read-modify-write loop. Terms are consumed in stripes of up to 16
+    /// so per-term row bases live in fixed stack arrays (no allocation);
+    /// within a chunk the accumulators stay in registers across the whole
+    /// stripe, so `dst` is touched once per stripe instead of once per
+    /// term. The per-point accumulation order
+    /// (`constant, +term₀, +term₁, …`) is strictly preserved across
+    /// stripes and the scalar tail, so results are bitwise identical to
+    /// the scalar kernels.
+    fn row_lanes<const L: usize>(
+        &self,
+        sink: &mut Sink<'_>,
+        k: usize,
+        j: usize,
+        i0: usize,
+        i1: usize,
+    ) {
+        const STRIPE: usize = 16;
+        let len = i1 - i0;
+        let ob = (sink.geom.row_base(j as isize, k as isize) - sink.base) as usize + i0;
+        let dst = &mut sink.win[ob..ob + len];
+        let nt = self.coeffs.len();
+        if nt == 0 {
+            dst.fill(self.constant);
+            return;
+        }
+        let mut t0 = 0usize;
+        while t0 < nt {
+            let t1 = (t0 + STRIPE).min(nt);
+            let ns = t1 - t0;
+            // Pre-slice every term row of this stripe to the exact
+            // segment length: the chunk loops below index fixed-length
+            // local slices, so the bounds checks vanish and the source
+            // pointers stay in registers instead of being re-fetched
+            // from the descriptor Vecs per chunk.
+            let mut rows: [&[f64]; STRIPE] = [&[]; STRIPE];
+            let mut coeffs = [0.0f64; STRIPE];
+            for s in 0..ns {
+                let base = (self.geoms[t0 + s].row_base(j as isize, k as isize) + self.offs[t0 + s])
+                    as usize
+                    + i0;
+                rows[s] = &self.srcs[t0 + s][base..base + len];
+                coeffs[s] = self.coeffs[t0 + s];
+            }
+            let first = t0 == 0;
+            let mut ci = 0usize;
+            // Cluster of two folds per iteration: two independent wide
+            // accumulators hide FMA latency across the term chain and
+            // halve the loop overhead. Each point still accumulates its
+            // terms in stripe order, so clustering never changes a bit.
+            while ci + 2 * L <= len {
+                let mut a0 = [self.constant; L];
+                let mut a1 = [self.constant; L];
+                if !first {
+                    a0.copy_from_slice(&dst[ci..ci + L]);
+                    a1.copy_from_slice(&dst[ci + L..ci + 2 * L]);
+                }
+                for s in 0..ns {
+                    let src = &rows[s][ci..ci + 2 * L];
+                    let c = coeffs[s];
+                    for l in 0..L {
+                        a0[l] += c * src[l];
+                    }
+                    for l in 0..L {
+                        a1[l] += c * src[L + l];
+                    }
+                }
+                dst[ci..ci + L].copy_from_slice(&a0);
+                dst[ci + L..ci + 2 * L].copy_from_slice(&a1);
+                ci += 2 * L;
+            }
+            while ci + L <= len {
+                let mut acc = [self.constant; L];
+                if !first {
+                    acc.copy_from_slice(&dst[ci..ci + L]);
+                }
+                for s in 0..ns {
+                    let src = &rows[s][ci..ci + L];
+                    let c = coeffs[s];
+                    for (a, v) in acc.iter_mut().zip(src) {
+                        *a += c * v;
+                    }
+                }
+                dst[ci..ci + L].copy_from_slice(&acc);
+                ci += L;
+            }
+            // Scalar tail for the sub-lane remainder, same op order.
+            for (di, d) in dst.iter_mut().enumerate().skip(ci) {
+                let mut acc = if first { self.constant } else { *d };
+                for s in 0..ns {
+                    acc += coeffs[s] * rows[s][di];
+                }
+                *d = acc;
+            }
+            t0 = t1;
         }
     }
 
@@ -412,8 +595,10 @@ fn split_slabs<'w>(
 }
 
 /// Linear combination over row-major storage: blocked loops, threaded
-/// over z-slabs on the pool. Returns the number of slabs that received
-/// work (= threads used).
+/// over z-slabs on the pool. `lanes` picks the folded lane kernel
+/// (`0` = scalar rows). Returns the number of slabs that received work
+/// (= threads used).
+#[allow(clippy::too_many_arguments)] // internal executor; two call sites
 fn linear_fast_path(
     pool: &ExecPool,
     terms: &[((usize, [i32; 3]), f64)],
@@ -422,11 +607,12 @@ fn linear_fast_path(
     out: &mut Grid3,
     params: &TuningParams,
     prof: &SweepProfiler,
+    lanes: usize,
 ) -> usize {
     let n = out.n();
     let block = params.clipped_block(n);
     let sub = params.sub_block.unwrap_or(block).map(|e| e.max(1));
-    let kernel = LinearKernel::build(terms, constant, inputs);
+    let kernel = LinearKernel::build(terms, constant, inputs, lanes);
     let out_geom = Geom::of(out);
     let slabs = split_slabs(out.as_mut_slice(), out_geom, n, block[2], params.threads);
     let used = slabs.len();
@@ -555,6 +741,7 @@ fn generic_path(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{SweepRequest, Tier};
     use yasksite_grid::Fold;
     use yasksite_stencil::builders::{box3d, heat3d, inverter_chain_rhs, wave2d};
 
@@ -571,18 +758,66 @@ mod tests {
         r
     }
 
+    /// Runs a spatial sweep under an explicit tier policy (pinned so the
+    /// assertions hold under any `YASKSITE_FORCE_TIER` environment).
+    fn sweep(
+        stencil: &Stencil,
+        inputs: &[&Grid3],
+        out: &mut Grid3,
+        p: &TuningParams,
+        policy: TierPolicy,
+    ) -> crate::sweep::SweepReport {
+        SweepRequest::new(p)
+            .tier(policy)
+            .apply(stencil, inputs, out)
+            .unwrap()
+    }
+
     #[test]
     fn fast_path_matches_reference() {
         let s = heat3d(1);
         let n = [24, 10, 9];
         let fold = Fold::new(8, 1, 1);
         let u = filled("u", n, [1, 1, 1], fold);
-        let mut out = Grid3::new("o", n, [1, 1, 1], fold);
-        let p = TuningParams::new([8, 4, 4], fold);
-        let run = apply_native(&s, &[&u], &mut out, &p).unwrap();
-        assert_eq!(run.updates, 24 * 10 * 9);
         let r = reference(&s, &[&u], n);
-        assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
+        let p = TuningParams::new([8, 4, 4], fold);
+        for policy in [TierPolicy::ForceScalar, TierPolicy::ForceFolded] {
+            let mut out = Grid3::new("o", n, [1, 1, 1], fold);
+            let run = sweep(&s, &[&u], &mut out, &p, policy);
+            assert_eq!(run.updates, 24 * 10 * 9);
+            assert!(out.max_abs_diff(&r).unwrap() < 1e-12, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn folded_lane_tier_is_bitwise_identical_to_scalar_tier() {
+        // Every supported lane count, specialised and dynamic arities,
+        // awkward row lengths (remainder tails), multiple threads.
+        for (s, halo) in [
+            (heat3d(1), [1, 1, 1]), // 7 terms: specialised scalar row
+            (box3d(1), [1, 1, 1]),  // 27 terms: specialised scalar row
+            (heat3d(2), [2, 2, 2]), // 13 terms: dynamic scalar row
+        ] {
+            let n = [21, 7, 6];
+            for lanes in [2usize, 4, 8, 16] {
+                let fold = Fold::new(lanes, 1, 1);
+                let u = filled("u", n, halo, fold);
+                let p = TuningParams::new([9, 4, 3], fold).threads(2);
+                let mut scalar = Grid3::new("s", n, halo, fold);
+                let rs = sweep(&s, &[&u], &mut scalar, &p, TierPolicy::ForceScalar);
+                assert_eq!(rs.tier, Tier::Scalar);
+                let mut folded = Grid3::new("f", n, halo, fold);
+                let rf = sweep(&s, &[&u], &mut folded, &p, TierPolicy::ForceFolded);
+                assert_eq!(rf.tier, Tier::Folded, "lanes={lanes}");
+                assert_eq!(
+                    scalar.max_abs_diff(&folded).unwrap(),
+                    0.0,
+                    "stencil {} lanes {lanes} diverged",
+                    s.name()
+                );
+                assert!(folded.max_abs_diff(&reference(&s, &[&u], n)).unwrap() < 1e-12);
+            }
+        }
     }
 
     #[test]
@@ -595,7 +830,7 @@ mod tests {
         for threads in [1, 2, 3, 5] {
             let mut out = Grid3::new("o", n, [1, 1, 1], fold);
             let p = TuningParams::new([8, 4, 2], fold).threads(threads);
-            let run = apply_native(&s, &[&u], &mut out, &p).unwrap();
+            let run = sweep(&s, &[&u], &mut out, &p, TierPolicy::Auto);
             assert!(run.threads_used >= 1 && run.threads_used <= threads.max(1));
             assert!(out.max_abs_diff(&r).unwrap() < 1e-12, "threads={threads}");
         }
@@ -611,7 +846,7 @@ mod tests {
         let u = filled("u", n, [1, 1, 1], fold);
         let mut out = Grid3::new("o", n, [1, 1, 1], fold);
         let p = TuningParams::new([16, 4, 2], fold).threads(8);
-        let run = apply_native(&s, &[&u], &mut out, &p).unwrap();
+        let run = sweep(&s, &[&u], &mut out, &p, TierPolicy::Auto);
         assert_eq!(run.threads_used, 2);
         let r = reference(&s, &[&u], n);
         assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
@@ -626,23 +861,93 @@ mod tests {
         let p = TuningParams::new([8, 4, 2], fold).threads(4);
         let mut a = Grid3::new("a", n, [1, 1, 1], fold);
         let mut b = Grid3::new("b", n, [1, 1, 1], fold);
-        apply_native(&s, &[&u], &mut a, &p).unwrap();
+        SweepRequest::new(&p).apply(&s, &[&u], &mut a).unwrap();
         let small = ExecPool::new(1);
-        apply_native_on(&small, &s, &[&u], &mut b, &p).unwrap();
+        SweepRequest::new(&p)
+            .pool(&small)
+            .apply(&s, &[&u], &mut b)
+            .unwrap();
         assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0);
     }
 
     #[test]
-    fn folded_layout_generic_path_matches_reference() {
-        let s = box3d(1);
-        let n = [12, 6, 6];
+    fn brick_tier_matches_reference_and_generic_path_bitwise() {
+        // Multi-dimensional folds used to fall back to the per-point
+        // generic path; the brick kernel must reproduce it bitwise and
+        // thread over brick-z slabs.
+        for fold in [Fold::new(4, 2, 1), Fold::new(2, 2, 2), Fold::new(1, 2, 1)] {
+            let s = box3d(1);
+            let n = [12, 6, 6];
+            let u = filled("u", n, [1, 1, 1], fold);
+            let p = TuningParams::new([4, 4, 4], fold);
+            let mut gen = Grid3::new("g", n, [1, 1, 1], fold);
+            let rg = sweep(&s, &[&u], &mut gen, &p, TierPolicy::ForceScalar);
+            assert_eq!(rg.tier, Tier::Generic, "no scalar rows on {fold}");
+            assert_eq!(rg.threads_used, 1);
+            let mut brick = Grid3::new("b", n, [1, 1, 1], fold);
+            let rb = sweep(&s, &[&u], &mut brick, &p, TierPolicy::Auto);
+            assert_eq!(rb.tier, Tier::Folded, "fold={fold}");
+            assert_eq!(gen.max_abs_diff(&brick).unwrap(), 0.0, "fold={fold}");
+            assert!(brick.max_abs_diff(&reference(&s, &[&u], n)).unwrap() < 1e-12);
+            // Threaded brick runs stay bitwise identical and report the
+            // brick-z slab count.
+            for threads in [2usize, 3, 8] {
+                let mut t = Grid3::new("t", n, [1, 1, 1], fold);
+                let rt = sweep(
+                    &s,
+                    &[&u],
+                    &mut t,
+                    &p.clone().threads(threads),
+                    TierPolicy::Auto,
+                );
+                assert_eq!(rt.tier, Tier::Folded);
+                assert!(rt.threads_used >= 1 && rt.threads_used <= threads);
+                assert_eq!(
+                    brick.max_abs_diff(&t).unwrap(),
+                    0.0,
+                    "fold={fold} t={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brick_tier_leaves_halo_untouched() {
+        let s = heat3d(1);
+        let n = [10, 6, 5];
         let fold = Fold::new(4, 2, 1);
         let u = filled("u", n, [1, 1, 1], fold);
         let mut out = Grid3::new("o", n, [1, 1, 1], fold);
-        let p = TuningParams::new([4, 4, 4], fold);
-        let run = apply_native(&s, &[&u], &mut out, &p).unwrap();
-        assert_eq!(run.threads_used, 1);
-        let r = reference(&s, &[&u], n);
+        out.fill_halo(7.5);
+        let p = TuningParams::new([4, 4, 4], fold).threads(2);
+        let run = sweep(&s, &[&u], &mut out, &p, TierPolicy::Auto);
+        assert_eq!(run.tier, Tier::Folded);
+        let h = out.halo().map(|e| e as isize);
+        let nn = out.n().map(|e| e as isize);
+        for k in -h[2]..nn[2] + h[2] {
+            for j in -h[1]..nn[1] + h[1] {
+                for i in -h[0]..nn[0] + h[0] {
+                    let inside = i >= 0 && i < nn[0] && j >= 0 && j < nn[1] && k >= 0 && k < nn[2];
+                    if !inside {
+                        assert_eq!(out.get(i, j, k), 7.5, "halo clobbered at ({i},{j},{k})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brick_tier_handles_two_input_stencils() {
+        let s = wave2d(0.3);
+        let n = [12, 10, 1];
+        let fold = Fold::new(2, 2, 1);
+        let u = filled("u", n, [1, 1, 0], fold);
+        let um = filled("um", n, [1, 1, 0], fold);
+        let mut out = Grid3::new("o", n, [1, 1, 0], fold);
+        let p = TuningParams::new([8, 8, 1], fold).threads(2);
+        let run = sweep(&s, &[&u, &um], &mut out, &p, TierPolicy::Auto);
+        assert_eq!(run.tier, Tier::Folded);
+        let r = reference(&s, &[&u, &um], n);
         assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
     }
 
@@ -654,7 +959,8 @@ mod tests {
         let u = filled("u", n, [1, 0, 0], fold);
         let mut out = Grid3::new("o", n, [1, 0, 0], fold);
         let p = TuningParams::new([16, 1, 1], fold);
-        apply_native(&s, &[&u], &mut out, &p).unwrap();
+        let run = sweep(&s, &[&u], &mut out, &p, TierPolicy::Auto);
+        assert_eq!(run.tier, Tier::Tape);
         let r = reference(&s, &[&u], n);
         assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
     }
@@ -667,12 +973,12 @@ mod tests {
         let u = filled("u", n, [1, 1, 1], fold);
         let p1 = TuningParams::new([16, 2, 2], fold);
         let mut one = Grid3::new("o1", n, [1, 1, 1], fold);
-        let r1 = apply_native(&s, &[&u], &mut one, &p1).unwrap();
+        let r1 = sweep(&s, &[&u], &mut one, &p1, TierPolicy::Auto);
         assert_eq!(r1.threads_used, 1);
         for threads in [2, 3, 4] {
             let mut many = Grid3::new("om", n, [1, 1, 1], fold);
             let p = p1.clone().threads(threads);
-            let run = apply_native(&s, &[&u], &mut many, &p).unwrap();
+            let run = sweep(&s, &[&u], &mut many, &p, TierPolicy::Auto);
             assert!(run.threads_used > 1, "tape path must thread over slabs");
             assert_eq!(one.max_abs_diff(&many).unwrap(), 0.0, "threads={threads}");
         }
@@ -687,7 +993,7 @@ mod tests {
         let um = filled("um", n, [1, 1, 0], fold);
         let mut out = Grid3::new("o", n, [1, 1, 0], fold);
         let p = TuningParams::new([8, 8, 1], fold).threads(2);
-        apply_native(&s, &[&u, &um], &mut out, &p).unwrap();
+        sweep(&s, &[&u, &um], &mut out, &p, TierPolicy::Auto);
         let r = reference(&s, &[&u, &um], n);
         assert!(out.max_abs_diff(&r).unwrap() < 1e-12);
     }
@@ -699,7 +1005,7 @@ mod tests {
         let mut out = Grid3::new("o", [8, 8, 8], [1, 1, 1], Fold::new(8, 1, 1));
         let p = TuningParams::new([8, 8, 8], Fold::new(4, 2, 1));
         assert!(matches!(
-            apply_native(&s, &[&u], &mut out, &p),
+            SweepRequest::new(&p).apply(&s, &[&u], &mut out),
             Err(EngineError::BadParams { .. })
         ));
     }
@@ -716,7 +1022,7 @@ mod tests {
             let p = TuningParams::new([16, 8, 8], fold)
                 .sub_block(sub)
                 .threads(2);
-            apply_native(&s, &[&u], &mut out, &p).unwrap();
+            sweep(&s, &[&u], &mut out, &p, TierPolicy::Auto);
             assert!(out.max_abs_diff(&r).unwrap() < 1e-12, "sub {sub:?}");
         }
     }
@@ -731,7 +1037,7 @@ mod tests {
         for block in [[1, 1, 1], [3, 3, 3], [17, 9, 7], [32, 32, 32], [5, 2, 6]] {
             let mut out = Grid3::new("o", n, [1, 1, 1], fold);
             let p = TuningParams::new(block, fold);
-            apply_native(&s, &[&u], &mut out, &p).unwrap();
+            sweep(&s, &[&u], &mut out, &p, TierPolicy::Auto);
             assert!(out.max_abs_diff(&r).unwrap() < 1e-12, "block {block:?}");
         }
     }
@@ -746,9 +1052,16 @@ mod tests {
         let mut plain = Grid3::new("a", n, [1, 1, 1], fold);
         let mut profiled = Grid3::new("b", n, [1, 1, 1], fold);
         let pool = ExecPool::new(3);
-        apply_native_on(&pool, &s, &[&u], &mut plain, &p).unwrap();
+        SweepRequest::new(&p)
+            .pool(&pool)
+            .apply(&s, &[&u], &mut plain)
+            .unwrap();
         let prof = SweepProfiler::enabled();
-        let run = apply_native_profiled_on(&pool, &s, &[&u], &mut profiled, &p, &prof).unwrap();
+        let run = SweepRequest::new(&p)
+            .pool(&pool)
+            .profiler(&prof)
+            .apply(&s, &[&u], &mut profiled)
+            .unwrap();
         assert_eq!(plain.max_abs_diff(&profiled).unwrap(), 0.0);
         let r = prof.report();
         assert!(r.enabled);
@@ -762,22 +1075,91 @@ mod tests {
     }
 
     #[test]
+    fn profiled_brick_tier_records_chunks_and_stays_bitwise() {
+        let s = box3d(1);
+        let n = [12, 8, 8];
+        let fold = Fold::new(4, 2, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let p = TuningParams::new([4, 4, 4], fold).threads(3);
+        let mut plain = Grid3::new("a", n, [1, 1, 1], fold);
+        let mut profiled = Grid3::new("b", n, [1, 1, 1], fold);
+        SweepRequest::new(&p)
+            .tier(TierPolicy::Auto)
+            .apply(&s, &[&u], &mut plain)
+            .unwrap();
+        let prof = SweepProfiler::enabled();
+        let run = SweepRequest::new(&p)
+            .tier(TierPolicy::Auto)
+            .profiler(&prof)
+            .apply(&s, &[&u], &mut profiled)
+            .unwrap();
+        assert_eq!(run.tier, Tier::Folded);
+        assert_eq!(plain.max_abs_diff(&profiled).unwrap(), 0.0);
+        let r = prof.report();
+        let chunks = r.chunks.expect("brick tier records per-slab chunks");
+        assert_eq!(chunks.count as usize, run.threads_used);
+    }
+
+    #[test]
     fn dyn_arity_row_matches_specialised_rows_bitwise() {
         // box3d(2) has 125 terms — no monomorphised kernel — while
         // box3d(1) has 27 — specialised. Both must agree with the
         // reference; a radius-2 box against its own single-threaded run
-        // checks the dyn row under threading too.
+        // checks the dyn row under threading too. The folded lane kernel
+        // must agree bitwise with the scalar dyn row as well.
         let s = box3d(2);
         let n = [20, 9, 8];
         let fold = Fold::new(4, 1, 1);
         let u = filled("u", n, [2, 2, 2], fold);
         let p = TuningParams::new([10, 4, 2], fold);
         let mut one = Grid3::new("o1", n, [2, 2, 2], fold);
-        apply_native(&s, &[&u], &mut one, &p).unwrap();
+        sweep(&s, &[&u], &mut one, &p, TierPolicy::ForceScalar);
         let r = reference(&s, &[&u], n);
         assert!(one.max_abs_diff(&r).unwrap() < 1e-12);
         let mut four = Grid3::new("o4", n, [2, 2, 2], fold);
-        apply_native(&s, &[&u], &mut four, &p.clone().threads(4)).unwrap();
+        sweep(
+            &s,
+            &[&u],
+            &mut four,
+            &p.clone().threads(4),
+            TierPolicy::ForceScalar,
+        );
         assert_eq!(one.max_abs_diff(&four).unwrap(), 0.0);
+        let mut lanes = Grid3::new("ol", n, [2, 2, 2], fold);
+        let rl = sweep(
+            &s,
+            &[&u],
+            &mut lanes,
+            &p.clone().threads(4),
+            TierPolicy::ForceFolded,
+        );
+        assert_eq!(rl.tier, Tier::Folded);
+        assert_eq!(one.max_abs_diff(&lanes).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_bitwise_identically() {
+        // The legacy entry points must produce bit-identical grids and
+        // identical run metadata to the SweepRequest path they wrap.
+        let s = heat3d(1);
+        let n = [20, 10, 8];
+        let fold = Fold::new(8, 1, 1);
+        let u = filled("u", n, [1, 1, 1], fold);
+        let p = TuningParams::new([8, 4, 2], fold).threads(3);
+        let mut via_request = Grid3::new("r", n, [1, 1, 1], fold);
+        let report = SweepRequest::new(&p)
+            .apply(&s, &[&u], &mut via_request)
+            .unwrap();
+        let mut via_free_fn = Grid3::new("f", n, [1, 1, 1], fold);
+        let run = apply_native(&s, &[&u], &mut via_free_fn, &p).unwrap();
+        assert_eq!(via_request.max_abs_diff(&via_free_fn).unwrap(), 0.0);
+        assert_eq!(run.updates, report.updates);
+        assert_eq!(run.threads_used, report.threads_used);
+        let pool = ExecPool::new(2);
+        let prof = SweepProfiler::disabled();
+        let mut via_profiled = Grid3::new("p", n, [1, 1, 1], fold);
+        apply_native_profiled_on(&pool, &s, &[&u], &mut via_profiled, &p, &prof).unwrap();
+        assert_eq!(via_request.max_abs_diff(&via_profiled).unwrap(), 0.0);
     }
 }

@@ -1,0 +1,507 @@
+//! The unified execution API: [`SweepRequest`] / [`SweepReport`].
+//!
+//! The native engine grew one entry point per execution dimension
+//! (pool × profiler × wavefront), and the vector-folded tier adds yet
+//! another. Instead of a seventh free function, every run is now
+//! constructed through one builder — mirroring the `TuneRequest` redesign
+//! on the tuning side — and returns a [`SweepReport`] that records not
+//! just the timing but *which tier actually executed and why*:
+//!
+//! ```
+//! use yasksite_engine::{SweepRequest, Tier, TierPolicy, TuningParams};
+//! use yasksite_grid::{Fold, Grid3};
+//! use yasksite_stencil::builders::heat3d;
+//!
+//! let s = heat3d(1);
+//! let fold = Fold::new(8, 1, 1);
+//! let mut u = Grid3::new("u", [32, 32, 32], [1, 1, 1], fold);
+//! u.fill_with(|i, j, k| (i + j + k) as f64);
+//! let mut out = Grid3::new("out", [32, 32, 32], [1, 1, 1], fold);
+//! let params = TuningParams::new([32, 8, 8], fold);
+//! let report = SweepRequest::new(&params)
+//!     .tier(TierPolicy::Auto)
+//!     .apply(&s, &[&u], &mut out)?;
+//! assert_eq!(report.tier, Tier::Folded);
+//! # Ok::<(), yasksite_engine::EngineError>(())
+//! ```
+//!
+//! The legacy free functions (`apply_native`, `run_wavefront_native` and
+//! friends) remain as thin `#[deprecated]` wrappers over the same
+//! executors for one release.
+
+use std::time::Instant;
+
+use yasksite_grid::Grid3;
+use yasksite_stencil::Stencil;
+
+use crate::compile::CompiledStencil;
+use crate::error::EngineError;
+use crate::native::{execute_apply, NativeRun};
+use crate::params::TuningParams;
+use crate::pool::ExecPool;
+use crate::profile::SweepProfiler;
+use crate::wavefront::execute_wavefront;
+
+/// Environment variable that overrides the default tier policy
+/// (`scalar` or `folded`); see [`TierPolicy::from_env`].
+pub const FORCE_TIER_ENV: &str = "YASKSITE_FORCE_TIER";
+
+/// The rung of the specialisation ladder a sweep actually executed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Explicitly vectorised kernels: the wide-lane row kernel on
+    /// row-major folds, or the brick-gather kernel on multi-dimensional
+    /// folds. Bitwise identical to every other tier.
+    Folded,
+    /// The scalar specialised row kernels (monomorphised by arity, with
+    /// a dynamic-arity fallback) on row-major storage.
+    Scalar,
+    /// The threaded tape interpreter for non-linear stencils on
+    /// row-major storage.
+    Tape,
+    /// The layout-agnostic per-point path (single-threaded).
+    Generic,
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Tier::Folded => "folded",
+            Tier::Scalar => "scalar",
+            Tier::Tape => "tape",
+            Tier::Generic => "generic",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How the executor chooses between the folded and scalar tiers.
+///
+/// Forcing a tier never changes results — every tier computes each output
+/// point with the identical FP operation order — it only changes which
+/// kernel runs. When a forced tier is ineligible for the stencil/layout
+/// at hand, the executor degrades down the ladder and records the reason
+/// in [`SweepReport::tier_reason`] rather than failing. The tape and
+/// generic tiers are selected by stencil/layout alone and are unaffected
+/// by the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierPolicy {
+    /// Prefer the folded tier whenever the stencil/layout is eligible.
+    #[default]
+    Auto,
+    /// Run linear row-major sweeps through the scalar row kernels.
+    ForceScalar,
+    /// Require the folded tier; degrade with a recorded reason when
+    /// ineligible.
+    ForceFolded,
+}
+
+impl TierPolicy {
+    /// Parses a policy name: `auto`, `scalar` or `folded`
+    /// (case-insensitive). Returns `None` for anything else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<TierPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(TierPolicy::Auto),
+            "scalar" => Some(TierPolicy::ForceScalar),
+            "folded" => Some(TierPolicy::ForceFolded),
+            _ => None,
+        }
+    }
+
+    /// The policy selected by the `YASKSITE_FORCE_TIER` environment
+    /// variable, read live: `scalar`/`folded` force the respective tier
+    /// for the whole process (the CI forced-tier legs run the entire
+    /// suite this way), anything else — including unset — is
+    /// [`TierPolicy::Auto`].
+    #[must_use]
+    pub fn from_env() -> TierPolicy {
+        std::env::var(FORCE_TIER_ENV)
+            .ok()
+            .and_then(|v| TierPolicy::parse(&v))
+            .unwrap_or(TierPolicy::Auto)
+    }
+}
+
+/// The concrete kernel the planner picked (internal; collapses to
+/// [`Tier`] for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Plan {
+    /// Folded lane kernel on row-major storage with this many x-lanes.
+    Lanes(usize),
+    /// Folded brick-gather kernel with this many elements per brick.
+    Brick(usize),
+    /// Scalar specialised row kernels.
+    Scalar,
+    /// Threaded tape interpreter.
+    Tape,
+    /// Per-point generic path.
+    Generic,
+}
+
+impl Plan {
+    pub(crate) fn tier(self) -> Tier {
+        match self {
+            Plan::Lanes(_) | Plan::Brick(_) => Tier::Folded,
+            Plan::Scalar => Tier::Scalar,
+            Plan::Tape => Tier::Tape,
+            Plan::Generic => Tier::Generic,
+        }
+    }
+}
+
+/// Lane counts the hand-unrolled kernels are monomorphised for.
+pub(crate) fn lane_count_supported(lanes: usize) -> bool {
+    matches!(lanes, 2 | 4 | 8 | 16)
+}
+
+/// Picks the kernel for a spatial sweep. `geometry_shared` says whether
+/// every input grid shares `alloc`/`halo` with the output (the brick
+/// kernel addresses all grids through one gather table, so it needs
+/// identical layouts).
+pub(crate) fn plan_spatial(
+    compiled: &CompiledStencil,
+    geometry_shared: bool,
+    params: &TuningParams,
+    policy: TierPolicy,
+) -> (Plan, &'static str) {
+    if !compiled.is_linear() {
+        return if params.row_major() {
+            (Plan::Tape, "non-linear stencil: threaded tape interpreter")
+        } else {
+            (
+                Plan::Generic,
+                "non-linear stencil on a multi-dimensional fold: per-point generic path",
+            )
+        };
+    }
+    if params.row_major() {
+        let lanes = params.fold.x;
+        match policy {
+            TierPolicy::ForceScalar => (Plan::Scalar, "tier forced to scalar"),
+            _ if lane_count_supported(lanes) => {
+                (Plan::Lanes(lanes), "row-major fold: folded lane kernel")
+            }
+            TierPolicy::ForceFolded => (
+                Plan::Scalar,
+                "folded tier forced but fold.x has no supported lane count: scalar row kernels",
+            ),
+            TierPolicy::Auto => (
+                Plan::Scalar,
+                "fold.x has no supported lane count: scalar row kernels",
+            ),
+        }
+    } else {
+        let elems = params.fold.elems();
+        let eligible = lane_count_supported(elems) && geometry_shared;
+        match policy {
+            TierPolicy::ForceScalar => (
+                Plan::Generic,
+                "tier forced to scalar but scalar row kernels need a row-major fold: generic path",
+            ),
+            _ if eligible => (
+                Plan::Brick(elems),
+                "multi-dimensional fold: folded brick kernel",
+            ),
+            _ => (
+                Plan::Generic,
+                "multi-dimensional fold ineligible for the brick kernel \
+                 (unsupported lane count or mismatched grid layouts): generic path",
+            ),
+        }
+    }
+}
+
+/// A-priori tier query for the tuner and the ECM model: which tier
+/// *would* a spatial sweep of `stencil` under `params` run on, assuming
+/// identically laid-out grids (as `Solution::allocate_grids` produces)
+/// and the [`TierPolicy::Auto`] policy?
+///
+/// Execution may still degrade (and [`SweepReport::tier`] records the
+/// truth) when actual grid layouts differ.
+#[must_use]
+pub fn plan_tier(stencil: &Stencil, params: &TuningParams) -> (Tier, &'static str) {
+    let compiled = CompiledStencil::compile(stencil);
+    let (plan, reason) = plan_spatial(&compiled, true, params, TierPolicy::Auto);
+    (plan.tier(), reason)
+}
+
+/// Builder for one native sweep: spatial (`apply`) or temporally blocked
+/// (`run_wavefront`). Collapses the former
+/// `apply_native{,_on,_profiled_on}` / `run_wavefront_native{,_on,_profiled_on}`
+/// entry-point family into one configurable request.
+///
+/// Defaults: the process-global [`ExecPool`], no profiler, and the tier
+/// policy from [`TierPolicy::from_env`].
+#[derive(Clone)]
+pub struct SweepRequest<'a> {
+    params: TuningParams,
+    pool: Option<&'a ExecPool>,
+    profiler: Option<&'a SweepProfiler>,
+    tier: TierPolicy,
+}
+
+impl<'a> SweepRequest<'a> {
+    /// Starts a request from tuning parameters (block, sub-block, fold,
+    /// threads, wavefront depth, store policy). The parameters are
+    /// copied; later builder calls refine this copy.
+    #[must_use]
+    pub fn new(params: &TuningParams) -> SweepRequest<'a> {
+        SweepRequest {
+            params: params.clone(),
+            pool: None,
+            profiler: None,
+            tier: TierPolicy::from_env(),
+        }
+    }
+
+    /// Runs on `pool` instead of the process-global pool. Results are
+    /// bitwise identical for any pool: the work decomposition depends
+    /// only on `(domain, params.threads)`.
+    #[must_use]
+    pub fn pool(mut self, pool: &'a ExecPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Attaches a [`SweepProfiler`]. Profiling reads clocks only around
+    /// the kernels, never inside them, so profiled runs stay bitwise
+    /// identical.
+    #[must_use]
+    pub fn profiler(mut self, prof: &'a SweepProfiler) -> Self {
+        self.profiler = Some(prof);
+        self
+    }
+
+    /// Overrides the tier policy (the default comes from
+    /// `YASKSITE_FORCE_TIER`). An explicit policy always wins over the
+    /// environment.
+    #[must_use]
+    pub fn tier(mut self, policy: TierPolicy) -> Self {
+        self.tier = policy;
+        self
+    }
+
+    /// Overrides the wavefront depth from the parameters (only
+    /// meaningful for [`SweepRequest::run_wavefront`]).
+    #[must_use]
+    pub fn wavefront(mut self, depth: usize) -> Self {
+        self.params.wavefront = depth;
+        self
+    }
+
+    /// The parameters this request will execute with.
+    #[must_use]
+    pub fn params(&self) -> &TuningParams {
+        &self.params
+    }
+
+    fn pool_ref(&self) -> &ExecPool {
+        match self.pool {
+            Some(pool) => pool,
+            None => ExecPool::global(),
+        }
+    }
+
+    /// Applies `stencil` once over the full domain of `out` with the
+    /// blocked YASK loop structure, really executing on the host.
+    ///
+    /// # Errors
+    /// Returns binding errors (arity/halo/domain) or parameter errors
+    /// (fold mismatch, zero extents).
+    pub fn apply(
+        &self,
+        stencil: &Stencil,
+        inputs: &[&Grid3],
+        out: &mut Grid3,
+    ) -> Result<SweepReport, EngineError> {
+        let disabled;
+        let prof = match self.profiler {
+            Some(p) => p,
+            None => {
+                disabled = SweepProfiler::disabled();
+                &disabled
+            }
+        };
+        let (run, tier, tier_reason) = execute_apply(
+            self.pool_ref(),
+            stencil,
+            inputs,
+            out,
+            &self.params,
+            prof,
+            self.tier,
+        )?;
+        Ok(SweepReport {
+            seconds: run.seconds,
+            mlups: run.mlups,
+            updates: run.updates,
+            threads_used: run.threads_used,
+            tier,
+            tier_reason,
+            wavefront_depth: 1,
+        })
+    }
+
+    /// Performs `wavefront` time steps of `stencil` on the ping-pong
+    /// pair `(a, b)` in one skewed sweep; on return `a` holds the newest
+    /// time level. `updates`/`mlups` in the report count all
+    /// `domain × depth` lattice updates the sweep performed.
+    ///
+    /// # Errors
+    /// Fails for multi-input stencils, binding problems, or invalid
+    /// parameters.
+    pub fn run_wavefront(
+        &self,
+        stencil: &Stencil,
+        a: &mut Grid3,
+        b: &mut Grid3,
+    ) -> Result<SweepReport, EngineError> {
+        let disabled;
+        let prof = match self.profiler {
+            Some(p) => p,
+            None => {
+                disabled = SweepProfiler::disabled();
+                &disabled
+            }
+        };
+        let updates = (a.domain_points() * self.params.wavefront) as u64;
+        let start = Instant::now();
+        let (widest, tier, tier_reason) = execute_wavefront(
+            self.pool_ref(),
+            stencil,
+            a,
+            b,
+            &self.params,
+            prof,
+            self.tier,
+        )?;
+        let seconds = start.elapsed().as_secs_f64();
+        Ok(SweepReport {
+            seconds,
+            mlups: updates as f64 / seconds.max(1e-12) / 1e6,
+            updates,
+            threads_used: widest,
+            tier,
+            tier_reason,
+            wavefront_depth: self.params.wavefront,
+        })
+    }
+}
+
+/// What one [`SweepRequest`] execution did: the timing of the run plus
+/// the tier that actually executed and why the planner picked it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepReport {
+    /// Wall time of the sweep.
+    pub seconds: f64,
+    /// Achieved million lattice updates per second (for wavefront runs,
+    /// over all fused time steps).
+    pub mlups: f64,
+    /// Lattice updates performed (`domain × wavefront_depth`).
+    pub updates: u64,
+    /// Threads that actually received work (non-empty slabs / widest
+    /// per-plane chunk count; `1` on the generic tier).
+    pub threads_used: usize,
+    /// The specialisation-ladder rung that executed.
+    pub tier: Tier,
+    /// Why the planner picked [`SweepReport::tier`] — in particular,
+    /// why a forced tier was degraded.
+    pub tier_reason: &'static str,
+    /// Time steps fused in this sweep (`1` for spatial sweeps).
+    pub wavefront_depth: usize,
+}
+
+impl SweepReport {
+    /// The legacy [`NativeRun`] view of this report.
+    #[must_use]
+    pub fn native_run(&self) -> NativeRun {
+        NativeRun {
+            seconds: self.seconds,
+            mlups: self.mlups,
+            updates: self.updates,
+            threads_used: self.threads_used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yasksite_grid::Fold;
+    use yasksite_stencil::builders::{box3d, heat3d, inverter_chain_rhs};
+
+    #[test]
+    fn policy_parsing_is_case_insensitive_and_strict() {
+        assert_eq!(TierPolicy::parse("auto"), Some(TierPolicy::Auto));
+        assert_eq!(TierPolicy::parse("Scalar"), Some(TierPolicy::ForceScalar));
+        assert_eq!(TierPolicy::parse(" FOLDED "), Some(TierPolicy::ForceFolded));
+        assert_eq!(TierPolicy::parse(""), None);
+        assert_eq!(TierPolicy::parse("vector"), None);
+        assert_eq!(TierPolicy::parse("folded8"), None);
+    }
+
+    #[test]
+    fn planner_prefers_folded_for_supported_lane_counts() {
+        let s = heat3d(1);
+        for lanes in [2usize, 4, 8, 16] {
+            let p = TuningParams::new([8, 8, 8], Fold::new(lanes, 1, 1));
+            let (tier, _) = plan_tier(&s, &p);
+            assert_eq!(tier, Tier::Folded, "lanes={lanes}");
+        }
+        // Unit fold and odd lane counts fall back to the scalar rows.
+        for lanes in [1usize, 3, 5] {
+            let p = TuningParams::new([8, 8, 8], Fold::new(lanes, 1, 1));
+            let (tier, reason) = plan_tier(&s, &p);
+            assert_eq!(tier, Tier::Scalar, "lanes={lanes}");
+            assert!(reason.contains("lane count"), "reason: {reason}");
+        }
+    }
+
+    #[test]
+    fn planner_uses_brick_kernel_for_multi_dim_folds() {
+        let s = box3d(1);
+        for fold in [Fold::new(4, 2, 1), Fold::new(2, 2, 2), Fold::new(1, 2, 1)] {
+            let p = TuningParams::new([8, 8, 8], fold);
+            let (tier, reason) = plan_tier(&s, &p);
+            assert_eq!(tier, Tier::Folded, "fold={fold}");
+            assert!(reason.contains("brick"), "reason: {reason}");
+        }
+        // 3x3x1 has 9 elements: no monomorphised brick kernel.
+        let p = TuningParams::new([8, 8, 8], Fold::new(3, 3, 1));
+        assert_eq!(plan_tier(&s, &p).0, Tier::Generic);
+    }
+
+    #[test]
+    fn planner_routes_tapes_by_layout_only() {
+        let s = inverter_chain_rhs(5.0, 1.0, 2.0);
+        let row = TuningParams::new([8, 1, 1], Fold::new(8, 1, 1));
+        assert_eq!(plan_tier(&s, &row).0, Tier::Tape);
+        let folded = TuningParams::new([8, 1, 1], Fold::new(4, 2, 1));
+        assert_eq!(plan_tier(&s, &folded).0, Tier::Generic);
+    }
+
+    #[test]
+    fn forced_policies_degrade_with_recorded_reasons() {
+        let s = heat3d(1);
+        let compiled = CompiledStencil::compile(&s);
+        // Scalar forced on a row-major fold: honoured.
+        let row = TuningParams::new([8, 8, 8], Fold::new(8, 1, 1));
+        let (plan, _) = plan_spatial(&compiled, true, &row, TierPolicy::ForceScalar);
+        assert_eq!(plan, Plan::Scalar);
+        // Scalar forced on a multi-dim fold: no scalar row kernel exists,
+        // degrade to generic and say why.
+        let folded = TuningParams::new([8, 8, 8], Fold::new(4, 2, 1));
+        let (plan, reason) = plan_spatial(&compiled, true, &folded, TierPolicy::ForceScalar);
+        assert_eq!(plan, Plan::Generic);
+        assert!(reason.contains("row-major"), "reason: {reason}");
+        // Folded forced on a unit fold: no lanes to vectorise.
+        let unit = TuningParams::new([8, 8, 8], Fold::unit());
+        let (plan, reason) = plan_spatial(&compiled, true, &unit, TierPolicy::ForceFolded);
+        assert_eq!(plan, Plan::Scalar);
+        assert!(reason.contains("lane count"), "reason: {reason}");
+        // Brick kernel needs shared grid geometry.
+        let (plan, _) = plan_spatial(&compiled, false, &folded, TierPolicy::Auto);
+        assert_eq!(plan, Plan::Generic);
+    }
+}

@@ -28,6 +28,7 @@ use crate::params::{chunk_ranges, TuningParams};
 use crate::pool::{ExecPool, ScopedJob};
 use crate::profile::SweepProfiler;
 use crate::simulate::{apply_simulated, touch_row, Groups, RowAccess, SimContext};
+use crate::sweep::{lane_count_supported, Tier, TierPolicy};
 
 fn wavefront_checks(
     stencil: &Stencil,
@@ -52,18 +53,31 @@ fn wavefront_checks(
 
 /// Performs `params.wavefront` time steps of `stencil` on the ping-pong
 /// pair `(a, b)` on the process-global [`ExecPool`]; on return `a` holds
-/// the newest time level. See [`run_wavefront_native_on`].
+/// the newest time level.
 ///
 /// # Errors
 /// Fails for multi-input stencils, binding problems, or invalid
 /// parameters.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `SweepRequest` and call `run_wavefront` on it"
+)]
 pub fn run_wavefront_native(
     stencil: &Stencil,
     a: &mut Grid3,
     b: &mut Grid3,
     params: &TuningParams,
 ) -> Result<(), EngineError> {
-    run_wavefront_native_on(ExecPool::global(), stencil, a, b, params).map(|_| ())
+    execute_wavefront(
+        ExecPool::global(),
+        stencil,
+        a,
+        b,
+        params,
+        &SweepProfiler::disabled(),
+        TierPolicy::from_env(),
+    )
+    .map(|_| ())
 }
 
 /// Performs `params.wavefront` time steps of `stencil` on the ping-pong
@@ -72,16 +86,13 @@ pub fn run_wavefront_native(
 /// the number of threads that actually did work (the widest per-plane
 /// chunk count; `1` on the generic fallback).
 ///
-/// Linear stencils on matching row-major layouts take the fast path:
-/// each plane update is tiled in x/y by `params.block` and its rows are
-/// split into `params.threads` chunks run on the pool. Everything else
-/// falls back to the per-point generic loop. Halo values of both
-/// buffers are left untouched (fixed-value boundary), matching how the
-/// plain steppers treat them.
-///
 /// # Errors
 /// Fails for multi-input stencils, binding problems, or invalid
 /// parameters.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `SweepRequest` with `.pool(...)` and call `run_wavefront` on it"
+)]
 pub fn run_wavefront_native_on(
     pool: &ExecPool,
     stencil: &Stencil,
@@ -89,20 +100,30 @@ pub fn run_wavefront_native_on(
     b: &mut Grid3,
     params: &TuningParams,
 ) -> Result<usize, EngineError> {
-    run_wavefront_native_profiled_on(pool, stencil, a, b, params, &SweepProfiler::disabled())
+    execute_wavefront(
+        pool,
+        stencil,
+        a,
+        b,
+        params,
+        &SweepProfiler::disabled(),
+        TierPolicy::from_env(),
+    )
+    .map(|(widest, _, _)| widest)
 }
 
-/// [`run_wavefront_native_on`] with an attached [`SweepProfiler`]: when
-/// `prof` is enabled, the whole skewed sweep is recorded as a
-/// `"wavefront"` phase, every plane update as a plane interval (timed on
-/// the dispatching thread), every per-chunk pool job as a chunk
-/// interval, and the pool-counter window across the sweep. Profiling
-/// never reads clocks inside the numeric loops, so results are bitwise
-/// identical to the unprofiled call (which delegates here with a
-/// disabled profiler).
+/// Wavefront run with an attached [`SweepProfiler`]: when `prof` is
+/// enabled, the whole skewed sweep is recorded as a `"wavefront"` phase,
+/// every plane update as a plane interval, every per-chunk pool job as a
+/// chunk interval, and the pool-counter window across the sweep.
 ///
 /// # Errors
-/// Same conditions as [`run_wavefront_native_on`].
+/// Fails for multi-input stencils, binding problems, or invalid
+/// parameters.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `SweepRequest` with `.pool(...).profiler(...)` and call `run_wavefront` on it"
+)]
 pub fn run_wavefront_native_profiled_on(
     pool: &ExecPool,
     stencil: &Stencil,
@@ -111,6 +132,86 @@ pub fn run_wavefront_native_profiled_on(
     params: &TuningParams,
     prof: &SweepProfiler,
 ) -> Result<usize, EngineError> {
+    execute_wavefront(pool, stencil, a, b, params, prof, TierPolicy::from_env())
+        .map(|(widest, _, _)| widest)
+}
+
+/// Picks the kernel tier for the skewed plane updates. The wavefront
+/// fast path hands each pool job a contiguous window of plane rows, so
+/// it needs a linear stencil on identically laid-out **row-major**
+/// buffers; the folded lane kernel additionally needs a supported x-lane
+/// count. Multi-dimensional folds scatter rows across bricks and fall
+/// back to the per-point generic loop (the brick kernel sweeps whole
+/// grids, not single planes).
+fn plan_wavefront(
+    compiled: &CompiledStencil,
+    layouts_match: bool,
+    params: &TuningParams,
+    policy: TierPolicy,
+) -> (Option<usize>, Tier, &'static str) {
+    if !compiled.is_linear() {
+        return (
+            None,
+            Tier::Generic,
+            "non-linear stencil: per-point generic wavefront",
+        );
+    }
+    if !layouts_match {
+        return (
+            None,
+            Tier::Generic,
+            "ping-pong buffers have mismatched layouts: per-point generic wavefront",
+        );
+    }
+    if !params.row_major() {
+        return (
+            None,
+            Tier::Generic,
+            "wavefront folded tier requires a row-major fold: per-point generic wavefront",
+        );
+    }
+    match policy {
+        TierPolicy::ForceScalar => (Some(0), Tier::Scalar, "tier forced to scalar"),
+        _ if lane_count_supported(params.fold.x) => (
+            Some(params.fold.x),
+            Tier::Folded,
+            "row-major fold: folded lane kernel",
+        ),
+        TierPolicy::ForceFolded => (
+            Some(0),
+            Tier::Scalar,
+            "folded tier forced but fold.x has no supported lane count: scalar row kernels",
+        ),
+        TierPolicy::Auto => (
+            Some(0),
+            Tier::Scalar,
+            "fold.x has no supported lane count: scalar row kernels",
+        ),
+    }
+}
+
+/// The wavefront executor behind [`crate::SweepRequest::run_wavefront`]
+/// and the deprecated free functions. Performs `params.wavefront` time
+/// steps in one skewed sweep and returns
+/// `(widest chunk count, executed tier, reason)`.
+///
+/// Linear stencils on matching row-major layouts take the fast path:
+/// each plane update is tiled in x/y by `params.block` and its rows are
+/// split into `params.threads` chunks run on the pool — through the
+/// folded lane kernel when the fold's x-lane count is supported, the
+/// scalar row kernels otherwise. Everything else falls back to the
+/// per-point generic loop. Halo values of both buffers are left
+/// untouched (fixed-value boundary), matching how the plain steppers
+/// treat them.
+pub(crate) fn execute_wavefront(
+    pool: &ExecPool,
+    stencil: &Stencil,
+    a: &mut Grid3,
+    b: &mut Grid3,
+    params: &TuningParams,
+    prof: &SweepProfiler,
+    policy: TierPolicy,
+) -> Result<(usize, Tier, &'static str), EngineError> {
     let (wf, shift) = wavefront_checks(stencil, a, b, params)?;
     let t_compile = prof.start();
     let compiled = CompiledStencil::compile(stencil);
@@ -118,12 +219,11 @@ pub fn run_wavefront_native_profiled_on(
     let n = a.n();
     // The fast path splits plane storage into contiguous row chunks, so
     // both buffers must really be row-major with identical layouts.
-    let fast = compiled.is_linear()
-        && params.row_major()
-        && a.fold() == params.fold
+    let layouts_match = a.fold() == params.fold
         && b.fold() == params.fold
         && a.halo() == b.halo()
         && a.alloc() == b.alloc();
+    let (lanes, tier, reason) = plan_wavefront(&compiled, layouts_match, params, policy);
     let zmax = n[2] + (wf - 1) * shift;
     let mut widest = 1usize;
     prof.pool_window(pool.stats());
@@ -142,9 +242,9 @@ pub fn run_wavefront_native_profiled_on(
                 (&*b, &mut *a)
             };
             let t_plane = prof.start();
-            if fast {
+            if let Some(lanes) = lanes {
                 let (terms, constant) = compiled.linear_terms().expect("fast implies linear");
-                let used = wavefront_plane(pool, terms, constant, src, dst, z, params, prof);
+                let used = wavefront_plane(pool, terms, constant, src, dst, z, params, prof, lanes);
                 widest = widest.max(used);
             } else {
                 for j in 0..n[1] as isize {
@@ -162,11 +262,12 @@ pub fn run_wavefront_native_profiled_on(
     if wf % 2 == 1 {
         a.swap_data(b).expect("ping-pong pair has identical layout");
     }
-    Ok(widest)
+    Ok((widest, tier, reason))
 }
 
 /// One skewed plane update `dst[·,·,z] = stencil(src)` through the
-/// allocation-free linear row kernels: x/y spatial blocking from
+/// allocation-free linear row kernels (`lanes` selects the folded lane
+/// kernel, `0` the scalar rows): x/y spatial blocking from
 /// `params.block`, rows decomposed into `params.threads` contiguous
 /// chunks at y-block boundaries, chunks run on the pool. Returns the
 /// number of chunks that received work.
@@ -180,11 +281,12 @@ fn wavefront_plane(
     z: usize,
     params: &TuningParams,
     prof: &SweepProfiler,
+    lanes: usize,
 ) -> usize {
     let n = dst.n();
     let block = params.clipped_block(n);
     let sub = params.sub_block.unwrap_or(block).map(|e| e.max(1));
-    let kernel = LinearKernel::build(terms, constant, &[src]);
+    let kernel = LinearKernel::build(terms, constant, &[src], lanes);
     let out_geom = Geom::of(dst);
     let (ax, ay) = (out_geom.ax as usize, out_geom.ay as usize);
     let (hy, hz) = (out_geom.hy as usize, out_geom.hz as usize);
@@ -315,6 +417,7 @@ pub fn run_wavefront_simulated(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::SweepRequest;
     use yasksite_arch::Machine;
     use yasksite_grid::Fold;
     use yasksite_stencil::builders::{heat3d, wave2d};
@@ -357,11 +460,43 @@ mod tests {
             let mut b = a0.clone();
             b.fill_halo(0.0);
             let p = TuningParams::new([16, 6, 10], Fold::new(8, 1, 1)).wavefront(wf);
-            run_wavefront_native(&s, &mut a, &mut b, &p).unwrap();
+            let report = SweepRequest::new(&p)
+                .tier(TierPolicy::Auto)
+                .run_wavefront(&s, &mut a, &mut b)
+                .unwrap();
+            assert_eq!(report.tier, Tier::Folded);
+            assert_eq!(report.wavefront_depth, wf);
+            assert_eq!(report.updates, (16 * 6 * 10 * wf) as u64);
             assert!(
                 a.max_abs_diff(&want).unwrap() < 1e-12,
                 "wavefront depth {wf} diverges"
             );
+        }
+    }
+
+    #[test]
+    fn folded_wavefront_is_bitwise_identical_to_scalar_wavefront() {
+        let s = heat3d(1);
+        let n = [24, 13, 11];
+        let run = |policy: TierPolicy, lanes: usize| {
+            let fold = Fold::new(lanes, 1, 1);
+            let mut a = Grid3::new("a", n, [1, 1, 1], fold);
+            a.fill_with(|i, j, k| ((i * 3 + j * 5 + k * 7) % 11) as f64 * 0.1);
+            a.fill_halo(0.0);
+            let mut b = a.clone();
+            let p = TuningParams::new([8, 4, 4], fold).wavefront(3).threads(2);
+            let report = SweepRequest::new(&p)
+                .tier(policy)
+                .run_wavefront(&s, &mut a, &mut b)
+                .unwrap();
+            (a, report.tier)
+        };
+        for lanes in [2usize, 4, 8, 16] {
+            let (scalar, ts) = run(TierPolicy::ForceScalar, lanes);
+            assert_eq!(ts, Tier::Scalar);
+            let (folded, tf) = run(TierPolicy::ForceFolded, lanes);
+            assert_eq!(tf, Tier::Folded, "lanes={lanes}");
+            assert_eq!(scalar.max_abs_diff(&folded).unwrap(), 0.0, "lanes={lanes}");
         }
     }
 
@@ -376,8 +511,11 @@ mod tests {
             let p = TuningParams::new(block, Fold::new(8, 1, 1))
                 .wavefront(wf)
                 .threads(threads);
-            let used = run_wavefront_native_on(ExecPool::global(), &s, &mut a, &mut b, &p).unwrap();
-            (a, used)
+            let report = SweepRequest::new(&p)
+                .tier(TierPolicy::Auto)
+                .run_wavefront(&s, &mut a, &mut b)
+                .unwrap();
+            (a, report.threads_used)
         };
         let (base, base_used) = run(1, [8, 4, 4]);
         assert_eq!(base_used, 1);
@@ -402,7 +540,10 @@ mod tests {
         let run = |prof: &SweepProfiler| {
             let mut a = initial(n);
             let mut b = initial(n);
-            run_wavefront_native_profiled_on(ExecPool::global(), &s, &mut a, &mut b, &p, prof)
+            SweepRequest::new(&p)
+                .tier(TierPolicy::Auto)
+                .profiler(prof)
+                .run_wavefront(&s, &mut a, &mut b)
                 .unwrap();
             a
         };
@@ -426,7 +567,7 @@ mod tests {
         let mut b = a.clone();
         let p = TuningParams::new([8, 8, 1], Fold::new(8, 1, 1)).wavefront(2);
         assert!(matches!(
-            run_wavefront_native(&s, &mut a, &mut b, &p),
+            SweepRequest::new(&p).run_wavefront(&s, &mut a, &mut b),
             Err(EngineError::Unsupported { .. })
         ));
     }
@@ -435,7 +576,7 @@ mod tests {
     fn mismatched_layouts_fall_back_to_generic_path() {
         // b allocates a wider halo than a: the fast path's identical
         // -layout precondition fails, the generic path must still give
-        // the right answer.
+        // the right answer and the report must say so.
         let s = heat3d(1);
         let n = [12, 6, 8];
         let a0 = initial(n);
@@ -446,9 +587,41 @@ mod tests {
         let p = TuningParams::new([12, 6, 8], Fold::new(8, 1, 1))
             .wavefront(2)
             .threads(2);
-        let used = run_wavefront_native_on(ExecPool::global(), &s, &mut a, &mut b, &p).unwrap();
-        assert_eq!(used, 1, "generic fallback is single-threaded");
+        let report = SweepRequest::new(&p)
+            .tier(TierPolicy::Auto)
+            .run_wavefront(&s, &mut a, &mut b)
+            .unwrap();
+        assert_eq!(
+            report.threads_used, 1,
+            "generic fallback is single-threaded"
+        );
+        assert_eq!(report.tier, Tier::Generic);
+        assert!(report.tier_reason.contains("mismatched layouts"));
         assert!(a.max_abs_diff(&want).unwrap() < 1e-12);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wavefront_wrappers_delegate_bitwise_identically() {
+        let s = heat3d(1);
+        let n = [16, 8, 10];
+        let p = TuningParams::new([8, 4, 4], Fold::new(8, 1, 1))
+            .wavefront(3)
+            .threads(2);
+        let mut a1 = initial(n);
+        let mut b1 = initial(n);
+        SweepRequest::new(&p)
+            .run_wavefront(&s, &mut a1, &mut b1)
+            .unwrap();
+        let mut a2 = initial(n);
+        let mut b2 = initial(n);
+        run_wavefront_native(&s, &mut a2, &mut b2, &p).unwrap();
+        assert_eq!(a1.max_abs_diff(&a2).unwrap(), 0.0);
+        let mut a3 = initial(n);
+        let mut b3 = initial(n);
+        let used = run_wavefront_native_on(ExecPool::global(), &s, &mut a3, &mut b3, &p).unwrap();
+        assert!(used >= 1);
+        assert_eq!(a1.max_abs_diff(&a3).unwrap(), 0.0);
     }
 
     /// A scaled-down Cascade-Lake-like machine whose LLC the test domain

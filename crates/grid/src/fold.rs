@@ -45,10 +45,25 @@ impl Fold {
     /// All folds whose element count equals `lanes`, in x-major preference
     /// order. These are the candidate layouts the tuner enumerates.
     ///
+    /// # Ordering contract
+    ///
+    /// The returned list is **deterministic** and **duplicate-free** for
+    /// every lane count: candidates are emitted in strictly descending
+    /// x-extent, and within one x-extent in strictly descending y-extent,
+    /// so the first element is always the in-line fold
+    /// `Fold::new(lanes, 1, 1)` and the last is `Fold::new(1, 1, lanes)`.
+    /// Each `(x, y, z)` factorization of `lanes` appears exactly once.
+    /// Callers (the tuner's `SearchSpace`, the engine's tier planner)
+    /// rely on this order being stable across calls and lane counts.
+    ///
+    /// Candidates are *not* filtered against any domain here; use
+    /// [`Fold::fits`] to reject folds whose brick exceeds the domain, the
+    /// same way `SearchSpace` clips oversize blocks.
+    ///
     /// ```
     /// use yasksite_grid::Fold;
     /// let folds = Fold::candidates(8);
-    /// assert!(folds.contains(&Fold::new(8, 1, 1)));
+    /// assert_eq!(folds[0], Fold::new(8, 1, 1));
     /// assert!(folds.contains(&Fold::new(4, 2, 1)));
     /// assert!(folds.iter().all(|f| f.elems() == 8));
     /// ```
@@ -68,6 +83,21 @@ impl Fold {
             }
         }
         out
+    }
+
+    /// Whether one brick of this fold fits inside `domain`: a fold whose
+    /// extent exceeds the domain in any dimension would allocate bricks
+    /// that are mostly halo/padding and is rejected from the search space
+    /// (the fold analogue of `SearchSpace` clipping oversize blocks).
+    ///
+    /// ```
+    /// use yasksite_grid::Fold;
+    /// assert!(Fold::new(4, 2, 1).fits([8, 8, 8]));
+    /// assert!(!Fold::new(4, 2, 1).fits([8, 1, 8]));
+    /// ```
+    #[must_use]
+    pub fn fits(&self, domain: [usize; 3]) -> bool {
+        self.x <= domain[0] && self.y <= domain[1] && self.z <= domain[2]
     }
 
     /// Extents as an `[x, y, z]` array.
@@ -122,6 +152,46 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_extent_panics() {
         let _ = Fold::new(0, 1, 1);
+    }
+
+    #[test]
+    fn candidates_are_deduped_and_deterministic_across_lane_counts() {
+        for lanes in [4usize, 8, 16] {
+            let a = Fold::candidates(lanes);
+            let b = Fold::candidates(lanes);
+            assert_eq!(a, b, "candidates({lanes}) must be deterministic");
+            let mut seen = std::collections::HashSet::new();
+            for f in &a {
+                assert!(seen.insert(*f), "duplicate candidate {f} for {lanes} lanes");
+                assert_eq!(f.elems(), lanes);
+            }
+            // The documented preference order: in-line fold first,
+            // z-major fold last, x strictly non-increasing throughout.
+            assert_eq!(a[0], Fold::new(lanes, 1, 1));
+            assert_eq!(a[a.len() - 1], Fold::new(1, 1, lanes));
+            for w in a.windows(2) {
+                assert!(
+                    w[0].x >= w[1].x,
+                    "x-major order violated at {}/{}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fits_rejects_folds_wider_than_the_domain() {
+        assert!(Fold::new(8, 1, 1).fits([8, 1, 1]));
+        assert!(!Fold::new(8, 1, 1).fits([7, 8, 8]));
+        assert!(!Fold::new(1, 2, 4).fits([64, 64, 2]));
+        assert!(Fold::unit().fits([1, 1, 1]));
+        // Every 8-lane candidate fits a generous cube; none fits a thin slab
+        // except those that are flat in y and z.
+        for f in Fold::candidates(8) {
+            assert!(f.fits([16, 16, 16]));
+            assert_eq!(f.fits([64, 64, 1]), f.z == 1);
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 
-use yasksite_engine::{apply_native_on, EngineError, ExecPool, TuningParams};
+use yasksite_engine::{EngineError, ExecPool, SweepRequest, TuningParams};
 use yasksite_grid::{Fold, Grid3};
 
 use crate::ivps::Ivp;
@@ -166,7 +166,9 @@ impl Integrator {
                 op.inputs.iter().map(|&g| self.pool[g].borrow()).collect();
             let refs: Vec<&Grid3> = borrowed.iter().map(|r| &**r).collect();
             let mut out = self.pool[op.output].borrow_mut();
-            apply_native_on(self.exec_pool(), &op.stencil, &refs, &mut out, &self.params)?;
+            SweepRequest::new(&self.params)
+                .pool(self.exec_pool())
+                .apply(&op.stencil, &refs, &mut out)?;
         }
         for (&s, &n) in self.plan.state_grids.iter().zip(&self.plan.next_grids) {
             let mut a = self.pool[s].borrow_mut();

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use xtests::seeded_grid;
-use yasksite_engine::{apply_native, run_wavefront_native, TuningParams};
+use yasksite_engine::{SweepRequest, TuningParams};
 use yasksite_grid::{Fold, Grid3};
 use yasksite_stencil::{at, c, Expr, Stencil};
 
@@ -52,7 +52,7 @@ proptest! {
         let u = seeded_grid("u", n, halo, fold, 7);
         let mut out = Grid3::new("o", n, halo, fold);
         let params = TuningParams::new([bx, by, bz], fold).threads(threads);
-        apply_native(&stencil, &[&u], &mut out, &params).unwrap();
+        SweepRequest::new(&params).apply(&stencil, &[&u], &mut out).unwrap();
 
         let u_ref = seeded_grid("ur", n, halo, Fold::unit(), 7);
         let mut want = Grid3::new("w", n, halo, Fold::unit());
@@ -79,7 +79,7 @@ proptest! {
         let mut b = seeded_grid("b", n, halo, fold, 3);
         b.fill_halo(0.0);
         a.fill_halo(0.0);
-        run_wavefront_native(&stencil, &mut a, &mut b, &params).unwrap();
+        SweepRequest::new(&params).run_wavefront(&stencil, &mut a, &mut b).unwrap();
 
         // Plain path: depth sweeps with ping-pong, halos fixed at 0.
         let mut x = seeded_grid("x", n, halo, fold, 3);
@@ -88,7 +88,7 @@ proptest! {
         y.fill_halo(0.0);
         let plain = TuningParams::new(n, fold);
         for _ in 0..depth {
-            apply_native(&stencil, &[&x], &mut y, &plain).unwrap();
+            SweepRequest::new(&plain).apply(&stencil, &[&x], &mut y).unwrap();
             x.swap_data(&mut y).unwrap();
         }
         prop_assert!(a.max_abs_diff(&x).unwrap() < 1e-9);
@@ -107,8 +107,8 @@ proptest! {
         let u = seeded_grid("u", n, halo, fold, 11);
         let mut o1 = Grid3::new("o1", n, halo, fold);
         let mut o2 = Grid3::new("o2", n, halo, fold);
-        apply_native(&stencil, &[&u], &mut o1, &TuningParams::new([b1, b2, b1], fold)).unwrap();
-        apply_native(&stencil, &[&u], &mut o2, &TuningParams::new([b2, b1, b2], fold)).unwrap();
+        SweepRequest::new(&TuningParams::new([b1, b2, b1], fold)).apply(&stencil, &[&u], &mut o1).unwrap();
+        SweepRequest::new(&TuningParams::new([b2, b1, b2], fold)).apply(&stencil, &[&u], &mut o2).unwrap();
         prop_assert_eq!(o1.max_abs_diff(&o2).unwrap(), 0.0);
     }
 }

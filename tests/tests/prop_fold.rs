@@ -1,0 +1,192 @@
+//! Property-based bitwise-identity suite for the vector-folded tier:
+//! for arbitrary stencils (radius 1 and 2, specialised and dynamic
+//! arity), fold shapes, thread counts and profiled/unprofiled runs, the
+//! folded tier must reproduce the scalar tier *bit for bit*. Every tier
+//! computes each output point with the identical FP op order
+//! (`acc = constant; for each term: acc += coeff * src`), so all
+//! comparisons here are exact (`== 0.0`), never epsilon-based.
+
+use proptest::prelude::*;
+use xtests::seeded_grid;
+use yasksite_engine::{SweepProfiler, SweepRequest, Tier, TierPolicy, TuningParams};
+use yasksite_grid::{Fold, Grid3};
+use yasksite_stencil::{at, c, Expr, Stencil};
+
+/// Strategy: a random linear stencil with offsets within `radius` and
+/// `arity` terms. Arities outside {1, 2, 7, 9, 27} exercise the
+/// dynamic-arity scalar row (`row_dyn`) as the comparison baseline.
+fn arb_linear_stencil(
+    radius: i32,
+    arity: std::ops::Range<usize>,
+) -> impl Strategy<Value = Stencil> {
+    proptest::collection::vec(
+        (
+            (-radius..=radius),
+            (-radius..=radius),
+            (-radius..=radius),
+            -2.0f64..2.0,
+        ),
+        arity,
+    )
+    .prop_map(|terms| {
+        let exprs: Vec<Expr> = terms
+            .iter()
+            .map(|&(dx, dy, dz, w)| c(w) * at(0, dx, dy, dz))
+            .collect();
+        Stencil::new("prop_fold", 3, 1, Expr::sum(exprs))
+    })
+}
+
+/// Row-major folds with a supported lane count (the folded lane tier).
+fn arb_lane_fold() -> impl Strategy<Value = Fold> {
+    prop_oneof![
+        Just(Fold::new(2, 1, 1)),
+        Just(Fold::new(4, 1, 1)),
+        Just(Fold::new(8, 1, 1)),
+        Just(Fold::new(16, 1, 1)),
+    ]
+}
+
+/// Multi-dimensional folds with a supported element count (the folded
+/// brick tier).
+fn arb_brick_fold() -> impl Strategy<Value = Fold> {
+    prop_oneof![
+        Just(Fold::new(4, 2, 1)),
+        Just(Fold::new(2, 2, 2)),
+        Just(Fold::new(2, 2, 1)),
+        Just(Fold::new(1, 2, 1)),
+        Just(Fold::new(4, 4, 1)),
+    ]
+}
+
+/// Runs one sweep under `policy`, optionally profiled, returning the
+/// output grid and the tier that actually executed.
+fn run_tier(
+    stencil: &Stencil,
+    u: &Grid3,
+    params: &TuningParams,
+    policy: TierPolicy,
+    profiled: bool,
+) -> (Grid3, Tier) {
+    let n = u.n();
+    let mut out = Grid3::new("o", n, stencil.info().radius, params.fold);
+    let prof = SweepProfiler::enabled();
+    let mut request = SweepRequest::new(params).tier(policy);
+    if profiled {
+        request = request.profiler(&prof);
+    }
+    let report = request.apply(stencil, &[u], &mut out).unwrap();
+    (out, report.tier)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Folded lane tier == scalar tier, bit for bit, across radius ×
+    /// lane fold × threads × profiled on/off. Arities 1..30 cover both
+    /// the specialised scalar rows and the dynamic-arity fallback.
+    #[test]
+    fn lane_tier_is_bitwise_identical_to_scalar_tier(
+        (stencil, fold, threads, profiled, nx, ny, nz) in (
+            (1i32..=2).prop_flat_map(|radius| arb_linear_stencil(radius, 1..30)),
+            arb_lane_fold(),
+            1usize..5,
+            any::<bool>(),
+            4usize..24,
+            3usize..10,
+            3usize..10,
+        ),
+    ) {
+        let n = [nx, ny, nz];
+        let halo = stencil.info().radius;
+        let u = seeded_grid("u", n, halo, fold, 21);
+        let params = TuningParams::new([n[0], 4, 4], fold).threads(threads);
+
+        let (scalar, t_s) = run_tier(&stencil, &u, &params, TierPolicy::ForceScalar, profiled);
+        let (folded, t_f) = run_tier(&stencil, &u, &params, TierPolicy::ForceFolded, profiled);
+
+        prop_assert_eq!(t_s, Tier::Scalar);
+        prop_assert_eq!(t_f, Tier::Folded);
+        prop_assert_eq!(folded.max_abs_diff(&scalar).unwrap(), 0.0);
+    }
+
+    /// Folded brick tier == the pre-folded-tier generic path (what
+    /// `ForceScalar` degrades to on multi-dimensional folds), bit for
+    /// bit, across fold shape × threads × profiled on/off.
+    #[test]
+    fn brick_tier_is_bitwise_identical_to_generic_path(
+        (stencil, fold, threads, profiled, nx, ny, nz) in (
+            arb_linear_stencil(2, 1..30),
+            arb_brick_fold(),
+            1usize..5,
+            any::<bool>(),
+            4usize..20,
+            3usize..10,
+            3usize..10,
+        ),
+    ) {
+        let n = [nx, ny, nz];
+        let halo = stencil.info().radius;
+        let u = seeded_grid("u", n, halo, fold, 23);
+        let params = TuningParams::new([n[0], 4, 4], fold).threads(threads);
+
+        let (generic, t_g) = run_tier(&stencil, &u, &params, TierPolicy::ForceScalar, profiled);
+        let (brick, t_b) = run_tier(&stencil, &u, &params, TierPolicy::ForceFolded, profiled);
+
+        prop_assert_eq!(t_g, Tier::Generic);
+        prop_assert_eq!(t_b, Tier::Folded);
+        prop_assert_eq!(brick.max_abs_diff(&generic).unwrap(), 0.0);
+    }
+
+    /// The tier never depends on thread count, and the folded tier is
+    /// thread-count invariant: every thread count produces the same bits
+    /// as single-threaded folded execution.
+    #[test]
+    fn folded_tier_is_thread_count_invariant(
+        stencil in arb_linear_stencil(2, 1..30),
+        fold in arb_lane_fold(),
+        threads in 2usize..7,
+    ) {
+        let n = [19, 7, 9];
+        let halo = stencil.info().radius;
+        let u = seeded_grid("u", n, halo, fold, 29);
+        let p1 = TuningParams::new([19, 4, 4], fold).threads(1);
+        let pt = TuningParams::new([19, 4, 4], fold).threads(threads);
+
+        let (one, _) = run_tier(&stencil, &u, &p1, TierPolicy::ForceFolded, false);
+        let (many, _) = run_tier(&stencil, &u, &pt, TierPolicy::ForceFolded, false);
+        prop_assert_eq!(many.max_abs_diff(&one).unwrap(), 0.0);
+    }
+
+    /// Folded wavefronts == scalar wavefronts, bit for bit, for any
+    /// depth and thread count.
+    #[test]
+    fn folded_wavefront_is_bitwise_identical_to_scalar_wavefront(
+        stencil in arb_linear_stencil(2, 1..12),
+        fold in arb_lane_fold(),
+        depth in 1usize..5,
+        threads in 1usize..4,
+    ) {
+        let n = [16, 6, 7];
+        let halo = stencil.info().radius;
+        let params = TuningParams::new([16, 4, 4], fold).threads(threads).wavefront(depth);
+
+        let run = |policy: TierPolicy| {
+            let mut a = seeded_grid("a", n, halo, fold, 31);
+            let mut b = seeded_grid("b", n, halo, fold, 31);
+            a.fill_halo(0.0);
+            b.fill_halo(0.0);
+            let report = SweepRequest::new(&params)
+                .tier(policy)
+                .run_wavefront(&stencil, &mut a, &mut b)
+                .unwrap();
+            (a, report.tier)
+        };
+
+        let (scalar, t_s) = run(TierPolicy::ForceScalar);
+        let (folded, t_f) = run(TierPolicy::ForceFolded);
+        prop_assert_eq!(t_s, Tier::Scalar);
+        prop_assert_eq!(t_f, Tier::Folded);
+        prop_assert_eq!(folded.max_abs_diff(&scalar).unwrap(), 0.0);
+    }
+}

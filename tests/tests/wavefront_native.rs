@@ -6,12 +6,14 @@
 
 use proptest::prelude::*;
 use xtests::seeded_grid;
-use yasksite_engine::{apply_native, run_wavefront_native, CompiledStencil, TuningParams};
+use yasksite_engine::{
+    CompiledStencil, SweepProfiler, SweepRequest, Tier, TierPolicy, TuningParams,
+};
 use yasksite_grid::{Fold, Grid3};
 use yasksite_stencil::builders::heat3d;
 use yasksite_stencil::{at, c, Expr, Stencil};
 
-/// Reference: `depth` plain ping-pong sweeps through `apply_native`,
+/// Reference: `depth` plain ping-pong sweeps through `SweepRequest::apply`,
 /// returning the grid holding the newest time level. The plain path and
 /// the wavefront path compute each point with the identical FP op order,
 /// so comparisons against this reference are exact (`== 0.0`).
@@ -23,50 +25,78 @@ fn stepper_reference(
     params: &TuningParams,
 ) {
     let plain = params.clone().wavefront(1);
+    let request = SweepRequest::new(&plain).tier(TierPolicy::Auto);
     for s in 0..depth {
         if s % 2 == 0 {
-            apply_native(stencil, &[&*a], b, &plain).unwrap();
+            request.apply(stencil, &[&*a], b).unwrap();
         } else {
-            apply_native(stencil, &[&*b], a, &plain).unwrap();
+            request.apply(stencil, &[&*b], a).unwrap();
         }
     }
-    // Mirror run_wavefront_native's convention: newest level ends in `a`.
+    // Mirror SweepRequest::run_wavefront's convention: newest level ends
+    // in `a`.
     if depth % 2 == 1 {
         a.swap_data(b).unwrap();
     }
 }
 
 /// The full matrix the issue asks for: radius-1 and radius-2 stencils ×
-/// wavefront depths × thread counts, every cell bitwise-identical to the
-/// plain stepper.
+/// fold shapes × wavefront depths × thread counts × tier policies ×
+/// profiled on/off, every cell bitwise-identical to the plain stepper.
+/// Folded-layout wavefronts must match scalar-layout wavefronts exactly,
+/// and forcing a tier must never change results.
 #[test]
 fn wavefront_matrix_bitwise_matches_plain_stepper() {
     for radius in [1usize, 2] {
         let stencil = heat3d(radius);
         let halo = [radius, radius, radius];
         let n = [24, 14, 12];
-        let fold = Fold::new(8, 1, 1);
-        for depth in [1usize, 2, 3, 5] {
-            // Reference once per (radius, depth).
-            let mut ra = seeded_grid("ra", n, halo, fold, 11);
-            let mut rb = seeded_grid("rb", n, halo, fold, 11);
-            ra.fill_halo(0.0);
-            rb.fill_halo(0.0);
-            let base = TuningParams::new([24, 4, 4], fold);
-            stepper_reference(&stencil, &mut ra, &mut rb, depth, &base);
+        for fold in [Fold::new(8, 1, 1), Fold::new(4, 1, 1), Fold::unit()] {
+            for depth in [1usize, 2, 3, 5] {
+                // Reference once per (radius, fold, depth).
+                let mut ra = seeded_grid("ra", n, halo, fold, 11);
+                let mut rb = seeded_grid("rb", n, halo, fold, 11);
+                ra.fill_halo(0.0);
+                rb.fill_halo(0.0);
+                let base = TuningParams::new([24, 4, 4], fold);
+                stepper_reference(&stencil, &mut ra, &mut rb, depth, &base);
 
-            for threads in [1usize, 2, 4] {
-                let mut a = seeded_grid("a", n, halo, fold, 11);
-                let mut b = seeded_grid("b", n, halo, fold, 11);
-                a.fill_halo(0.0);
-                b.fill_halo(0.0);
-                let p = base.clone().threads(threads).wavefront(depth);
-                run_wavefront_native(&stencil, &mut a, &mut b, &p).unwrap();
-                assert_eq!(
-                    a.max_abs_diff(&ra).unwrap(),
-                    0.0,
-                    "radius {radius}, depth {depth}, threads {threads} diverged"
-                );
+                for threads in [1usize, 2, 4] {
+                    for policy in [TierPolicy::ForceScalar, TierPolicy::ForceFolded] {
+                        for profiled in [false, true] {
+                            let mut a = seeded_grid("a", n, halo, fold, 11);
+                            let mut b = seeded_grid("b", n, halo, fold, 11);
+                            a.fill_halo(0.0);
+                            b.fill_halo(0.0);
+                            let p = base.clone().threads(threads).wavefront(depth);
+                            let prof = SweepProfiler::enabled();
+                            let mut request = SweepRequest::new(&p).tier(policy);
+                            if profiled {
+                                request = request.profiler(&prof);
+                            }
+                            let report = request.run_wavefront(&stencil, &mut a, &mut b).unwrap();
+                            assert_eq!(
+                                a.max_abs_diff(&ra).unwrap(),
+                                0.0,
+                                "radius {radius}, fold {fold}, depth {depth}, \
+                                 threads {threads}, policy {policy:?}, \
+                                 profiled {profiled} diverged"
+                            );
+                            assert_eq!(report.wavefront_depth, depth);
+                            // Forcing folded on a lane-capable fold must
+                            // truthfully report the folded tier; x-folds
+                            // without a supported lane count degrade to
+                            // scalar with the reason recorded.
+                            if policy == TierPolicy::ForceFolded && fold.x >= 2 {
+                                assert_eq!(report.tier, Tier::Folded, "fold {fold}");
+                            }
+                            if policy == TierPolicy::ForceScalar {
+                                assert_eq!(report.tier, Tier::Scalar, "fold {fold}");
+                            }
+                            assert!(!report.tier_reason.is_empty());
+                        }
+                    }
+                }
             }
         }
     }
@@ -235,7 +265,7 @@ proptest! {
         seed_scoped_linear(&stencil, &u, &mut want, &params);
 
         let mut got = Grid3::new("g", n, halo, fold);
-        apply_native(&stencil, &[&u], &mut got, &params).unwrap();
+        SweepRequest::new(&params).apply(&stencil, &[&u], &mut got).unwrap();
         prop_assert_eq!(got.max_abs_diff(&want).unwrap(), 0.0);
     }
 }
