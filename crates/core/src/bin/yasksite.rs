@@ -6,10 +6,15 @@ use std::process::ExitCode;
 
 use yasksite::cli::{
     machine_from_flags, params_from_flags, parse_flags, parse_triple, request_from_flags,
-    serve_config_from_flags, stencil_by_name, telemetry_from_flags, ErrorReport, USAGE,
+    serve_config_from_flags, stencil_by_name, telemetry_from_flags, top_options_from_flags,
+    ErrorReport, TopOptions, USAGE,
 };
+use yasksite::telemetry::json::Json;
 use yasksite::telemetry::Telemetry;
-use yasksite::{render_report, Provenance, SearchSpace, Solution};
+use yasksite::{
+    render_report, render_top, validate_prometheus_text, validate_status_json, Provenance,
+    SearchSpace, Solution,
+};
 use yasksite_arch::{machine_table, Machine};
 use yasksite_stencil::{paper_suite, stencil_table};
 
@@ -74,6 +79,15 @@ fn run(args: &[String], tel: &Telemetry) -> Result<(), String> {
             );
             Ok(())
         }
+        "top" => {
+            let target = pos.get(1).map(String::as_str).ok_or_else(|| {
+                "usage: yasksite top <socket|state-dir> [--once] [--check] \
+                 [--interval SECS] [--format json|prom]"
+                    .to_string()
+            })?;
+            let opts = top_options_from_flags(&flags)?;
+            run_top(target, &opts)
+        }
         "predict" | "measure" | "codegen" | "tune" => {
             let machine = machine_from_flags(&flags).map_err(|e| e.to_string())?;
             let sname = flags
@@ -133,6 +147,16 @@ fn run(args: &[String], tel: &Telemetry) -> Result<(), String> {
                         .tune_space_with(&space, &req)
                         .map_err(|e| e.to_string())?;
                     println!("best: {}  ({:.0} MLUP/s)", r.best, r.best_score);
+                    println!(
+                        "tier: {} — {}{}",
+                        r.tier,
+                        r.tier_reason,
+                        if r.tier_degraded() {
+                            "  [degraded]"
+                        } else {
+                            ""
+                        }
+                    );
                     if matches!(r.best_provenance, Some(p) if p.is_fallback()) {
                         println!(
                             "warning: the winner rests on the analytic fallback \
@@ -217,6 +241,114 @@ fn serve_on_socket(
     Err(std::io::Error::other(
         "--socket requires a Unix platform; use stdin mode instead",
     ))
+}
+
+/// Fetches one status response line: over the daemon's Unix socket when
+/// `target` is a socket, or from `<state-dir>/status.json` when it is a
+/// directory. The Prometheus exposition needs a live daemon — the status
+/// file only carries the JSON snapshot.
+fn fetch_status(target: &str, prometheus: bool) -> Result<String, String> {
+    let path = std::path::Path::new(target);
+    if path.is_dir() {
+        if prometheus {
+            return Err("--format prom needs a live socket, not a state dir".to_string());
+        }
+        let file = path.join("status.json");
+        return std::fs::read_to_string(&file).map_err(|e| {
+            format!(
+                "cannot read '{}': {e} (is the daemon running?)",
+                file.display()
+            )
+        });
+    }
+    fetch_status_from_socket(path, prometheus)
+}
+
+#[cfg(unix)]
+fn fetch_status_from_socket(path: &std::path::Path, prometheus: bool) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let mut stream = UnixStream::connect(path)
+        .map_err(|e| format!("cannot connect to '{}': {e}", path.display()))?;
+    let request = if prometheus {
+        "{\"id\":\"top\",\"op\":\"status\",\"format\":\"prom\"}\n"
+    } else {
+        "{\"id\":\"top\",\"op\":\"status\"}\n"
+    };
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("cannot send status request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read status response: {e}"))?;
+    if line.trim().is_empty() {
+        return Err("daemon closed the connection without answering".to_string());
+    }
+    Ok(line)
+}
+
+#[cfg(not(unix))]
+fn fetch_status_from_socket(path: &std::path::Path, _prometheus: bool) -> Result<String, String> {
+    Err(format!(
+        "'{}' is not a state directory, and sockets need a Unix platform",
+        path.display()
+    ))
+}
+
+/// Parses one fetched status line and extracts the Prometheus body when
+/// the exposition was requested (the daemon wraps it in a JSON envelope).
+fn parse_status(line: &str, prometheus: bool) -> Result<(Json, Option<String>), String> {
+    let parsed = yasksite::telemetry::json::parse(line.trim())
+        .map_err(|e| format!("status response is not valid JSON: {e}"))?;
+    if !prometheus {
+        return Ok((parsed, None));
+    }
+    let body = parsed
+        .get("body")
+        .and_then(Json::as_str)
+        .ok_or("prom status response carries no 'body' field")?
+        .to_string();
+    Ok((parsed, Some(body)))
+}
+
+/// The `yasksite top` command: live dashboard, single frame, raw
+/// Prometheus dump, or `--check` validation of the daemon's output.
+fn run_top(target: &str, opts: &TopOptions) -> Result<(), String> {
+    loop {
+        let line = fetch_status(target, opts.prometheus)?;
+        let (parsed, prom_body) = parse_status(&line, opts.prometheus)?;
+        if opts.check {
+            if let Some(body) = &prom_body {
+                let samples = validate_prometheus_text(body)
+                    .map_err(|e| format!("prometheus exposition invalid: {e}"))?;
+                println!("prometheus ok: {samples} samples");
+            } else {
+                let c = validate_status_json(&parsed)
+                    .map_err(|e| format!("status snapshot invalid: {e}"))?;
+                println!(
+                    "status ok: {} kinds, {} latency samples, queue depth {}, \
+                     {} drift suspects",
+                    c.kinds, c.latency_samples, c.queue_depth, c.drift_suspects
+                );
+            }
+            return Ok(());
+        }
+        if let Some(body) = prom_body {
+            print!("{body}");
+        } else {
+            if !opts.once {
+                // Clear the terminal between frames for a stable dashboard.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render_top(&parsed, target));
+        }
+        if opts.once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(opts.interval_secs));
+    }
 }
 
 fn main() -> ExitCode {

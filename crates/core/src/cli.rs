@@ -39,7 +39,7 @@ pub fn parse_triple(s: &str) -> Result<[usize; 3], String> {
 }
 
 /// Flags that take no value (presence alone switches them on).
-pub const BOOLEAN_FLAGS: &[&str] = &["metrics", "profile"];
+pub const BOOLEAN_FLAGS: &[&str] = &["metrics", "profile", "once", "check"];
 
 /// Splits `--key value` pairs into a map; returns positional arguments
 /// separately. Flags listed in [`BOOLEAN_FLAGS`] consume no value and
@@ -233,8 +233,10 @@ pub fn request_from_flags(flags: &HashMap<String, String>) -> Result<TuneRequest
 /// (bounded request queue, default 16), `--deadline-ms MS` (default
 /// per-request watchdog), `--tenant-runs N` / `--tenant-secs S`
 /// (per-tenant admission caps), `--drift-cap N` (ledger bound per key,
-/// default 64) — plus the optional `--socket PATH` to serve on a Unix
-/// socket instead of stdin. The caller attaches the telemetry handle.
+/// default 64), `--trace-sample N` (trace only the first N requests in
+/// full; the rest keep counters but emit no events) — plus the optional
+/// `--socket PATH` to serve on a Unix socket instead of stdin. The
+/// caller attaches the telemetry handle.
 ///
 /// # Errors
 /// Returns a message on malformed values.
@@ -274,8 +276,58 @@ pub fn serve_config_from_flags(
     if let Some(cap) = usize_flag("drift-cap")? {
         config.drift_cap = Some(cap);
     }
+    config.trace_sample = flags
+        .get("trace-sample")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad --trace-sample '{v}'"))
+        })
+        .transpose()?;
     let socket = flags.get("socket").map(PathBuf::from);
     Ok((config, socket))
+}
+
+/// Parsed options of the `yasksite top` dashboard command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopOptions {
+    /// Render one frame and exit instead of polling.
+    pub once: bool,
+    /// Validate the snapshot (and Prometheus exposition with
+    /// `--format prom`) instead of rendering; exit non-zero on failure.
+    pub check: bool,
+    /// Seconds between frames when polling (default 2.0).
+    pub interval_secs: f64,
+    /// `--format prom` requests the Prometheus text exposition.
+    pub prometheus: bool,
+}
+
+/// Builds the `yasksite top` options from parsed flags: `--once`,
+/// `--check`, `--interval SECS` (default 2), `--format json|prom`.
+///
+/// # Errors
+/// Returns a message on a malformed interval or unknown format.
+pub fn top_options_from_flags(flags: &HashMap<String, String>) -> Result<TopOptions, String> {
+    let interval_secs = flags
+        .get("interval")
+        .map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| s.is_finite() && *s > 0.0)
+                .ok_or_else(|| format!("bad --interval '{v}'"))
+        })
+        .transpose()?
+        .unwrap_or(2.0);
+    let prometheus = match flags.get("format").map(String::as_str) {
+        None | Some("json") => false,
+        Some("prom") => true,
+        Some(other) => return Err(format!("bad --format '{other}' (json|prom)")),
+    };
+    Ok(TopOptions {
+        once: flags.contains_key("once"),
+        check: flags.contains_key("check"),
+        interval_secs,
+        prometheus,
+    })
 }
 
 /// Builds the session [`Telemetry`] from parsed flags:
@@ -429,11 +481,31 @@ USAGE:
                                         measurement runs / seconds)
                    [--drift-cap N]      (drift records kept per key,
                                         oldest evicted; default 64)
+                   [--trace-sample N]   (trace only the first N requests
+                                        in full; later requests keep
+                                        counters but emit no events —
+                                        responses are identical either
+                                        way)
                     Requests are JSON lines, answers one JSON line each:
                       {\"id\":\"1\",\"op\":\"tune\",\"stencil\":\"heat-3d-r1\",
                        \"domain\":\"32x16x16\",\"cores\":2,\"strategy\":\"hybrid\"}
-                    Ops: tune, predict, report, shutdown. SIGTERM drains
-                    in-flight requests, snapshots state and exits 0.
+                    Ops: tune, predict, report, status, shutdown. The
+                    status op returns the observability snapshot (queue
+                    depth, rolling latency percentiles, tier mix, drift
+                    suspects) as schema-v1 JSON, or Prometheus text with
+                    \"format\":\"prom\". SIGTERM drains in-flight
+                    requests, snapshots state and exits 0.
+  yasksite top      <socket|state-dir>
+                   [--once]             (render one frame and exit)
+                   [--interval SECS]    (poll period; default 2)
+                   [--format json|prom] (what to fetch; prom needs a
+                                        live socket)
+                   [--check]            (validate the snapshot — and the
+                                        Prometheus exposition with
+                                        --format prom — then exit;
+                                        non-zero on malformed output)
+                    Live daemon dashboard: polls the status op over the
+                    Unix socket, or reads <state-dir>/status.json.
 
 Stencil names: heat-3d-r<r>, heat-2d-r<r>, box-3d-r<r>, star-3d-r<r>,
 star-2d-r2, wave-2d, heat-3d-vc.";
@@ -604,6 +676,52 @@ mod tests {
         assert_eq!(config.queue_capacity, 1, "queue is clamped to 1");
         flags.insert("tenant-secs".into(), "-3".into());
         assert!(serve_config_from_flags(&flags).is_err());
+    }
+
+    #[test]
+    fn trace_sample_flag_wires_the_config() {
+        let mut flags = HashMap::new();
+        let (config, _) = serve_config_from_flags(&flags).unwrap();
+        assert!(config.trace_sample.is_none(), "default: trace everything");
+        flags.insert("trace-sample".into(), "10".into());
+        let (config, _) = serve_config_from_flags(&flags).unwrap();
+        assert_eq!(config.trace_sample, Some(10));
+        flags.insert("trace-sample".into(), "lots".into());
+        assert!(serve_config_from_flags(&flags).is_err());
+    }
+
+    #[test]
+    fn top_options_resolve_defaults_and_flags() {
+        let mut flags = HashMap::new();
+        let opts = top_options_from_flags(&flags).unwrap();
+        assert!(!opts.once && !opts.check && !opts.prometheus);
+        assert!((opts.interval_secs - 2.0).abs() < 1e-12);
+
+        flags.insert("once".into(), "true".into());
+        flags.insert("check".into(), "true".into());
+        flags.insert("interval".into(), "0.5".into());
+        flags.insert("format".into(), "prom".into());
+        let opts = top_options_from_flags(&flags).unwrap();
+        assert!(opts.once && opts.check && opts.prometheus);
+        assert!((opts.interval_secs - 0.5).abs() < 1e-12);
+
+        flags.insert("format".into(), "xml".into());
+        assert!(top_options_from_flags(&flags).is_err());
+        flags.insert("format".into(), "json".into());
+        flags.insert("interval".into(), "-1".into());
+        assert!(top_options_from_flags(&flags).is_err());
+    }
+
+    #[test]
+    fn top_boolean_flags_take_no_value() {
+        let args: Vec<String> = ["top", "/tmp/sock", "--once", "--check"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let (pos, flags) = parse_flags(&args).unwrap();
+        assert_eq!(pos, vec!["top", "/tmp/sock"]);
+        assert_eq!(flags["once"], "true");
+        assert_eq!(flags["check"], "true");
     }
 
     #[test]

@@ -59,6 +59,7 @@ mod request;
 mod serve;
 mod solution;
 mod space;
+mod status;
 mod trial;
 mod tuner;
 
@@ -82,6 +83,10 @@ pub use serve::{
 };
 pub use solution::{MeasuredPerf, Solution, ToolError};
 pub use space::SearchSpace;
+pub use status::{
+    render_top, validate_prometheus_text, validate_status_json, LatencyDigest, StatusCheck,
+    StatusSnapshot, TenantUsage, PROM_CONTENT_TYPE, STATUS_SCHEMA_VERSION,
+};
 pub use trial::{
     run_trial, run_trial_observed, FallbackReason, FaultPlan, FaultyBackend, MeasureBackend,
     Provenance, SolutionBackend, TrialBudget, TrialConfig, TrialResult, TrialRng, TrialSummary,

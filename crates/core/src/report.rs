@@ -2,18 +2,21 @@
 //! human-readable performance report.
 //!
 //! The report reads the trace the tuner wrote via `--trace-out` (with
-//! `--profile` for the profiler sections) and renders four views:
+//! `--profile` for the profiler sections) and renders five views:
 //!
 //! 1. **Phase breakdown** — the winner's `profile` events (compile /
 //!    sweep / wavefront plus the chunk and plane aggregates); when the
 //!    trace carries no profiler events, the span tree's per-name totals
 //!    stand in so unprofiled traces still report something useful.
-//! 2. **Pool utilization** — the `profile_pool` event: worker count,
+//! 2. **Winner** — the tuner's `winner` event: the chosen parameters and
+//!    the execution tier they compile to, with the tier's reason and a
+//!    `[degraded]` marker when the kernel fell off the fast path.
+//! 3. **Pool utilization** — the `profile_pool` event: worker count,
 //!    sweeps, jobs, occupancy and chunk imbalance.
-//! 3. **Drift table** — every `drift` event rebuilt into a
+//! 4. **Drift table** — every `drift` event rebuilt into a
 //!    [`DriftLedger`] and rendered with per-stencil percentiles and
 //!    model-suspect flags.
-//! 4. **Regressions vs a baseline** — when a second trace is supplied,
+//! 5. **Regressions vs a baseline** — when a second trace is supplied,
 //!    phases that got slower, worst first.
 //!
 //! Pure text-in/text-out (the CLI owns the file I/O), which keeps it
@@ -33,6 +36,9 @@ struct TraceDigest {
     /// `(workers, sweeps, jobs, occupancy, chunk_imbalance)` from the
     /// last `profile_pool` event.
     pool: Option<(u64, u64, u64, f64, f64)>,
+    /// `(params, mlups, tier, tier_reason, degraded)` from the last
+    /// `winner` event.
+    winner: Option<(String, f64, String, String, bool)>,
     /// Rebuilt drift ledger from `drift` events.
     drift: DriftLedger,
     /// `(name, value)` gauges from the final metrics flush.
@@ -109,6 +115,15 @@ fn digest(trace: &str) -> Result<TraceDigest, String> {
                     field_u64(&j, "jobs").unwrap_or(0),
                     field_f64(&j, "occupancy").unwrap_or(0.0),
                     field_f64(&j, "chunk_imbalance").unwrap_or(0.0),
+                ));
+            }
+            "winner" => {
+                d.winner = Some((
+                    field_str(&j, "params").unwrap_or("?").to_string(),
+                    field_f64(&j, "best_score_mlups").unwrap_or(0.0),
+                    field_str(&j, "tier").unwrap_or("?").to_string(),
+                    field_str(&j, "tier_reason").unwrap_or("?").to_string(),
+                    matches!(j.get("degraded"), Some(Json::Bool(true))),
                 ));
             }
             "drift" => {
@@ -201,6 +216,16 @@ pub fn render_report(trace: &str, baseline: Option<&str>) -> Result<String, Stri
         }
     } else {
         render_phase_table(&mut out, &d.phases);
+    }
+
+    if let Some((params, mlups, tier, reason, degraded)) = &d.winner {
+        out.push_str("\nwinner:\n");
+        let _ = writeln!(out, "  {params}  ({mlups:.0} MLUP/s)");
+        let _ = writeln!(
+            out,
+            "  tier: {tier} — {reason}{}",
+            if *degraded { "  [degraded]" } else { "" }
+        );
     }
 
     out.push_str("\npool utilization:\n");
@@ -297,6 +322,9 @@ mod tests {
             r#"{"v":1,"ev":"metric","t_us":14,"span":0,"level":"error","kind":"gauge","name":"profile.mlups","value":90.0}"#,
         );
         t += &line(
+            r#"{"v":1,"ev":"winner","t_us":15,"span":1,"level":"info","params":"b=8x8x8 t=1","best_score_mlups":90.0,"tier":"folded","tier_reason":"fold matches machine lanes","degraded":false}"#,
+        );
+        t += &line(
             r#"{"v":1,"ev":"span_close","t_us":20,"id":1,"dur_us":20,"name":"tune_session"}"#,
         );
         t
@@ -313,6 +341,34 @@ mod tests {
         assert!(r.contains("occupancy 1.000"), "{r}");
         assert!(r.contains("heat-3d"), "{r}");
         assert!(r.contains("profile.mlups = 90.000"), "{r}");
+    }
+
+    #[test]
+    fn winner_section_names_the_tier() {
+        let r = render_report(&profiled_trace(), None).unwrap();
+        assert!(r.contains("winner:"), "{r}");
+        assert!(r.contains("b=8x8x8 t=1  (90 MLUP/s)"), "{r}");
+        assert!(
+            r.contains("tier: folded — fold matches machine lanes"),
+            "{r}"
+        );
+        assert!(!r.contains("[degraded]"), "{r}");
+
+        let degraded = profiled_trace()
+            .replace(r#""tier":"folded""#, r#""tier":"scalar""#)
+            .replace(r#""degraded":false"#, r#""degraded":true"#);
+        let r = render_report(&degraded, None).unwrap();
+        assert!(r.contains("tier: scalar"), "{r}");
+        assert!(r.contains("[degraded]"), "{r}");
+
+        // Traces without a winner event (old recordings) skip the
+        // section rather than inventing one.
+        let r = render_report(
+            r#"{"v":1,"ev":"span_open","t_us":0,"id":1,"parent":0,"name":"s"}"#,
+            None,
+        )
+        .unwrap();
+        assert!(!r.contains("winner:"), "{r}");
     }
 
     #[test]

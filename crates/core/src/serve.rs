@@ -1,11 +1,15 @@
 //! The crash-safe tuning daemon behind `yasksite serve`.
 //!
 //! The daemon accepts line-delimited JSON requests on stdin (or a Unix
-//! socket) and answers each with one JSON line. Four operations exist:
+//! socket) and answers each with one JSON line. Five operations exist:
 //!
 //! * `tune` — run a tuning session and return the winner;
 //! * `predict` — one analytic prediction through the shared cache;
 //! * `report` — daemon status (counters, cache and store sizes);
+//! * `status` — the full observability snapshot (schema-v1 JSON, or the
+//!   Prometheus text exposition with `"format":"prom"`): queue depth,
+//!   rolling-window latency percentiles per request kind and tenant,
+//!   tier mix, drift-SUSPECT count, pool occupancy;
 //! * `shutdown` — drain queued requests, snapshot state, exit.
 //!
 //! ```text
@@ -39,8 +43,26 @@
 //! The protocol handler ([`ServeState::handle_line`]) is a pure
 //! line-in/line-out function so every policy above is unit-testable
 //! without process machinery.
+//!
+//! # Observability
+//!
+//! Every request gets a stable id (`r000001`, …) and — while the
+//! head-sampling budget ([`ServeConfig::trace_sample`]) lasts — a span
+//! tree (`request` → `admission`/`tune`/`predict`/`persist`) plus
+//! `request_start`/`request_end` events through the configured
+//! telemetry sink. Requests past the budget run with a *quiet*
+//! telemetry handle ([`yasksite_telemetry::Telemetry::quiet`]): no
+//! events or spans, but counters and histograms keep aggregating, so
+//! the trace stream stays bounded while `status` stays complete.
+//! Queue wait, service time and end-to-end latency land in 60-second
+//! rolling windows per request kind (and per tenant), which the
+//! `status` operation digests to p50/p95/p99. With `--state-dir` the
+//! same snapshot is rewritten atomically to `status.json` after every
+//! request, so `yasksite top <state-dir>` can watch a daemon without a
+//! socket. Telemetry stays purely observational: responses are bitwise
+//! identical whether tracing is off, sampled, or full.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{self, BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -51,7 +73,7 @@ use std::time::{Duration, Instant};
 
 use yasksite_arch::Machine;
 use yasksite_telemetry::json::{parse, write_escaped, write_f64, Json};
-use yasksite_telemetry::{Level, Telemetry};
+use yasksite_telemetry::{Level, RollingCounter, RollingHistogram, SpanGuard, Telemetry};
 
 use crate::cache::PredictionCache;
 use crate::cli::{parse_triple, stencil_by_name};
@@ -60,6 +82,7 @@ use crate::persist::PersistentStore;
 use crate::request::TuneRequest;
 use crate::solution::Solution;
 use crate::space::SearchSpace;
+use crate::status::{LatencyDigest, StatusSnapshot, TenantUsage, PROM_CONTENT_TYPE};
 use crate::trial::{FallbackReason, FaultPlan, Provenance, TrialBudget, TrialConfig};
 use crate::tuner::TuneStrategy;
 
@@ -92,6 +115,10 @@ pub struct ServeConfig {
     /// Cap on drift records per `(stencil, params, cores)` key in the
     /// daemon's long-lived ledger (oldest evicted first).
     pub drift_cap: Option<usize>,
+    /// Head-sampling budget: the first N requests are traced in full
+    /// (spans + events); later requests run with a quiet handle that
+    /// still aggregates metrics. `None` traces every request.
+    pub trace_sample: Option<u64>,
     /// Telemetry handle all sessions record into.
     pub telemetry: Telemetry,
 }
@@ -105,6 +132,7 @@ impl Default for ServeConfig {
             tenant_runs: None,
             tenant_secs: None,
             drift_cap: Some(64),
+            trace_sample: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -137,6 +165,100 @@ struct TenantUse {
     seconds: f64,
 }
 
+/// Width of the rolling latency/rate window the `status` snapshot
+/// covers, in seconds.
+const STATUS_WINDOW_SECS: f64 = 60.0;
+
+/// Cap on distinct tenant keys in the per-tenant latency windows;
+/// further tenants aggregate under `"other"` so a tenant-per-request
+/// client cannot grow the daemon without bound.
+const MAX_TENANT_WINDOWS: usize = 32;
+
+/// The daemon's rolling observability windows: request rate plus
+/// queue-wait / service / end-to-end latency histograms per request
+/// kind and per tenant. Memory is bounded: kinds come from the fixed
+/// protocol vocabulary, tenants are capped at [`MAX_TENANT_WINDOWS`],
+/// and every histogram holds at most its slot budget.
+struct ServeWindows {
+    requests: RollingCounter,
+    queue_wait_ms: BTreeMap<String, RollingHistogram>,
+    service_ms: BTreeMap<String, RollingHistogram>,
+    e2e_ms: BTreeMap<String, RollingHistogram>,
+    tenant_e2e_ms: BTreeMap<String, RollingHistogram>,
+}
+
+fn window_entry<'a>(
+    map: &'a mut BTreeMap<String, RollingHistogram>,
+    key: &str,
+) -> &'a mut RollingHistogram {
+    if !map.contains_key(key) {
+        map.insert(
+            key.to_string(),
+            RollingHistogram::for_latency_ms(STATUS_WINDOW_SECS),
+        );
+    }
+    map.get_mut(key).expect("just inserted")
+}
+
+impl ServeWindows {
+    fn new() -> Self {
+        ServeWindows {
+            requests: RollingCounter::new(STATUS_WINDOW_SECS, 8),
+            queue_wait_ms: BTreeMap::new(),
+            service_ms: BTreeMap::new(),
+            e2e_ms: BTreeMap::new(),
+            tenant_e2e_ms: BTreeMap::new(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        now: f64,
+        kind: &str,
+        tenant: Option<&str>,
+        wait_ms: f64,
+        service_ms: f64,
+    ) {
+        self.requests.add_at(now, 1);
+        window_entry(&mut self.queue_wait_ms, kind).observe_at(now, wait_ms);
+        window_entry(&mut self.service_ms, kind).observe_at(now, service_ms);
+        window_entry(&mut self.e2e_ms, kind).observe_at(now, wait_ms + service_ms);
+        if let Some(t) = tenant {
+            let key = if self.tenant_e2e_ms.contains_key(t)
+                || self.tenant_e2e_ms.len() < MAX_TENANT_WINDOWS
+            {
+                t
+            } else {
+                "other"
+            };
+            window_entry(&mut self.tenant_e2e_ms, key).observe_at(now, wait_ms + service_ms);
+        }
+    }
+
+    fn digest(
+        map: &BTreeMap<String, RollingHistogram>,
+        now: f64,
+    ) -> BTreeMap<String, LatencyDigest> {
+        map.iter()
+            .filter_map(|(k, h)| {
+                let s = h.snapshot_at(now);
+                s.percentiles().map(|p| {
+                    (
+                        k.clone(),
+                        LatencyDigest {
+                            count: p.count,
+                            sum: s.sum,
+                            p50: p.p50,
+                            p95: p.p95,
+                            p99: p.p99,
+                        },
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
 /// The daemon's long-lived state plus the protocol handler. One request
 /// is processed at a time; the queue in front provides the backpressure.
 pub struct ServeState {
@@ -148,6 +270,22 @@ pub struct ServeState {
     warmed: HashSet<u64>,
     stats: ServeStats,
     shutdown_requested: bool,
+    /// Monotone request sequence; the source of request ids and of the
+    /// head-sampling decision.
+    seq: u64,
+    /// When this state was built — the epoch of the rolling windows.
+    started: Instant,
+    windows: ServeWindows,
+    /// Completed tuning sessions per winning tier name.
+    tier_ran: BTreeMap<String, u64>,
+    /// Completed tuning sessions whose winner planned onto a degraded
+    /// tier, keyed by the planner's reason (a small fixed vocabulary).
+    tier_degraded: BTreeMap<String, u64>,
+    /// Live queue depth, shared with the serve loop (`None` when the
+    /// state is driven directly, e.g. the Unix-socket path or tests).
+    queue_depth: Option<Arc<AtomicUsize>>,
+    /// Overload rejections counted by the reader thread.
+    overloads: Option<Arc<AtomicUsize>>,
 }
 
 /// Incremental JSON-object writer for responses (hand-rolled; the
@@ -308,6 +446,13 @@ impl ServeState {
             warmed: HashSet::new(),
             stats: ServeStats::default(),
             shutdown_requested: false,
+            seq: 0,
+            started: Instant::now(),
+            windows: ServeWindows::new(),
+            tier_ran: BTreeMap::new(),
+            tier_degraded: BTreeMap::new(),
+            queue_depth: None,
+            overloads: None,
         };
         if state_degraded {
             state.stats.persist_errors += 1;
@@ -334,49 +479,129 @@ impl ServeState {
         &self.cache
     }
 
+    /// Attaches the serve loop's live queue-depth and overload counters
+    /// so `status` snapshots can report them.
+    pub fn attach_queue_gauges(&mut self, depth: Arc<AtomicUsize>, overloads: Arc<AtomicUsize>) {
+        self.queue_depth = Some(depth);
+        self.overloads = Some(overloads);
+    }
+
     /// Handles one request line, returning the response line (`None` for
     /// blank lines). Never panics and never exits: every failure becomes
     /// an `"ok":false` response.
     pub fn handle_line(&mut self, line: &str) -> Option<String> {
+        self.handle_line_at(line, None)
+    }
+
+    /// [`ServeState::handle_line`] with the time the request spent in
+    /// the admission queue (the serve loop measures it; direct callers
+    /// pass `None`, recorded as zero wait).
+    pub fn handle_line_at(&mut self, line: &str, queue_wait: Option<Duration>) -> Option<String> {
         let line = line.trim();
         if line.is_empty() {
             return None;
         }
+        self.seq += 1;
         self.stats.received += 1;
-        self.config.telemetry.inc("serve.requests");
-        let parsed = match parse(line) {
-            Ok(j) => j,
+        // Head sampling: the first `trace_sample` requests trace fully;
+        // the rest run quiet (metrics aggregate, no events/spans), so a
+        // long-lived daemon's trace stream stays bounded.
+        let sampled = self.config.trace_sample.is_none_or(|n| self.seq <= n);
+        let tel = if sampled {
+            self.config.telemetry.clone()
+        } else {
+            self.config.telemetry.quiet()
+        };
+        tel.inc("serve.requests");
+        if !sampled {
+            tel.inc("serve.trace_unsampled");
+        }
+        let rid = format!("r{:06}", self.seq);
+        let wait_ms = queue_wait.map_or(0.0, |d| d.as_secs_f64() * 1e3);
+        let service_start = Instant::now();
+        let span = tel.span("request");
+        tel.event(
+            Level::Info,
+            "request_start",
+            span.id(),
+            &[
+                ("rid", rid.as_str().into()),
+                ("queue_wait_ms", wait_ms.into()),
+                ("sampled", sampled.into()),
+            ],
+        );
+        let (kind, tenant, response) = match parse(line) {
             Err(e) => {
                 self.stats.rejected_bad += 1;
-                return Some(error_response(
-                    "",
-                    "bad_request",
-                    &format!("invalid JSON: {e}"),
-                ));
+                (
+                    "bad",
+                    None,
+                    error_response("", "bad_request", &format!("invalid JSON: {e}")),
+                )
+            }
+            Ok(parsed) => {
+                let id = extract_id(&parsed);
+                match get_str(&parsed, "op") {
+                    Some("tune") => {
+                        let tenant = get_str(&parsed, "tenant")
+                            .unwrap_or("anonymous")
+                            .to_string();
+                        let resp = self.op_tune(&id, &parsed, &tel, &span);
+                        ("tune", Some(tenant), resp)
+                    }
+                    Some("predict") => {
+                        let resp = self.op_predict(&id, &parsed, &tel, &span);
+                        ("predict", None, resp)
+                    }
+                    Some("report") => ("report", None, self.op_report(&id)),
+                    Some("status") => ("status", None, self.op_status(&id, &parsed)),
+                    Some("shutdown") => {
+                        self.shutdown_requested = true;
+                        self.stats.completed += 1;
+                        let resp = JsonOut::new(&id, true)
+                            .str("op", "shutdown")
+                            .boolean("draining", true)
+                            .finish();
+                        ("shutdown", None, resp)
+                    }
+                    Some(other) => {
+                        self.stats.rejected_bad += 1;
+                        (
+                            "bad",
+                            None,
+                            error_response(&id, "bad_request", &format!("unknown op '{other}'")),
+                        )
+                    }
+                    None => {
+                        self.stats.rejected_bad += 1;
+                        (
+                            "bad",
+                            None,
+                            error_response(&id, "bad_request", "'op' is required"),
+                        )
+                    }
+                }
             }
         };
-        let id = extract_id(&parsed);
-        let response = match get_str(&parsed, "op") {
-            Some("tune") => self.op_tune(&id, &parsed),
-            Some("predict") => self.op_predict(&id, &parsed),
-            Some("report") => self.op_report(&id),
-            Some("shutdown") => {
-                self.shutdown_requested = true;
-                self.stats.completed += 1;
-                JsonOut::new(&id, true)
-                    .str("op", "shutdown")
-                    .boolean("draining", true)
-                    .finish()
-            }
-            Some(other) => {
-                self.stats.rejected_bad += 1;
-                error_response(&id, "bad_request", &format!("unknown op '{other}'"))
-            }
-            None => {
-                self.stats.rejected_bad += 1;
-                error_response(&id, "bad_request", "'op' is required")
-            }
-        };
+        let service_ms = service_start.elapsed().as_secs_f64() * 1e3;
+        let now = self.started.elapsed().as_secs_f64();
+        self.windows
+            .record(now, kind, tenant.as_deref(), wait_ms, service_ms);
+        tel.observe("serve.service_ms", service_ms);
+        tel.event(
+            Level::Info,
+            "request_end",
+            span.id(),
+            &[
+                ("rid", rid.as_str().into()),
+                ("kind", kind.into()),
+                ("queue_wait_ms", wait_ms.into()),
+                ("service_ms", service_ms.into()),
+                ("e2e_ms", (wait_ms + service_ms).into()),
+            ],
+        );
+        drop(span);
+        self.refresh_status_file();
         Some(response)
     }
 
@@ -418,7 +643,7 @@ impl ServeState {
         }
     }
 
-    fn op_tune(&mut self, id: &str, req: &Json) -> String {
+    fn op_tune(&mut self, id: &str, req: &Json, tel: &Telemetry, parent: &SpanGuard) -> String {
         let (sol, machine, domain) = match solution_from_request(req) {
             Ok(t) => t,
             Err(e) => {
@@ -440,10 +665,13 @@ impl ServeState {
         // Admission control: reject before any work when the tenant has
         // nothing left; otherwise the session budget is capped at the
         // intersection of the request's asks and the tenant's remainder.
-        let remaining = self.tenant_remaining(&tenant);
+        let remaining = {
+            let _admission = parent.child("admission");
+            self.tenant_remaining(&tenant)
+        };
         if remaining.max_runs == Some(0) || remaining.max_seconds.is_some_and(|s| s <= 0.0) {
             self.stats.rejected_budget += 1;
-            self.config.telemetry.inc("serve.rejected_budget");
+            tel.inc("serve.rejected_budget");
             return error_response(
                 id,
                 "tenant_budget_exhausted",
@@ -476,7 +704,7 @@ impl ServeState {
             .trial(trial)
             .budget(budget)
             .cache(Arc::clone(&self.cache))
-            .telemetry(self.config.telemetry.clone());
+            .telemetry(tel.clone());
         if let Some(cap) = self.config.drift_cap {
             tune_req = tune_req.drift_cap(cap);
         }
@@ -493,14 +721,14 @@ impl ServeState {
         // Panic isolation: a poisoned measurement backend may panic
         // mid-session. Catch it and degrade this one request to a purely
         // analytic session (which runs no backend) instead of dying.
-        let span = self.config.telemetry.span("serve_tune");
+        let span = parent.child("tune");
         let attempt = catch_unwind(AssertUnwindSafe(|| sol.tune_space_with(&space, &tune_req)));
         let (result, degraded) = match attempt {
             Ok(r) => (r, false),
             Err(_) => {
                 self.stats.degraded += 1;
-                self.config.telemetry.inc("serve.panics");
-                self.config.telemetry.event(
+                tel.inc("serve.panics");
+                tel.event(
                     Level::Error,
                     "serve_panic_degraded",
                     span.id(),
@@ -532,11 +760,24 @@ impl ServeState {
         use_entry.runs += result.budget.runs_used;
         use_entry.seconds += result.budget.seconds_used;
 
+        // Tier mix: which execution tier the winner plans onto, and why
+        // (the status snapshot's `tier_ran` / `tier_degraded` counters;
+        // the shared registry's `tier.*` counters are bumped by the
+        // tuner itself).
+        *self.tier_ran.entry(result.tier.to_string()).or_insert(0) += 1;
+        if result.tier_degraded() {
+            *self
+                .tier_degraded
+                .entry(result.tier_reason.to_string())
+                .or_insert(0) += 1;
+        }
+
         // Fold the session's drift audit into the daemon ledger and the
         // journals; absorb new predictions into the store.
         self.ledger.absorb(&result.drift);
         let mut persisted = 0usize;
         if let Some(store) = &mut self.store {
+            let _persist = parent.child("persist");
             for rec in result.drift.records() {
                 if store.record_drift(rec).is_err() {
                     self.stats.persist_errors += 1;
@@ -564,6 +805,9 @@ impl ServeState {
             .str("op", "tune")
             .str("best", &result.best.to_string())
             .num("best_mlups", result.best_score)
+            .str("tier", &result.tier.to_string())
+            .str("tier_reason", result.tier_reason)
+            .boolean("tier_degraded", result.tier_degraded())
             .boolean("degraded", degraded)
             .uint("warm_loaded", warm_loaded)
             .uint("warm_stale", warm_stale)
@@ -580,7 +824,7 @@ impl ServeState {
         out.finish()
     }
 
-    fn op_predict(&mut self, id: &str, req: &Json) -> String {
+    fn op_predict(&mut self, id: &str, req: &Json, _tel: &Telemetry, parent: &SpanGuard) -> String {
         let (sol, machine, domain) = match solution_from_request(req) {
             Ok(t) => t,
             Err(e) => {
@@ -603,8 +847,12 @@ impl ServeState {
             .wavefront(wavefront);
 
         self.ensure_warm(&sol);
-        let (perf, warm) = self.cache.predict(&sol, &params, cores);
+        let (perf, warm) = {
+            let _predict = parent.child("predict");
+            self.cache.predict(&sol, &params, cores)
+        };
         if let Some(store) = &mut self.store {
+            let _persist = parent.child("persist");
             let absorb = store.absorb_cache(&self.cache);
             self.stats.persist_errors += absorb.errors;
         }
@@ -645,6 +893,99 @@ impl ServeState {
         out.finish()
     }
 
+    fn op_status(&mut self, id: &str, req: &Json) -> String {
+        self.stats.completed += 1;
+        let snap = self.status_snapshot();
+        if get_str(req, "format") == Some("prom") {
+            JsonOut::new(id, true)
+                .str("op", "status")
+                .str("content_type", PROM_CONTENT_TYPE)
+                .str("body", &snap.to_prometheus())
+                .finish()
+        } else {
+            snap.to_json_response(id)
+        }
+    }
+
+    /// The current observability snapshot: lifetime counters plus the
+    /// rolling-window latency digests, as one plain-data struct (see
+    /// [`StatusSnapshot`] for the rendered forms).
+    #[must_use]
+    pub fn status_snapshot(&self) -> StatusSnapshot {
+        let now = self.started.elapsed().as_secs_f64();
+        let pool = yasksite_engine::ExecPool::global().stats();
+        StatusSnapshot {
+            uptime_secs: now,
+            window_secs: self.windows.requests.window_secs(),
+            queue_depth: self
+                .queue_depth
+                .as_ref()
+                .map_or(0, |d| d.load(Ordering::Relaxed)),
+            queue_capacity: self.config.queue_capacity.max(1),
+            received: self.stats.received,
+            completed: self.stats.completed,
+            rejected_overload: self.stats.rejected_overload
+                + self
+                    .overloads
+                    .as_ref()
+                    .map_or(0, |o| o.load(Ordering::Relaxed)),
+            rejected_budget: self.stats.rejected_budget,
+            rejected_bad: self.stats.rejected_bad,
+            degraded: self.stats.degraded,
+            persist_errors: self.stats.persist_errors,
+            rate_per_sec: self.windows.requests.rate_at(now),
+            cache_entries: self.cache.len(),
+            drift_records: self.ledger.len(),
+            drift_suspects: self.ledger.suspect_count(),
+            drift_evictions: self.ledger.evictions(),
+            tenants: self.tenants.len(),
+            trace_sample: self.config.trace_sample,
+            queue_wait_ms: ServeWindows::digest(&self.windows.queue_wait_ms, now),
+            service_ms: ServeWindows::digest(&self.windows.service_ms, now),
+            e2e_ms: ServeWindows::digest(&self.windows.e2e_ms, now),
+            tenant_e2e_ms: ServeWindows::digest(&self.windows.tenant_e2e_ms, now),
+            tier_ran: self.tier_ran.clone(),
+            tier_degraded: self.tier_degraded.clone(),
+            tenant_use: self
+                .tenants
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        TenantUsage {
+                            runs: v.runs,
+                            seconds: v.seconds,
+                        },
+                    )
+                })
+                .collect(),
+            pool_workers: pool.workers,
+            pool_sweeps: pool.sweeps,
+            pool_jobs: pool.jobs,
+            store_healthy: self.store.as_ref().map(PersistentStore::healthy),
+        }
+    }
+
+    /// Rewrites `status.json` in the state directory (atomically, via a
+    /// temp file + rename) so `yasksite top <state-dir>` can watch the
+    /// daemon without a socket. A no-op when serving from memory only.
+    fn refresh_status_file(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        let Some(dir) = self.config.state_dir.clone() else {
+            return;
+        };
+        let body = self.status_snapshot().to_json_response("daemon");
+        let tmp = dir.join("status.json.tmp");
+        let path = dir.join("status.json");
+        let wrote =
+            std::fs::write(&tmp, body.as_bytes()).and_then(|()| std::fs::rename(&tmp, &path));
+        if wrote.is_err() {
+            self.stats.persist_errors += 1;
+        }
+    }
+
     /// Graceful teardown: snapshot-compact the journals and emit the
     /// final telemetry. Called once after the serve loop drains.
     pub fn finish(&mut self) {
@@ -653,6 +994,7 @@ impl ServeState {
                 self.stats.persist_errors += 1;
             }
         }
+        self.refresh_status_file();
         let tel = &self.config.telemetry;
         tel.event(
             Level::Info,
@@ -699,10 +1041,15 @@ where
     R: BufRead + Send + 'static,
 {
     let queue = config.queue_capacity.max(1);
+    let tel = config.telemetry.clone();
     let writer = SharedWriter(Arc::new(Mutex::new(output)));
     let mut state = ServeState::new(config);
-    let (tx, rx) = mpsc::sync_channel::<String>(queue);
+    // Each queued line carries its enqueue time so the worker can charge
+    // the true queue wait to the request's latency windows.
+    let (tx, rx) = mpsc::sync_channel::<(String, Instant)>(queue);
     let overloads = Arc::new(AtomicUsize::new(0));
+    let depth = Arc::new(AtomicUsize::new(0));
+    state.attach_queue_gauges(Arc::clone(&depth), Arc::clone(&overloads));
 
     // Reader thread: accept lines, enqueue them, and reject immediately
     // (never block, never buffer unboundedly) when the queue is full. It
@@ -711,16 +1058,25 @@ where
     {
         let writer = writer.clone();
         let overloads = Arc::clone(&overloads);
+        let depth = Arc::clone(&depth);
+        let tel = tel.clone();
         std::thread::spawn(move || {
             for line in input.lines() {
                 let Ok(line) = line else { break };
                 if line.trim().is_empty() {
                     continue;
                 }
-                match tx.try_send(line) {
+                // Increment *before* try_send so a worker that dequeues
+                // immediately always observes its matching increment —
+                // the gauge can momentarily read one high, never drift.
+                let d = depth.fetch_add(1, Ordering::Relaxed) + 1;
+                tel.gauge("queue.depth", d as f64);
+                match tx.try_send((line, Instant::now())) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(line)) => {
+                    Err(TrySendError::Full((line, _))) => {
+                        depth.fetch_sub(1, Ordering::Relaxed);
                         overloads.fetch_add(1, Ordering::Relaxed);
+                        tel.inc("serve.rejected_overload");
                         writer.send(&overload_response(&line));
                     }
                     Err(TrySendError::Disconnected(_)) => break,
@@ -729,13 +1085,29 @@ where
         });
     }
 
+    // Dequeue bookkeeping shared by the main loop and the drain below:
+    // update the live depth gauge and surface the measured queue wait.
+    let dequeue = |line_at: (String, Instant)| {
+        let (line, enqueued) = line_at;
+        // The reader increments before try_send, so every dequeued line
+        // has a matching increment; saturate anyway for safety.
+        let _ = depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+            Some(d.saturating_sub(1))
+        });
+        tel.gauge("queue.depth", depth.load(Ordering::Relaxed) as f64);
+        let wait = enqueued.elapsed();
+        tel.observe("queue.wait_ms", wait.as_secs_f64() * 1e3);
+        (line, wait)
+    };
+
     loop {
         if shutdown_when.load(Ordering::Relaxed) {
             break;
         }
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(line) => {
-                if let Some(resp) = state.handle_line(&line) {
+            Ok(line_at) => {
+                let (line, wait) = dequeue(line_at);
+                if let Some(resp) = state.handle_line_at(&line, Some(wait)) {
                     writer.send(&resp);
                 }
                 if state.shutdown_requested() {
@@ -753,8 +1125,9 @@ where
     // against an input that never stops producing.
     for _ in 0..queue {
         match rx.recv_timeout(Duration::from_millis(250)) {
-            Ok(line) => {
-                if let Some(resp) = state.handle_line(&line) {
+            Ok(line_at) => {
+                let (line, wait) = dequeue(line_at);
+                if let Some(resp) = state.handle_line_at(&line, Some(wait)) {
                     writer.send(&resp);
                 }
             }
@@ -1002,6 +1375,105 @@ mod tests {
             "an already-expired deadline cancels every trial: {r:?}"
         );
         assert_eq!(field(&r, "runs_used").as_u64(), Some(0));
+    }
+
+    #[test]
+    fn status_snapshot_reports_queue_latency_tiers_and_drift() {
+        let mut state = ServeState::new(ServeConfig::default());
+        let _ = handle(&mut state, TUNE);
+        let r = handle(&mut state, r#"{"id":"st","op":"status"}"#);
+        assert_eq!(field(&r, "op").as_str(), Some("status"));
+        let check = crate::status::validate_status_json(&r).expect("snapshot validates");
+        assert!(
+            check.latency_samples >= 1,
+            "the tune request left latency samples in the window: {r:?}"
+        );
+        assert_eq!(field(&r, "schema").as_u64(), Some(1));
+        assert_eq!(field(&r, "queue_capacity").as_u64(), Some(16));
+        let Json::Obj(tiers) = field(&r, "tier_ran") else {
+            panic!("tier_ran must be an object: {r:?}");
+        };
+        assert_eq!(
+            tiers.iter().map(|(_, n)| n.as_u64().unwrap()).sum::<u64>(),
+            1,
+            "one tuning session → one tier_ran entry: {tiers:?}"
+        );
+
+        let p = handle(&mut state, r#"{"id":"pm","op":"status","format":"prom"}"#);
+        assert_eq!(field(&p, "ok"), &Json::Bool(true));
+        assert!(field(&p, "content_type")
+            .as_str()
+            .unwrap()
+            .starts_with("text/plain"));
+        let body = field(&p, "body").as_str().expect("prom body is a string");
+        let samples = crate::status::validate_prometheus_text(body).expect("exposition validates");
+        assert!(samples > 10, "exposition has real content: {samples}");
+        assert!(body.contains("yasksite_queue_depth"));
+        assert!(body.contains("yasksite_drift_suspects"));
+        assert!(body.contains("yasksite_request_latency_ms{kind=\"tune\""));
+        assert!(body.contains("yasksite_tier_ran_total{tier="));
+    }
+
+    #[test]
+    fn tune_response_names_the_winning_tier() {
+        let mut state = ServeState::new(ServeConfig::default());
+        let r = handle(&mut state, TUNE);
+        let tier = field(&r, "tier").as_str().expect("tier field present");
+        assert!(
+            ["folded", "scalar", "tape", "generic"].contains(&tier),
+            "{r:?}"
+        );
+        assert!(!field(&r, "tier_reason").as_str().unwrap().is_empty());
+        assert!(matches!(field(&r, "tier_degraded"), Json::Bool(_)));
+    }
+
+    #[test]
+    fn head_sampling_bounds_the_trace_but_never_changes_responses() {
+        let run = |trace_sample: Option<u64>| {
+            let (tel, sink) = Telemetry::recording(Level::Debug);
+            let mut state = ServeState::new(ServeConfig {
+                trace_sample,
+                telemetry: tel.clone(),
+                ..ServeConfig::default()
+            });
+            let mut responses = Vec::new();
+            for i in 0..3 {
+                let line = format!(
+                    r#"{{"id":"t{i}","op":"tune","stencil":"heat-2d-r1","domain":"64x64x1","cores":2}}"#
+                );
+                responses.push(state.handle_line(&line).unwrap());
+            }
+            tel.finish();
+            let starts = sink
+                .lines()
+                .iter()
+                .filter(|l| l.contains("\"ev\":\"request_start\""))
+                .count();
+            (responses, starts)
+        };
+        let (full, full_starts) = run(None);
+        let (sampled, sampled_starts) = run(Some(1));
+        assert_eq!(full, sampled, "sampling must never change responses");
+        assert_eq!(full_starts, 3);
+        assert_eq!(
+            sampled_starts, 1,
+            "only the first request is inside the head-sampling budget"
+        );
+    }
+
+    #[test]
+    fn status_file_lands_in_the_state_dir() {
+        let dir = tmp_dir("statusfile");
+        let mut state = ServeState::new(ServeConfig {
+            state_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let _ = handle(&mut state, TUNE);
+        let text = std::fs::read_to_string(dir.join("status.json"))
+            .expect("daemon rewrote status.json after the request");
+        let j = parse(&text).expect("status.json is valid JSON");
+        crate::status::validate_status_json(&j).expect("status.json validates");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

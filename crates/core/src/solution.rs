@@ -4,8 +4,9 @@ use std::fmt;
 
 use yasksite_arch::{Machine, MachineFileError, MachineKind};
 use yasksite_engine::{
-    apply_simulated, codegen, run_wavefront_simulated, CodegenOutput, EngineError, ExecPool,
-    ProfileReport, SimContext, SweepProfiler, SweepRequest, TuningParams,
+    apply_simulated, codegen, plan_tier_with, run_wavefront_simulated, CodegenOutput, EngineError,
+    ExecPool, ProfileReport, SimContext, SweepProfiler, SweepRequest, Tier, TierPolicy,
+    TuningParams,
 };
 use yasksite_grid::Grid3;
 use yasksite_memsim::HierarchyStats;
@@ -85,6 +86,13 @@ pub struct MeasuredPerf {
     /// runs (non-empty slabs / plane chunks), the simulated core count
     /// otherwise. Can be below `params.threads` on small domains.
     pub threads_used: usize,
+    /// The specialisation-ladder tier that executed (native runs report
+    /// the engine's truth; simulated runs report the planner's pick for
+    /// these parameters under the live policy).
+    pub tier: Tier,
+    /// Why the planner picked [`MeasuredPerf::tier`] — a static reason
+    /// string, surfaced through traces, counters and the CLI.
+    pub tier_reason: &'static str,
 }
 
 /// One stencil kernel bound to a domain size and a target machine — the
@@ -222,6 +230,8 @@ impl Solution {
                 stats: None,
                 simulated: false,
                 threads_used: report.threads_used,
+                tier: report.tier,
+                tier_reason: report.tier_reason,
             });
         }
         let refs: Vec<&Grid3> = inputs.iter().collect();
@@ -233,6 +243,8 @@ impl Solution {
             stats: None,
             simulated: false,
             threads_used: run.threads_used,
+            tier: run.tier,
+            tier_reason: run.tier_reason,
         })
     }
 
@@ -255,13 +267,28 @@ impl Solution {
         let steady = (total.time.seconds - warm.time.seconds).max(1e-12);
         let sweeps = params.wavefront.max(1) as f64;
         let per_sweep = steady / sweeps;
+        // The simulator models traffic, not kernels; report the tier the
+        // native planner would pick for these parameters so tier-mix
+        // accounting stays meaningful for simulated machine models.
+        let (tier, tier_reason) = self.plan_tier(params);
         Ok(MeasuredPerf {
             mlups: self.updates_per_sweep() as f64 / per_sweep / 1e6,
             seconds_per_sweep: per_sweep,
             stats: Some(total.stats),
             simulated: true,
             threads_used: params.threads,
+            tier,
+            tier_reason,
         })
+    }
+
+    /// The specialisation tier a spatial sweep of `params` would execute
+    /// on, under the live [`TierPolicy`] (`YASKSITE_FORCE_TIER` wins
+    /// over the default), assuming the shared grid geometry
+    /// [`Solution::allocate_grids`] produces.
+    #[must_use]
+    pub fn plan_tier(&self, params: &TuningParams) -> (Tier, &'static str) {
+        plan_tier_with(&self.stencil, params, TierPolicy::from_env())
     }
 
     /// Generates the kernel source for `params`.
@@ -300,6 +327,8 @@ impl Solution {
                 stats: None,
                 simulated: false,
                 threads_used: report.threads_used,
+                tier: report.tier,
+                tier_reason: report.tier_reason,
             };
             return Ok((perf, prof.report()));
         }
@@ -312,6 +341,8 @@ impl Solution {
             stats: None,
             simulated: false,
             threads_used: run.threads_used,
+            tier: run.tier,
+            tier_reason: run.tier_reason,
         };
         Ok((perf, prof.report()))
     }

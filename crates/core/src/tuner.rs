@@ -26,7 +26,7 @@
 
 use std::time::Instant;
 
-use yasksite_engine::{ProfileReport, TuningParams};
+use yasksite_engine::{tier_reason_degraded, ProfileReport, Tier, TuningParams};
 use yasksite_telemetry::{Level, SpanGuard, Telemetry};
 
 use crate::cache::PredictionCache;
@@ -102,6 +102,14 @@ pub struct TuneResult {
     /// `None` otherwise. Purely observational — carries no weight in the
     /// ranking.
     pub profile: Option<ProfileReport>,
+    /// Execution tier the planner selects for the winner under the live
+    /// [`yasksite_engine::TierPolicy`] (shared-geometry grids, which is
+    /// what the tuner allocates — so this matches what a native run of
+    /// the winner executes).
+    pub tier: Tier,
+    /// The planner's one-line justification for [`TuneResult::tier`];
+    /// [`yasksite_engine::tier_reason_degraded`] classifies it.
+    pub tier_reason: &'static str,
 }
 
 impl TuneResult {
@@ -110,6 +118,13 @@ impl TuneResult {
     #[must_use]
     pub fn fallback_count(&self) -> usize {
         self.provenances.iter().filter(|p| p.is_fallback()).count()
+    }
+
+    /// Whether the winner runs on a degraded tier (the planner could not
+    /// use the kernel the fold/layout asked for and fell back).
+    #[must_use]
+    pub fn tier_degraded(&self) -> bool {
+        tier_reason_degraded(self.tier_reason)
     }
 }
 
@@ -412,6 +427,25 @@ impl Solution {
             trials.absorb(&r);
             let mlups = self.updates_per_sweep() as f64 / r.seconds_per_sweep.max(1e-12) / 1e6;
             if !r.provenance.is_fallback() {
+                // Tier mix of trials that really executed. The planner
+                // query is pure and policy-aware, and the tuner always
+                // allocates shared-geometry grids, so it names the tier
+                // the engine ran (or, for simulated backends, would run).
+                let (tier, tier_reason) = self.plan_tier(&p);
+                tel.inc(&format!("tier.ran.{tier}"));
+                if tier_reason_degraded(tier_reason) {
+                    tel.inc("tier.degraded");
+                }
+                tel.event(
+                    Level::Debug,
+                    "tier",
+                    trial_span.id(),
+                    &[
+                        ("tier", tier.to_string().into()),
+                        ("tier_reason", tier_reason.into()),
+                        ("degraded", tier_reason_degraded(tier_reason).into()),
+                    ],
+                );
                 // Per-sweep throughput of trials that really executed —
                 // the MLUP/s trajectory of the execution layer.
                 tel.observe("exec.sweep_mlups", mlups);
@@ -464,6 +498,24 @@ impl Solution {
         }
         entries.sort_by(|a, b| b.1.total_cmp(&a.1));
         let (best, best_score, best_provenance) = entries[0].clone();
+        // The winner's execution tier, resolved once through the planner
+        // under the live tier policy: surfaced in the result, the trace
+        // (a dedicated `winner` event `yasksite report` can digest), and
+        // the counter registry.
+        let (winner_tier, winner_tier_reason) = self.plan_tier(&best);
+        tel.inc(&format!("tier.winner.{winner_tier}"));
+        tel.event(
+            Level::Info,
+            "winner",
+            session.id(),
+            &[
+                ("params", best.to_string().into()),
+                ("best_score_mlups", best_score.into()),
+                ("tier", winner_tier.to_string().into()),
+                ("tier_reason", winner_tier_reason.into()),
+                ("degraded", tier_reason_degraded(winner_tier_reason).into()),
+            ],
+        );
         // Drift bookkeeping: every record and every per-stencil summary
         // goes to the trace, the counts to the cost ledger, so analytic
         // -fallback decisions are auditable after the fact.
@@ -624,6 +676,8 @@ impl Solution {
             budget: *budget,
             drift: ledger,
             profile: profile_report,
+            tier: winner_tier,
+            tier_reason: winner_tier_reason,
         })
     }
 }
@@ -652,6 +706,19 @@ mod tests {
         for w in r.ranked.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
+    }
+
+    #[test]
+    fn winner_carries_its_tier() {
+        let r = solution().tune(TuneStrategy::Analytic, 2).unwrap();
+        assert!(!r.tier_reason.is_empty());
+        // The reason string and the degraded classifier must agree with
+        // a direct planner query for the same winner.
+        let sol = solution();
+        let (tier, reason) = sol.plan_tier(&r.best);
+        assert_eq!(r.tier, tier);
+        assert_eq!(r.tier_reason, reason);
+        assert_eq!(r.tier_degraded(), tier_reason_degraded(reason));
     }
 
     #[test]

@@ -72,7 +72,10 @@ pub use pool::{ExecPool, PoolStats, ScopedJob};
 pub use profile::{IntervalStats, PhaseStat, PoolWindow, ProfileReport, SweepProfiler};
 pub use rank::{predict_multirank, Interconnect, MultiRankPrediction, RankDecomposition};
 pub use simulate::{apply_simulated, SimContext, SimulatedRun};
-pub use sweep::{plan_tier, SweepReport, SweepRequest, Tier, TierPolicy, FORCE_TIER_ENV};
+pub use sweep::{
+    plan_tier, plan_tier_with, tier_reason_degraded, SweepReport, SweepRequest, Tier, TierPolicy,
+    FORCE_TIER_ENV,
+};
 pub use wavefront::run_wavefront_simulated;
 #[allow(deprecated)]
 pub use wavefront::{

@@ -221,9 +221,41 @@ pub(crate) fn plan_spatial(
 /// truth) when actual grid layouts differ.
 #[must_use]
 pub fn plan_tier(stencil: &Stencil, params: &TuningParams) -> (Tier, &'static str) {
+    plan_tier_with(stencil, params, TierPolicy::Auto)
+}
+
+/// [`plan_tier`] under an explicit [`TierPolicy`] — what the daemon and
+/// CLI use to report the tier a winner would execute on under the live
+/// policy (e.g. a `YASKSITE_FORCE_TIER` override).
+#[must_use]
+pub fn plan_tier_with(
+    stencil: &Stencil,
+    params: &TuningParams,
+    policy: TierPolicy,
+) -> (Tier, &'static str) {
     let compiled = CompiledStencil::compile(stencil);
-    let (plan, reason) = plan_spatial(&compiled, true, params, TierPolicy::Auto);
+    let (plan, reason) = plan_spatial(&compiled, true, params, policy);
     (plan.tier(), reason)
+}
+
+/// The planner reasons that mean a sweep ran *below* the tier its fold
+/// or policy asked for (as opposed to simply naming the natural pick).
+/// Kept in lock-step with the literals in [`plan_spatial`]; the
+/// observability layer turns these into `tier.degraded` counters.
+const DEGRADED_REASONS: [&str; 5] = [
+    "non-linear stencil on a multi-dimensional fold: per-point generic path",
+    "folded tier forced but fold.x has no supported lane count: scalar row kernels",
+    "fold.x has no supported lane count: scalar row kernels",
+    "tier forced to scalar but scalar row kernels need a row-major fold: generic path",
+    "multi-dimensional fold ineligible for the brick kernel \
+     (unsupported lane count or mismatched grid layouts): generic path",
+];
+
+/// Whether a planner reason (from [`plan_tier`] or
+/// [`SweepReport::tier_reason`]) records a degradation.
+#[must_use]
+pub fn tier_reason_degraded(reason: &str) -> bool {
+    DEGRADED_REASONS.contains(&reason)
 }
 
 /// Builder for one native sweep: spatial (`apply`) or temporally blocked
@@ -413,6 +445,13 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// Whether the executed tier is a degradation — the planner dropped
+    /// below what the fold or a forced policy asked for.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        tier_reason_degraded(self.tier_reason)
+    }
+
     /// The legacy [`NativeRun`] view of this report.
     #[must_use]
     pub fn native_run(&self) -> NativeRun {
@@ -479,6 +518,27 @@ mod tests {
         assert_eq!(plan_tier(&s, &row).0, Tier::Tape);
         let folded = TuningParams::new([8, 1, 1], Fold::new(4, 2, 1));
         assert_eq!(plan_tier(&s, &folded).0, Tier::Generic);
+    }
+
+    #[test]
+    fn degraded_reasons_are_classified() {
+        let s = heat3d(1);
+        // Natural picks are not degradations.
+        let row = TuningParams::new([8, 8, 8], Fold::new(8, 1, 1));
+        let (_, reason) = plan_tier(&s, &row);
+        assert!(!tier_reason_degraded(reason), "{reason}");
+        // An unsupported lane count is.
+        let odd = TuningParams::new([8, 8, 8], Fold::new(3, 1, 1));
+        let (_, reason) = plan_tier(&s, &odd);
+        assert!(tier_reason_degraded(reason), "{reason}");
+        // Forcing scalar where it exists is a policy choice, not a
+        // degradation; forcing it where it cannot run is one.
+        let (_, reason) = plan_tier_with(&s, &row, TierPolicy::ForceScalar);
+        assert!(!tier_reason_degraded(reason), "{reason}");
+        let folded = TuningParams::new([8, 8, 8], Fold::new(4, 2, 1));
+        let (tier, reason) = plan_tier_with(&s, &folded, TierPolicy::ForceScalar);
+        assert_eq!(tier, Tier::Generic);
+        assert!(tier_reason_degraded(reason), "{reason}");
     }
 
     #[test]

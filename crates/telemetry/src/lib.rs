@@ -40,6 +40,7 @@ pub mod json;
 mod metrics;
 mod sink;
 mod span;
+mod window;
 
 pub use check::{check_trace, TraceStats};
 pub use export::{
@@ -50,6 +51,7 @@ pub use export::{
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, DEFAULT_SECONDS_BOUNDS};
 pub use sink::{EventSink, MemorySink, NullSink, WriterSink};
 pub use span::{render_span_tree, SpanRecord};
+pub use window::{RollingCounter, RollingHistogram, WindowSnapshot, DEFAULT_MS_BOUNDS};
 
 use std::fmt;
 use std::fmt::Write as _;
@@ -189,11 +191,17 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Inner>>,
+    /// Event/span emission suppressed; metrics still aggregate. See
+    /// [`Telemetry::quiet`].
+    quiet: bool,
 }
 
 impl fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.inner {
+            Some(inner) if self.quiet => {
+                write!(f, "Telemetry(level={}, quiet)", inner.level.as_str())
+            }
             Some(inner) => write!(f, "Telemetry(level={})", inner.level.as_str()),
             None => f.write_str("Telemetry(disabled)"),
         }
@@ -204,7 +212,10 @@ impl Telemetry {
     /// The no-op handle (same as `Telemetry::default()`).
     #[must_use]
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry {
+            inner: None,
+            quiet: false,
+        }
     }
 
     /// An enabled handle emitting encoded events to `sink` at `level`.
@@ -218,7 +229,28 @@ impl Telemetry {
                 metrics: MetricsRegistry::new(),
                 spans: SpanCollector::default(),
             })),
+            quiet: false,
         }
+    }
+
+    /// A handle sharing this session's metrics registry with event and
+    /// span emission suppressed: counters, gauges and histograms keep
+    /// aggregating into the same session, but no trace line is written
+    /// and no span is recorded. This is what head-sampling hands to work
+    /// past the sample budget — observability stays on, the trace stops
+    /// growing. On a disabled handle this is still disabled.
+    #[must_use]
+    pub fn quiet(&self) -> Telemetry {
+        Telemetry {
+            inner: self.inner.clone(),
+            quiet: true,
+        }
+    }
+
+    /// Whether this handle is a [`Telemetry::quiet`] view.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.quiet
     }
 
     /// An enabled handle with the [`NullSink`]: spans and metrics are
@@ -277,6 +309,7 @@ impl Telemetry {
 
     fn open_span(&self, parent: u64, name: &'static str) -> SpanGuard {
         let (id, start_us) = match &self.inner {
+            Some(_) if self.quiet => (0, 0),
             Some(inner) => {
                 let id = inner.spans.open();
                 let start_us = Self::now_us(inner);
@@ -311,7 +344,7 @@ impl Telemetry {
         let Some(inner) = &self.inner else {
             return;
         };
-        if level > inner.level || !inner.sink.wants_events() {
+        if self.quiet || level > inner.level || !inner.sink.wants_events() {
             return;
         }
         let t_us = Self::now_us(inner);
@@ -430,7 +463,7 @@ impl Telemetry {
         let Some(inner) = &self.inner else {
             return;
         };
-        if inner.sink.wants_events() {
+        if !self.quiet && inner.sink.wants_events() {
             let snapshot = inner.metrics.snapshot();
             for (name, v) in &snapshot.counters {
                 self.event(
@@ -529,6 +562,9 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.tel.quiet {
+            return;
+        }
         let Some(inner) = &self.tel.inner else {
             return;
         };
@@ -727,6 +763,35 @@ mod tests {
         });
         assert_eq!(tel.counter("shared"), 2);
         assert_eq!(tel.open_spans(), 0);
+    }
+
+    #[test]
+    fn quiet_handle_aggregates_metrics_without_emitting() {
+        let (tel, sink) = Telemetry::recording(Level::Debug);
+        let q = tel.quiet();
+        assert!(q.is_quiet() && !tel.is_quiet());
+        assert!(q.is_enabled());
+        // Metrics flow into the shared session...
+        q.inc("shared.counter");
+        q.observe("shared.hist", 0.5);
+        q.gauge("shared.gauge", 2.0);
+        assert_eq!(tel.counter("shared.counter"), 1);
+        // ...but no event, span or error line is ever written.
+        let s = q.span("silent");
+        assert_eq!(s.id(), 0);
+        let c = s.child("also_silent");
+        q.event(Level::Error, "nope", c.id(), &[]);
+        q.error("counted but not emitted");
+        drop(c);
+        drop(s);
+        q.finish();
+        assert!(sink.is_empty(), "quiet handle wrote {:?}", sink.lines());
+        assert_eq!(tel.counter("errors"), 1);
+        assert_eq!(tel.spans_opened(), 0, "quiet spans are not recorded");
+        // The loud handle still works as before.
+        let loud = tel.span("loud");
+        drop(loud);
+        assert!(sink.lines().iter().any(|l| l.contains("span_open")));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! overhead mode), [`MemorySink`] (test harness), and [`WriterSink`]
 //! (streams to any `io::Write`, typically the `--trace-out` file).
 
+use std::collections::VecDeque;
 use std::io::Write;
 use std::sync::Mutex;
 
@@ -39,44 +40,96 @@ impl EventSink for NullSink {
     }
 }
 
-/// Collects event lines in memory; the test harness's sink.
+/// Collects event lines in memory — the test harness's sink, and (in
+/// its bounded form) the in-process ring buffer a long-lived daemon can
+/// attach without growing without limit.
 #[derive(Debug, Default)]
 pub struct MemorySink {
-    lines: Mutex<Vec<String>>,
+    inner: Mutex<MemoryBuf>,
+    /// `None` = unbounded (the test default); `Some(cap)` = keep only
+    /// the newest `cap` lines, evicting the oldest.
+    capacity: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct MemoryBuf {
+    lines: VecDeque<String>,
+    dropped: u64,
 }
 
 impl MemorySink {
-    /// An empty sink.
+    /// An empty, effectively unbounded sink (tests and short sessions).
     #[must_use]
     pub fn new() -> Self {
         MemorySink::default()
     }
 
-    /// A copy of every line emitted so far, in order.
+    /// An empty sink retaining at most `capacity` lines: once full, each
+    /// new line evicts the oldest and bumps the [`MemorySink::dropped`]
+    /// counter. A capacity of zero drops everything.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        MemorySink {
+            inner: Mutex::new(MemoryBuf::default()),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// A copy of every retained line, oldest first.
     #[must_use]
     pub fn lines(&self) -> Vec<String> {
-        self.lines.lock().expect("sink poisoned").clone()
+        self.inner
+            .lock()
+            .expect("sink poisoned")
+            .lines
+            .iter()
+            .cloned()
+            .collect()
     }
 
-    /// Number of lines emitted so far.
+    /// Number of lines currently retained.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lines.lock().expect("sink poisoned").len()
+        self.inner.lock().expect("sink poisoned").lines.len()
     }
 
-    /// Whether nothing was emitted yet.
+    /// Whether nothing is retained.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lines evicted (or refused) because the ring was full. Always zero
+    /// on an unbounded sink.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("sink poisoned").dropped
+    }
+
+    /// The configured ring capacity (`None` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 }
 
 impl EventSink for MemorySink {
     fn emit(&self, line: &str) {
-        self.lines
-            .lock()
-            .expect("sink poisoned")
-            .push(line.to_string());
+        let mut buf = self.inner.lock().expect("sink poisoned");
+        match self.capacity {
+            Some(0) => {
+                buf.dropped += 1;
+                return;
+            }
+            Some(cap) => {
+                while buf.lines.len() >= cap {
+                    buf.lines.pop_front();
+                    buf.dropped += 1;
+                }
+            }
+            None => {}
+        }
+        buf.lines.push_back(line.to_string());
     }
 }
 
@@ -137,6 +190,31 @@ mod tests {
         s.emit("b");
         assert_eq!(s.lines(), vec!["a".to_string(), "b".to_string()]);
         assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.capacity(), None);
+    }
+
+    #[test]
+    fn bounded_memory_sink_evicts_oldest_and_counts_drops() {
+        let s = MemorySink::bounded(2);
+        s.emit("a");
+        s.emit("b");
+        assert_eq!(s.dropped(), 0);
+        s.emit("c");
+        s.emit("d");
+        assert_eq!(s.lines(), vec!["c".to_string(), "d".to_string()]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.capacity(), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_sink_drops_everything() {
+        let s = MemorySink::bounded(0);
+        s.emit("a");
+        s.emit("b");
+        assert!(s.is_empty());
+        assert_eq!(s.dropped(), 2);
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! Rolling-window metrics: bounded-memory histograms and counters that
+//! answer "what happened over the last N seconds" instead of "what
+//! happened since the process started".
+//!
+//! The daemon (`yasksite serve`) runs for days; cumulative histograms
+//! from [`crate::MetricsRegistry`] would answer every `status` request
+//! with lifetime percentiles, hiding the last minute behind hours of
+//! history. A [`RollingHistogram`] slices time into a fixed number of
+//! slots (ring of `slots` sub-histograms, each covering
+//! `window/slots` seconds) and aggregates only the slots inside the
+//! window at snapshot time, so p50/p95/p99 track *recent* behaviour
+//! with memory bounded by `slots × (bounds + 1)` regardless of traffic.
+//!
+//! Time is always passed in explicitly (seconds since an arbitrary
+//! caller-chosen epoch). That keeps the type deterministic under test —
+//! property suites drive it with synthetic clocks — and keeps the
+//! telemetry layer free of hidden wall-clock reads.
+//!
+//! Windows of the same shape (identical bounds, slot width and slot
+//! count) merge associatively: merging is per-slot count addition
+//! followed by pruning to the newest `slots` slot indices, so
+//! `(a ⊎ b) ⊎ c` and `a ⊎ (b ⊎ c)` retain exactly the same slots with
+//! the same totals. This is what lets per-tenant windows roll up into a
+//! per-kind aggregate without re-observing anything.
+
+use std::collections::BTreeMap;
+
+use crate::export::{percentiles_from_buckets, PercentileSummary};
+
+/// Default bucket bounds (milliseconds) for request-latency windows:
+/// 50 µs to one minute, roughly logarithmic. Inclusive upper edges, an
+/// implicit overflow bucket above the last bound.
+pub const DEFAULT_MS_BOUNDS: [f64; 12] = [
+    0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1_000.0, 5_000.0, 60_000.0,
+];
+
+/// One time slot's sub-histogram.
+#[derive(Debug, Clone, PartialEq)]
+struct Slot {
+    /// Per-bucket counts; `len == bounds.len() + 1` (last = overflow).
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Slot {
+    fn empty(buckets: usize) -> Self {
+        Slot {
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn absorb(&mut self, other: &Slot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A time-windowed histogram: observations carry an explicit timestamp,
+/// snapshots aggregate only the last `window` seconds, memory stays
+/// bounded by the slot count no matter how many events flow through.
+///
+/// Window membership is resolved at slot granularity (`window/slots`
+/// seconds): an observation is guaranteed visible to snapshots taken
+/// within `window - slot` seconds of it and guaranteed expired after
+/// `window + slot` seconds. Merging requires identical shape (bounds,
+/// slot width, slot count) and is associative and commutative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingHistogram {
+    bounds: Vec<f64>,
+    slot_secs: f64,
+    slot_cap: usize,
+    slots: BTreeMap<u64, Slot>,
+}
+
+impl RollingHistogram {
+    /// A window covering `window_secs`, split into `slots` time slots,
+    /// with the given bucket `bounds` (sorted ascending, inclusive upper
+    /// edges; values above the last bound land in an overflow bucket).
+    ///
+    /// # Panics
+    /// If `window_secs` is not positive and finite, `slots` is zero, or
+    /// `bounds` is empty or unsorted.
+    #[must_use]
+    pub fn new(window_secs: f64, slots: usize, bounds: &[f64]) -> Self {
+        assert!(
+            window_secs.is_finite() && window_secs > 0.0,
+            "window must be positive"
+        );
+        assert!(slots > 0, "at least one slot");
+        assert!(!bounds.is_empty(), "at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be sorted ascending"
+        );
+        RollingHistogram {
+            bounds: bounds.to_vec(),
+            slot_secs: window_secs / slots as f64,
+            slot_cap: slots,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// The standard request-latency window: last `window_secs` seconds
+    /// in 8 slots over [`DEFAULT_MS_BOUNDS`] millisecond buckets.
+    #[must_use]
+    pub fn for_latency_ms(window_secs: f64) -> Self {
+        RollingHistogram::new(window_secs, 8, &DEFAULT_MS_BOUNDS)
+    }
+
+    /// The window length in seconds.
+    #[must_use]
+    pub fn window_secs(&self) -> f64 {
+        self.slot_secs * self.slot_cap as f64
+    }
+
+    /// Slots currently retained — bounded by the configured slot count.
+    #[must_use]
+    pub fn live_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The configured upper bound on retained slots.
+    #[must_use]
+    pub fn slot_cap(&self) -> usize {
+        self.slot_cap
+    }
+
+    fn slot_index(&self, t_secs: f64) -> u64 {
+        if !t_secs.is_finite() || t_secs <= 0.0 {
+            return 0;
+        }
+        let idx = (t_secs / self.slot_secs).floor();
+        if idx >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            idx as u64
+        }
+    }
+
+    /// Records `v` at time `t_secs` (seconds since the caller's epoch).
+    /// Non-finite values count toward the overflow bucket but are
+    /// excluded from sum/min/max, matching [`crate::Histogram`].
+    pub fn observe_at(&mut self, t_secs: f64, v: f64) {
+        let idx = self.slot_index(t_secs);
+        let buckets = self.bounds.len() + 1;
+        let slot = self
+            .slots
+            .entry(idx)
+            .or_insert_with(|| Slot::empty(buckets));
+        let pos = if v.is_finite() {
+            self.bounds
+                .iter()
+                .position(|b| v <= *b)
+                .unwrap_or(self.bounds.len())
+        } else {
+            self.bounds.len()
+        };
+        slot.counts[pos] += 1;
+        slot.count += 1;
+        if v.is_finite() {
+            slot.sum += v;
+            slot.min = slot.min.min(v);
+            slot.max = slot.max.max(v);
+        }
+        self.prune();
+    }
+
+    /// Drops every slot older than the newest `slot_cap` slot indices —
+    /// the memory bound. Newest-relative (not now-relative) so merging
+    /// stays associative.
+    fn prune(&mut self) {
+        if let Some(&newest) = self.slots.keys().next_back() {
+            let keep_from = newest.saturating_sub(self.slot_cap as u64 - 1);
+            self.slots = self.slots.split_off(&keep_from);
+        }
+    }
+
+    /// Merges `other` (same shape) into `self`. Associative and
+    /// commutative up to the shared memory bound.
+    ///
+    /// # Panics
+    /// If the two windows differ in bounds, slot width or slot count.
+    pub fn merge_from(&mut self, other: &RollingHistogram) {
+        assert_eq!(self.bounds, other.bounds, "merge needs identical bounds");
+        assert_eq!(
+            self.slot_secs.to_bits(),
+            other.slot_secs.to_bits(),
+            "merge needs identical slot width"
+        );
+        assert_eq!(
+            self.slot_cap, other.slot_cap,
+            "merge needs identical slot count"
+        );
+        for (idx, slot) in &other.slots {
+            self.slots
+                .entry(*idx)
+                .or_insert_with(|| Slot::empty(self.bounds.len() + 1))
+                .absorb(slot);
+        }
+        self.prune();
+    }
+
+    /// Aggregate of every slot inside the window ending at `t_secs`
+    /// (slots newer than `t_secs` are excluded too — a snapshot never
+    /// sees the future).
+    #[must_use]
+    pub fn snapshot_at(&self, t_secs: f64) -> WindowSnapshot {
+        let now_idx = self.slot_index(t_secs);
+        let from = now_idx.saturating_sub(self.slot_cap as u64 - 1);
+        let mut total = Slot::empty(self.bounds.len() + 1);
+        for (_, slot) in self.slots.range(from..=now_idx) {
+            total.absorb(slot);
+        }
+        WindowSnapshot {
+            bounds: self.bounds.clone(),
+            counts: total.counts,
+            count: total.count,
+            sum: total.sum,
+            min: (total.min.is_finite()).then_some(total.min),
+            max: (total.max.is_finite()).then_some(total.max),
+        }
+    }
+}
+
+/// Point-in-time aggregate of a [`RollingHistogram`]'s live window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Bucket bounds (inclusive upper edges).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, `bounds.len() + 1` entries (last = overflow).
+    pub counts: Vec<u64>,
+    /// Observations in the window.
+    pub count: u64,
+    /// Sum of finite observations in the window.
+    pub sum: f64,
+    /// Smallest finite observation, if any.
+    pub min: Option<f64>,
+    /// Largest finite observation, if any.
+    pub max: Option<f64>,
+}
+
+impl WindowSnapshot {
+    /// p50/p95/p99 estimates over the window, or `None` when empty.
+    #[must_use]
+    pub fn percentiles(&self) -> Option<PercentileSummary> {
+        percentiles_from_buckets(&self.bounds, &self.counts, self.min, self.max)
+    }
+
+    /// Mean of finite observations, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// A time-windowed counter: how many events landed in the last N
+/// seconds, with the same slot ring and merge semantics as
+/// [`RollingHistogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingCounter {
+    slot_secs: f64,
+    slot_cap: usize,
+    slots: BTreeMap<u64, u64>,
+}
+
+impl RollingCounter {
+    /// A window covering `window_secs`, split into `slots` slots.
+    ///
+    /// # Panics
+    /// If `window_secs` is not positive and finite or `slots` is zero.
+    #[must_use]
+    pub fn new(window_secs: f64, slots: usize) -> Self {
+        assert!(
+            window_secs.is_finite() && window_secs > 0.0,
+            "window must be positive"
+        );
+        assert!(slots > 0, "at least one slot");
+        RollingCounter {
+            slot_secs: window_secs / slots as f64,
+            slot_cap: slots,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// The window length in seconds.
+    #[must_use]
+    pub fn window_secs(&self) -> f64 {
+        self.slot_secs * self.slot_cap as f64
+    }
+
+    /// Slots currently retained — bounded by the configured slot count.
+    #[must_use]
+    pub fn live_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot_index(&self, t_secs: f64) -> u64 {
+        if !t_secs.is_finite() || t_secs <= 0.0 {
+            return 0;
+        }
+        let idx = (t_secs / self.slot_secs).floor();
+        if idx >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            idx as u64
+        }
+    }
+
+    /// Adds `n` events at time `t_secs`.
+    pub fn add_at(&mut self, t_secs: f64, n: u64) {
+        let idx = self.slot_index(t_secs);
+        *self.slots.entry(idx).or_insert(0) += n;
+        if let Some(&newest) = self.slots.keys().next_back() {
+            let keep_from = newest.saturating_sub(self.slot_cap as u64 - 1);
+            self.slots = self.slots.split_off(&keep_from);
+        }
+    }
+
+    /// Events inside the window ending at `t_secs`.
+    #[must_use]
+    pub fn total_at(&self, t_secs: f64) -> u64 {
+        let now_idx = self.slot_index(t_secs);
+        let from = now_idx.saturating_sub(self.slot_cap as u64 - 1);
+        self.slots.range(from..=now_idx).map(|(_, n)| *n).sum()
+    }
+
+    /// Events per second over the window ending at `t_secs`.
+    #[must_use]
+    pub fn rate_at(&self, t_secs: f64) -> f64 {
+        self.total_at(t_secs) as f64 / self.window_secs()
+    }
+
+    /// Merges `other` (same shape) into `self`.
+    ///
+    /// # Panics
+    /// If the two windows differ in slot width or slot count.
+    pub fn merge_from(&mut self, other: &RollingCounter) {
+        assert_eq!(
+            self.slot_secs.to_bits(),
+            other.slot_secs.to_bits(),
+            "merge needs identical slot width"
+        );
+        assert_eq!(
+            self.slot_cap, other.slot_cap,
+            "merge needs identical slot count"
+        );
+        for (idx, n) in &other.slots {
+            *self.slots.entry(*idx).or_insert(0) += n;
+        }
+        if let Some(&newest) = self.slots.keys().next_back() {
+            let keep_from = newest.saturating_sub(self.slot_cap as u64 - 1);
+            self.slots = self.slots.split_off(&keep_from);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> RollingHistogram {
+        // 8-second window, 4 slots of 2 s, tiny bounds for readability.
+        RollingHistogram::new(8.0, 4, &[1.0, 10.0, 100.0])
+    }
+
+    #[test]
+    fn observations_inside_the_window_are_counted() {
+        let mut h = hist();
+        h.observe_at(0.5, 5.0);
+        h.observe_at(1.5, 50.0);
+        let s = h.snapshot_at(2.0);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.counts, vec![0, 1, 1, 0]);
+        assert_eq!(s.min, Some(5.0));
+        assert_eq!(s.max, Some(50.0));
+        let p = s.percentiles().expect("non-empty");
+        assert_eq!(p.count, 2);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+    }
+
+    #[test]
+    fn old_observations_expire() {
+        let mut h = hist();
+        h.observe_at(0.0, 5.0);
+        assert_eq!(h.snapshot_at(1.0).count, 1);
+        // Ten seconds later the 8-second window has moved past it.
+        assert_eq!(h.snapshot_at(10.0).count, 0);
+        // And once newer observations arrive, the old slot is pruned.
+        h.observe_at(10.0, 7.0);
+        assert_eq!(h.live_slots(), 1);
+    }
+
+    #[test]
+    fn snapshot_never_sees_the_future() {
+        let mut h = hist();
+        h.observe_at(6.0, 5.0);
+        assert_eq!(h.snapshot_at(2.0).count, 0, "future slots excluded");
+        assert_eq!(h.snapshot_at(6.0).count, 1);
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut h = hist();
+        for i in 0..10_000 {
+            h.observe_at(i as f64 * 3.7, 1.0);
+            assert!(h.live_slots() <= h.slot_cap());
+        }
+    }
+
+    #[test]
+    fn merge_matches_interleaved_observation() {
+        let mut all = hist();
+        let mut a = hist();
+        let mut b = hist();
+        for i in 0..50 {
+            let (t, v) = (i as f64 * 0.3, (i % 7) as f64 * 3.0);
+            all.observe_at(t, v);
+            if i % 2 == 0 {
+                a.observe_at(t, v);
+            } else {
+                b.observe_at(t, v);
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        assert_eq!(merged, all);
+        // Commutes.
+        let mut other_way = b;
+        other_way.merge_from(&a);
+        assert_eq!(other_way, merged);
+    }
+
+    #[test]
+    fn non_finite_values_go_to_overflow_without_poisoning_stats() {
+        let mut h = hist();
+        h.observe_at(0.0, f64::NAN);
+        h.observe_at(0.0, f64::INFINITY);
+        h.observe_at(0.0, 2.0);
+        let s = h.snapshot_at(0.0);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.counts[3], 2, "non-finite in overflow");
+        assert_eq!(s.min, Some(2.0));
+        assert_eq!(s.max, Some(2.0));
+        assert_eq!(s.sum, 2.0);
+    }
+
+    #[test]
+    fn rolling_counter_window_and_rate() {
+        let mut c = RollingCounter::new(10.0, 5);
+        c.add_at(0.0, 3);
+        c.add_at(4.0, 2);
+        assert_eq!(c.total_at(4.0), 5);
+        assert!((c.rate_at(4.0) - 0.5).abs() < 1e-12);
+        // Window slides past the first burst.
+        assert_eq!(c.total_at(13.0), 2);
+        assert_eq!(c.total_at(30.0), 0);
+        let mut d = RollingCounter::new(10.0, 5);
+        d.add_at(4.0, 1);
+        c.merge_from(&d);
+        assert_eq!(c.total_at(4.0), 6);
+        assert!(c.live_slots() <= 5);
+    }
+}

@@ -1,0 +1,207 @@
+//! Properties of the daemon observability layer.
+//!
+//! Two families:
+//!
+//! 1. The rolling-window histogram behind the `status` snapshot —
+//!    window expiry, merge associativity, percentile monotonicity and
+//!    bounded memory, quantified over arbitrary event streams.
+//! 2. The daemon path of the telemetry-never-changes-results contract:
+//!    the same request script answered with telemetry disabled, fully
+//!    recording, or head-sampled must produce bitwise-identical
+//!    `tune`/`predict` response lines, while the `status` snapshot and
+//!    its Prometheus exposition always validate.
+
+use proptest::prelude::*;
+use yasksite::telemetry::json::{self, Json};
+use yasksite::telemetry::{Level, RollingHistogram, Telemetry};
+use yasksite::{validate_prometheus_text, validate_status_json, ServeConfig, ServeState};
+
+/// One observation stream: `(seconds since epoch, value)` pairs.
+fn events() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(((0.0f64..600.0), (0.01f64..50_000.0)), 1..64)
+}
+
+fn filled(events: &[(f64, f64)]) -> RollingHistogram {
+    let mut h = RollingHistogram::for_latency_ms(60.0);
+    for &(t, v) in events {
+        h.observe_at(t, v);
+    }
+    h
+}
+
+fn max_time(events: &[(f64, f64)]) -> f64 {
+    events.iter().map(|&(t, _)| t).fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Everything observed is visible right away; nothing survives a
+    /// full window plus one slot of silence.
+    #[test]
+    fn window_expiry_is_complete(evs in events()) {
+        let h = filled(&evs);
+        let t = max_time(&evs);
+        let now = h.snapshot_at(t);
+        prop_assert!(now.count >= 1, "the newest observation is in range");
+        prop_assert!(
+            now.count <= evs.len() as u64,
+            "a snapshot never invents samples"
+        );
+        let slot = h.window_secs() / h.slot_cap() as f64;
+        let later = h.snapshot_at(t + h.window_secs() + slot);
+        prop_assert_eq!(later.count, 0, "expired slots leave the window");
+        prop_assert_eq!(later.sum.to_bits(), 0.0f64.to_bits());
+    }
+
+    /// Merging is associative: sharded collection reassembles to the
+    /// same window no matter how the shards were combined.
+    #[test]
+    fn merge_is_associative(
+        evs in events(),
+        cut_a in 0usize..64,
+        cut_b in 0usize..64,
+        query in 0.0f64..700.0,
+    ) {
+        let a_end = cut_a.min(evs.len());
+        let b_end = (a_end + cut_b).min(evs.len());
+        let (a, b, c) = (&evs[..a_end], &evs[a_end..b_end], &evs[b_end..]);
+
+        let mut left = filled(a);
+        left.merge_from(&filled(b));
+        left.merge_from(&filled(c));
+
+        let mut bc = filled(b);
+        bc.merge_from(&filled(c));
+        let mut right = filled(a);
+        right.merge_from(&bc);
+
+        let (ls, rs) = (left.snapshot_at(query), right.snapshot_at(query));
+        prop_assert_eq!(&ls.counts, &rs.counts);
+        prop_assert_eq!(ls.count, rs.count);
+        prop_assert_eq!(ls.sum.to_bits(), rs.sum.to_bits());
+        prop_assert_eq!(ls.min.map(f64::to_bits), rs.min.map(f64::to_bits));
+        prop_assert_eq!(ls.max.map(f64::to_bits), rs.max.map(f64::to_bits));
+    }
+
+    /// Percentile estimates are ordered and finite whenever the window
+    /// holds any samples, at every query time.
+    #[test]
+    fn percentiles_are_monotone(evs in events(), query in 0.0f64..700.0) {
+        let h = filled(&evs);
+        let snap = h.snapshot_at(query);
+        if let Some(p) = snap.percentiles() {
+            prop_assert!(p.p50.is_finite() && p.p95.is_finite() && p.p99.is_finite());
+            prop_assert!(p.p50 <= p.p95, "p50 {} <= p95 {}", p.p50, p.p95);
+            prop_assert!(p.p95 <= p.p99, "p95 {} <= p99 {}", p.p95, p.p99);
+            prop_assert!(p.count == snap.count);
+        } else {
+            prop_assert_eq!(snap.count, 0, "only an empty window lacks percentiles");
+        }
+    }
+
+    /// The slot map never outgrows its cap, however long and sparse the
+    /// stream — the memory bound that makes per-tenant windows safe.
+    #[test]
+    fn memory_stays_bounded(
+        evs in prop::collection::vec(((0.0f64..1.0e6), (0.01f64..100.0)), 1..128),
+    ) {
+        let mut h = RollingHistogram::for_latency_ms(60.0);
+        for &(t, v) in &evs {
+            h.observe_at(t, v);
+            prop_assert!(h.live_slots() <= h.slot_cap());
+        }
+        let mut other = RollingHistogram::for_latency_ms(60.0);
+        other.merge_from(&h);
+        prop_assert!(other.live_slots() <= other.slot_cap());
+    }
+}
+
+/// Runs the same request script through a fresh daemon state with the
+/// given telemetry configuration; returns all response lines.
+fn run_script(script: &[String], tel: Telemetry, trace_sample: Option<u64>) -> Vec<String> {
+    let mut state = ServeState::new(ServeConfig {
+        telemetry: tel,
+        trace_sample,
+        ..ServeConfig::default()
+    });
+    script
+        .iter()
+        .filter_map(|line| state.handle_line(line))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The daemon leg of the PR 3 contract: tracing off, on, or
+    /// head-sampled — the `tune` and `predict` answers are bitwise
+    /// identical.
+    #[test]
+    fn daemon_responses_are_identical_under_any_tracing(
+        cores in prop_oneof![Just(1usize), Just(2)],
+        sample in prop_oneof![Just(Some(0u64)), Just(Some(1)), Just(Some(2))],
+    ) {
+        let script: Vec<String> = vec![
+            format!(
+                r#"{{"id":"t1","op":"tune","stencil":"heat-2d-r1","domain":"64x64x1","cores":{cores}}}"#
+            ),
+            r#"{"id":"p1","op":"predict","stencil":"heat-2d-r1","domain":"64x64x1","block":"64x16x1","cores":2}"#.to_string(),
+            format!(
+                r#"{{"id":"t2","op":"tune","stencil":"heat-2d-r1","domain":"32x32x1","cores":{cores}}}"#
+            ),
+        ];
+        let baseline = run_script(&script, Telemetry::disabled(), None);
+        let (tel, _sink) = Telemetry::recording(Level::Debug);
+        let recorded = run_script(&script, tel.clone(), None);
+        tel.finish();
+        let (tel, _sink) = Telemetry::recording(Level::Debug);
+        let sampled = run_script(&script, tel.clone(), sample);
+        tel.finish();
+        prop_assert_eq!(&baseline, &recorded, "recording changed a response");
+        prop_assert_eq!(&baseline, &sampled, "head-sampling changed a response");
+    }
+}
+
+fn body_of(response: &str) -> Json {
+    json::parse(response).expect("daemon answers valid JSON")
+}
+
+#[test]
+fn status_snapshot_and_prometheus_exposition_always_validate() {
+    let (tel, _sink) = Telemetry::recording(Level::Debug);
+    let mut state = ServeState::new(ServeConfig {
+        telemetry: tel,
+        trace_sample: Some(1),
+        ..ServeConfig::default()
+    });
+    for i in 0..3 {
+        let line = format!(
+            r#"{{"id":"t{i}","op":"tune","stencil":"heat-2d-r1","domain":"64x64x1","cores":2,"tenant":"acme"}}"#
+        );
+        state.handle_line(&line).expect("tune answered");
+    }
+    let status = state
+        .handle_line(r#"{"id":"s","op":"status"}"#)
+        .expect("status answered");
+    let j = body_of(&status);
+    let check = validate_status_json(&j).expect("snapshot validates");
+    assert!(check.kinds >= 1, "at least the tune kind has a window");
+    assert!(check.latency_samples >= 3, "three tunes were sampled");
+
+    let prom = state
+        .handle_line(r#"{"id":"pr","op":"status","format":"prom"}"#)
+        .expect("prom status answered");
+    let j = body_of(&prom);
+    let body = j
+        .get("body")
+        .and_then(Json::as_str)
+        .expect("prom response carries the exposition body");
+    let samples = validate_prometheus_text(body).expect("exposition validates");
+    assert!(samples > 10, "a loaded daemon exports a real metric set");
+    assert!(body.contains("yasksite_tier_ran_total{tier="), "{body}");
+    assert!(
+        body.contains(r#"yasksite_tenant_latency_ms{tenant="acme""#),
+        "{body}"
+    );
+}
