@@ -19,11 +19,17 @@
 //!
 //! Cache lines are `name size_bytes assoc bytes_per_cycle policy scope`;
 //! `scope` is `per_core`, `per_socket` or `ccx:<n>`.
+//!
+//! Calibrated models (emitted by `yasksite calibrate`) additionally carry
+//! a provenance block — a `calibration = <rev> <seed> <date>` header
+//! followed by one `measurement = <name> <unit> <value> <samples>
+//! <rejected> <ci_low> <ci_high>` line per probe. Files without the block
+//! parse exactly as before.
 
 use std::fmt;
 
 use crate::cache::{CacheLevel, InclusionPolicy, Scope, WritePolicy};
-use crate::machine::{Machine, MachineKind};
+use crate::machine::{CalibrationProvenance, Machine, MachineKind, MeasurementProvenance};
 use crate::ports::{PortModel, SimdIsa};
 
 /// What kind of problem a machine file has.
@@ -117,6 +123,7 @@ pub fn parse_machine(text: &str) -> Result<Machine, MachineFileError> {
         mem_bw_gbs: 0.0,
         mem_bw_single_core_gbs: 0.0,
         mem_latency_cycles: 200.0,
+        calibration: None,
     };
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -140,6 +147,15 @@ pub fn parse_machine(text: &str) -> Result<Machine, MachineFileError> {
         };
         match key {
             "name" => m.name = value.to_string(),
+            "kind" => {
+                m.kind = match value.to_ascii_lowercase().as_str() {
+                    "cascade_lake" | "clx" => MachineKind::CascadeLake,
+                    "rome" => MachineKind::Rome,
+                    "host" => MachineKind::Host,
+                    "custom" => MachineKind::Custom,
+                    other => return Err(bad(format!("unknown kind '{other}'"))),
+                };
+            }
             "freq_ghz" => m.freq_ghz = parse_f64(value)?,
             "cores_per_socket" => {
                 m.cores_per_socket = value
@@ -205,6 +221,47 @@ pub fn parse_machine(text: &str) -> Result<Machine, MachineFileError> {
                     scope,
                 });
             }
+            "calibration" => {
+                let f: Vec<&str> = value.split_whitespace().collect();
+                if f.len() != 3 {
+                    return Err(bad("calibration needs: rev seed date".into()));
+                }
+                let seed: u64 = f[1]
+                    .parse()
+                    .map_err(|_| bad(format!("'{}' is not a seed", f[1])))?;
+                m.calibration = Some(CalibrationProvenance {
+                    rev: f[0].to_string(),
+                    seed,
+                    date: f[2].to_string(),
+                    measurements: Vec::new(),
+                });
+            }
+            "measurement" => {
+                let f: Vec<&str> = value.split_whitespace().collect();
+                if f.len() != 7 {
+                    return Err(bad(
+                        "measurement needs: name unit value samples rejected ci_low ci_high".into(),
+                    ));
+                }
+                let parse_usize = |v: &str| -> Result<usize, MachineFileError> {
+                    v.parse().map_err(|_| bad(format!("'{v}' is not a count")))
+                };
+                let record = MeasurementProvenance {
+                    name: f[0].to_string(),
+                    unit: f[1].to_string(),
+                    value: parse_f64(f[2])?,
+                    samples: parse_usize(f[3])?,
+                    rejected: parse_usize(f[4])?,
+                    ci_low: parse_f64(f[5])?,
+                    ci_high: parse_f64(f[6])?,
+                };
+                match &mut m.calibration {
+                    Some(c) => c.measurements.push(record),
+                    None => {
+                        return Err(bad("measurement before the calibration header line".into()))
+                    }
+                }
+            }
             other => {
                 return Err(MachineFileError::at(
                     lineno + 1,
@@ -226,6 +283,13 @@ pub fn format_machine(m: &Machine) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     let _ = writeln!(s, "name = {}", m.name);
+    let kind = match m.kind {
+        MachineKind::CascadeLake => "cascade_lake",
+        MachineKind::Rome => "rome",
+        MachineKind::Host => "host",
+        MachineKind::Custom => "custom",
+    };
+    let _ = writeln!(s, "kind = {kind}");
     let _ = writeln!(s, "freq_ghz = {}", m.freq_ghz);
     let _ = writeln!(s, "cores_per_socket = {}", m.cores_per_socket);
     let _ = writeln!(s, "sockets = {}", m.sockets);
@@ -256,6 +320,16 @@ pub fn format_machine(m: &Machine) -> String {
             "cache = {} {} {} {} {policy} {scope}",
             c.name, c.size_bytes, c.assoc, c.bytes_per_cycle
         );
+    }
+    if let Some(c) = &m.calibration {
+        let _ = writeln!(s, "calibration = {} {} {}", c.rev, c.seed, c.date);
+        for p in &c.measurements {
+            let _ = writeln!(
+                s,
+                "measurement = {} {} {} {} {} {} {}",
+                p.name, p.unit, p.value, p.samples, p.rejected, p.ci_low, p.ci_high
+            );
+        }
     }
     s
 }
@@ -342,6 +416,74 @@ cache = L3 33554432 16 16 victim per_socket
         let err = parse_machine("freq_ghz = fast\n").unwrap_err();
         let dyn_err: &dyn std::error::Error = &err;
         assert!(dyn_err.to_string().contains("not a number"));
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        for m in [Machine::cascade_lake(), Machine::rome(), Machine::host()] {
+            let back = parse_machine(&format_machine(&m)).unwrap();
+            assert_eq!(back.kind, m.kind);
+        }
+        // Files without a kind key stay custom, as before.
+        let err_free = "\
+name = x
+freq_ghz = 2.0
+cores_per_socket = 1
+mem_bw_gbs = 10
+mem_bw_single_core_gbs = 10
+cache = L1 32768 8 64 inclusive per_core
+";
+        assert_eq!(parse_machine(err_free).unwrap().kind, MachineKind::Custom);
+        let err = parse_machine("kind = toaster\n").unwrap_err();
+        assert!(err.to_string().contains("unknown kind"), "{err}");
+    }
+
+    #[test]
+    fn calibration_block_round_trips() {
+        let mut m = Machine::host();
+        m.calibration = Some(CalibrationProvenance {
+            rev: "0.1.0".into(),
+            seed: 7,
+            date: "2026-08-09".into(),
+            measurements: vec![
+                MeasurementProvenance {
+                    name: "fma_gflops".into(),
+                    unit: "gflops".into(),
+                    value: 38.5,
+                    samples: 5,
+                    rejected: 1,
+                    ci_low: 37.0,
+                    ci_high: 40.0,
+                },
+                MeasurementProvenance {
+                    name: "mem_gbs".into(),
+                    unit: "gbs".into(),
+                    value: 19.25,
+                    samples: 4,
+                    rejected: 0,
+                    ci_low: 18.5,
+                    ci_high: 20.0,
+                },
+            ],
+        });
+        let text = format_machine(&m);
+        assert!(text.contains("calibration = 0.1.0 7 2026-08-09"), "{text}");
+        let back = parse_machine(&text).unwrap();
+        assert_eq!(back.calibration, m.calibration);
+        assert_eq!(back.kind, MachineKind::Host);
+    }
+
+    #[test]
+    fn measurement_requires_calibration_header() {
+        let err = parse_machine("measurement = a gbs 1 1 0 1 1\n").unwrap_err();
+        assert!(
+            err.to_string().contains("before the calibration header"),
+            "{err}"
+        );
+        let err = parse_machine("calibration = rev nope 2026-08-09\n").unwrap_err();
+        assert!(err.to_string().contains("not a seed"), "{err}");
+        let err = parse_machine("calibration = rev\n").unwrap_err();
+        assert!(err.to_string().contains("calibration needs"), "{err}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod table;
 
 pub use cache::{CacheLevel, InclusionPolicy, Scope, WritePolicy};
 pub use file::{format_machine, parse_machine, MachineFileError, MachineFileErrorKind};
-pub use machine::{Machine, MachineKind};
+pub use machine::{CalibrationProvenance, Machine, MachineKind, MeasurementProvenance};
 pub use ports::{PortModel, SimdIsa};
 pub use table::machine_table;
 

@@ -18,6 +18,105 @@ pub enum MachineKind {
     Custom,
 }
 
+/// One measured quantity backing a calibrated machine model: the accepted
+/// value plus the robust-trial evidence behind it (sample counts, the
+/// confidence interval spanned by the kept samples, and how many samples
+/// the MAD filter rejected as outliers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementProvenance {
+    /// Stable probe name (e.g. `fma_gflops`, `mem_gbs`).
+    pub name: String,
+    /// Unit of `value` (`gflops`, `gbs`, `cycles`).
+    pub unit: String,
+    /// The accepted estimate (median of the kept samples, or the builtin
+    /// fallback when every sample failed — then `samples` is 0).
+    pub value: f64,
+    /// Valid samples the estimate rests on.
+    pub samples: usize,
+    /// Samples rejected as outliers.
+    pub rejected: usize,
+    /// Lower bound of the kept-sample spread.
+    pub ci_low: f64,
+    /// Upper bound of the kept-sample spread.
+    pub ci_high: f64,
+}
+
+impl MeasurementProvenance {
+    /// Validates one measurement record.
+    ///
+    /// # Errors
+    /// Returns a description of the first inconsistency: empty name,
+    /// non-finite or non-positive value, or an inverted confidence
+    /// interval.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("measurement with an empty name".into());
+        }
+        if !self.value.is_finite() || self.value <= 0.0 {
+            return Err(format!(
+                "measurement '{}' value must be positive",
+                self.name
+            ));
+        }
+        if !self.ci_low.is_finite() || !self.ci_high.is_finite() || self.ci_low > self.ci_high {
+            return Err(format!(
+                "measurement '{}' confidence interval is inverted",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How a calibrated machine model came to be: the code revision and seed
+/// that produced it, when it ran, and one [`MeasurementProvenance`] per
+/// micro-benchmark probe. Carried on [`Machine::calibration`] and round-
+/// tripped through the machine-file format; models without it (all
+/// builtins and hand-written files) simply leave the field `None`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationProvenance {
+    /// Code revision (crate version) of the calibrator.
+    pub rev: String,
+    /// Seed of the calibration run (fault plan + synthetic streams).
+    pub seed: u64,
+    /// UTC date of the run, `YYYY-MM-DD`.
+    pub date: String,
+    /// One record per probe, in probe order.
+    pub measurements: Vec<MeasurementProvenance>,
+}
+
+impl CalibrationProvenance {
+    /// Validates the provenance block.
+    ///
+    /// # Errors
+    /// Returns a description of the first inconsistency: no measurements,
+    /// a duplicate probe name, or a bad individual record.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.measurements.is_empty() {
+            return Err("calibration without measurements".into());
+        }
+        for (i, m) in self.measurements.iter().enumerate() {
+            m.validate()?;
+            if self.measurements[..i].iter().any(|o| o.name == m.name) {
+                return Err(format!("duplicate measurement '{}'", m.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Samples rejected as outliers, summed over all probes.
+    #[must_use]
+    pub fn rejected_total(&self) -> usize {
+        self.measurements.iter().map(|m| m.rejected).sum()
+    }
+
+    /// Valid samples, summed over all probes.
+    #[must_use]
+    pub fn samples_total(&self) -> usize {
+        self.measurements.iter().map(|m| m.samples).sum()
+    }
+}
+
 /// A complete machine model: topology, cache hierarchy, in-core resources
 /// and memory interface.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,6 +144,10 @@ pub struct Machine {
     pub mem_bw_single_core_gbs: f64,
     /// Main-memory access latency in core cycles (simulator only).
     pub mem_latency_cycles: f64,
+    /// Measurement provenance when this model was produced by
+    /// `yasksite calibrate`; `None` for builtins and hand-written files.
+    #[serde(default)]
+    pub calibration: Option<CalibrationProvenance>,
 }
 
 impl Machine {
@@ -110,6 +213,7 @@ impl Machine {
             mem_bw_gbs: 115.0,
             mem_bw_single_core_gbs: 14.0,
             mem_latency_cycles: 220.0,
+            calibration: None,
         }
     }
 
@@ -170,6 +274,7 @@ impl Machine {
             mem_bw_gbs: 190.0,
             mem_bw_single_core_gbs: 22.0,
             mem_latency_cycles: 250.0,
+            calibration: None,
         }
     }
 
@@ -301,6 +406,9 @@ impl Machine {
         if self.mem_bw_single_core_gbs > self.mem_bw_gbs {
             return Err("single-core bandwidth cannot exceed socket bandwidth".into());
         }
+        if let Some(c) = &self.calibration {
+            c.validate()?;
+        }
         Ok(())
     }
 }
@@ -350,6 +458,40 @@ mod tests {
         let mut m = Machine::rome();
         m.mem_bw_single_core_gbs = m.mem_bw_gbs * 2.0;
         assert!(m.validate().is_err());
+    }
+
+    fn sample_calibration() -> CalibrationProvenance {
+        CalibrationProvenance {
+            rev: "0.1.0".into(),
+            seed: 42,
+            date: "2026-08-09".into(),
+            measurements: vec![MeasurementProvenance {
+                name: "mem_gbs".into(),
+                unit: "gbs".into(),
+                value: 20.0,
+                samples: 5,
+                rejected: 1,
+                ci_low: 19.0,
+                ci_high: 21.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn calibration_provenance_validates() {
+        let mut m = Machine::host();
+        m.calibration = Some(sample_calibration());
+        m.validate().unwrap();
+        // Inverted CI fails the whole model.
+        m.calibration.as_mut().unwrap().measurements[0].ci_low = 30.0;
+        assert!(m.validate().unwrap_err().contains("inverted"));
+        // Duplicate probe names are rejected.
+        let mut c = sample_calibration();
+        c.measurements.push(c.measurements[0].clone());
+        assert!(c.validate().unwrap_err().contains("duplicate"));
+        // Empty blocks carry no evidence.
+        c.measurements.clear();
+        assert!(c.validate().is_err());
     }
 
     #[test]

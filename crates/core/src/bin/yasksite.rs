@@ -7,15 +7,15 @@ use std::process::ExitCode;
 use yasksite::cli::{
     machine_from_flags, params_from_flags, parse_flags, parse_triple, request_from_flags,
     serve_config_from_flags, stencil_by_name, telemetry_from_flags, top_options_from_flags,
-    ErrorReport, TopOptions, USAGE,
+    trials_from_flags, ErrorReport, TopOptions, USAGE,
 };
 use yasksite::telemetry::json::Json;
 use yasksite::telemetry::Telemetry;
 use yasksite::{
-    render_report, render_top, validate_prometheus_text, validate_status_json, Provenance,
-    SearchSpace, Solution,
+    calibrate, check_calibration, render_report, render_top, validate_prometheus_text,
+    validate_status_json, CalibrateConfig, Provenance, SearchSpace, Solution,
 };
-use yasksite_arch::{machine_table, Machine};
+use yasksite_arch::{format_machine, machine_table, parse_machine, Machine};
 use yasksite_stencil::{paper_suite, stencil_table};
 
 fn run(args: &[String], tel: &Telemetry) -> Result<(), String> {
@@ -79,6 +79,7 @@ fn run(args: &[String], tel: &Telemetry) -> Result<(), String> {
             );
             Ok(())
         }
+        "calibrate" => run_calibrate(&pos, &flags, tel),
         "top" => {
             let target = pos.get(1).map(String::as_str).ok_or_else(|| {
                 "usage: yasksite top <socket|state-dir> [--once] [--check] \
@@ -202,6 +203,76 @@ fn run(args: &[String], tel: &Telemetry) -> Result<(), String> {
     }
 }
 
+/// The `yasksite calibrate` command: measure the host into a calibrated
+/// machine file, or (with `--check`) validate one that was emitted
+/// earlier.
+fn run_calibrate(
+    pos: &[String],
+    flags: &std::collections::HashMap<String, String>,
+    tel: &Telemetry,
+) -> Result<(), String> {
+    if flags.contains_key("check") {
+        let path = pos
+            .get(1)
+            .map(String::as_str)
+            .ok_or_else(|| "usage: yasksite calibrate --check <machine-file>".to_string())?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read machine file '{path}': {e}"))?;
+        let machine = parse_machine(&text).map_err(|e| e.to_string())?;
+        let c = check_calibration(&machine)?;
+        println!(
+            "calibration ok: {} probes, {} samples, {} rejected outliers, \
+             {} fallback probes",
+            c.probes, c.samples, c.rejected, c.fallback_probes
+        );
+        return Ok(());
+    }
+    let seed = flags
+        .get("seed")
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad --seed '{v}'")))
+        .transpose()?
+        .unwrap_or(42);
+    let (trial, budget) = trials_from_flags(flags)?;
+    let mut cfg = CalibrateConfig::new(seed);
+    // `trials_from_flags` defaults to the legacy single-shot protocol;
+    // calibration wants the robust default unless the user asked
+    // otherwise.
+    if flags.contains_key("samples")
+        || flags.contains_key("warmup")
+        || flags.contains_key("retries")
+    {
+        cfg.trial = trial;
+    }
+    cfg.budget = budget;
+    cfg.quick = flags.contains_key("quick");
+    cfg.synthetic = flags.contains_key("synthetic");
+    let out = calibrate(&cfg, tel).map_err(|e| e.to_string())?;
+    let text = format_machine(&out.machine);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| format!("cannot write machine file '{path}': {e}"))?;
+            println!("calibrated machine written to {path}");
+            print!("{}", out.render_table());
+            println!("cost: {}", out.cost.summary());
+        }
+        None => {
+            // Stdout carries the machine file; the evidence goes to
+            // stderr so the output stays pipeable.
+            print!("{text}");
+            eprint!("{}", out.render_table());
+            eprintln!("cost: {}", out.cost.summary());
+        }
+    }
+    if flags.contains_key("metrics") {
+        if let Some(snap) = tel.metrics_snapshot() {
+            println!();
+            print!("{}", snap.render());
+        }
+    }
+    Ok(())
+}
+
 /// Routes SIGTERM and SIGINT into the daemon's shutdown flag so `yasksite
 /// serve` drains in-flight requests, snapshots its state and exits 0
 /// instead of dying mid-write. The handler only stores an atomic — the
@@ -254,6 +325,16 @@ fn fetch_status(target: &str, prometheus: bool) -> Result<String, String> {
             return Err("--format prom needs a live socket, not a state dir".to_string());
         }
         let file = path.join("status.json");
+        if !file.exists() {
+            // A state dir without a snapshot is an expected state, not an
+            // io accident: the daemon was never started against this dir,
+            // or the dir predates status files.
+            return Err(format!(
+                "no status.json in state dir '{}' (daemon not started, or the \
+                 state dir predates status snapshots)",
+                path.display()
+            ));
+        }
         return std::fs::read_to_string(&file).map_err(|e| {
             format!(
                 "cannot read '{}': {e} (is the daemon running?)",

@@ -39,7 +39,7 @@ pub fn parse_triple(s: &str) -> Result<[usize; 3], String> {
 }
 
 /// Flags that take no value (presence alone switches them on).
-pub const BOOLEAN_FLAGS: &[&str] = &["metrics", "profile", "once", "check"];
+pub const BOOLEAN_FLAGS: &[&str] = &["metrics", "profile", "once", "check", "quick", "synthetic"];
 
 /// Splits `--key value` pairs into a map; returns positional arguments
 /// separately. Flags listed in [`BOOLEAN_FLAGS`] consume no value and
@@ -362,7 +362,7 @@ pub fn telemetry_from_flags(flags: &HashMap<String, String>) -> Result<Telemetry
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorReport {
     /// Stable machine-matchable category: `usage`, `io`, `trace-io`,
-    /// `trace-schema` or `runtime`.
+    /// `trace-schema`, `status-missing` or `runtime`.
     pub kind: &'static str,
     /// The underlying error message, verbatim.
     pub message: String,
@@ -404,6 +404,14 @@ impl ErrorReport {
                 (
                     "trace-schema",
                     Some("re-record the trace with this yasksite build (schema v1)"),
+                )
+            } else if message.contains("no status.json") {
+                (
+                    "status-missing",
+                    Some(
+                        "start the daemon with 'yasksite serve --state-dir <dir>' \
+                         (state dirs written before the status op have no snapshot)",
+                    ),
                 )
             } else if message.contains("cannot read") || message.contains("cannot open") {
                 ("io", None)
@@ -495,6 +503,29 @@ USAGE:
                     suspects) as schema-v1 JSON, or Prometheus text with
                     \"format\":\"prom\". SIGTERM drains in-flight
                     requests, snapshots state and exits 0.
+  yasksite calibrate [--out FILE]      (write the calibrated machine file;
+                                        default: stdout)
+                   [--seed N]           (seed of the probe streams and the
+                                        provenance block; default 42)
+                   [--samples N] [--warmup N] [--retries N]
+                   [--budget-runs N] [--budget-secs S]
+                   [--quick]            (shrink working sets — smoke runs)
+                   [--synthetic]        (seeded deterministic samples
+                                        around the builtin host model
+                                        instead of timed loops; CI mode)
+                   [--trace-out FILE.jsonl] [--metrics]
+                   [--log-level error|info|debug]
+                    Measures the host — FMA throughput, per-cache-level
+                    and memory bandwidth, memory latency — through the
+                    robust trial protocol and emits a MachineKind::Host
+                    machine file with a calibration provenance block
+                    (per-probe samples, rejected outliers, confidence
+                    intervals, rev/seed/date). Load it anywhere with
+                    --machine-file.
+  yasksite calibrate --check <machine-file>
+                    Validate a calibrated machine file: model invariants,
+                    probe completeness, value-inside-CI, bandwidth
+                    consistency. Non-zero on violation.
   yasksite top      <socket|state-dir>
                    [--once]             (render one frame and exit)
                    [--interval SECS]    (poll period; default 2)
@@ -807,6 +838,18 @@ mod tests {
         let r = ErrorReport::classify("trace schema mismatch: line 3 has version 2, expected 1");
         assert_eq!(r.kind, "trace-schema");
         assert!(r.render().contains("schema v1"), "{}", r.render());
+    }
+
+    #[test]
+    fn missing_status_snapshot_classifies_before_generic_io() {
+        let r = ErrorReport::classify("no status.json in state dir '/tmp/ys-state'");
+        assert_eq!(r.kind, "status-missing");
+        let out = r.render();
+        assert!(out.contains("yasksite serve --state-dir"), "{out}");
+        // The message must NOT fall through to the bare io branch even
+        // though a raw read failure would have said "cannot read".
+        let raw = ErrorReport::classify("cannot read '/tmp/ys-state/status.json': gone");
+        assert_eq!(raw.kind, "io");
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub struct TuneCost {
     /// (oldest-first per `(stencil, params, cores)` key). Zero unless the
     /// session asked for a cap; deterministic for a fixed request.
     pub drift_evictions: usize,
+    /// Machine-calibration passes folded into this cost (each
+    /// [`crate::calibrate`] run counts one).
+    pub recalibrations: usize,
+    /// Model-correction re-rankings the online drift feedback loop
+    /// applied after a key crossed the SUSPECT threshold. Depends on
+    /// measured throughput, like `drift_suspects`.
+    pub corrections_applied: usize,
 }
 
 impl AddAssign for TuneCost {
@@ -57,6 +64,8 @@ impl AddAssign for TuneCost {
         self.drift_records += rhs.drift_records;
         self.drift_suspects += rhs.drift_suspects;
         self.drift_evictions += rhs.drift_evictions;
+        self.recalibrations += rhs.recalibrations;
+        self.corrections_applied += rhs.corrections_applied;
     }
 }
 
@@ -67,7 +76,7 @@ impl TuneCost {
     /// time.
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} model evals ({} cached), {} runs, {} fallbacks, {} drift records ({} suspect, {} evicted), {:.3}s target time, {:.3}s codegen, {:.3}s wall",
             self.model_evals,
             self.cache_hits,
@@ -79,7 +88,14 @@ impl TuneCost {
             self.target_seconds,
             self.codegen_seconds,
             self.wall_seconds
-        )
+        );
+        if self.recalibrations > 0 || self.corrections_applied > 0 {
+            s.push_str(&format!(
+                ", {} recalibrations, {} corrections applied",
+                self.recalibrations, self.corrections_applied
+            ));
+        }
+        s
     }
 
     /// This cost with the cache counters zeroed — what the determinism
@@ -95,16 +111,18 @@ impl TuneCost {
     }
 
     /// This cost with the wall-clock-dependent fields
-    /// (`wall_seconds`, `codegen_seconds`, `drift_suspects` — suspect
-    /// flags derive from measured throughput) zeroed — the other half of
-    /// the determinism comparison, since wall time varies run to run
-    /// even when the tuning outcome is bitwise-identical.
+    /// (`wall_seconds`, `codegen_seconds`, `drift_suspects` and
+    /// `corrections_applied` — both derive from measured throughput)
+    /// zeroed — the other half of the determinism comparison, since wall
+    /// time varies run to run even when the tuning outcome is
+    /// bitwise-identical.
     #[must_use]
     pub fn without_wall_clock(&self) -> TuneCost {
         TuneCost {
             wall_seconds: 0.0,
             codegen_seconds: 0.0,
             drift_suspects: 0,
+            corrections_applied: 0,
             ..*self
         }
     }
@@ -129,6 +147,8 @@ mod tests {
             drift_records: 1,
             drift_suspects: 1,
             drift_evictions: 1,
+            recalibrations: 1,
+            corrections_applied: 2,
         };
         a += TuneCost {
             model_evals: 2,
@@ -144,7 +164,12 @@ mod tests {
         assert_eq!(a.drift_records, 3);
         assert_eq!(a.drift_suspects, 1);
         assert_eq!(a.drift_evictions, 1);
+        assert_eq!(a.recalibrations, 1);
+        assert_eq!(a.corrections_applied, 2);
         assert!(a.summary().contains("5 model evals"));
+        assert!(a
+            .summary()
+            .contains("1 recalibrations, 2 corrections applied"));
     }
 
     #[test]
@@ -161,6 +186,8 @@ mod tests {
             drift_records: 2,
             drift_suspects: 1,
             drift_evictions: 3,
+            recalibrations: 0,
+            corrections_applied: 0,
         };
         let s = c.summary();
         assert!(s.contains("10 model evals (6 cached)"), "{s}");
@@ -170,6 +197,10 @@ mod tests {
         assert!(s.contains("1.500s target time"), "{s}");
         assert!(s.contains("0.125s codegen"), "{s}");
         assert!(s.contains("0.250s wall"), "{s}");
+        assert!(
+            !s.contains("recalibrations"),
+            "the calibration tail only appears when non-zero: {s}"
+        );
     }
 
     #[test]
@@ -198,6 +229,7 @@ mod tests {
             codegen_seconds: 0.1,
             drift_records: 2,
             drift_suspects: 1,
+            corrections_applied: 3,
             ..TuneCost::default()
         };
         let b = TuneCost {

@@ -27,6 +27,11 @@ pub struct DriftRecord {
     pub params: String,
     /// Active cores of the trial.
     pub cores: usize,
+    /// The specialisation-ladder tier that executed the measured trial
+    /// (`"folded"`, `"scalar"`, ... — `"?"` for records predating tier
+    /// attribution), so SUSPECT entries are attributable to a kernel
+    /// tier, not just a stencil.
+    pub tier: String,
     /// What the ECM model predicted (MLUP/s).
     pub predicted_mlups: f64,
     /// What the trial measured (MLUP/s).
@@ -139,6 +144,27 @@ impl DriftLedger {
             .collect()
     }
 
+    /// Per-`(stencil, tier)` drift statistics, sorted by stencil then
+    /// tier — the attribution behind the drift table: a SUSPECT flag on
+    /// a `(stencil, scalar)` row and an ok on `(stencil, folded)` points
+    /// at the kernel tier, not the stencil.
+    #[must_use]
+    pub fn per_stencil_tier(&self) -> Vec<((String, String), DriftStats)> {
+        let mut by_key: BTreeMap<(&str, &str), Vec<f64>> = BTreeMap::new();
+        for r in &self.records {
+            by_key
+                .entry((&r.stencil, &r.tier))
+                .or_default()
+                .push(r.drift());
+        }
+        by_key
+            .into_iter()
+            .filter_map(|((name, tier), drifts)| {
+                DriftStats::from_drifts(&drifts).map(|s| ((name.to_string(), tier.to_string()), s))
+            })
+            .collect()
+    }
+
     /// Drift statistics over every record regardless of stencil.
     #[must_use]
     pub fn overall(&self) -> Option<DriftStats> {
@@ -152,20 +178,63 @@ impl DriftLedger {
         self.per_stencil().iter().filter(|(_, s)| s.suspect).count()
     }
 
-    /// The drift table: one row per stencil with count, percentiles of
-    /// the absolute drift, worst record and the suspect flag.
+    /// Per-`(stencil, params, cores)` model-correction state for every
+    /// key currently flagged SUSPECT: the key's display name, the fitted
+    /// multiplicative throughput coefficient (1 + median signed drift —
+    /// multiply a prediction by it to land on the measured behaviour)
+    /// and the drift statistics behind the flag. This is the daemon-side
+    /// analogue of the online tuner's per-key corrections, derived from
+    /// the long-lived ledger; keys whose drift stays below the threshold
+    /// carry no correction.
+    #[must_use]
+    pub fn per_key_corrections(&self) -> Vec<(String, f64, DriftStats)> {
+        let mut by_key: BTreeMap<(&str, &str, usize), Vec<f64>> = BTreeMap::new();
+        for r in &self.records {
+            by_key
+                .entry((&r.stencil, &r.params, r.cores))
+                .or_default()
+                .push(r.drift());
+        }
+        by_key
+            .into_iter()
+            .filter_map(|((stencil, params, cores), mut drifts)| {
+                let stats = DriftStats::from_drifts(&drifts)?;
+                if !stats.suspect {
+                    return None;
+                }
+                drifts.sort_by(f64::total_cmp);
+                let mid = drifts.len() / 2;
+                let median = if drifts.len() % 2 == 1 {
+                    drifts[mid]
+                } else {
+                    (drifts[mid - 1] + drifts[mid]) / 2.0
+                };
+                Some((
+                    format!("{stencil} {params} @{cores}"),
+                    (1.0 + median).max(1e-9),
+                    stats,
+                ))
+            })
+            .collect()
+    }
+
+    /// The drift table: one row per `(stencil, executing tier)` with
+    /// count, percentiles of the absolute drift, worst record and the
+    /// suspect flag.
     #[must_use]
     pub fn render_table(&self) -> String {
         if self.records.is_empty() {
             return "drift: no measured trials\n".to_string();
         }
-        let mut out =
-            String::from("stencil                count    p50%    p95%    p99%    max%  model\n");
-        for (name, s) in self.per_stencil() {
+        let mut out = String::from(
+            "stencil                tier      count    p50%    p95%    p99%    max%  model\n",
+        );
+        for ((name, tier), s) in self.per_stencil_tier() {
             let _ = writeln!(
                 out,
-                "{:<22} {:>6}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}  {}",
+                "{:<22} {:<8} {:>6}  {:>6.1}  {:>6.1}  {:>6.1}  {:>6.1}  {}",
                 name,
+                tier,
                 s.count,
                 s.p50 * 100.0,
                 s.p95 * 100.0,
@@ -183,10 +252,15 @@ mod tests {
     use super::*;
 
     fn rec(stencil: &str, predicted: f64, measured: f64) -> DriftRecord {
+        rec_tier(stencil, "folded", predicted, measured)
+    }
+
+    fn rec_tier(stencil: &str, tier: &str, predicted: f64, measured: f64) -> DriftRecord {
         DriftRecord {
             stencil: stencil.to_string(),
             params: "b=8x8x8 t=1".to_string(),
             cores: 1,
+            tier: tier.to_string(),
             predicted_mlups: predicted,
             measured_mlups: measured,
         }
@@ -238,6 +312,112 @@ mod tests {
             .map(|r| r.measured_mlups)
             .collect();
         assert_eq!(heat, vec![102.0, 103.0]);
+    }
+
+    #[test]
+    fn table_attributes_drift_to_the_executing_tier() {
+        let mut l = DriftLedger::new();
+        // The scalar tier drifts wildly, the folded tier is fine — the
+        // table must separate them instead of smearing the SUSPECT over
+        // the whole stencil.
+        l.push(rec_tier("heat-3d", "folded", 100.0, 103.0));
+        l.push(rec_tier("heat-3d", "folded", 100.0, 98.0));
+        l.push(rec_tier("heat-3d", "scalar", 100.0, 10.0));
+        l.push(rec_tier("heat-3d", "scalar", 100.0, 12.0));
+        let per = l.per_stencil_tier();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].0, ("heat-3d".to_string(), "folded".to_string()));
+        assert!(!per[0].1.suspect);
+        assert_eq!(per[1].0, ("heat-3d".to_string(), "scalar".to_string()));
+        assert!(per[1].1.suspect);
+        let t = l.render_table();
+        let folded_row = t.lines().find(|l| l.contains("folded")).unwrap();
+        let scalar_row = t.lines().find(|l| l.contains("scalar")).unwrap();
+        assert!(folded_row.ends_with("ok"), "{t}");
+        assert!(scalar_row.ends_with("SUSPECT"), "{t}");
+        // Per-stencil aggregation still pools both tiers.
+        assert_eq!(l.per_stencil().len(), 1);
+    }
+
+    #[test]
+    fn per_key_corrections_cover_only_suspect_keys() {
+        let mut l = DriftLedger::new();
+        // Key A tracks the model (~+3%): no correction.
+        l.push(rec("heat-3d", 100.0, 103.0));
+        l.push(rec("heat-3d", 100.0, 102.0));
+        // Key B measures 4x slower than predicted: suspect, coeff ~0.25.
+        let slow = |m| DriftRecord {
+            params: "b=16x16x16 t=1".to_string(),
+            ..rec("box-3d", 100.0, m)
+        };
+        l.push(slow(25.0));
+        l.push(slow(24.0));
+        l.push(slow(26.0));
+        let corrections = l.per_key_corrections();
+        assert_eq!(corrections.len(), 1, "{corrections:?}");
+        let (key, coeff, stats) = &corrections[0];
+        assert!(key.contains("box-3d") && key.contains("@1"), "{key}");
+        assert!((coeff - 0.25).abs() < 0.02, "coeff {coeff}");
+        assert!(stats.suspect);
+        // Applying the coefficient closes the loop for this key: the
+        // corrected prediction re-derives to near-zero drift.
+        for m in [25.0f64, 24.0, 26.0] {
+            let corrected_pred = 100.0 * coeff;
+            let residual = (m - corrected_pred).abs() / corrected_pred;
+            assert!(residual < 0.1, "residual {residual} at measured {m}");
+        }
+    }
+
+    #[test]
+    fn bounded_ledger_evicts_strictly_oldest_first_per_key() {
+        // Satellite coverage: under sustained --drift-cap pressure the
+        // survivor set must always be the newest `cap` records of each
+        // key, and the eviction count must be exact.
+        let cap = 3;
+        let mut l = DriftLedger::bounded(cap);
+        for i in 0..10 {
+            l.push(rec("heat-3d", 100.0, 100.0 + i as f64));
+            l.push(rec("box-3d", 100.0, 200.0 + i as f64));
+        }
+        assert_eq!(l.len(), 2 * cap);
+        assert_eq!(l.evictions(), 2 * (10 - cap));
+        let heat: Vec<f64> = l
+            .records()
+            .iter()
+            .filter(|r| r.stencil == "heat-3d")
+            .map(|r| r.measured_mlups)
+            .collect();
+        assert_eq!(
+            heat,
+            vec![107.0, 108.0, 109.0],
+            "newest survive, oldest-first order"
+        );
+        let boxd: Vec<f64> = l
+            .records()
+            .iter()
+            .filter(|r| r.stencil == "box-3d")
+            .map(|r| r.measured_mlups)
+            .collect();
+        assert_eq!(boxd, vec![207.0, 208.0, 209.0]);
+    }
+
+    #[test]
+    fn eviction_counts_are_exact_across_absorb_chains() {
+        // A daemon absorbing session ledgers repeatedly must account for
+        // every single eviction, not just the last batch.
+        let mut daemon = DriftLedger::bounded(2);
+        for batch in 0..4 {
+            let mut session = DriftLedger::new();
+            for i in 0..3 {
+                session.push(rec("heat-3d", 100.0, (batch * 10 + i) as f64));
+            }
+            daemon.absorb(&session);
+        }
+        // 12 pushed, 2 kept => 10 evicted, all charged to the daemon.
+        assert_eq!(daemon.len(), 2);
+        assert_eq!(daemon.evictions(), 10);
+        let kept: Vec<f64> = daemon.records().iter().map(|r| r.measured_mlups).collect();
+        assert_eq!(kept, vec![31.0, 32.0]);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 pub mod cli;
 
 mod cache;
+mod calibrate;
 mod cost;
 mod drift;
 mod online;
@@ -64,9 +65,13 @@ mod trial;
 mod tuner;
 
 pub use cache::{PredictKey, PredictionCache};
+pub use calibrate::{
+    calibrate, check_calibration, today_utc, CalibrateConfig, CalibrationCheck, CalibrationOutcome,
+    PROBE_NAMES,
+};
 pub use cost::TuneCost;
 pub use drift::{DriftLedger, DriftRecord};
-pub use online::OnlineTuner;
+pub use online::{KeyCorrection, OnlineTuner};
 pub use persist::{
     crc32, decode_drift, decode_journal, decode_prediction, encode_drift, encode_prediction, frame,
     journal_header, AbsorbStats, FaultyMedium, FileMedium, Journal, JournalKind, JournalMedium,
@@ -80,12 +85,13 @@ pub use request::{TuneRequest, JOBS_ENV};
 pub use serve::serve_unix;
 pub use serve::{
     overload_response, serve, serve_stdin, shutdown_flag, ServeConfig, ServeState, ServeStats,
+    CALIBRATED_MACHINE_FILE,
 };
 pub use solution::{MeasuredPerf, Solution, ToolError};
 pub use space::SearchSpace;
 pub use status::{
-    render_top, validate_prometheus_text, validate_status_json, LatencyDigest, StatusCheck,
-    StatusSnapshot, TenantUsage, PROM_CONTENT_TYPE, STATUS_SCHEMA_VERSION,
+    render_top, validate_prometheus_text, validate_status_json, CalibrationStatus, LatencyDigest,
+    StatusCheck, StatusSnapshot, TenantUsage, PROM_CONTENT_TYPE, STATUS_SCHEMA_VERSION,
 };
 pub use trial::{
     run_trial, run_trial_observed, FallbackReason, FaultPlan, FaultyBackend, MeasureBackend,

@@ -13,7 +13,23 @@
 //! winner that rests on an analytic fallback instead of a measurement is
 //! visible to the caller. No method panics: protocol violations and
 //! invalid input come back as [`ToolError`].
+//!
+//! # Drift feedback
+//!
+//! When trials arrive with their analytic prediction
+//! ([`OnlineTuner::record_trial_with_prediction`]), the tuner closes the
+//! loop on its own model error: the per-sample drifts of each lattice
+//! point are aggregated into a [`DriftStats`] and a multiplicative
+//! correction coefficient (the median observed measured/predicted
+//! throughput ratio) is fitted per key. A key whose p95 absolute drift
+//! crosses [`yasksite_ecm::DRIFT_SUSPECT_THRESHOLD`] is *model suspect*:
+//! the driven climb emits a `model_suspect` event, applies the fitted
+//! correction to the analytic model and re-ranks the open candidate
+//! queue under the corrected predictions. Feedback is purely a steering
+//! signal — with a clean backend (drift below threshold) the climb is
+//! bitwise-identical to one with feedback disabled.
 
+use yasksite_ecm::DriftStats;
 use yasksite_engine::TuningParams;
 
 use crate::cache::PredictionCache;
@@ -51,6 +67,36 @@ pub struct OnlineTuner {
     trials: usize,
     /// Aggregate statistics over recorded trials.
     summary: TrialSummary,
+    /// Fitted model correction per lattice point, parallel to `measured`.
+    corrections: Vec<Option<KeyCorrection>>,
+    /// Whether drift feedback fits corrections at all (on by default;
+    /// the property suite uses the disabled tuner as its baseline).
+    feedback_enabled: bool,
+    /// Keys that crossed the SUSPECT threshold.
+    model_suspects: usize,
+    /// Times the open candidate queue was re-ranked under a corrected
+    /// model.
+    reranks: usize,
+}
+
+/// The model-correction state the drift feedback loop fitted for one
+/// lattice key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyCorrection {
+    /// Block y-extent of the key.
+    pub block_y: usize,
+    /// Block z-extent of the key.
+    pub block_z: usize,
+    /// Drift percentiles over the key's trial samples.
+    pub stats: DriftStats,
+    /// Multiplicative correction on predicted throughput: the median
+    /// measured/predicted MLUP/s ratio. Corrected prediction =
+    /// `predicted_mlups * coeff` (equivalently `predicted_seconds /
+    /// coeff`). Always positive.
+    pub coeff: f64,
+    /// Whether the key's p95 absolute drift crossed
+    /// [`yasksite_ecm::DRIFT_SUSPECT_THRESHOLD`].
+    pub suspect: bool,
 }
 
 impl OnlineTuner {
@@ -74,6 +120,7 @@ impl OnlineTuner {
         let mut t = OnlineTuner {
             measured: vec![None; ys.len() * zs.len()],
             prov: vec![None; ys.len() * zs.len()],
+            corrections: vec![None; ys.len() * zs.len()],
             ys,
             zs,
             template,
@@ -81,6 +128,9 @@ impl OnlineTuner {
             queue: Vec::new(),
             trials: 0,
             summary: TrialSummary::default(),
+            feedback_enabled: true,
+            model_suspects: 0,
+            reranks: 0,
         };
         t.queue.push(start);
         Ok(t)
@@ -177,6 +227,127 @@ impl OnlineTuner {
         self.record_inner(trial.seconds_per_sweep, trial.provenance)?;
         self.summary.absorb(trial);
         Ok(())
+    }
+
+    /// Disables (or re-enables) the drift feedback loop. With feedback
+    /// off the tuner never fits corrections, never flags keys suspect
+    /// and never re-ranks — the pre-feedback behaviour, used as the
+    /// baseline of the determinism property suite.
+    #[must_use]
+    pub fn feedback(mut self, on: bool) -> Self {
+        self.feedback_enabled = on;
+        self
+    }
+
+    /// Records a robust trial *with* the analytic prediction it was
+    /// checked against, fitting the key's drift-correction state.
+    /// Returns the fitted correction when the key **newly** crossed the
+    /// SUSPECT threshold — the caller's cue to apply the correction and
+    /// re-rank (the driven climb does both automatically).
+    ///
+    /// Fallback trials carry no measurement and fit nothing; neither do
+    /// trials recorded while feedback is disabled. Below-threshold keys
+    /// still retain their (non-suspect) correction state for
+    /// observability, but the climb never acts on it.
+    ///
+    /// # Errors
+    /// As [`OnlineTuner::record_trial`].
+    pub fn record_trial_with_prediction(
+        &mut self,
+        trial: &TrialResult,
+        predicted_seconds: f64,
+    ) -> Result<Option<KeyCorrection>, ToolError> {
+        let pending = self.queue.last().copied();
+        self.record_trial(trial)?;
+        if !self.feedback_enabled
+            || trial.provenance.is_fallback()
+            || trial.samples.is_empty()
+            || !(predicted_seconds.is_finite() && predicted_seconds > 0.0)
+        {
+            return Ok(None);
+        }
+        let p = pending.expect("record_trial succeeded, so a suggestion was pending");
+        // Signed drift per sample, in throughput space: MLUP/s is
+        // inversely proportional to seconds, so measured/predicted
+        // throughput = predicted_seconds / sample_seconds.
+        let mut drifts: Vec<f64> = trial
+            .samples
+            .iter()
+            .filter(|s| s.is_finite() && **s > 0.0)
+            .map(|s| predicted_seconds / s - 1.0)
+            .collect();
+        let Some(stats) = DriftStats::from_drifts(&drifts) else {
+            return Ok(None);
+        };
+        drifts.sort_by(f64::total_cmp);
+        let mid = drifts.len() / 2;
+        let median = if drifts.len() % 2 == 1 {
+            drifts[mid]
+        } else {
+            (drifts[mid - 1] + drifts[mid]) / 2.0
+        };
+        // drift > -1 always (both sides positive), so coeff > 0; the
+        // floor only guards against rounding at the extreme.
+        let correction = KeyCorrection {
+            block_y: self.ys[p.0],
+            block_z: self.zs[p.1],
+            stats,
+            coeff: (1.0 + median).max(1e-9),
+            suspect: stats.suspect,
+        };
+        let i = self.idx(p);
+        let was_suspect = self.corrections[i].is_some_and(|c| c.suspect);
+        self.corrections[i] = Some(correction);
+        let newly_suspect = stats.suspect && !was_suspect;
+        if newly_suspect {
+            self.model_suspects += 1;
+        }
+        Ok(newly_suspect.then_some(correction))
+    }
+
+    /// Re-ranks the open candidate queue by `score` (higher is better):
+    /// the best-scoring point moves to the pop end so it is measured
+    /// next. Ties break on lattice order, keeping the re-rank
+    /// deterministic. An empty queue is refilled from the current best's
+    /// neighbourhood first, so a re-rank right after an improvement
+    /// still has candidates to order.
+    pub fn rerank_open_candidates<F: FnMut(&TuningParams) -> f64>(&mut self, mut score: F) {
+        if self.queue.is_empty() {
+            self.refill_queue();
+        }
+        if self.queue.len() > 1 {
+            let mut scored: Vec<((usize, usize), f64)> = self
+                .queue
+                .iter()
+                .map(|&p| (p, score(&self.params_at(p))))
+                .collect();
+            scored.sort_by(|a, b| {
+                a.1.total_cmp(&b.1)
+                    .then_with(|| (self.idx(a.0)).cmp(&self.idx(b.0)))
+            });
+            self.queue = scored.into_iter().map(|(p, _)| p).collect();
+        }
+        self.reranks += 1;
+    }
+
+    /// The fitted correction state of every key that has one, in
+    /// lattice order.
+    #[must_use]
+    pub fn corrections(&self) -> Vec<KeyCorrection> {
+        self.corrections.iter().filter_map(|c| *c).collect()
+    }
+
+    /// Keys whose drift crossed the SUSPECT threshold.
+    #[must_use]
+    pub fn model_suspects(&self) -> usize {
+        self.model_suspects
+    }
+
+    /// Times the open candidate queue was re-ranked under a corrected
+    /// model.
+    #[must_use]
+    pub fn reranks(&self) -> usize {
+        self.reranks
     }
 
     /// Whether the hill climb has no unmeasured improving direction left.
@@ -324,7 +495,30 @@ impl OnlineTuner {
             if trial.provenance.is_fallback() {
                 telemetry.inc("tune.fallbacks");
             }
-            self.record_trial(&trial)?;
+            if let Some(c) = self.record_trial_with_prediction(&trial, fallback)? {
+                telemetry.inc("tune.model_suspects");
+                telemetry.event(
+                    Level::Info,
+                    "model_suspect",
+                    session.id(),
+                    &[
+                        ("block_y", c.block_y.into()),
+                        ("block_z", c.block_z.into()),
+                        ("p95", c.stats.p95.into()),
+                        ("coeff", c.coeff.into()),
+                        ("count", c.stats.count.into()),
+                    ],
+                );
+                // The model misdescribed this key badly enough to doubt
+                // its ranking: re-order the open candidates under the
+                // corrected predictions before measuring on.
+                self.rerank_open_candidates(|p| {
+                    let cores = p.threads.max(1);
+                    let (pred, _) = cache.predict(sol, p, cores);
+                    pred.mlups * c.coeff
+                });
+                telemetry.inc("tune.reranks");
+            }
         }
         telemetry.event(
             Level::Info,
@@ -479,6 +673,128 @@ mod tests {
         let joined = sink.lines().join("\n");
         let stats = yasksite_telemetry::check_trace(&joined).expect("balanced trace");
         assert_eq!(stats.spans_opened, stats.spans_closed);
+    }
+
+    fn lattice_tuner() -> OnlineTuner {
+        let m = Machine::cascade_lake();
+        let space = SearchSpace::spatial_only(&heat3d(1), [32, 32, 32], &m);
+        OnlineTuner::new(&space, TuningParams::new([32, 8, 8], Fold::new(8, 1, 1))).unwrap()
+    }
+
+    fn measured_trial(samples: Vec<f64>) -> TrialResult {
+        let mid = samples[samples.len() / 2];
+        TrialResult {
+            seconds_per_sweep: mid,
+            provenance: Provenance::Measured,
+            kept: samples.len(),
+            rejected: 0,
+            retries: 0,
+            attempts: samples.len(),
+            samples,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn high_drift_fits_a_correction_that_reduces_p95() {
+        use yasksite_ecm::DRIFT_SUSPECT_THRESHOLD;
+        let mut tuner = lattice_tuner();
+        let _ = tuner.suggest().expect("start point");
+        // Prediction says 1.0 s, the machine delivers ~4 s: every sample
+        // drifts by ~-0.75, far past the SUSPECT threshold.
+        let samples = vec![4.0, 3.9, 4.1, 4.0, 4.2];
+        let trial = measured_trial(samples.clone());
+        let c = tuner
+            .record_trial_with_prediction(&trial, 1.0)
+            .expect("valid record")
+            .expect("the key must newly cross the threshold");
+        assert!(c.suspect);
+        assert!(c.stats.p95 > DRIFT_SUSPECT_THRESHOLD, "{:?}", c.stats);
+        assert!(
+            (c.coeff - 0.25).abs() < 0.02,
+            "4x-slow measurements fit a ~0.25 throughput coefficient, got {}",
+            c.coeff
+        );
+        assert_eq!(tuner.model_suspects(), 1);
+        // Applying the correction to the prediction and re-deriving the
+        // drifts must pull the key's p95 back under the threshold.
+        let corrected: Vec<f64> = samples.iter().map(|s| (1.0 / c.coeff) / s - 1.0).collect();
+        let after = DriftStats::from_drifts(&corrected).unwrap();
+        assert!(
+            after.p95 < c.stats.p95,
+            "correction must reduce p95: {} -> {}",
+            c.stats.p95,
+            after.p95
+        );
+        assert!(!after.suspect, "corrected drift stays under the threshold");
+    }
+
+    #[test]
+    fn below_threshold_keys_keep_state_but_never_fire() {
+        let mut tuner = lattice_tuner();
+        let _ = tuner.suggest().expect("start point");
+        // ~2% drift: well under the threshold.
+        let trial = measured_trial(vec![1.02, 1.01, 1.03, 1.02, 1.02]);
+        let fired = tuner.record_trial_with_prediction(&trial, 1.0).unwrap();
+        assert!(fired.is_none(), "below-threshold drift must not fire");
+        assert_eq!(tuner.model_suspects(), 0);
+        assert_eq!(tuner.reranks(), 0);
+        let corrections = tuner.corrections();
+        assert_eq!(corrections.len(), 1, "state is still retained");
+        assert!(!corrections[0].suspect);
+    }
+
+    #[test]
+    fn fallback_trials_and_disabled_feedback_fit_nothing() {
+        let mut tuner = lattice_tuner();
+        let _ = tuner.suggest().expect("start point");
+        let mut fb = measured_trial(vec![4.0]);
+        fb.provenance = Provenance::PredictedFallback {
+            reason: crate::trial::FallbackReason::AllSamplesFailed,
+        };
+        fb.samples.clear();
+        fb.kept = 0;
+        assert!(tuner
+            .record_trial_with_prediction(&fb, 1.0)
+            .unwrap()
+            .is_none());
+        assert!(tuner.corrections().is_empty());
+
+        let mut off = lattice_tuner().feedback(false);
+        let _ = off.suggest().expect("start point");
+        let trial = measured_trial(vec![4.0, 4.0, 4.0]);
+        assert!(off
+            .record_trial_with_prediction(&trial, 1.0)
+            .unwrap()
+            .is_none());
+        assert!(off.corrections().is_empty());
+        assert_eq!(off.model_suspects(), 0);
+    }
+
+    #[test]
+    fn rerank_orders_best_candidate_last_deterministically() {
+        let mut tuner = lattice_tuner();
+        let _ = tuner.suggest().expect("start point");
+        tuner.record(1.0).unwrap();
+        assert!(
+            tuner.suggest().is_some(),
+            "neighbours queued after the first record"
+        );
+        // Score by block volume: the largest block must surface at the
+        // pop end of the queue.
+        tuner.rerank_open_candidates(|p| (p.block[1] * p.block[2]) as f64);
+        assert_eq!(tuner.reranks(), 1);
+        let next = tuner.suggest().expect("queue non-empty");
+        let mut again = lattice_tuner();
+        let _ = again.suggest();
+        again.record(1.0).unwrap();
+        let _ = again.suggest();
+        again.rerank_open_candidates(|p| (p.block[1] * p.block[2]) as f64);
+        assert_eq!(
+            next,
+            again.suggest().expect("queue non-empty"),
+            "re-ranking is deterministic"
+        );
     }
 
     #[test]

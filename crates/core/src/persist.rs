@@ -514,6 +514,10 @@ impl<'a> Dec<'a> {
         String::from_utf8(slice.to_vec()).map_err(|_| "invalid utf-8 in record".to_string())
     }
 
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
     fn finish(self) -> Result<(), String> {
         if self.pos == self.bytes.len() {
             Ok(())
@@ -618,10 +622,15 @@ pub fn encode_drift(rec: &DriftRecord) -> Vec<u8> {
     put_u64(&mut out, rec.cores as u64);
     put_u64(&mut out, rec.predicted_mlups.to_bits());
     put_u64(&mut out, rec.measured_mlups.to_bits());
+    put_str(&mut out, &rec.tier);
     out
 }
 
 /// Decodes a [`DriftRecord`] payload.
+///
+/// The tier string is a trailing, optional field: journals written
+/// before tier attribution end after the measured bits and decode with
+/// tier `"?"`.
 ///
 /// # Errors
 /// A message when the payload is malformed (see [`decode_prediction`]).
@@ -632,11 +641,17 @@ pub fn decode_drift(payload: &[u8]) -> Result<DriftRecord, String> {
     let cores = d.usize()?;
     let predicted_mlups = f64::from_bits(d.u64()?);
     let measured_mlups = f64::from_bits(d.u64()?);
+    let tier = if d.at_end() {
+        "?".to_string()
+    } else {
+        d.str()?
+    };
     d.finish()?;
     Ok(DriftRecord {
         stencil,
         params,
         cores,
+        tier,
         predicted_mlups,
         measured_mlups,
     })
@@ -1029,9 +1044,33 @@ mod tests {
             stencil: format!("heat-3d-r{i}"),
             params: "b=32x8x8 fold=8x1x1 t=2 wf=1".to_string(),
             cores: 4,
+            tier: "folded".to_string(),
             predicted_mlups: 1000.0 + i as f64,
             measured_mlups: 990.0 + i as f64,
         }
+    }
+
+    #[test]
+    fn drift_records_without_tier_bytes_decode_with_unknown_tier() {
+        // A pre-tier-attribution journal payload ends after the measured
+        // bits; it must decode (tier "?"), not be dropped as corrupt.
+        let rec = sample_drift(3);
+        let mut legacy = Vec::new();
+        put_str(&mut legacy, &rec.stencil);
+        put_str(&mut legacy, &rec.params);
+        put_u64(&mut legacy, rec.cores as u64);
+        put_u64(&mut legacy, rec.predicted_mlups.to_bits());
+        put_u64(&mut legacy, rec.measured_mlups.to_bits());
+        let decoded = decode_drift(&legacy).expect("legacy payload decodes");
+        assert_eq!(decoded.tier, "?");
+        assert_eq!(decoded.stencil, rec.stencil);
+        assert_eq!(
+            decoded.measured_mlups.to_bits(),
+            rec.measured_mlups.to_bits()
+        );
+        // And the modern round trip preserves the tier exactly.
+        let modern = decode_drift(&encode_drift(&rec)).unwrap();
+        assert_eq!(modern, rec);
     }
 
     #[test]

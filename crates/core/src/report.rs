@@ -16,7 +16,13 @@
 //! 4. **Drift table** — every `drift` event rebuilt into a
 //!    [`DriftLedger`] and rendered with per-stencil percentiles and
 //!    model-suspect flags.
-//! 5. **Regressions vs a baseline** — when a second trace is supplied,
+//! 5. **Calibration** — `calibrate_start` / `probe` events from a
+//!    `yasksite calibrate --trace-out` recording: the per-probe evidence
+//!    table (value, sample counts, rejected outliers, provenance).
+//! 6. **Model corrections** — `model_suspect` events from the online
+//!    tuner's drift feedback loop: which keys crossed the SUSPECT
+//!    threshold and the correction coefficient fitted for each.
+//! 7. **Regressions vs a baseline** — when a second trace is supplied,
 //!    phases that got slower, worst first.
 //!
 //! Pure text-in/text-out (the CLI owns the file I/O), which keeps it
@@ -45,6 +51,14 @@ struct TraceDigest {
     gauges: Vec<(String, f64)>,
     /// `(span name, total seconds, count)` aggregated from `span_close`.
     spans: Vec<(String, f64, u64)>,
+    /// `(seed, mode)` from the last `calibrate_start` event.
+    calibrate_run: Option<(u64, String)>,
+    /// `(name, unit, value, samples, rejected, provenance)` from `probe`
+    /// events, in trace order.
+    probes: Vec<(String, String, f64, u64, u64, String)>,
+    /// `(block_y, block_z, p95, coeff, count)` from `model_suspect`
+    /// events, in trace order.
+    suspects: Vec<(u64, u64, f64, f64, u64)>,
     /// Lines that were not valid JSON (truncated tail of a crashed run,
     /// torn concurrent write) — skipped rather than failing the report.
     skipped: usize,
@@ -131,9 +145,37 @@ fn digest(trace: &str) -> Result<TraceDigest, String> {
                     stencil: field_str(&j, "stencil").unwrap_or("?").to_string(),
                     params: field_str(&j, "params").unwrap_or("?").to_string(),
                     cores: field_u64(&j, "cores").unwrap_or(0) as usize,
+                    // Traces recorded before tier attribution carry no
+                    // tier field; "?" keeps their rows renderable.
+                    tier: field_str(&j, "tier").unwrap_or("?").to_string(),
                     predicted_mlups: field_f64(&j, "predicted_mlups").unwrap_or(0.0),
                     measured_mlups: field_f64(&j, "measured_mlups").unwrap_or(0.0),
                 });
+            }
+            "calibrate_start" => {
+                d.calibrate_run = Some((
+                    field_u64(&j, "seed").unwrap_or(0),
+                    field_str(&j, "mode").unwrap_or("?").to_string(),
+                ));
+            }
+            "probe" => {
+                d.probes.push((
+                    field_str(&j, "name").unwrap_or("?").to_string(),
+                    field_str(&j, "unit").unwrap_or("?").to_string(),
+                    field_f64(&j, "value").unwrap_or(0.0),
+                    field_u64(&j, "samples").unwrap_or(0),
+                    field_u64(&j, "rejected").unwrap_or(0),
+                    field_str(&j, "provenance").unwrap_or("?").to_string(),
+                ));
+            }
+            "model_suspect" => {
+                d.suspects.push((
+                    field_u64(&j, "block_y").unwrap_or(0),
+                    field_u64(&j, "block_z").unwrap_or(0),
+                    field_f64(&j, "p95").unwrap_or(0.0),
+                    field_f64(&j, "coeff").unwrap_or(0.0),
+                    field_u64(&j, "count").unwrap_or(0),
+                ));
             }
             "metric" if field_str(&j, "kind") == Some("gauge") => {
                 if let (Some(name), Some(value)) = (field_str(&j, "name"), field_f64(&j, "value")) {
@@ -244,6 +286,38 @@ pub fn render_report(trace: &str, baseline: Option<&str>) -> Result<String, Stri
         let _ = writeln!(out, "  {line}");
     }
 
+    if d.calibrate_run.is_some() || !d.probes.is_empty() {
+        out.push_str("\ncalibration:\n");
+        if let Some((seed, mode)) = &d.calibrate_run {
+            let _ = writeln!(out, "  {mode} run, seed {seed}");
+        }
+        if d.probes.is_empty() {
+            out.push_str("  (no probe events in this trace)\n");
+        } else {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>8} {:>14} {:>8} {:>9}  provenance",
+                "probe", "unit", "value", "samples", "rejected"
+            );
+            for (name, unit, value, samples, rejected, prov) in &d.probes {
+                let _ = writeln!(
+                    out,
+                    "  {name:<18} {unit:>8} {value:>14.3} {samples:>8} {rejected:>9}  {prov}"
+                );
+            }
+        }
+    }
+
+    if !d.suspects.is_empty() {
+        out.push_str("\nmodel corrections:\n");
+        for (by, bz, p95, coeff, count) in &d.suspects {
+            let _ = writeln!(
+                out,
+                "  block {by}x{bz}: p95 drift {p95:.3} SUSPECT, fitted coeff {coeff:.3} ({count} samples)"
+            );
+        }
+    }
+
     let wanted = ["profile.mlups", "profile.bytes_per_lup"];
     let shown: Vec<&(String, f64)> = d
         .gauges
@@ -316,7 +390,7 @@ mod tests {
             r#"{"v":1,"ev":"profile_pool","t_us":12,"span":1,"level":"info","workers":4,"sweeps":2,"jobs":8,"occupancy":1.0,"chunk_imbalance":0.25}"#,
         );
         t += &line(
-            r#"{"v":1,"ev":"drift","t_us":13,"span":1,"level":"info","stencil":"heat-3d","params":"b=8x8x8 t=1","cores":1,"predicted_mlups":100.0,"measured_mlups":90.0,"drift":-0.1}"#,
+            r#"{"v":1,"ev":"drift","t_us":13,"span":1,"level":"info","stencil":"heat-3d","params":"b=8x8x8 t=1","cores":1,"tier":"folded","predicted_mlups":100.0,"measured_mlups":90.0,"drift":-0.1}"#,
         );
         t += &line(
             r#"{"v":1,"ev":"metric","t_us":14,"span":0,"level":"error","kind":"gauge","name":"profile.mlups","value":90.0}"#,
@@ -369,6 +443,73 @@ mod tests {
         )
         .unwrap();
         assert!(!r.contains("winner:"), "{r}");
+    }
+
+    #[test]
+    fn drift_rows_name_the_executing_tier() {
+        let r = render_report(&profiled_trace(), None).unwrap();
+        let row = r
+            .lines()
+            .find(|l| l.contains("heat-3d"))
+            .expect("drift row present");
+        assert!(row.contains("folded"), "tier column in the drift row: {r}");
+
+        // Traces recorded before tier attribution still render, with the
+        // tier column showing "?".
+        let legacy = profiled_trace().replace(
+            r#""tier":"folded","predicted_mlups""#,
+            r#""predicted_mlups""#,
+        );
+        let r = render_report(&legacy, None).unwrap();
+        let row = r
+            .lines()
+            .find(|l| l.contains("heat-3d"))
+            .expect("drift row present");
+        assert!(row.contains('?'), "unknown tier renders as ?: {r}");
+    }
+
+    #[test]
+    fn calibration_section_renders_the_probe_evidence() {
+        let mut t = String::new();
+        t += &line(r#"{"v":1,"ev":"span_open","t_us":0,"id":1,"parent":0,"name":"calibrate"}"#);
+        t += &line(
+            r#"{"v":1,"ev":"calibrate_start","t_us":1,"span":1,"level":"info","seed":7,"probes":7,"mode":"synthetic","quick":1}"#,
+        );
+        t += &line(
+            r#"{"v":1,"ev":"probe","t_us":2,"span":2,"level":"info","name":"fma_gflops","unit":"gflops","value":43.2,"samples":5,"rejected":1,"ci_low":42.0,"ci_high":44.0,"provenance":"measured"}"#,
+        );
+        t += &line(
+            r#"{"v":1,"ev":"probe","t_us":3,"span":3,"level":"info","name":"mem_gbs","unit":"gbs","value":20.0,"samples":0,"rejected":0,"ci_low":20.0,"ci_high":20.0,"provenance":"fallback:all samples failed"}"#,
+        );
+        t += &line(r#"{"v":1,"ev":"span_close","t_us":9,"id":1,"dur_us":9,"name":"calibrate"}"#);
+        let r = render_report(&t, None).unwrap();
+        assert!(r.contains("calibration:"), "{r}");
+        assert!(r.contains("synthetic run, seed 7"), "{r}");
+        assert!(r.contains("fma_gflops"), "{r}");
+        assert!(r.contains("43.200"), "{r}");
+        assert!(r.contains("fallback:all samples failed"), "{r}");
+
+        // A tune trace without calibrate events skips the section.
+        let r = render_report(&profiled_trace(), None).unwrap();
+        assert!(!r.contains("calibration:"), "{r}");
+    }
+
+    #[test]
+    fn model_corrections_section_lists_suspect_keys() {
+        let mut t = profiled_trace();
+        t += &line(
+            r#"{"v":1,"ev":"model_suspect","t_us":16,"span":1,"level":"info","block_y":8,"block_z":8,"p95":3.1,"coeff":0.25,"count":5}"#,
+        );
+        let r = render_report(&t, None).unwrap();
+        assert!(r.contains("model corrections:"), "{r}");
+        assert!(
+            r.contains("block 8x8: p95 drift 3.100 SUSPECT, fitted coeff 0.250 (5 samples)"),
+            "{r}"
+        );
+
+        // No suspects, no section.
+        let r = render_report(&profiled_trace(), None).unwrap();
+        assert!(!r.contains("model corrections:"), "{r}");
     }
 
     #[test]

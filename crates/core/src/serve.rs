@@ -82,7 +82,9 @@ use crate::persist::PersistentStore;
 use crate::request::TuneRequest;
 use crate::solution::Solution;
 use crate::space::SearchSpace;
-use crate::status::{LatencyDigest, StatusSnapshot, TenantUsage, PROM_CONTENT_TYPE};
+use crate::status::{
+    CalibrationStatus, LatencyDigest, StatusSnapshot, TenantUsage, PROM_CONTENT_TYPE,
+};
 use crate::trial::{FallbackReason, FaultPlan, Provenance, TrialBudget, TrialConfig};
 use crate::tuner::TuneStrategy;
 
@@ -286,6 +288,43 @@ pub struct ServeState {
     queue_depth: Option<Arc<AtomicUsize>>,
     /// Overload rejections counted by the reader thread.
     overloads: Option<Arc<AtomicUsize>>,
+    /// Calibration provenance of `<state-dir>/machine.calibrated`, when
+    /// the daemon found one at startup. `age_secs` holds the file's age
+    /// at load; snapshots add the uptime since.
+    calibration: Option<CalibrationStatus>,
+}
+
+/// Name of the calibrated machine file a daemon looks for in its state
+/// directory (the conventional `yasksite calibrate --out` target).
+pub const CALIBRATED_MACHINE_FILE: &str = "machine.calibrated";
+
+/// Loads the calibration provenance of `<dir>/machine.calibrated`, if
+/// present and valid. Invalid files are reported, not fatal.
+fn load_calibration(dir: &std::path::Path, tel: &Telemetry) -> Option<CalibrationStatus> {
+    let path = dir.join(CALIBRATED_MACHINE_FILE);
+    let text = std::fs::read_to_string(&path).ok()?;
+    let age_secs = std::fs::metadata(&path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.elapsed().ok())
+        .map_or(0.0, |d| d.as_secs_f64());
+    match yasksite_arch::parse_machine(&text) {
+        Ok(m) => m.calibration.map(|c| CalibrationStatus {
+            rev: c.rev,
+            seed: c.seed,
+            date: c.date,
+            probes: c.measurements.len(),
+            age_secs,
+        }),
+        Err(e) => {
+            tel.error(&format!(
+                "calibrated machine file '{}' unusable: {e}",
+                path.display()
+            ));
+            tel.inc("serve.calibration_unusable");
+            None
+        }
+    }
 }
 
 /// Incremental JSON-object writer for responses (hand-rolled; the
@@ -437,6 +476,24 @@ impl ServeState {
             Some(cap) => DriftLedger::bounded(cap),
             None => DriftLedger::new(),
         };
+        let calibration = config
+            .state_dir
+            .as_ref()
+            .and_then(|dir| load_calibration(dir, &tel));
+        if let Some(c) = &calibration {
+            tel.event(
+                Level::Info,
+                "calibration_loaded",
+                0,
+                &[
+                    ("rev", c.rev.as_str().into()),
+                    ("seed", c.seed.into()),
+                    ("date", c.date.as_str().into()),
+                    ("probes", c.probes.into()),
+                    ("age_secs", c.age_secs.into()),
+                ],
+            );
+        }
         let mut state = ServeState {
             config,
             store,
@@ -453,6 +510,7 @@ impl ServeState {
             tier_degraded: BTreeMap::new(),
             queue_depth: None,
             overloads: None,
+            calibration,
         };
         if state_degraded {
             state.stats.persist_errors += 1;
@@ -938,6 +996,11 @@ impl ServeState {
             drift_records: self.ledger.len(),
             drift_suspects: self.ledger.suspect_count(),
             drift_evictions: self.ledger.evictions(),
+            corrected_keys: self.ledger.per_key_corrections().len(),
+            calibration: self.calibration.as_ref().map(|c| CalibrationStatus {
+                age_secs: c.age_secs + now,
+                ..c.clone()
+            }),
             tenants: self.tenants.len(),
             trace_sample: self.config.trace_sample,
             queue_wait_ms: ServeWindows::digest(&self.windows.queue_wait_ms, now),
@@ -1473,6 +1536,48 @@ mod tests {
             .expect("daemon rewrote status.json after the request");
         let j = parse(&text).expect("status.json is valid JSON");
         crate::status::validate_status_json(&j).expect("status.json validates");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn daemon_surfaces_calibration_from_the_state_dir() {
+        let dir = tmp_dir("calibrated");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = crate::calibrate::CalibrateConfig {
+            synthetic: true,
+            quick: true,
+            ..crate::calibrate::CalibrateConfig::new(7)
+        };
+        let outcome = crate::calibrate::calibrate(&cfg, &Telemetry::disabled())
+            .expect("synthetic calibration is total");
+        std::fs::write(
+            dir.join(CALIBRATED_MACHINE_FILE),
+            yasksite_arch::format_machine(&outcome.machine),
+        )
+        .unwrap();
+        let mut state = ServeState::new(ServeConfig {
+            state_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let r = handle(&mut state, r#"{"id":"c","op":"status"}"#);
+        let cal = field(&r, "calibration");
+        assert_eq!(cal.get("seed").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            cal.get("probes").and_then(Json::as_u64),
+            Some(crate::calibrate::PROBE_NAMES.len() as u64)
+        );
+        assert!(cal.get("age_secs").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert_eq!(field(&r, "corrected_keys").as_u64(), Some(0));
+        crate::status::validate_status_json(&r).expect("calibrated status validates");
+
+        // A garbage machine file degrades to "no calibration", not a crash.
+        std::fs::write(dir.join(CALIBRATED_MACHINE_FILE), "not a machine file").unwrap();
+        let mut state = ServeState::new(ServeConfig {
+            state_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        });
+        let r = handle(&mut state, r#"{"id":"c2","op":"status"}"#);
+        assert!(r.get("calibration").is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

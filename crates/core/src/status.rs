@@ -62,6 +62,23 @@ pub struct TenantUsage {
     pub seconds: f64,
 }
 
+/// Calibration provenance of the machine model a daemon serves with,
+/// lifted from the model's [`yasksite_arch::CalibrationProvenance`]
+/// block plus the age of the calibrated machine file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationStatus {
+    /// Calibrator revision that produced the model.
+    pub rev: String,
+    /// Seed of the calibration run.
+    pub seed: u64,
+    /// UTC date of the calibration run, `YYYY-MM-DD`.
+    pub date: String,
+    /// Micro-benchmark probes the provenance block carries.
+    pub probes: usize,
+    /// Seconds since the calibrated machine file was written.
+    pub age_secs: f64,
+}
+
 /// Point-in-time view of a running daemon: lifetime counters plus
 /// rolling-window latency digests. Produced by
 /// [`crate::ServeState::status_snapshot`], rendered by
@@ -101,6 +118,13 @@ pub struct StatusSnapshot {
     pub drift_suspects: usize,
     /// Drift records evicted by the bounded ledger.
     pub drift_evictions: usize,
+    /// Drift-ledger keys currently SUSPECT and therefore carrying a
+    /// fitted model correction (see
+    /// [`crate::DriftLedger::per_key_corrections`]).
+    pub corrected_keys: usize,
+    /// Calibration provenance of the served machine model (`None` when
+    /// the daemon runs on a builtin, uncalibrated model).
+    pub calibration: Option<CalibrationStatus>,
     /// Distinct tenants served.
     pub tenants: usize,
     /// Head-sampling budget (`--trace-sample`); `None` traces everything.
@@ -210,6 +234,7 @@ impl StatusSnapshot {
         push_uint(&mut out, "drift_records", self.drift_records as u64);
         push_uint(&mut out, "drift_suspects", self.drift_suspects as u64);
         push_uint(&mut out, "drift_evictions", self.drift_evictions as u64);
+        push_uint(&mut out, "corrected_keys", self.corrected_keys as u64);
         push_uint(&mut out, "tenants", self.tenants as u64);
         if let Some(n) = self.trace_sample {
             push_uint(&mut out, "trace_sample", n);
@@ -240,6 +265,19 @@ impl StatusSnapshot {
         out.push_str(",\"jobs\":");
         let _ = write!(out, "{}", self.pool_jobs);
         out.push('}');
+        if let Some(c) = &self.calibration {
+            out.push_str(",\"calibration\":{\"rev\":");
+            write_escaped(&mut out, &c.rev);
+            out.push_str(",\"seed\":");
+            let _ = write!(out, "{}", c.seed);
+            out.push_str(",\"date\":");
+            write_escaped(&mut out, &c.date);
+            out.push_str(",\"probes\":");
+            let _ = write!(out, "{}", c.probes);
+            out.push_str(",\"age_secs\":");
+            write_f64(&mut out, c.age_secs);
+            out.push('}');
+        }
         if let Some(h) = self.store_healthy {
             out.push_str(",\"store_healthy\":");
             out.push_str(if h { "true" } else { "false" });
@@ -339,6 +377,23 @@ impl StatusSnapshot {
             "yasksite_drift_evictions_total",
             self.drift_evictions as u64,
         );
+        gauge(
+            &mut out,
+            "yasksite_corrected_keys",
+            self.corrected_keys as f64,
+        );
+        if let Some(c) = &self.calibration {
+            gauge(&mut out, "yasksite_calibration_age_seconds", c.age_secs);
+            gauge(&mut out, "yasksite_calibration_probes", c.probes as f64);
+            let _ = writeln!(out, "# TYPE yasksite_calibration_info gauge");
+            let _ = writeln!(
+                out,
+                "yasksite_calibration_info{{rev=\"{}\",seed=\"{}\",date=\"{}\"}} 1",
+                escape_label(&c.rev),
+                c.seed,
+                escape_label(&c.date),
+            );
+        }
         gauge(&mut out, "yasksite_tenants", self.tenants as f64);
         gauge(&mut out, "yasksite_pool_workers", self.pool_workers as f64);
         counter(&mut out, "yasksite_pool_sweeps_total", self.pool_sweeps);
@@ -495,6 +550,28 @@ pub fn validate_status_json(j: &Json) -> Result<StatusCheck, String> {
         require_u64(j, key)?;
     }
     let drift_suspects = require_u64(j, "drift_suspects")?;
+    // Additions past the original v1 surface stay optional so older
+    // snapshots on disk keep validating; when present they must be
+    // well-formed.
+    if j.get("corrected_keys").is_some() {
+        require_u64(j, "corrected_keys")?;
+    }
+    if let Some(c) = j.get("calibration") {
+        if !matches!(c, Json::Obj(_)) {
+            return Err("status: 'calibration' is not an object".into());
+        }
+        for key in ["rev", "date"] {
+            if c.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("status: calibration.{key} missing or not a string"));
+            }
+        }
+        require_u64(c, "seed").map_err(|e| format!("calibration: {e}"))?;
+        require_u64(c, "probes").map_err(|e| format!("calibration: {e}"))?;
+        let age = require_f64(c, "age_secs").map_err(|e| format!("calibration: {e}"))?;
+        if !age.is_finite() || age < 0.0 {
+            return Err("status: calibration age_secs is not a finite non-negative number".into());
+        }
+    }
     let rate = require_f64(j, "rate_per_sec")?;
     if !rate.is_finite() || rate < 0.0 {
         return Err("status: bad rate_per_sec".into());
@@ -761,7 +838,7 @@ pub fn render_top(j: &Json, source: &str) -> String {
     let pool = j.get("pool").cloned().unwrap_or(Json::Null);
     let _ = writeln!(
         out,
-        "queue {}/{} | pool {} workers / {} jobs | cache {} | drift {} records, SUSPECT {} | persist errors {}",
+        "queue {}/{} | pool {} workers / {} jobs | cache {} | drift {} records, SUSPECT {}, {} corrected | persist errors {}",
         opt_u64(j, "queue_depth"),
         opt_u64(j, "queue_capacity"),
         opt_u64(&pool, "workers"),
@@ -769,8 +846,20 @@ pub fn render_top(j: &Json, source: &str) -> String {
         opt_u64(j, "cache_entries"),
         opt_u64(j, "drift_records"),
         opt_u64(j, "drift_suspects"),
+        opt_u64(j, "corrected_keys"),
         opt_u64(j, "persist_errors"),
     );
+    if let Some(c) = j.get("calibration") {
+        let _ = writeln!(
+            out,
+            "calibration: rev {} seed {} ({}), {} probes, age {:.0}s",
+            c.get("rev").and_then(Json::as_str).unwrap_or("?"),
+            opt_u64(c, "seed"),
+            c.get("date").and_then(Json::as_str).unwrap_or("?"),
+            opt_u64(c, "probes"),
+            opt_f64(c, "age_secs"),
+        );
+    }
     let lat = digest_rows(j, "latency_ms");
     if lat.is_empty() {
         let _ = writeln!(out, "latency: no samples in window");
@@ -846,6 +935,14 @@ mod tests {
             cache_entries: 42,
             drift_records: 3,
             drift_suspects: 1,
+            corrected_keys: 1,
+            calibration: Some(CalibrationStatus {
+                rev: "0.1.0".into(),
+                seed: 42,
+                date: "2026-08-09".into(),
+                probes: 7,
+                age_secs: 90.0,
+            }),
             tenants: 1,
             trace_sample: Some(64),
             pool_workers: 4,
@@ -885,6 +982,26 @@ mod tests {
         assert_eq!(check.latency_samples, 3);
         assert_eq!(check.queue_depth, 1);
         assert_eq!(check.drift_suspects, 1);
+        assert_eq!(j.get("corrected_keys").and_then(Json::as_u64), Some(1));
+        let cal = j.get("calibration").expect("calibration block present");
+        assert_eq!(cal.get("rev").and_then(Json::as_str), Some("0.1.0"));
+        assert_eq!(cal.get("seed").and_then(Json::as_u64), Some(42));
+        assert_eq!(cal.get("probes").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn validator_accepts_snapshots_without_the_calibration_extras() {
+        // Older daemons never wrote `corrected_keys` / `calibration`;
+        // their status.json files must keep validating.
+        let mut snap = sample_snapshot();
+        snap.corrected_keys = 0;
+        snap.calibration = None;
+        let line = snap.to_json_response("old");
+        let stripped = line.replace(",\"corrected_keys\":0", "");
+        assert!(!stripped.contains("corrected_keys"));
+        assert!(!stripped.contains("calibration"));
+        let j = parse(&stripped).unwrap();
+        validate_status_json(&j).expect("pre-calibration snapshots still validate");
     }
 
     #[test]
@@ -906,6 +1023,21 @@ mod tests {
         assert!(validate_status_json(&j)
             .unwrap_err()
             .contains("not monotone"));
+        // A calibration block that is not an object is rejected.
+        let j = parse(
+            r#"{"ok":true,"op":"status","schema":1,"uptime_secs":1,"window_secs":60,
+                "queue_depth":0,"queue_capacity":8,"received":0,"completed":0,
+                "rejected_overload":0,"rejected_budget":0,"rejected_bad":0,
+                "degraded":0,"persist_errors":0,"cache_entries":0,"drift_records":0,
+                "drift_suspects":0,"drift_evictions":0,"tenants":0,"rate_per_sec":0,
+                "calibration":7,
+                "queue_wait_ms":{},"service_ms":{},"latency_ms":{},
+                "tenant_latency_ms":{},"tier_ran":{},"tier_degraded":{}}"#,
+        )
+        .unwrap();
+        assert!(validate_status_json(&j)
+            .unwrap_err()
+            .contains("'calibration' is not an object"));
     }
 
     #[test]
@@ -915,6 +1047,12 @@ mod tests {
         assert!(samples > 20, "expected a rich exposition, got {samples}");
         assert!(text.contains("yasksite_queue_depth 1"));
         assert!(text.contains("yasksite_drift_suspects 1"));
+        assert!(text.contains("yasksite_corrected_keys 1"));
+        assert!(text.contains("yasksite_calibration_age_seconds 90"));
+        assert!(text.contains("yasksite_calibration_probes 7"));
+        assert!(text.contains(
+            "yasksite_calibration_info{rev=\"0.1.0\",seed=\"42\",date=\"2026-08-09\"} 1"
+        ));
         assert!(text.contains("yasksite_tier_ran_total{tier=\"folded\"} 3"));
         assert!(text.contains("yasksite_request_latency_ms{kind=\"tune\",quantile=\"0.5\"} 10"));
         assert!(text.contains("# TYPE yasksite_request_latency_ms summary"));
@@ -945,7 +1083,8 @@ mod tests {
         let view = render_top(&j, "state-dir");
         assert!(view.contains("yasksite daemon [state-dir]"));
         assert!(view.contains("queue 1/16"));
-        assert!(view.contains("SUSPECT 1"));
+        assert!(view.contains("SUSPECT 1, 1 corrected"));
+        assert!(view.contains("calibration: rev 0.1.0 seed 42 (2026-08-09), 7 probes, age 90s"));
         assert!(view.contains("tune"));
         assert!(view.contains("tiers: folded 3"));
         assert!(view.contains("tenant ci: 4 runs"));

@@ -457,6 +457,7 @@ impl Solution {
                     stencil: self.stencil().name().to_string(),
                     params: p.to_string(),
                     cores,
+                    tier: tier.to_string(),
                     predicted_mlups: pred.mlups,
                     measured_mlups: mlups,
                 });
@@ -534,6 +535,7 @@ impl Solution {
                     ("stencil", r.stencil.clone().into()),
                     ("params", r.params.clone().into()),
                     ("cores", r.cores.into()),
+                    ("tier", r.tier.clone().into()),
                     ("predicted_mlups", r.predicted_mlups.into()),
                     ("measured_mlups", r.measured_mlups.into()),
                     ("drift", r.drift().into()),

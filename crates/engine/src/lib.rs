@@ -65,8 +65,6 @@ pub use codegen::{codegen, CodegenOutput};
 pub use compile::CompiledStencil;
 pub use error::EngineError;
 pub use native::NativeRun;
-#[allow(deprecated)]
-pub use native::{apply_native, apply_native_on, apply_native_profiled_on};
 pub use params::TuningParams;
 pub use pool::{ExecPool, PoolStats, ScopedJob};
 pub use profile::{IntervalStats, PhaseStat, PoolWindow, ProfileReport, SweepProfiler};
@@ -77,7 +75,3 @@ pub use sweep::{
     FORCE_TIER_ENV,
 };
 pub use wavefront::run_wavefront_simulated;
-#[allow(deprecated)]
-pub use wavefront::{
-    run_wavefront_native, run_wavefront_native_on, run_wavefront_native_profiled_on,
-};

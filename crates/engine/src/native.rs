@@ -60,95 +60,9 @@ fn check_folds(inputs: &[&Grid3], out: &Grid3, params: &TuningParams) -> Result<
     Ok(())
 }
 
-/// Applies `stencil` once over the full domain of `out` on the
-/// process-global [`ExecPool`].
-///
-/// # Errors
-/// Returns binding errors (arity/halo/domain) or parameter errors
-/// (fold mismatch, zero extents).
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `SweepRequest::new(&params)` and call `.apply(...)` instead"
-)]
-pub fn apply_native(
-    stencil: &Stencil,
-    inputs: &[&Grid3],
-    out: &mut Grid3,
-    params: &TuningParams,
-) -> Result<NativeRun, EngineError> {
-    execute_apply(
-        ExecPool::global(),
-        stencil,
-        inputs,
-        out,
-        params,
-        &SweepProfiler::disabled(),
-        TierPolicy::from_env(),
-    )
-    .map(|(run, _, _)| run)
-}
-
-/// Applies `stencil` once over the full domain of `out` with `pool`
-/// supplying the worker threads.
-///
-/// # Errors
-/// Returns binding errors (arity/halo/domain) or parameter errors
-/// (fold mismatch, zero extents).
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `SweepRequest::new(&params).pool(pool)` and call `.apply(...)` instead"
-)]
-pub fn apply_native_on(
-    pool: &ExecPool,
-    stencil: &Stencil,
-    inputs: &[&Grid3],
-    out: &mut Grid3,
-    params: &TuningParams,
-) -> Result<NativeRun, EngineError> {
-    execute_apply(
-        pool,
-        stencil,
-        inputs,
-        out,
-        params,
-        &SweepProfiler::disabled(),
-        TierPolicy::from_env(),
-    )
-    .map(|(run, _, _)| run)
-}
-
-/// `apply_native_on` with an attached [`SweepProfiler`].
-///
-/// # Errors
-/// Same conditions as `apply_native_on`.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `SweepRequest::new(&params).pool(pool).profiler(prof)` and call \
-            `.apply(...)` instead"
-)]
-pub fn apply_native_profiled_on(
-    pool: &ExecPool,
-    stencil: &Stencil,
-    inputs: &[&Grid3],
-    out: &mut Grid3,
-    params: &TuningParams,
-    prof: &SweepProfiler,
-) -> Result<NativeRun, EngineError> {
-    execute_apply(
-        pool,
-        stencil,
-        inputs,
-        out,
-        params,
-        prof,
-        TierPolicy::from_env(),
-    )
-    .map(|(run, _, _)| run)
-}
-
-/// The spatial-sweep executor behind [`crate::SweepRequest::apply`] and
-/// the deprecated `apply_native*` wrappers: validates, compiles, plans
-/// the tier under `policy`, and dispatches to the matching kernel.
+/// The spatial-sweep executor behind [`crate::SweepRequest::apply`]:
+/// validates, compiles, plans the tier under `policy`, and dispatches to
+/// the matching kernel.
 ///
 /// Tier selection never changes results — every tier computes each
 /// output point with the identical FP operation order. Threaded tiers
@@ -1135,31 +1049,5 @@ mod tests {
         );
         assert_eq!(rl.tier, Tier::Folded);
         assert_eq!(one.max_abs_diff(&lanes).unwrap(), 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_bitwise_identically() {
-        // The legacy entry points must produce bit-identical grids and
-        // identical run metadata to the SweepRequest path they wrap.
-        let s = heat3d(1);
-        let n = [20, 10, 8];
-        let fold = Fold::new(8, 1, 1);
-        let u = filled("u", n, [1, 1, 1], fold);
-        let p = TuningParams::new([8, 4, 2], fold).threads(3);
-        let mut via_request = Grid3::new("r", n, [1, 1, 1], fold);
-        let report = SweepRequest::new(&p)
-            .apply(&s, &[&u], &mut via_request)
-            .unwrap();
-        let mut via_free_fn = Grid3::new("f", n, [1, 1, 1], fold);
-        let run = apply_native(&s, &[&u], &mut via_free_fn, &p).unwrap();
-        assert_eq!(via_request.max_abs_diff(&via_free_fn).unwrap(), 0.0);
-        assert_eq!(run.updates, report.updates);
-        assert_eq!(run.threads_used, report.threads_used);
-        let pool = ExecPool::new(2);
-        let prof = SweepProfiler::disabled();
-        let mut via_profiled = Grid3::new("p", n, [1, 1, 1], fold);
-        apply_native_profiled_on(&pool, &s, &[&u], &mut via_profiled, &p, &prof).unwrap();
-        assert_eq!(via_request.max_abs_diff(&via_profiled).unwrap(), 0.0);
     }
 }

@@ -171,9 +171,9 @@ impl ExecPool {
     }
 
     /// The process-wide pool, spawned on first use and sized to the
-    /// host's available parallelism. This is what [`crate::apply_native`]
-    /// and [`crate::run_wavefront_native`] execute on; callers that want
-    /// isolation construct their own pool and use the `*_on` variants.
+    /// host's available parallelism. This is what a
+    /// [`crate::SweepRequest`] without an explicit `.pool(...)` executes
+    /// on; callers that want isolation construct their own pool.
     #[must_use]
     pub fn global() -> &'static ExecPool {
         static GLOBAL: OnceLock<ExecPool> = OnceLock::new();
@@ -238,8 +238,15 @@ impl ExecPool {
                 let job: StaticJob =
                     unsafe { std::mem::transmute::<ScopedJob<'_>, StaticJob>(job) };
                 let latch = Arc::clone(&latch);
+                let shared = Arc::clone(&self.shared);
                 q.jobs.push_back(Box::new(move || {
                     let outcome = catch_unwind(AssertUnwindSafe(job));
+                    // Count the job before releasing the latch: `run`
+                    // returns the moment the last latch completes, and a
+                    // stats snapshot taken right after (the profiler's
+                    // pool window) must already include every job of the
+                    // batch.
+                    shared.jobs_run.fetch_add(1, Ordering::Relaxed);
                     latch.complete(outcome.err());
                 }));
             }
@@ -271,9 +278,9 @@ fn worker_loop(shared: &Shared) {
         match job {
             Some(job) => {
                 // The job's own panics are caught inside the wrapper
-                // installed by `run`, so the worker thread survives them.
+                // installed by `run`, which also counts the job into
+                // `jobs_run` before releasing the batch latch.
                 job();
-                shared.jobs_run.fetch_add(1, Ordering::Relaxed);
             }
             None => return,
         }

@@ -4,10 +4,9 @@
 //! The profiler follows the same zero-cost-when-off discipline as the
 //! telemetry handle: a [`SweepProfiler::disabled`] value carries
 //! `Option::None` and every hook is a single branch on it — no clock
-//! read, no lock, no allocation — so the profiled entry points
-//! ([`crate::apply_native_profiled_on`],
-//! [`crate::run_wavefront_native_profiled_on`]) are what the unprofiled
-//! ones delegate to. Profiling is purely observational: it reads clocks
+//! read, no lock, no allocation — so an unprofiled
+//! [`crate::SweepRequest`] runs the identical code path as a profiled
+//! one. Profiling is purely observational: it reads clocks
 //! around the kernel code, never inside the numeric loops, so enabling
 //! it cannot change results (a property the cross-crate proptest suite
 //! pins down).

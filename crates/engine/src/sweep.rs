@@ -24,10 +24,6 @@
 //! assert_eq!(report.tier, Tier::Folded);
 //! # Ok::<(), yasksite_engine::EngineError>(())
 //! ```
-//!
-//! The legacy free functions (`apply_native`, `run_wavefront_native` and
-//! friends) remain as thin `#[deprecated]` wrappers over the same
-//! executors for one release.
 
 use std::time::Instant;
 
@@ -259,9 +255,9 @@ pub fn tier_reason_degraded(reason: &str) -> bool {
 }
 
 /// Builder for one native sweep: spatial (`apply`) or temporally blocked
-/// (`run_wavefront`). Collapses the former
-/// `apply_native{,_on,_profiled_on}` / `run_wavefront_native{,_on,_profiled_on}`
-/// entry-point family into one configurable request.
+/// (`run_wavefront`). The single configurable entry point to the native
+/// executors (the former free-function family was removed after its
+/// deprecation release).
 ///
 /// Defaults: the process-global [`ExecPool`], no profiler, and the tier
 /// policy from [`TierPolicy::from_env`].

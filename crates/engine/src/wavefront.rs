@@ -11,7 +11,7 @@
 //!
 //! The native path composes all three YASK levers, as the paper does:
 //! each skewed plane update runs through the same allocation-free linear
-//! row kernels as [`crate::apply_native`], tiled in x/y by
+//! row kernels as a spatial [`crate::SweepRequest::apply`], tiled in x/y by
 //! `params.block`, and the plane's rows are decomposed into
 //! `params.threads` contiguous chunks executed on the persistent
 //! [`ExecPool`]. The per-point operation order is identical to the plain
@@ -49,91 +49,6 @@ fn wavefront_checks(
     let info = stencil.info();
     let shift = info.radius[2].max(1);
     Ok((params.wavefront, shift))
-}
-
-/// Performs `params.wavefront` time steps of `stencil` on the ping-pong
-/// pair `(a, b)` on the process-global [`ExecPool`]; on return `a` holds
-/// the newest time level.
-///
-/// # Errors
-/// Fails for multi-input stencils, binding problems, or invalid
-/// parameters.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `SweepRequest` and call `run_wavefront` on it"
-)]
-pub fn run_wavefront_native(
-    stencil: &Stencil,
-    a: &mut Grid3,
-    b: &mut Grid3,
-    params: &TuningParams,
-) -> Result<(), EngineError> {
-    execute_wavefront(
-        ExecPool::global(),
-        stencil,
-        a,
-        b,
-        params,
-        &SweepProfiler::disabled(),
-        TierPolicy::from_env(),
-    )
-    .map(|_| ())
-}
-
-/// Performs `params.wavefront` time steps of `stencil` on the ping-pong
-/// pair `(a, b)` using one skewed sweep, with `pool` supplying the
-/// worker threads; on return `a` holds the newest time level. Returns
-/// the number of threads that actually did work (the widest per-plane
-/// chunk count; `1` on the generic fallback).
-///
-/// # Errors
-/// Fails for multi-input stencils, binding problems, or invalid
-/// parameters.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `SweepRequest` with `.pool(...)` and call `run_wavefront` on it"
-)]
-pub fn run_wavefront_native_on(
-    pool: &ExecPool,
-    stencil: &Stencil,
-    a: &mut Grid3,
-    b: &mut Grid3,
-    params: &TuningParams,
-) -> Result<usize, EngineError> {
-    execute_wavefront(
-        pool,
-        stencil,
-        a,
-        b,
-        params,
-        &SweepProfiler::disabled(),
-        TierPolicy::from_env(),
-    )
-    .map(|(widest, _, _)| widest)
-}
-
-/// Wavefront run with an attached [`SweepProfiler`]: when `prof` is
-/// enabled, the whole skewed sweep is recorded as a `"wavefront"` phase,
-/// every plane update as a plane interval, every per-chunk pool job as a
-/// chunk interval, and the pool-counter window across the sweep.
-///
-/// # Errors
-/// Fails for multi-input stencils, binding problems, or invalid
-/// parameters.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `SweepRequest` with `.pool(...).profiler(...)` and call `run_wavefront` on it"
-)]
-pub fn run_wavefront_native_profiled_on(
-    pool: &ExecPool,
-    stencil: &Stencil,
-    a: &mut Grid3,
-    b: &mut Grid3,
-    params: &TuningParams,
-    prof: &SweepProfiler,
-) -> Result<usize, EngineError> {
-    execute_wavefront(pool, stencil, a, b, params, prof, TierPolicy::from_env())
-        .map(|(widest, _, _)| widest)
 }
 
 /// Picks the kernel tier for the skewed plane updates. The wavefront
@@ -328,7 +243,7 @@ fn wavefront_plane(
     used
 }
 
-/// Simulated counterpart of [`run_wavefront_native`]: walks the identical
+/// Simulated counterpart of the native wavefront executor: walks the identical
 /// skewed plane order, issuing the touched cache lines to the context's
 /// hierarchy. Planes are decomposed over the context's cores along y.
 ///
@@ -598,30 +513,6 @@ mod tests {
         assert_eq!(report.tier, Tier::Generic);
         assert!(report.tier_reason.contains("mismatched layouts"));
         assert!(a.max_abs_diff(&want).unwrap() < 1e-12);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wavefront_wrappers_delegate_bitwise_identically() {
-        let s = heat3d(1);
-        let n = [16, 8, 10];
-        let p = TuningParams::new([8, 4, 4], Fold::new(8, 1, 1))
-            .wavefront(3)
-            .threads(2);
-        let mut a1 = initial(n);
-        let mut b1 = initial(n);
-        SweepRequest::new(&p)
-            .run_wavefront(&s, &mut a1, &mut b1)
-            .unwrap();
-        let mut a2 = initial(n);
-        let mut b2 = initial(n);
-        run_wavefront_native(&s, &mut a2, &mut b2, &p).unwrap();
-        assert_eq!(a1.max_abs_diff(&a2).unwrap(), 0.0);
-        let mut a3 = initial(n);
-        let mut b3 = initial(n);
-        let used = run_wavefront_native_on(ExecPool::global(), &s, &mut a3, &mut b3, &p).unwrap();
-        assert!(used >= 1);
-        assert_eq!(a1.max_abs_diff(&a3).unwrap(), 0.0);
     }
 
     /// A scaled-down Cascade-Lake-like machine whose LLC the test domain
